@@ -1,0 +1,58 @@
+// Ablation bench for the accuracy-estimator design choices DESIGN.md calls
+// out: (a) confidence weighting of Eq. (5) grades, (b) the shrinkage prior
+// strength, (c) the kernel-ratio calibration vs. the raw Eq. (3) scores
+// (approximated by a very large prior ~ fallback-only as one endpoint).
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace icrowd;         // NOLINT
+using namespace icrowd::bench;  // NOLINT
+
+int main() {
+  std::printf("=== Ablation: accuracy-estimator design choices "
+              "(ItemCompare, Adapt) ===\n\n");
+  BenchDataset bd = LoadItemCompare();
+
+  {
+    std::printf("--- (a) confidence weighting of Eq. (5) grades ---\n");
+    for (bool weighting : {false, true}) {
+      ICrowdConfig config;
+      config.estimator.confidence_weighting = weighting;
+      AveragedReport report = RunAveraged(bd, config, StrategyKind::kAdapt);
+      std::printf("  confidence_weighting=%-5s  overall %s\n",
+                  weighting ? "on" : "off",
+                  FormatDouble(report.overall, 3).c_str());
+      std::fflush(stdout);
+    }
+  }
+
+  {
+    std::printf("\n--- (b) shrinkage prior strength (default 0.02) ---\n");
+    for (double prior : {0.0, 0.02, 0.2, 1.0, 5.0}) {
+      ICrowdConfig config;
+      config.estimator.prior_strength = prior;
+      AveragedReport report = RunAveraged(bd, config, StrategyKind::kAdapt);
+      std::printf("  prior_strength=%-5s  overall %s\n",
+                  FormatDouble(prior, 2).c_str(),
+                  FormatDouble(report.overall, 3).c_str());
+      std::fflush(stdout);
+    }
+    std::printf("  (large priors collapse estimates to each worker's "
+                "average -> AvgAcc-like behavior)\n");
+  }
+
+  {
+    std::printf("\n--- (c) warm-up gold tasks per worker ---\n");
+    for (int per_worker : {3, 5, 10}) {
+      ICrowdConfig config;
+      config.warmup.tasks_per_worker = per_worker;
+      AveragedReport report = RunAveraged(bd, config, StrategyKind::kAdapt);
+      std::printf("  tasks_per_worker=%-3d  overall %s\n", per_worker,
+                  FormatDouble(report.overall, 3).c_str());
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,128 @@
+#ifndef ICROWD_BENCH_BENCH_UTIL_H_
+#define ICROWD_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the figure/table reproduction benches: the standard
+// datasets, multi-seed experiment averaging, and aligned table printing.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "core/experiment.h"
+#include "datagen/itemcompare.h"
+#include "datagen/yahooqa.h"
+
+namespace icrowd {
+namespace bench {
+
+struct BenchDataset {
+  std::string name;
+  Dataset dataset;
+  std::vector<WorkerProfile> workers;
+  SimilarityGraph graph;
+};
+
+/// Loads one of the two §6.1 datasets with its worker pool and similarity
+/// graph (built with `config.graph`). Aborts on error: benches have no
+/// recovery path.
+inline BenchDataset LoadYahooQa(const ICrowdConfig& config = {}) {
+  auto ds = GenerateYahooQa();
+  if (!ds.ok()) {
+    std::fprintf(stderr, "YahooQA datagen failed: %s\n",
+                 ds.status().ToString().c_str());
+    std::abort();
+  }
+  auto workers = GenerateYahooQaWorkers(*ds);
+  auto graph = SimilarityGraph::Build(*ds, config.graph);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "graph build failed: %s\n",
+                 graph.status().ToString().c_str());
+    std::abort();
+  }
+  return {"YahooQA", ds.MoveValueOrDie(), std::move(workers),
+          graph.MoveValueOrDie()};
+}
+
+inline BenchDataset LoadItemCompare(const ICrowdConfig& config = {}) {
+  auto ds = GenerateItemCompare();
+  if (!ds.ok()) {
+    std::fprintf(stderr, "ItemCompare datagen failed: %s\n",
+                 ds.status().ToString().c_str());
+    std::abort();
+  }
+  auto workers = GenerateItemCompareWorkers(*ds);
+  auto graph = SimilarityGraph::Build(*ds, config.graph);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "graph build failed: %s\n",
+                 graph.status().ToString().c_str());
+    std::abort();
+  }
+  return {"ItemCompare", ds.MoveValueOrDie(), std::move(workers),
+          graph.MoveValueOrDie()};
+}
+
+/// Per-domain + overall accuracy of one strategy averaged over `seeds`
+/// campaign runs (damps simulated-crowd noise; the paper ran one real
+/// crowd).
+struct AveragedReport {
+  std::string strategy;
+  std::vector<double> per_domain;  // aligned with dataset.domains()
+  double overall = 0.0;
+};
+
+inline AveragedReport RunAveraged(const BenchDataset& bd, ICrowdConfig config,
+                                  StrategyKind kind, int seeds = 0,
+                                  uint64_t seed_base = 1000) {
+  // Small campaigns (YahooQA: 110 tasks) have high per-run variance; scale
+  // the averaging with the inverse dataset size.
+  if (seeds == 0) seeds = bd.dataset.size() < 200 ? 16 : 6;
+  AveragedReport out;
+  out.strategy = StrategyName(kind);
+  out.per_domain.assign(bd.dataset.domains().size(), 0.0);
+  for (int s = 0; s < seeds; ++s) {
+    config.seed = seed_base + s;
+    auto result =
+        RunExperiment(bd.dataset, bd.workers, bd.graph, config, kind);
+    if (!result.ok()) {
+      std::fprintf(stderr, "experiment %s failed: %s\n", out.strategy.c_str(),
+                   result.status().ToString().c_str());
+      std::abort();
+    }
+    for (size_t d = 0; d < out.per_domain.size(); ++d) {
+      out.per_domain[d] += result->report.per_domain[d].accuracy;
+    }
+    out.overall += result->report.overall;
+  }
+  for (double& v : out.per_domain) v /= seeds;
+  out.overall /= seeds;
+  return out;
+}
+
+/// Prints a per-domain accuracy table: one column per report, one row per
+/// domain plus the "ALL" row — the layout of Figures 7, 8, 9.
+inline void PrintAccuracyTable(const BenchDataset& bd,
+                               const std::vector<AveragedReport>& reports) {
+  std::printf("%-18s", "Domain");
+  for (const AveragedReport& r : reports) {
+    std::printf("%14s", r.strategy.c_str());
+  }
+  std::printf("\n");
+  for (size_t d = 0; d < bd.dataset.domains().size(); ++d) {
+    std::printf("%-18s", bd.dataset.domains()[d].c_str());
+    for (const AveragedReport& r : reports) {
+      std::printf("%14s", FormatDouble(r.per_domain[d], 3).c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("%-18s", "ALL");
+  for (const AveragedReport& r : reports) {
+    std::printf("%14s", FormatDouble(r.overall, 3).c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace bench
+}  // namespace icrowd
+
+#endif  // ICROWD_BENCH_BENCH_UTIL_H_

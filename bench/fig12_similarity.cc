@@ -1,0 +1,46 @@
+// Reproduces Figure 12 (Appendix D.1): effect of the similarity measure
+// (Jaccard, Cos(tf-idf), Cos(topic)) and the similarity threshold on
+// iCrowd's accuracy, on the ItemCompare dataset.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace icrowd;         // NOLINT
+using namespace icrowd::bench;  // NOLINT
+
+int main() {
+  std::printf("=== Figure 12: Similarity Measures and Thresholds "
+              "(ItemCompare) ===\n\n");
+  const SimilarityMeasure kMeasures[] = {SimilarityMeasure::kJaccard,
+                                         SimilarityMeasure::kCosineTfIdf,
+                                         SimilarityMeasure::kCosineTopic};
+  const double kThresholds[] = {0.2, 0.4, 0.6, 0.8, 0.95};
+
+  std::printf("%-14s", "Measure");
+  for (double thr : kThresholds) {
+    std::printf("   thr=%-5s", FormatDouble(thr, 2).c_str());
+  }
+  std::printf("\n");
+
+  for (SimilarityMeasure measure : kMeasures) {
+    std::printf("%-14s", SimilarityMeasureName(measure));
+    for (double thr : kThresholds) {
+      ICrowdConfig config;
+      config.graph.measure = measure;
+      config.graph.threshold = thr;
+      BenchDataset bd = LoadItemCompare(config);
+      AveragedReport report =
+          RunAveraged(bd, config, StrategyKind::kAdapt, /*seeds=*/3);
+      std::printf("   %-9s", FormatDouble(report.overall, 3).c_str());
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nPaper shape: measures behave similarly at small thresholds; "
+      "extreme thresholds\nhurt (too-low adds weak cross-domain edges, "
+      "too-high deletes strong ones);\nCos(topic) does best and 0.8 is the "
+      "paper's default.\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Reproduces Figure 14 (Appendix D.3): effect of the assignment size k on
+// RandomMV, RandomEM, AvgAccPV and iCrowd, ItemCompare dataset.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace icrowd;         // NOLINT
+using namespace icrowd::bench;  // NOLINT
+
+int main() {
+  std::printf("=== Figure 14: Assignment Size k (ItemCompare) ===\n\n");
+  BenchDataset bd = LoadItemCompare();
+  const StrategyKind kKinds[] = {StrategyKind::kRandomMV,
+                                 StrategyKind::kRandomEM,
+                                 StrategyKind::kAvgAccPV,
+                                 StrategyKind::kAdapt};
+  const int kSizes[] = {1, 3, 5, 7};
+  std::printf("%-12s", "Approach");
+  for (int k : kSizes) std::printf("      k=%d", k);
+  std::printf("\n");
+  for (StrategyKind kind : kKinds) {
+    std::printf("%-12s", StrategyName(kind));
+    for (int k : kSizes) {
+      ICrowdConfig config;
+      config.assignment_size = k;
+      AveragedReport report = RunAveraged(bd, config, kind, /*seeds=*/3);
+      std::printf("    %s", FormatDouble(report.overall, 3).c_str());
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nPaper shape: iCrowd is the most accurate at every k; accuracy "
+      "grows with k\nwith diminishing returns (the extra workers have lower "
+      "estimated accuracy).\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Reproduces Figure 7: effect of qualification selection — RandomQF
+// (uniform gold tasks) vs InfQF (greedy influence maximization, Algorithm
+// 4) — on per-domain and overall accuracy, both datasets, Q = 10.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace icrowd;         // NOLINT
+using namespace icrowd::bench;  // NOLINT
+
+namespace {
+
+void Report(const BenchDataset& bd, const char* tag) {
+  ICrowdConfig random_qf;
+  random_qf.qualification_greedy = false;
+  ICrowdConfig inf_qf;
+  inf_qf.qualification_greedy = true;
+
+  AveragedReport random_report =
+      RunAveraged(bd, random_qf, StrategyKind::kAdapt);
+  random_report.strategy = "RandomQF";
+  AveragedReport inf_report = RunAveraged(bd, inf_qf, StrategyKind::kAdapt);
+  inf_report.strategy = "InfQF";
+
+  std::printf("--- Figure 7(%s): %s (Q = 10, k = 3) ---\n", tag,
+              bd.name.c_str());
+  PrintAccuracyTable(bd, {random_report, inf_report});
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 7: Effect of Qualification (RandomQF vs InfQF) "
+              "===\n\n");
+  Report(LoadYahooQa(), "a");
+  Report(LoadItemCompare(), "b");
+  std::printf("Paper shape: InfQF beats RandomQF overall (about 8%% on "
+              "YahooQA) because its\ninfluence-maximizing gold tasks cover "
+              "every domain instead of scattering.\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Reproduces Figure 9: iCrowd vs the existing approaches of §6.1 —
+// RandomMV (random + majority voting), RandomEM (random + Dawid-Skene EM),
+// AvgAccPV (gold average accuracy + probabilistic verification) — on both
+// datasets.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace icrowd;         // NOLINT
+using namespace icrowd::bench;  // NOLINT
+
+namespace {
+
+void Report(const BenchDataset& bd, const char* tag) {
+  ICrowdConfig config;
+  std::vector<AveragedReport> reports;
+  for (StrategyKind kind : {StrategyKind::kRandomMV, StrategyKind::kRandomEM,
+                            StrategyKind::kAvgAccPV, StrategyKind::kAdapt}) {
+    reports.push_back(RunAveraged(bd, config, kind));
+  }
+  std::printf("--- Figure 9(%s): %s ---\n", tag, bd.name.c_str());
+  PrintAccuracyTable(bd, reports);
+  double best_baseline = 0.0;
+  for (size_t i = 0; i + 1 < reports.size(); ++i) {
+    best_baseline = std::max(best_baseline, reports[i].overall);
+  }
+  std::printf("iCrowd improvement over best baseline: %+.1f%%\n\n",
+              100.0 * (reports.back().overall - best_baseline));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 9: Comparison with Existing Approaches ===\n\n");
+  Report(LoadYahooQa(), "a");
+  Report(LoadItemCompare(), "b");
+  std::printf(
+      "Paper shape: iCrowd gains ~10%% overall (more in domains with diverse "
+      "workers);\nEM can underperform MV where it overestimates "
+      "domain-limited workers; the Auto\ndomain improves least because no "
+      "very good workers exist there.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// YahooQA-style campaign: evaluating the quality of community question
+// answers (§6.1's first dataset). Compares the full iCrowd pipeline against
+// the RandomMV baseline on the same simulated crowd and prints a Figure
+// 9(a)-style per-domain breakdown.
+
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "core/experiment.h"
+#include "datagen/yahooqa.h"
+
+using namespace icrowd;  // NOLINT: example brevity
+
+int main() {
+  auto dataset = GenerateYahooQa();
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "datagen failed: %s\n",
+                 dataset.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<WorkerProfile> crowd = GenerateYahooQaWorkers(*dataset);
+
+  DatasetStats stats = dataset->Stats();
+  std::printf("YahooQA-like dataset: %zu tasks, %zu domains, %zu workers\n\n",
+              stats.num_microtasks, stats.num_domains, crowd.size());
+
+  ICrowdConfig config;  // paper defaults: k=3, Q=10, alpha=1, Cos(topic)@0.8
+  auto graph = SimilarityGraph::Build(*dataset, config.graph);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "graph failed: %s\n",
+                 graph.status().ToString().c_str());
+    return 1;
+  }
+
+  std::vector<ExperimentResult> results;
+  for (StrategyKind kind : {StrategyKind::kRandomMV, StrategyKind::kAdapt}) {
+    auto result = RunExperiment(*dataset, crowd, *graph, config, kind);
+    if (!result.ok()) {
+      std::fprintf(stderr, "experiment failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    results.push_back(result.MoveValueOrDie());
+  }
+
+  std::printf("%-16s", "Domain");
+  for (const ExperimentResult& r : results) {
+    std::printf("%12s", r.strategy_name.c_str());
+  }
+  std::printf("\n");
+  for (size_t d = 0; d < dataset->domains().size(); ++d) {
+    std::printf("%-16s", dataset->domains()[d].c_str());
+    for (const ExperimentResult& r : results) {
+      std::printf("%12s",
+                  FormatDouble(r.report.per_domain[d].accuracy, 3).c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("%-16s", "ALL");
+  for (const ExperimentResult& r : results) {
+    std::printf("%12s", FormatDouble(r.report.overall, 3).c_str());
+  }
+  std::printf("\n\niCrowd assigns QA-evaluation tasks to workers whose past "
+              "answers show expertise\nin the matching domain, which is "
+              "where the accuracy gap comes from.\n");
+  return 0;
+}

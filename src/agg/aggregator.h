@@ -1,0 +1,33 @@
+#ifndef ICROWD_AGG_AGGREGATOR_H_
+#define ICROWD_AGG_AGGREGATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "model/answer.h"
+#include "model/microtask.h"
+
+namespace icrowd {
+
+/// Strategy for deriving one result label per task from collected worker
+/// answers (§2.1's voting scheme and the baselines of §6.1). Tasks with no
+/// answers get kNoLabel.
+class Aggregator {
+ public:
+  virtual ~Aggregator() = default;
+
+  /// Returns a length-`num_tasks` vector of predicted labels.
+  virtual Result<std::vector<Label>> Aggregate(
+      size_t num_tasks, const std::vector<AnswerRecord>& answers) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Groups `answers` by task into a length-`num_tasks` table.
+std::vector<std::vector<AnswerRecord>> GroupAnswersByTask(
+    size_t num_tasks, const std::vector<AnswerRecord>& answers);
+
+}  // namespace icrowd
+
+#endif  // ICROWD_AGG_AGGREGATOR_H_

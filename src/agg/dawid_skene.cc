@@ -1,0 +1,101 @@
+#include "agg/dawid_skene.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace icrowd {
+
+Result<DawidSkeneResult> DawidSkeneAggregator::Fit(
+    size_t num_tasks, const std::vector<AnswerRecord>& answers) const {
+  WorkerId max_worker = -1;
+  for (const AnswerRecord& a : answers) {
+    if (a.label != kYes && a.label != kNo) {
+      return Status::InvalidArgument(
+          "DawidSkene implementation handles binary labels only");
+    }
+    if (a.task < 0 || static_cast<size_t>(a.task) >= num_tasks) {
+      return Status::OutOfRange("answer references task out of range");
+    }
+    max_worker = std::max(max_worker, a.worker);
+  }
+  const size_t num_workers = static_cast<size_t>(max_worker + 1);
+  auto by_task = GroupAnswersByTask(num_tasks, answers);
+
+  DawidSkeneResult fit;
+  fit.posterior_yes.assign(num_tasks, 0.5);
+  fit.confusion.assign(num_workers, {{{0.5, 0.5}, {0.5, 0.5}}});
+
+  // Initialize posteriors with majority vote.
+  for (size_t t = 0; t < num_tasks; ++t) {
+    if (by_task[t].empty()) continue;
+    int yes = 0;
+    for (const AnswerRecord& a : by_task[t]) yes += (a.label == kYes);
+    fit.posterior_yes[t] =
+        static_cast<double>(yes) / static_cast<double>(by_task[t].size());
+  }
+
+  double prior_yes = 0.5;
+  const double eps = options_.smoothing;
+
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    fit.iterations_run = iter + 1;
+    // M-step: confusion[w][truth][answer] from soft counts.
+    std::vector<std::array<std::array<double, 2>, 2>> counts(
+        num_workers, {{{eps, eps}, {eps, eps}}});
+    for (const AnswerRecord& a : answers) {
+      double py = fit.posterior_yes[a.task];
+      int ans = (a.label == kYes) ? 1 : 0;
+      counts[a.worker][1][ans] += py;
+      counts[a.worker][0][ans] += (1.0 - py);
+    }
+    for (size_t w = 0; w < num_workers; ++w) {
+      for (int truth = 0; truth < 2; ++truth) {
+        double total = counts[w][truth][0] + counts[w][truth][1];
+        fit.confusion[w][truth][0] = counts[w][truth][0] / total;
+        fit.confusion[w][truth][1] = counts[w][truth][1] / total;
+      }
+    }
+    double posterior_sum = 0.0;
+    for (size_t t = 0; t < num_tasks; ++t) posterior_sum += fit.posterior_yes[t];
+    prior_yes = ClampProbability(posterior_sum /
+                                 std::max<size_t>(1, num_tasks));
+
+    // E-step: posteriors from confusion matrices.
+    double max_change = 0.0;
+    for (size_t t = 0; t < num_tasks; ++t) {
+      if (by_task[t].empty()) continue;
+      double log_yes = std::log(prior_yes);
+      double log_no = std::log(1.0 - prior_yes);
+      for (const AnswerRecord& a : by_task[t]) {
+        int ans = (a.label == kYes) ? 1 : 0;
+        log_yes += std::log(ClampProbability(fit.confusion[a.worker][1][ans]));
+        log_no += std::log(ClampProbability(fit.confusion[a.worker][0][ans]));
+      }
+      double denom = LogSumExp({log_yes, log_no});
+      double new_posterior = std::exp(log_yes - denom);
+      max_change = std::max(max_change,
+                            std::abs(new_posterior - fit.posterior_yes[t]));
+      fit.posterior_yes[t] = new_posterior;
+    }
+    if (max_change < options_.tolerance) break;
+  }
+
+  fit.labels.assign(num_tasks, kNoLabel);
+  for (size_t t = 0; t < num_tasks; ++t) {
+    if (by_task[t].empty()) continue;
+    fit.labels[t] = fit.posterior_yes[t] >= 0.5 ? kYes : kNo;
+  }
+  return fit;
+}
+
+Result<std::vector<Label>> DawidSkeneAggregator::Aggregate(
+    size_t num_tasks, const std::vector<AnswerRecord>& answers) const {
+  auto fit = Fit(num_tasks, answers);
+  if (!fit.ok()) return fit.status();
+  return std::move(fit->labels);
+}
+
+}  // namespace icrowd

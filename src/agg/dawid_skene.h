@@ -1,0 +1,58 @@
+#ifndef ICROWD_AGG_DAWID_SKENE_H_
+#define ICROWD_AGG_DAWID_SKENE_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "agg/aggregator.h"
+
+namespace icrowd {
+
+struct DawidSkeneOptions {
+  int max_iterations = 50;
+  /// Stop when the max posterior change falls below this.
+  double tolerance = 1e-6;
+  /// Laplace smoothing added to confusion-matrix counts.
+  double smoothing = 0.01;
+};
+
+/// Result of a Dawid–Skene EM fit.
+struct DawidSkeneResult {
+  /// Predicted label per task (kNoLabel when a task has no answers).
+  std::vector<Label> labels;
+  /// Per-task posterior P(truth = kYes); 0.5 for unanswered tasks.
+  std::vector<double> posterior_yes;
+  /// Per-worker 2x2 confusion matrix: confusion[w][truth][answer].
+  std::vector<std::array<std::array<double, 2>, 2>> confusion;
+  int iterations_run = 0;
+};
+
+/// Dawid–Skene EM [8, 31] over binary answers — the aggregation half of the
+/// RandomEM baseline. Iterates: (E) task-label posteriors from worker
+/// confusion matrices; (M) confusion matrices from the posteriors. Note the
+/// paper's observation (§6.4) that EM ignores per-domain accuracy diversity
+/// — each worker gets ONE confusion matrix across all domains.
+class DawidSkeneAggregator : public Aggregator {
+ public:
+  explicit DawidSkeneAggregator(DawidSkeneOptions options = {})
+      : options_(options) {}
+
+  Result<std::vector<Label>> Aggregate(
+      size_t num_tasks,
+      const std::vector<AnswerRecord>& answers) const override;
+
+  std::string name() const override { return "DawidSkeneEM"; }
+
+  /// Full fit exposing posteriors and confusion matrices. Labels must all
+  /// be kYes/kNo.
+  Result<DawidSkeneResult> Fit(size_t num_tasks,
+                               const std::vector<AnswerRecord>& answers) const;
+
+ private:
+  DawidSkeneOptions options_;
+};
+
+}  // namespace icrowd
+
+#endif  // ICROWD_AGG_DAWID_SKENE_H_

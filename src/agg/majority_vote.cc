@@ -1,0 +1,43 @@
+#include "agg/majority_vote.h"
+
+#include <map>
+
+namespace icrowd {
+
+std::vector<std::vector<AnswerRecord>> GroupAnswersByTask(
+    size_t num_tasks, const std::vector<AnswerRecord>& answers) {
+  std::vector<std::vector<AnswerRecord>> by_task(num_tasks);
+  for (const AnswerRecord& a : answers) {
+    if (a.task >= 0 && static_cast<size_t>(a.task) < num_tasks) {
+      by_task[a.task].push_back(a);
+    }
+  }
+  return by_task;
+}
+
+Label MajorityLabel(const std::vector<AnswerRecord>& answers) {
+  if (answers.empty()) return kNoLabel;
+  std::map<Label, int> votes;
+  for (const AnswerRecord& a : answers) ++votes[a.label];
+  Label best = kNoLabel;
+  int best_count = -1;
+  for (const auto& [label, count] : votes) {
+    if (count > best_count) {  // map iteration is ascending: ties -> smaller
+      best = label;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+Result<std::vector<Label>> MajorityVoteAggregator::Aggregate(
+    size_t num_tasks, const std::vector<AnswerRecord>& answers) const {
+  auto by_task = GroupAnswersByTask(num_tasks, answers);
+  std::vector<Label> result(num_tasks, kNoLabel);
+  for (size_t t = 0; t < num_tasks; ++t) {
+    result[t] = MajorityLabel(by_task[t]);
+  }
+  return result;
+}
+
+}  // namespace icrowd

@@ -1,0 +1,28 @@
+#ifndef ICROWD_AGG_MAJORITY_VOTE_H_
+#define ICROWD_AGG_MAJORITY_VOTE_H_
+
+#include <string>
+#include <vector>
+
+#include "agg/aggregator.h"
+
+namespace icrowd {
+
+/// Plain majority voting (§1's "naive aggregation"; the RandomMV baseline's
+/// aggregation half). Ties break toward the smaller label so results are
+/// deterministic.
+class MajorityVoteAggregator : public Aggregator {
+ public:
+  Result<std::vector<Label>> Aggregate(
+      size_t num_tasks,
+      const std::vector<AnswerRecord>& answers) const override;
+
+  std::string name() const override { return "MajorityVote"; }
+};
+
+/// Majority vote over a single task's answers; kNoLabel when empty.
+Label MajorityLabel(const std::vector<AnswerRecord>& answers);
+
+}  // namespace icrowd
+
+#endif  // ICROWD_AGG_MAJORITY_VOTE_H_

@@ -1,0 +1,75 @@
+#include "agg/probabilistic_verification.h"
+
+#include <cmath>
+#include <set>
+
+#include "common/math_util.h"
+
+namespace icrowd {
+
+double ProbabilisticVerificationAggregator::LabelPosterior(
+    const std::vector<AnswerRecord>& answers, Label label,
+    const WorkerAccuracyFn& accuracy) {
+  if (answers.empty()) return 0.0;
+  std::set<Label> labels;
+  bool binary = true;
+  for (const AnswerRecord& a : answers) {
+    labels.insert(a.label);
+    binary = binary && (a.label == kYes || a.label == kNo);
+  }
+  labels.insert(label);
+  if (binary && (label == kYes || label == kNo)) {
+    // Binary tasks always weigh the complement hypothesis, even when every
+    // worker voted the same way.
+    labels.insert(kYes);
+    labels.insert(kNo);
+  }
+  // log P(answers | true = l) for each candidate l; binary-style model
+  // where a worker answers the truth with probability p_w and any specific
+  // wrong label otherwise.
+  std::vector<double> log_likes;
+  double target_log_like = 0.0;
+  for (Label candidate : labels) {
+    double ll = 0.0;
+    for (const AnswerRecord& a : answers) {
+      double p = ClampProbability(accuracy(a.worker, a.task));
+      ll += std::log(a.label == candidate ? p : 1.0 - p);
+    }
+    if (candidate == label) target_log_like = ll;
+    log_likes.push_back(ll);
+  }
+  return std::exp(target_log_like - LogSumExp(log_likes));
+}
+
+Result<std::vector<Label>> ProbabilisticVerificationAggregator::Aggregate(
+    size_t num_tasks, const std::vector<AnswerRecord>& answers) const {
+  if (!accuracy_) {
+    return Status::FailedPrecondition(
+        "ProbabilisticVerification requires a worker-accuracy function");
+  }
+  auto by_task = GroupAnswersByTask(num_tasks, answers);
+  std::vector<Label> result(num_tasks, kNoLabel);
+  for (size_t t = 0; t < num_tasks; ++t) {
+    const auto& task_answers = by_task[t];
+    if (task_answers.empty()) continue;
+    std::set<Label> labels;
+    for (const AnswerRecord& a : task_answers) labels.insert(a.label);
+    Label best = kNoLabel;
+    double best_ll = -std::numeric_limits<double>::infinity();
+    for (Label candidate : labels) {
+      double ll = 0.0;
+      for (const AnswerRecord& a : task_answers) {
+        double p = ClampProbability(accuracy_(a.worker, a.task));
+        ll += std::log(a.label == candidate ? p : 1.0 - p);
+      }
+      if (ll > best_ll) {
+        best_ll = ll;
+        best = candidate;
+      }
+    }
+    result[t] = best;
+  }
+  return result;
+}
+
+}  // namespace icrowd

@@ -1,0 +1,42 @@
+#ifndef ICROWD_AGG_PROBABILISTIC_VERIFICATION_H_
+#define ICROWD_AGG_PROBABILISTIC_VERIFICATION_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "agg/aggregator.h"
+
+namespace icrowd {
+
+/// Returns worker w's accuracy on task t (an estimate in (0, 1)).
+using WorkerAccuracyFn = std::function<double(WorkerId, TaskId)>;
+
+/// The CDAS probabilistic-verification aggregation [22] used by the
+/// AvgAccPV baseline: for a binary task, pick the label with the higher
+/// likelihood given per-worker accuracies,
+///   P(label = l) ∝ Π_{w: ans_w = l} p_w · Π_{w: ans_w ≠ l} (1 - p_w),
+/// computed in log space for numerical robustness.
+class ProbabilisticVerificationAggregator : public Aggregator {
+ public:
+  explicit ProbabilisticVerificationAggregator(WorkerAccuracyFn accuracy)
+      : accuracy_(std::move(accuracy)) {}
+
+  Result<std::vector<Label>> Aggregate(
+      size_t num_tasks,
+      const std::vector<AnswerRecord>& answers) const override;
+
+  std::string name() const override { return "ProbabilisticVerification"; }
+
+  /// Posterior probability that the consensus of one task's answers is the
+  /// given label. Exposed for Eq. (5) computations and tests.
+  static double LabelPosterior(const std::vector<AnswerRecord>& answers,
+                               Label label, const WorkerAccuracyFn& accuracy);
+
+ private:
+  WorkerAccuracyFn accuracy_;
+};
+
+}  // namespace icrowd
+
+#endif  // ICROWD_AGG_PROBABILISTIC_VERIFICATION_H_

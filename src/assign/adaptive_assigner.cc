@@ -1,0 +1,128 @@
+#include "assign/adaptive_assigner.h"
+
+#include "assign/greedy_assign.h"
+#include "assign/top_workers.h"
+
+namespace icrowd {
+
+void AdaptiveAssigner::OnWorkerRegistered(WorkerId worker,
+                                          double warmup_accuracy,
+                                          const CampaignState& state) {
+  estimator_->RegisterWorker(worker, warmup_accuracy);
+  // Even QF-Only seeds its estimates from the qualification answers; it
+  // just never updates them afterwards.
+  estimator_->Refresh(worker, state, *dataset_);
+  scheme_dirty_ = true;
+}
+
+void AdaptiveAssigner::OnAnswer(const AnswerRecord& answer,
+                                const CampaignState& state) {
+  if (!state.IsCompleted(answer.task)) return;
+  scheme_dirty_ = true;
+  if (options_.adaptive_updates) {
+    for (const AnswerRecord& a : state.Answers(answer.task)) {
+      dirty_workers_.insert(a.worker);
+    }
+  }
+}
+
+void AdaptiveAssigner::RefreshDirtyWorkers(const CampaignState& state) {
+  if (dirty_workers_.empty()) return;
+  for (WorkerId w : dirty_workers_) {
+    estimator_->Refresh(w, state, *dataset_);
+  }
+  dirty_workers_.clear();
+  scheme_dirty_ = true;
+}
+
+void AdaptiveAssigner::RecomputeScheme(
+    const CampaignState& state, const std::vector<WorkerId>& active_workers) {
+  ++scheme_recomputations_;
+  planned_.clear();
+  // Multi-round planning: one Algorithm 3 pass plans only a few disjoint
+  // sets because the globally best workers appear in almost every top set.
+  // Removing planned workers and tasks and re-running the greedy pass plans
+  // each successive tier of workers onto the tasks they contribute most to,
+  // leaving step-3 testing as a true corner case.
+  std::vector<WorkerId> remaining_workers = active_workers;
+  std::vector<TaskId> remaining_tasks = state.UncompletedTasks();
+  AccuracyFn accuracy = estimator_->AsAccuracyFn();
+  bool first_round = true;
+  while (!remaining_workers.empty() && !remaining_tasks.empty() &&
+         (first_round || options_.multi_round_planning)) {
+    first_round = false;
+    std::vector<TopWorkerSet> candidates = ComputeTopWorkerSets(
+        remaining_tasks, state, remaining_workers, accuracy);
+    std::vector<TopWorkerSet> scheme = GreedyAssign(std::move(candidates));
+    if (scheme.empty()) break;
+    std::unordered_set<WorkerId> used;
+    std::unordered_set<TaskId> chosen;
+    for (const TopWorkerSet& set : scheme) {
+      chosen.insert(set.task);
+      for (WorkerId w : set.workers) {
+        planned_[w] = set.task;
+        used.insert(w);
+      }
+    }
+    std::erase_if(remaining_workers,
+                  [&](WorkerId w) { return used.count(w) > 0; });
+    std::erase_if(remaining_tasks,
+                  [&](TaskId t) { return chosen.count(t) > 0; });
+  }
+  scheme_dirty_ = false;
+}
+
+std::optional<TaskId> AdaptiveAssigner::TestAssignment(
+    WorkerId worker, const CampaignState& state) const {
+  // §4.1 step 3: prefer tasks where (a) the estimate for this worker is
+  // uncertain (beta variance) and (b) the already-assigned workers are
+  // accurate, making the consensus-based grading of the test reliable.
+  std::optional<TaskId> best;
+  double best_score = -1.0;
+  for (TaskId t : AssignableTasks(worker, state)) {
+    double uncertainty = estimator_->Uncertainty(worker, t);
+    const std::vector<WorkerId>& assigned = state.AssignedWorkers(t);
+    double quality = 0.5;
+    if (!assigned.empty()) {
+      double acc = 0.0;
+      for (WorkerId w : assigned) acc += estimator_->Accuracy(w, t);
+      quality = acc / static_cast<double>(assigned.size());
+    }
+    double score = uncertainty * quality;
+    if (score > best_score) {
+      best_score = score;
+      best = t;
+    }
+  }
+  return best;
+}
+
+std::optional<TaskId> AdaptiveAssigner::RequestTask(
+    WorkerId worker, const CampaignState& state,
+    const std::vector<WorkerId>& active_workers) {
+  if (options_.adaptive_updates) RefreshDirtyWorkers(state);
+
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (scheme_dirty_ || !planned_.count(worker)) {
+      RecomputeScheme(state, active_workers);
+    }
+    auto it = planned_.find(worker);
+    if (it != planned_.end()) {
+      TaskId t = it->second;
+      planned_.erase(it);
+      if (state.CanAssign(t, worker)) return t;
+      // Plan went stale (task completed early / slot consumed): recompute
+      // once, then fall through to testing.
+      scheme_dirty_ = true;
+      continue;
+    }
+    break;
+  }
+
+  if (!options_.performance_testing) return std::nullopt;
+  std::optional<TaskId> test = TestAssignment(worker, state);
+  if (test.has_value()) ++test_assignments_;
+  return test;
+}
+
+}  // namespace icrowd

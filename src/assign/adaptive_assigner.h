@@ -1,0 +1,91 @@
+#ifndef ICROWD_ASSIGN_ADAPTIVE_ASSIGNER_H_
+#define ICROWD_ASSIGN_ADAPTIVE_ASSIGNER_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "assign/assigner.h"
+#include "estimation/accuracy_estimator.h"
+
+namespace icrowd {
+
+struct AdaptiveAssignerOptions {
+  /// When false the accuracy estimates are frozen after warm-up — this is
+  /// exactly the QF-Only alternative of §6.3.2.
+  bool adaptive_updates = true;
+  /// Whether step 3 (worker performance testing) may hand out tasks to
+  /// workers absent from the optimal scheme.
+  bool performance_testing = true;
+  /// Plan in multiple greedy rounds (remove planned workers/tasks and
+  /// re-run Algorithm 3) so every active worker lands in the scheme. With
+  /// false, a single Algorithm 3 pass plans only the top few disjoint sets
+  /// and everyone else falls to step-3 testing. The `ablation_assignment`
+  /// bench quantifies this choice.
+  bool multi_round_planning = true;
+};
+
+/// iCrowd's ADAPTIVE ASSIGNER (Algorithm 2 / §4):
+///   1. top worker sets for every uncompleted task (Definition 3),
+///   2. greedy optimal microtask assignment (Algorithm 3) over them,
+///   3. performance-test assignment (beta-variance uncertainty × co-worker
+///      quality) for workers left out of the scheme.
+/// The computed scheme is cached as a worker→task plan — the "effective
+/// index" §6.5 credits for real-time assignment — and invalidated when new
+/// consensus results change the estimates.
+class AdaptiveAssigner : public Assigner {
+ public:
+  /// `dataset` must outlive the assigner.
+  AdaptiveAssigner(const Dataset* dataset,
+                   std::unique_ptr<AccuracyEstimator> estimator,
+                   AdaptiveAssignerOptions options = {})
+      : dataset_(dataset),
+        estimator_(std::move(estimator)),
+        options_(options) {}
+
+  std::string name() const override {
+    return options_.adaptive_updates ? "Adapt" : "QF-Only";
+  }
+
+  void OnWorkerRegistered(WorkerId worker, double warmup_accuracy,
+                          const CampaignState& state) override;
+
+  std::optional<TaskId> RequestTask(
+      WorkerId worker, const CampaignState& state,
+      const std::vector<WorkerId>& active_workers) override;
+
+  void OnAnswer(const AnswerRecord& answer,
+                const CampaignState& state) override;
+
+  const AccuracyEstimator& estimator() const { return *estimator_; }
+
+  /// Number of times the full scheme was recomputed (index effectiveness
+  /// metric used by the scalability bench).
+  size_t scheme_recomputations() const { return scheme_recomputations_; }
+  /// Number of assignments served by step 3 rather than the scheme.
+  size_t test_assignments() const { return test_assignments_; }
+
+ private:
+  void RefreshDirtyWorkers(const CampaignState& state);
+  void RecomputeScheme(const CampaignState& state,
+                       const std::vector<WorkerId>& active_workers);
+  std::optional<TaskId> TestAssignment(WorkerId worker,
+                                       const CampaignState& state) const;
+
+  const Dataset* dataset_;
+  std::unique_ptr<AccuracyEstimator> estimator_;
+  AdaptiveAssignerOptions options_;
+
+  std::unordered_set<WorkerId> dirty_workers_;
+  std::unordered_map<WorkerId, TaskId> planned_;
+  bool scheme_dirty_ = true;
+  size_t scheme_recomputations_ = 0;
+  size_t test_assignments_ = 0;
+};
+
+}  // namespace icrowd
+
+#endif  // ICROWD_ASSIGN_ADAPTIVE_ASSIGNER_H_

@@ -1,0 +1,14 @@
+#include "assign/assigner.h"
+
+namespace icrowd {
+
+std::vector<TaskId> AssignableTasks(WorkerId worker,
+                                    const CampaignState& state) {
+  std::vector<TaskId> out;
+  for (TaskId t : state.UncompletedTasks()) {
+    if (state.CanAssign(t, worker)) out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace icrowd

@@ -1,0 +1,56 @@
+#ifndef ICROWD_ASSIGN_ASSIGNER_H_
+#define ICROWD_ASSIGN_ASSIGNER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/campaign_state.h"
+#include "model/dataset.h"
+
+namespace icrowd {
+
+/// A task-assignment strategy (the MICROTASK ASSIGNER of Figure 1 and the
+/// baselines of §6). The driver (simulator or platform bridge) owns the
+/// CampaignState: it calls RequestTask when a worker asks for work, performs
+/// the MarkAssigned/RecordAnswer bookkeeping itself, and forwards every
+/// submitted answer through OnAnswer.
+class Assigner {
+ public:
+  virtual ~Assigner() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Notifies that `worker` passed warm-up with the given average accuracy
+  /// on qualification tasks and is now eligible for real tasks. `state`
+  /// already contains the worker's qualification answers.
+  virtual void OnWorkerRegistered(WorkerId worker, double warmup_accuracy,
+                                  const CampaignState& state) {
+    (void)worker;
+    (void)warmup_accuracy;
+    (void)state;
+  }
+
+  /// Chooses a task for the requesting worker. `active_workers` is the
+  /// current dynamic worker set W (§2.1). Returns nullopt when nothing can
+  /// be assigned to this worker (all tasks completed/held/answered).
+  virtual std::optional<TaskId> RequestTask(
+      WorkerId worker, const CampaignState& state,
+      const std::vector<WorkerId>& active_workers) = 0;
+
+  /// Observes a recorded answer (already reflected in `state`).
+  virtual void OnAnswer(const AnswerRecord& answer,
+                        const CampaignState& state) {
+    (void)answer;
+    (void)state;
+  }
+};
+
+/// Tasks the worker could take right now: uncompleted, has a free slot, and
+/// not already assigned to this worker. Ascending by task id.
+std::vector<TaskId> AssignableTasks(WorkerId worker,
+                                    const CampaignState& state);
+
+}  // namespace icrowd
+
+#endif  // ICROWD_ASSIGN_ASSIGNER_H_

@@ -1,0 +1,29 @@
+#include "assign/avgacc_assigner.h"
+
+namespace icrowd {
+
+void AvgAccAssigner::OnWorkerRegistered(WorkerId worker,
+                                        double warmup_accuracy,
+                                        const CampaignState& state) {
+  (void)state;
+  average_accuracy_[worker] = warmup_accuracy;
+}
+
+std::optional<TaskId> AvgAccAssigner::RequestTask(
+    WorkerId worker, const CampaignState& state,
+    const std::vector<WorkerId>& active_workers) {
+  (void)active_workers;
+  if (AverageAccuracy(worker) < options_.accept_threshold) {
+    return std::nullopt;  // below-par workers get no tasks
+  }
+  std::vector<TaskId> assignable = AssignableTasks(worker, state);
+  if (assignable.empty()) return std::nullopt;
+  return assignable[rng_.UniformInt(0, assignable.size() - 1)];
+}
+
+double AvgAccAssigner::AverageAccuracy(WorkerId worker) const {
+  auto it = average_accuracy_.find(worker);
+  return it == average_accuracy_.end() ? 0.5 : it->second;
+}
+
+}  // namespace icrowd

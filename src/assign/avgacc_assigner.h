@@ -1,0 +1,54 @@
+#ifndef ICROWD_ASSIGN_AVGACC_ASSIGNER_H_
+#define ICROWD_ASSIGN_AVGACC_ASSIGNER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "assign/assigner.h"
+#include "common/random.h"
+
+namespace icrowd {
+
+struct AvgAccAssignerOptions {
+  /// Workers whose gold-measured average accuracy falls below this receive
+  /// no further tasks (the baseline's "assign to workers with higher
+  /// accuracies" rule).
+  double accept_threshold = 0.6;
+  uint64_t seed = 42;
+};
+
+/// The AvgAccPV baseline's assignment half (§6.1, after CDAS [22]): one
+/// average accuracy per worker estimated from gold (qualification) tasks —
+/// deliberately blind to domain diversity — used to gate which workers get
+/// tasks at all; tasks themselves are not differentiated. Pair it with
+/// ProbabilisticVerificationAggregator over AverageAccuracy() for the full
+/// baseline.
+class AvgAccAssigner : public Assigner {
+ public:
+  explicit AvgAccAssigner(AvgAccAssignerOptions options = {})
+      : options_(options), rng_(options.seed) {}
+
+  std::string name() const override { return "AvgAcc"; }
+
+  void OnWorkerRegistered(WorkerId worker, double warmup_accuracy,
+                          const CampaignState& state) override;
+
+  std::optional<TaskId> RequestTask(
+      WorkerId worker, const CampaignState& state,
+      const std::vector<WorkerId>& active_workers) override;
+
+  /// Gold-estimated average accuracy of `worker` (default 0.5 if unseen).
+  double AverageAccuracy(WorkerId worker) const;
+
+ private:
+  AvgAccAssignerOptions options_;
+  Rng rng_;
+  std::unordered_map<WorkerId, double> average_accuracy_;
+};
+
+}  // namespace icrowd
+
+#endif  // ICROWD_ASSIGN_AVGACC_ASSIGNER_H_

@@ -1,0 +1,40 @@
+#include "assign/best_effort_assigner.h"
+
+namespace icrowd {
+
+void BestEffortAssigner::OnWorkerRegistered(WorkerId worker,
+                                            double warmup_accuracy,
+                                            const CampaignState& state) {
+  estimator_->RegisterWorker(worker, warmup_accuracy);
+  estimator_->Refresh(worker, state, *dataset_);
+}
+
+void BestEffortAssigner::OnAnswer(const AnswerRecord& answer,
+                                  const CampaignState& state) {
+  if (!state.IsCompleted(answer.task)) return;
+  // A fresh consensus changes q for every worker who answered the task.
+  for (const AnswerRecord& a : state.Answers(answer.task)) {
+    dirty_.insert(a.worker);
+  }
+}
+
+std::optional<TaskId> BestEffortAssigner::RequestTask(
+    WorkerId worker, const CampaignState& state,
+    const std::vector<WorkerId>& active_workers) {
+  (void)active_workers;
+  if (dirty_.erase(worker) > 0 || !estimator_->IsRegistered(worker)) {
+    estimator_->Refresh(worker, state, *dataset_);
+  }
+  std::optional<TaskId> best;
+  double best_accuracy = -1.0;
+  for (TaskId t : AssignableTasks(worker, state)) {
+    double p = estimator_->Accuracy(worker, t);
+    if (p > best_accuracy) {
+      best_accuracy = p;
+      best = t;
+    }
+  }
+  return best;
+}
+
+}  // namespace icrowd

@@ -1,0 +1,82 @@
+#include "assign/exact_assign.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace icrowd {
+
+namespace {
+
+struct SearchState {
+  const std::vector<TopWorkerSet>* candidates = nullptr;
+  /// Suffix sums of candidate objectives for branch-and-bound pruning.
+  std::vector<double> suffix_value;
+  std::unordered_set<WorkerId> used;
+  std::vector<size_t> chosen;
+  std::vector<size_t> best_chosen;
+  double current_value = 0.0;
+  double best_value = -1.0;
+  size_t nodes = 0;
+  size_t max_nodes = 0;
+  bool aborted = false;
+};
+
+void Search(SearchState* s, size_t index) {
+  if (s->aborted) return;
+  if (++s->nodes > s->max_nodes) {
+    s->aborted = true;
+    return;
+  }
+  if (s->current_value > s->best_value) {
+    s->best_value = s->current_value;
+    s->best_chosen = s->chosen;
+  }
+  if (index >= s->candidates->size()) return;
+  // Bound: even taking every remaining candidate cannot beat the best.
+  if (s->current_value + s->suffix_value[index] <= s->best_value) return;
+
+  const TopWorkerSet& candidate = (*s->candidates)[index];
+  bool overlaps = false;
+  for (WorkerId w : candidate.workers) {
+    if (s->used.count(w)) {
+      overlaps = true;
+      break;
+    }
+  }
+  if (!overlaps && !candidate.empty()) {
+    for (WorkerId w : candidate.workers) s->used.insert(w);
+    s->chosen.push_back(index);
+    s->current_value += candidate.SumAccuracy();
+    Search(s, index + 1);
+    s->current_value -= candidate.SumAccuracy();
+    s->chosen.pop_back();
+    for (WorkerId w : candidate.workers) s->used.erase(w);
+  }
+  Search(s, index + 1);  // skip this candidate
+}
+
+}  // namespace
+
+Result<std::vector<TopWorkerSet>> ExactAssign(
+    const std::vector<TopWorkerSet>& candidates,
+    const ExactAssignOptions& options) {
+  SearchState s;
+  s.candidates = &candidates;
+  s.max_nodes = options.max_nodes;
+  s.suffix_value.assign(candidates.size() + 1, 0.0);
+  for (size_t i = candidates.size(); i > 0; --i) {
+    s.suffix_value[i - 1] = s.suffix_value[i] + candidates[i - 1].SumAccuracy();
+  }
+  Search(&s, 0);
+  if (s.aborted) {
+    return Status::FailedPrecondition(
+        "exact assignment exceeded the search-node budget (instance too "
+        "large; the problem is NP-hard)");
+  }
+  std::vector<TopWorkerSet> scheme;
+  scheme.reserve(s.best_chosen.size());
+  for (size_t idx : s.best_chosen) scheme.push_back(candidates[idx]);
+  return scheme;
+}
+
+}  // namespace icrowd

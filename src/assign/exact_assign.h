@@ -1,0 +1,28 @@
+#ifndef ICROWD_ASSIGN_EXACT_ASSIGN_H_
+#define ICROWD_ASSIGN_EXACT_ASSIGN_H_
+
+#include <vector>
+
+#include "assign/top_workers.h"
+#include "common/result.h"
+
+namespace icrowd {
+
+struct ExactAssignOptions {
+  /// Abort (with FailedPrecondition) after exploring this many search nodes
+  /// — the problem is NP-hard (Lemma 4), and Appendix D.4 notes the
+  /// enumeration stops being feasible beyond ~7 active workers.
+  size_t max_nodes = 50'000'000;
+};
+
+/// Exact optimal microtask assignment (Definition 4): the worker-disjoint
+/// subset of candidates maximizing Σ Σ_w p_t^w, found by branch-and-bound
+/// enumeration over candidate subsets. Used to measure the greedy
+/// algorithm's approximation error (Table 5).
+Result<std::vector<TopWorkerSet>> ExactAssign(
+    const std::vector<TopWorkerSet>& candidates,
+    const ExactAssignOptions& options = {});
+
+}  // namespace icrowd
+
+#endif  // ICROWD_ASSIGN_EXACT_ASSIGN_H_

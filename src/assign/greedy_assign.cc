@@ -1,0 +1,40 @@
+#include "assign/greedy_assign.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace icrowd {
+
+std::vector<TopWorkerSet> GreedyAssign(std::vector<TopWorkerSet> candidates) {
+  std::sort(candidates.begin(), candidates.end(),
+            [](const TopWorkerSet& a, const TopWorkerSet& b) {
+              double avg_a = a.AvgAccuracy();
+              double avg_b = b.AvgAccuracy();
+              if (avg_a != avg_b) return avg_a > avg_b;
+              return a.task < b.task;  // deterministic tie-break
+            });
+  std::vector<TopWorkerSet> scheme;
+  std::unordered_set<WorkerId> used;
+  for (TopWorkerSet& candidate : candidates) {
+    if (candidate.empty()) continue;
+    bool overlaps = false;
+    for (WorkerId w : candidate.workers) {
+      if (used.count(w)) {
+        overlaps = true;
+        break;
+      }
+    }
+    if (overlaps) continue;
+    for (WorkerId w : candidate.workers) used.insert(w);
+    scheme.push_back(std::move(candidate));
+  }
+  return scheme;
+}
+
+double SchemeObjective(const std::vector<TopWorkerSet>& scheme) {
+  double total = 0.0;
+  for (const TopWorkerSet& set : scheme) total += set.SumAccuracy();
+  return total;
+}
+
+}  // namespace icrowd

@@ -1,0 +1,23 @@
+#ifndef ICROWD_ASSIGN_GREEDY_ASSIGN_H_
+#define ICROWD_ASSIGN_GREEDY_ASSIGN_H_
+
+#include <vector>
+
+#include "assign/top_workers.h"
+
+namespace icrowd {
+
+/// Algorithm 3 (GreedyAssign): repeatedly picks the candidate <t, Ŵ(t)>
+/// with the maximum average worker accuracy and discards all candidates
+/// whose worker set overlaps it, producing a worker-disjoint assignment
+/// scheme A*. Candidate sets are fixed, so a single descending-average scan
+/// with a used-worker set is exactly equivalent to the paper's iterative
+/// remove-and-rescan and runs in O(|T| log |T| + |T|·k).
+std::vector<TopWorkerSet> GreedyAssign(std::vector<TopWorkerSet> candidates);
+
+/// The Definition 4 objective of a scheme: Σ_{<t,Ŵ(t)>} Σ_w p_t^w.
+double SchemeObjective(const std::vector<TopWorkerSet>& scheme);
+
+}  // namespace icrowd
+
+#endif  // ICROWD_ASSIGN_GREEDY_ASSIGN_H_

@@ -1,0 +1,101 @@
+#include "assign/hungarian.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace icrowd {
+
+namespace {
+
+// Classic potentials formulation of the Hungarian algorithm, minimizing
+// cost with n_rows <= n_cols (1-indexed internals). O(n^2 m).
+std::vector<int> SolveMin(const std::vector<std::vector<double>>& cost) {
+  const int n = static_cast<int>(cost.size());
+  const int m = static_cast<int>(cost[0].size());
+  const double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> u(n + 1, 0.0), v(m + 1, 0.0);
+  std::vector<int> p(m + 1, 0), way(m + 1, 0);
+  for (int i = 1; i <= n; ++i) {
+    p[0] = i;
+    int j0 = 0;
+    std::vector<double> minv(m + 1, kInf);
+    std::vector<bool> used(m + 1, false);
+    do {
+      used[j0] = true;
+      int i0 = p[j0];
+      int j1 = 0;
+      double delta = kInf;
+      for (int j = 1; j <= m; ++j) {
+        if (used[j]) continue;
+        double cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (int j = 0; j <= m; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    do {
+      int j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+  std::vector<int> row_to_col(n, -1);
+  for (int j = 1; j <= m; ++j) {
+    if (p[j] > 0) row_to_col[p[j] - 1] = j - 1;
+  }
+  return row_to_col;
+}
+
+}  // namespace
+
+Result<std::vector<int>> HungarianMaxMatching(
+    const std::vector<std::vector<double>>& benefit) {
+  if (benefit.empty()) return std::vector<int>{};
+  const size_t rows = benefit.size();
+  const size_t cols = benefit[0].size();
+  if (cols == 0) {
+    return Status::InvalidArgument("benefit matrix has zero columns");
+  }
+  for (const auto& row : benefit) {
+    if (row.size() != cols) {
+      return Status::InvalidArgument("benefit matrix rows differ in length");
+    }
+  }
+  // Maximize benefit == minimize negated benefit.
+  if (rows <= cols) {
+    std::vector<std::vector<double>> cost(rows,
+                                          std::vector<double>(cols, 0.0));
+    for (size_t i = 0; i < rows; ++i) {
+      for (size_t j = 0; j < cols; ++j) cost[i][j] = -benefit[i][j];
+    }
+    return SolveMin(cost);
+  }
+  // More rows than columns: solve the transpose and invert the mapping;
+  // unmatched rows stay -1.
+  std::vector<std::vector<double>> cost(cols, std::vector<double>(rows, 0.0));
+  for (size_t j = 0; j < cols; ++j) {
+    for (size_t i = 0; i < rows; ++i) cost[j][i] = -benefit[i][j];
+  }
+  std::vector<int> col_to_row = SolveMin(cost);
+  std::vector<int> row_to_col(rows, -1);
+  for (size_t j = 0; j < cols; ++j) {
+    if (col_to_row[j] >= 0) row_to_col[col_to_row[j]] = static_cast<int>(j);
+  }
+  return row_to_col;
+}
+
+}  // namespace icrowd

@@ -1,0 +1,26 @@
+#ifndef ICROWD_ASSIGN_HUNGARIAN_H_
+#define ICROWD_ASSIGN_HUNGARIAN_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace icrowd {
+
+/// Kuhn's Hungarian algorithm [20 in the paper] for the classical
+/// one-to-one assignment problem: given an n_rows x n_cols benefit matrix,
+/// find the row->column matching maximizing total benefit. O(n^2 m).
+/// Returns, for each row, the matched column (or -1 when n_rows > n_cols
+/// leaves the row unmatched — only the best-benefit rows are matched).
+///
+/// iCrowd's optimal microtask assignment (Definition 4) generalizes this —
+/// each task needs a *set* of k workers — which is why the paper proves
+/// NP-hardness and goes greedy. The one-to-one special case (k' = 1) is
+/// polynomial and this solver handles it exactly; HungarianAssigner below
+/// uses it as an alternative matcher.
+Result<std::vector<int>> HungarianMaxMatching(
+    const std::vector<std::vector<double>>& benefit);
+
+}  // namespace icrowd
+
+#endif  // ICROWD_ASSIGN_HUNGARIAN_H_

@@ -1,0 +1,98 @@
+#include "assign/hungarian_assigner.h"
+
+#include "assign/hungarian.h"
+#include "common/logging.h"
+
+namespace icrowd {
+
+namespace {
+// Benefit assigned to (worker, task) pairs the campaign forbids; low enough
+// that the matcher only uses them when a worker has no feasible task.
+constexpr double kForbidden = -1.0;
+}  // namespace
+
+void HungarianAssigner::OnWorkerRegistered(WorkerId worker,
+                                           double warmup_accuracy,
+                                           const CampaignState& state) {
+  estimator_->RegisterWorker(worker, warmup_accuracy);
+  estimator_->Refresh(worker, state, *dataset_);
+  plan_dirty_ = true;
+}
+
+void HungarianAssigner::OnAnswer(const AnswerRecord& answer,
+                                 const CampaignState& state) {
+  if (!state.IsCompleted(answer.task)) return;
+  plan_dirty_ = true;
+  for (const AnswerRecord& a : state.Answers(answer.task)) {
+    dirty_workers_.insert(a.worker);
+  }
+}
+
+void HungarianAssigner::RecomputeMatching(
+    const CampaignState& state, const std::vector<WorkerId>& active_workers) {
+  planned_.clear();
+  std::vector<TaskId> open = state.UncompletedTasks();
+  if (open.empty() || active_workers.empty()) {
+    plan_dirty_ = false;
+    return;
+  }
+  std::vector<std::vector<double>> benefit(
+      active_workers.size(), std::vector<double>(open.size(), kForbidden));
+  for (size_t i = 0; i < active_workers.size(); ++i) {
+    for (size_t j = 0; j < open.size(); ++j) {
+      if (state.CanAssign(open[j], active_workers[i])) {
+        benefit[i][j] = estimator_->Accuracy(active_workers[i], open[j]);
+      }
+    }
+  }
+  auto matching = HungarianMaxMatching(benefit);
+  if (!matching.ok()) {
+    ICROWD_LOG(Warning) << "hungarian matching failed: "
+                        << matching.status().ToString();
+    plan_dirty_ = false;
+    return;
+  }
+  for (size_t i = 0; i < active_workers.size(); ++i) {
+    int col = (*matching)[i];
+    if (col >= 0 && benefit[i][col] > kForbidden) {
+      planned_[active_workers[i]] = open[col];
+    }
+  }
+  plan_dirty_ = false;
+}
+
+std::optional<TaskId> HungarianAssigner::RequestTask(
+    WorkerId worker, const CampaignState& state,
+    const std::vector<WorkerId>& active_workers) {
+  if (!dirty_workers_.empty()) {
+    for (WorkerId w : dirty_workers_) {
+      estimator_->Refresh(w, state, *dataset_);
+    }
+    dirty_workers_.clear();
+    plan_dirty_ = true;
+  }
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (plan_dirty_ || !planned_.count(worker)) {
+      RecomputeMatching(state, active_workers);
+    }
+    auto it = planned_.find(worker);
+    if (it == planned_.end()) break;
+    TaskId t = it->second;
+    planned_.erase(it);
+    if (state.CanAssign(t, worker)) return t;
+    plan_dirty_ = true;  // plan went stale; recompute once
+  }
+  // Fallback: best assignable task for this worker.
+  std::optional<TaskId> best;
+  double best_accuracy = -1.0;
+  for (TaskId t : AssignableTasks(worker, state)) {
+    double p = estimator_->Accuracy(worker, t);
+    if (p > best_accuracy) {
+      best_accuracy = p;
+      best = t;
+    }
+  }
+  return best;
+}
+
+}  // namespace icrowd

@@ -1,0 +1,14 @@
+#include "assign/random_assigner.h"
+
+namespace icrowd {
+
+std::optional<TaskId> RandomAssigner::RequestTask(
+    WorkerId worker, const CampaignState& state,
+    const std::vector<WorkerId>& active_workers) {
+  (void)active_workers;
+  std::vector<TaskId> assignable = AssignableTasks(worker, state);
+  if (assignable.empty()) return std::nullopt;
+  return assignable[rng_.UniformInt(0, assignable.size() - 1)];
+}
+
+}  // namespace icrowd

@@ -1,0 +1,34 @@
+#ifndef ICROWD_ASSIGN_RANDOM_ASSIGNER_H_
+#define ICROWD_ASSIGN_RANDOM_ASSIGNER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "assign/assigner.h"
+#include "common/random.h"
+
+namespace icrowd {
+
+/// The random assignment strategy shared by the RandomMV and RandomEM
+/// baselines (§6.1): hands the requesting worker a uniformly random task
+/// among those it can still take. This mirrors how AMT distributes HITs
+/// when no assignment control exists.
+class RandomAssigner : public Assigner {
+ public:
+  explicit RandomAssigner(uint64_t seed = 42) : rng_(seed) {}
+
+  std::string name() const override { return "Random"; }
+
+  std::optional<TaskId> RequestTask(
+      WorkerId worker, const CampaignState& state,
+      const std::vector<WorkerId>& active_workers) override;
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace icrowd
+
+#endif  // ICROWD_ASSIGN_RANDOM_ASSIGNER_H_

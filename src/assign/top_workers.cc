@@ -1,0 +1,75 @@
+#include "assign/top_workers.h"
+
+#include <algorithm>
+
+namespace icrowd {
+
+double TopWorkerSet::SumAccuracy() const {
+  double acc = 0.0;
+  for (double p : accuracies) acc += p;
+  return acc;
+}
+
+double TopWorkerSet::AvgAccuracy() const {
+  if (workers.empty()) return 0.0;
+  return SumAccuracy() / static_cast<double>(workers.size());
+}
+
+TopWorkerSet ComputeTopWorkerSet(TaskId task, const CampaignState& state,
+                                 const std::vector<WorkerId>& active_workers,
+                                 const AccuracyFn& accuracy) {
+  TopWorkerSet result;
+  result.task = task;
+  int slots = state.RemainingSlots(task);
+  if (slots <= 0) return result;
+
+  // Eligible workers W^u(t) with their accuracy estimates.
+  std::vector<std::pair<double, WorkerId>> scored;
+  scored.reserve(active_workers.size());
+  for (WorkerId w : active_workers) {
+    if (!state.IsAssignedTo(task, w)) {
+      scored.emplace_back(accuracy(w, task), w);
+    }
+  }
+  size_t keep = std::min<size_t>(slots, scored.size());
+  // Descending accuracy; ties toward smaller worker id.
+  std::partial_sort(scored.begin(), scored.begin() + keep, scored.end(),
+                    [](const auto& a, const auto& b) {
+                      if (a.first != b.first) return a.first > b.first;
+                      return a.second < b.second;
+                    });
+  result.workers.reserve(keep);
+  result.accuracies.reserve(keep);
+  for (size_t i = 0; i < keep; ++i) {
+    result.workers.push_back(scored[i].second);
+    result.accuracies.push_back(scored[i].first);
+  }
+  return result;
+}
+
+std::vector<TopWorkerSet> ComputeTopWorkerSets(
+    const CampaignState& state, const std::vector<WorkerId>& active_workers,
+    const AccuracyFn& accuracy, bool require_full) {
+  return ComputeTopWorkerSets(state.UncompletedTasks(), state,
+                              active_workers, accuracy, require_full);
+}
+
+std::vector<TopWorkerSet> ComputeTopWorkerSets(
+    const std::vector<TaskId>& tasks, const CampaignState& state,
+    const std::vector<WorkerId>& active_workers, const AccuracyFn& accuracy,
+    bool require_full) {
+  std::vector<TopWorkerSet> sets;
+  for (TaskId t : tasks) {
+    TopWorkerSet set =
+        ComputeTopWorkerSet(t, state, active_workers, accuracy);
+    if (set.empty()) continue;
+    if (require_full &&
+        static_cast<int>(set.workers.size()) < state.RemainingSlots(t)) {
+      continue;
+    }
+    sets.push_back(std::move(set));
+  }
+  return sets;
+}
+
+}  // namespace icrowd

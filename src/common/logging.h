@@ -1,0 +1,47 @@
+#ifndef ICROWD_COMMON_LOGGING_H_
+#define ICROWD_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace icrowd {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped. Thread-safe.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Emits one formatted line ("[LEVEL] message") to stderr if `level` passes
+/// the process-wide threshold. Prefer the ICROWD_LOG macro below.
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace internal {
+
+/// Stream-style collector that emits on destruction (end of statement).
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { LogMessage(level_, stream_.str()); }
+
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace icrowd
+
+#define ICROWD_LOG(level) \
+  ::icrowd::internal::LogStream(::icrowd::LogLevel::k##level)
+
+#endif  // ICROWD_COMMON_LOGGING_H_

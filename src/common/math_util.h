@@ -1,0 +1,44 @@
+#ifndef ICROWD_COMMON_MATH_UTIL_H_
+#define ICROWD_COMMON_MATH_UTIL_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace icrowd {
+
+/// Arithmetic mean; 0 for empty input.
+double Mean(const std::vector<double>& values);
+
+/// Population standard deviation; 0 for inputs of size < 2.
+double StdDev(const std::vector<double>& values);
+
+/// Clamps `value` into [lo, hi].
+double Clamp(double value, double lo, double hi);
+
+/// Clamps a probability into the open interval (eps, 1 - eps) so that
+/// products/odds computed from it stay finite.
+double ClampProbability(double p, double eps = 1e-6);
+
+/// Numerically stable log(sum(exp(x_i))).
+double LogSumExp(const std::vector<double>& xs);
+
+/// Variance of a Beta(a, b) distribution: ab / ((a+b)^2 (a+b+1)).
+/// The paper's §4.1 uncertainty for a worker with N1 correct / N0 incorrect
+/// similar tasks is BetaVariance(N1 + 1, N0 + 1).
+double BetaVariance(double a, double b);
+
+/// Invokes `visit` on every size-`k` subset of {0, .., n-1}, passing the
+/// subset as sorted indices. Used by the exact (enumeration) assignment
+/// solver and the worker-set accuracy of Eq. (1).
+void ForEachSubset(size_t n, size_t k,
+                   const std::function<void(const std::vector<size_t>&)>& visit);
+
+/// Probability that a strict/tie-breaking majority of independent workers
+/// with accuracies `p` answers correctly: Eq. (1) with x ranging over
+/// ceil((k+1)/2) .. k. For even k, ties count as failure.
+double MajorityAccuracy(const std::vector<double>& p);
+
+}  // namespace icrowd
+
+#endif  // ICROWD_COMMON_MATH_UTIL_H_

@@ -1,0 +1,37 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace icrowd {
+
+size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  assert(!weights.empty());
+  double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  if (total <= 0.0) {
+    return static_cast<size_t>(UniformInt(0, weights.size() - 1));
+  }
+  double r = Uniform() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t count) {
+  assert(count <= n);
+  std::vector<size_t> all(n);
+  std::iota(all.begin(), all.end(), 0);
+  // Partial Fisher-Yates: shuffle only the first `count` slots.
+  for (size_t i = 0; i < count; ++i) {
+    size_t j = i + static_cast<size_t>(UniformInt(0, n - i - 1));
+    std::swap(all[i], all[j]);
+  }
+  all.resize(count);
+  return all;
+}
+
+}  // namespace icrowd

@@ -1,0 +1,82 @@
+#ifndef ICROWD_COMMON_RANDOM_H_
+#define ICROWD_COMMON_RANDOM_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace icrowd {
+
+/// Deterministic, seedable random source used across the library so that
+/// every simulation and generated dataset is reproducible from a seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double Uniform() { return unit_(engine_); }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return lo + (hi - lo) * Uniform();
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// True with probability p (p clamped to [0, 1]).
+  bool Bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return Uniform() < p;
+  }
+
+  double Normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Beta(a, b) sample via two gamma draws. Requires a > 0 and b > 0.
+  double Beta(double a, double b) {
+    std::gamma_distribution<double> ga(a, 1.0);
+    std::gamma_distribution<double> gb(b, 1.0);
+    double x = ga(engine_);
+    double y = gb(engine_);
+    return x / (x + y);
+  }
+
+  /// Geometric-ish number of tasks a worker is willing to do; mean ~ `mean`.
+  int64_t Geometric(double mean) {
+    if (mean <= 1.0) return 1;
+    std::geometric_distribution<int64_t> dist(1.0 / mean);
+    return 1 + dist(engine_);
+  }
+
+  /// Index drawn proportionally to non-negative `weights`. Falls back to
+  /// uniform when all weights are zero. Requires weights non-empty.
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    std::shuffle(v->begin(), v->end(), engine_);
+  }
+
+  /// Samples `count` distinct indices from [0, n). Requires count <= n.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t count);
+
+  /// Derives an independent child generator (for per-worker streams).
+  Rng Fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+};
+
+}  // namespace icrowd
+
+#endif  // ICROWD_COMMON_RANDOM_H_

@@ -1,0 +1,78 @@
+#ifndef ICROWD_COMMON_RESULT_H_
+#define ICROWD_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace icrowd {
+
+/// Holds either a value of type T or a non-OK Status explaining why the
+/// value is absent. Mirrors arrow::Result.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common success path).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error Status. Constructing a Result from
+  /// an OK status is a programming error (there would be no value).
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The carried status: OK when a value is present.
+  const Status& status() const { return status_; }
+
+  const T& ValueOrDie() const {
+    assert(ok() && "ValueOrDie called on errored Result");
+    return *value_;
+  }
+  T& ValueOrDie() {
+    assert(ok() && "ValueOrDie called on errored Result");
+    return *value_;
+  }
+
+  /// Moves the value out. Only valid when ok().
+  T MoveValueOrDie() {
+    assert(ok() && "MoveValueOrDie called on errored Result");
+    return std::move(*value_);
+  }
+
+  const T& operator*() const { return ValueOrDie(); }
+  T& operator*() { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  Status status_;  // OK iff value_ present
+  std::optional<T> value_;
+};
+
+}  // namespace icrowd
+
+/// Evaluates an expression producing Result<T>; on error propagates the
+/// Status, otherwise assigns the value to `lhs`.
+#define ICROWD_INTERNAL_CONCAT_IMPL(a, b) a##b
+#define ICROWD_INTERNAL_CONCAT(a, b) ICROWD_INTERNAL_CONCAT_IMPL(a, b)
+#define ICROWD_INTERNAL_ASSIGN_OR_RETURN(tmp, lhs, expr) \
+  auto tmp = (expr);                                     \
+  if (!tmp.ok()) {                                       \
+    return tmp.status();                                 \
+  }                                                      \
+  lhs = tmp.MoveValueOrDie()
+#define ICROWD_ASSIGN_OR_RETURN(lhs, expr)                                 \
+  ICROWD_INTERNAL_ASSIGN_OR_RETURN(                                        \
+      ICROWD_INTERNAL_CONCAT(_icrowd_result_, __LINE__), lhs, expr)
+
+#endif  // ICROWD_COMMON_RESULT_H_

@@ -1,0 +1,29 @@
+#ifndef ICROWD_COMMON_STOPWATCH_H_
+#define ICROWD_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace icrowd {
+
+/// Wall-clock timer for measuring assignment/estimation latency.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace icrowd
+
+#endif  // ICROWD_COMMON_STOPWATCH_H_

@@ -1,0 +1,68 @@
+#include "common/string_util.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace icrowd {
+
+std::vector<std::string> SplitString(std::string_view text, char delim) {
+  std::vector<std::string> pieces;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find(delim, start);
+    if (end == std::string_view::npos) end = text.size();
+    if (end > start) pieces.emplace_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return pieces;
+}
+
+std::string JoinStrings(const std::vector<std::string>& pieces,
+                        std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) out += sep;
+    out += pieces[i];
+  }
+  return out;
+}
+
+std::string ToLowerAscii(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+std::string_view TrimWhitespace(std::string_view text) {
+  size_t begin = 0;
+  while (begin < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  size_t end = text.size();
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::string FormatDouble(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+}  // namespace icrowd

@@ -1,0 +1,31 @@
+#ifndef ICROWD_COMMON_STRING_UTIL_H_
+#define ICROWD_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace icrowd {
+
+/// Splits `text` on `delim`, dropping empty pieces.
+std::vector<std::string> SplitString(std::string_view text, char delim);
+
+/// Joins `pieces` with `sep`.
+std::string JoinStrings(const std::vector<std::string>& pieces,
+                        std::string_view sep);
+
+/// ASCII lowercase copy.
+std::string ToLowerAscii(std::string_view text);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string_view TrimWhitespace(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// Fixed-precision double formatting ("0.873") for table output.
+std::string FormatDouble(double value, int precision);
+
+}  // namespace icrowd
+
+#endif  // ICROWD_COMMON_STRING_UTIL_H_

@@ -1,0 +1,51 @@
+#ifndef ICROWD_COMMON_THREAD_POOL_H_
+#define ICROWD_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace icrowd {
+
+/// Fixed-size worker pool used to parallelize the offline per-seed
+/// personalized-PageRank precomputation (Algorithm 1's offline phase).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1; 0 means hardware concurrency).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; never blocks.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have finished.
+  void Wait();
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Runs fn(i) for i in [0, count) across the pool and waits.
+  static void ParallelFor(size_t count, size_t num_threads,
+                          const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace icrowd
+
+#endif  // ICROWD_COMMON_THREAD_POOL_H_

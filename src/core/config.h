@@ -1,0 +1,44 @@
+#ifndef ICROWD_CORE_CONFIG_H_
+#define ICROWD_CORE_CONFIG_H_
+
+#include <cstdint>
+
+#include "estimation/accuracy_estimator.h"
+#include "graph/similarity_graph.h"
+#include "qualification/warmup.h"
+
+namespace icrowd {
+
+/// Every knob of the iCrowd pipeline, defaulted to the paper's settings:
+/// k = 3 (§6.1), Q = 10 (§6.3.1), α = 1.0 (§D.2), Cos(topic) similarity at
+/// threshold 0.8 (§D.1), warm-up with 5 qualification tasks and rejection
+/// threshold 0.6 (§2.2).
+struct ICrowdConfig {
+  /// Assignment size k: answers solicited per microtask (odd).
+  int assignment_size = 3;
+  /// Number Q of qualification microtasks the requester labels.
+  size_t num_qualification = 10;
+  /// Select qualification tasks by greedy influence maximization (InfQF,
+  /// Algorithm 4) instead of uniformly at random (RandomQF).
+  bool qualification_greedy = true;
+  /// PPR mass below this does not count as influence when selecting
+  /// qualification tasks (Definition 5 counts "non-zero" entries; a small
+  /// threshold makes coverage reflect *useful* propagation mass, stopping
+  /// the greedy from favoring hubs whose normalized per-neighbor mass is
+  /// negligible).
+  double influence_epsilon = 0.003;
+  /// Similarity-graph construction (§3.3 / §D.1).
+  GraphBuildOptions graph;
+  /// Graph-based estimation (§3.1); estimator.ppr.alpha is the paper's α.
+  AccuracyEstimatorOptions estimator;
+  /// Warm-up / bad-worker elimination (§2.2).
+  WarmupOptions warmup;
+  /// §4.1 step 1: a worker counts as active while its last task request is
+  /// within this window (the paper suggests 30 minutes).
+  double activity_window_seconds = 1800.0;
+  uint64_t seed = 123;
+};
+
+}  // namespace icrowd
+
+#endif  // ICROWD_CORE_CONFIG_H_

@@ -1,0 +1,205 @@
+#include "core/icrowd.h"
+
+#include <string>
+
+#include "common/random.h"
+
+namespace icrowd {
+
+ICrowd::ICrowd(Dataset dataset, ICrowdConfig config, SimilarityGraph graph,
+               QualificationSelection qualification, WarmupComponent warmup,
+               std::unique_ptr<AdaptiveAssigner> assigner)
+    : dataset_(std::move(dataset)),
+      config_(config),
+      graph_(std::move(graph)),
+      qualification_(std::move(qualification)),
+      warmup_(std::move(warmup)),
+      assigner_(std::move(assigner)),
+      state_(dataset_.size(), config_.assignment_size),
+      activity_(config_.activity_window_seconds) {
+  for (TaskId t : qualification_.tasks) {
+    state_.MarkQualification(t);
+    state_.ForceComplete(t, *dataset_.task(t).ground_truth);
+  }
+}
+
+Result<std::unique_ptr<ICrowd>> ICrowd::Create(Dataset dataset,
+                                               ICrowdConfig config) {
+  ICROWD_RETURN_NOT_OK(dataset.Validate());
+  if (config.assignment_size < 1 || config.assignment_size % 2 == 0) {
+    return Status::InvalidArgument("assignment_size k must be odd and >= 1");
+  }
+  auto graph = SimilarityGraph::Build(dataset, config.graph);
+  if (!graph.ok()) return graph.status();
+
+  // Qualification selection over the graph (Algorithm 4 / RandomQF).
+  QualificationSelection qualification;
+  {
+    auto engine = PprEngine::Precompute(*graph, config.estimator.ppr);
+    if (!engine.ok()) return engine.status();
+    size_t quota = std::min(config.num_qualification, dataset.size());
+    Result<QualificationSelection> selection = Status::Internal("unset");
+    if (config.qualification_greedy) {
+      selection =
+          SelectQualificationGreedy(*engine, quota, config.influence_epsilon);
+    } else {
+      Rng rng(config.seed);
+      selection = SelectQualificationRandom(*engine, quota, &rng,
+                                            config.influence_epsilon);
+    }
+    if (!selection.ok()) return selection.status();
+    qualification = selection.MoveValueOrDie();
+  }
+  for (TaskId t : qualification.tasks) {
+    if (!dataset.task(t).ground_truth.has_value()) {
+      return Status::FailedPrecondition(
+          "qualification task " + std::to_string(t) +
+          " needs requester-labeled ground truth");
+    }
+  }
+
+  auto estimator = AccuracyEstimator::Create(*graph, config.estimator);
+  if (!estimator.ok()) return estimator.status();
+  auto owned_estimator =
+      std::make_unique<AccuracyEstimator>(estimator.MoveValueOrDie());
+  owned_estimator->SetQualificationTasks(qualification.tasks);
+
+  // The warm-up validates qualification ground truth against the dataset;
+  // it borrows the dataset by pointer, so wire it to the member copy after
+  // construction. Validate here first with the local dataset.
+  auto warmup_check =
+      WarmupComponent::Create(&dataset, qualification.tasks, config.warmup);
+  if (!warmup_check.ok()) return warmup_check.status();
+
+  // Construct with a placeholder assigner target; the dataset pointer given
+  // to components must be the member's address, so build the object first.
+  auto icrowd = std::unique_ptr<ICrowd>(new ICrowd(
+      std::move(dataset), config, graph.MoveValueOrDie(),
+      std::move(qualification), warmup_check.MoveValueOrDie(), nullptr));
+  icrowd->assigner_ = std::make_unique<AdaptiveAssigner>(
+      &icrowd->dataset_, std::move(owned_estimator));
+  // Rebuild warm-up against the member dataset (cheap; holds pointers).
+  auto warmup = WarmupComponent::Create(
+      &icrowd->dataset_, icrowd->qualification_.tasks, config.warmup);
+  if (!warmup.ok()) return warmup.status();
+  icrowd->warmup_ = warmup.MoveValueOrDie();
+  return icrowd;
+}
+
+WorkerId ICrowd::OnWorkerArrived() {
+  WorkerId id = state_.RegisterWorker();
+  if (static_cast<size_t>(id) >= status_.size()) status_.resize(id + 1);
+  status_[id] = WorkerStatus::kWarmup;
+  return id;
+}
+
+double ICrowd::Now() {
+  if (clock_) return clock_();
+  logical_time_ += 1.0;
+  return logical_time_;
+}
+
+std::vector<WorkerId> ICrowd::ActiveWorkers() const {
+  // Active = accepted by warm-up, not left, and within the §4.1 request
+  // window tracked by activity_.
+  double now = clock_ ? clock_() : logical_time_;
+  std::vector<WorkerId> active;
+  for (size_t w = 0; w < status_.size(); ++w) {
+    WorkerId id = static_cast<WorkerId>(w);
+    if (status_[w] == WorkerStatus::kActive && activity_.IsActive(id, now)) {
+      active.push_back(id);
+    }
+  }
+  return active;
+}
+
+Result<std::optional<TaskId>> ICrowd::RequestTask(WorkerId worker) {
+  if (worker < 0 || static_cast<size_t>(worker) >= status_.size()) {
+    return Status::NotFound("unknown worker " + std::to_string(worker));
+  }
+  if (holding_.count(worker)) {
+    return Status::FailedPrecondition(
+        "worker " + std::to_string(worker) +
+        " must submit its held task before requesting another");
+  }
+  activity_.RecordRequest(worker, Now());
+  switch (status_[worker]) {
+    case WorkerStatus::kRejected:
+    case WorkerStatus::kLeft:
+      return std::optional<TaskId>();
+    case WorkerStatus::kUnknown:
+      return Status::NotFound("worker never arrived");
+    case WorkerStatus::kWarmup: {
+      std::optional<TaskId> qual = warmup_.NextTask(worker);
+      if (qual.has_value()) {
+        ICROWD_RETURN_NOT_OK(state_.MarkAssigned(*qual, worker));
+        holding_[worker] = *qual;
+        return qual;
+      }
+      auto verdict = warmup_.Evaluate(worker);
+      if (!verdict.ok()) return verdict.status();
+      if (!verdict->accepted) {
+        status_[worker] = WorkerStatus::kRejected;
+        return std::optional<TaskId>();
+      }
+      status_[worker] = WorkerStatus::kActive;
+      assigner_->OnWorkerRegistered(worker, verdict->average_accuracy,
+                                    state_);
+      [[fallthrough]];
+    }
+    case WorkerStatus::kActive: {
+      std::optional<TaskId> task =
+          assigner_->RequestTask(worker, state_, ActiveWorkers());
+      if (!task.has_value()) return std::optional<TaskId>();
+      ICROWD_RETURN_NOT_OK(state_.MarkAssigned(*task, worker));
+      holding_[worker] = *task;
+      return task;
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+Status ICrowd::SubmitAnswer(WorkerId worker, TaskId task, Label answer) {
+  auto it = holding_.find(worker);
+  if (it == holding_.end() || it->second != task) {
+    return Status::FailedPrecondition(
+        "worker " + std::to_string(worker) + " does not hold task " +
+        std::to_string(task));
+  }
+  holding_.erase(it);
+  AnswerRecord record{task, worker, answer, 0.0};
+  ICROWD_RETURN_NOT_OK(state_.RecordAnswer(record));
+  if (status_[worker] == WorkerStatus::kWarmup) {
+    return warmup_.RecordAnswer(worker, task, answer);
+  }
+  assigner_->OnAnswer(record, state_);
+  return Status::OK();
+}
+
+void ICrowd::OnWorkerLeft(WorkerId worker) {
+  if (worker < 0 || static_cast<size_t>(worker) >= status_.size()) return;
+  holding_.erase(worker);
+  activity_.MarkLeft(worker);
+  if (status_[worker] == WorkerStatus::kWarmup ||
+      status_[worker] == WorkerStatus::kActive) {
+    status_[worker] = WorkerStatus::kLeft;
+  }
+}
+
+ICrowd::WorkerStatus ICrowd::worker_status(WorkerId worker) const {
+  if (worker < 0 || static_cast<size_t>(worker) >= status_.size()) {
+    return WorkerStatus::kUnknown;
+  }
+  return status_[worker];
+}
+
+std::vector<Label> ICrowd::Results() const {
+  std::vector<Label> results(dataset_.size(), kNoLabel);
+  for (size_t t = 0; t < dataset_.size(); ++t) {
+    auto consensus = state_.Consensus(static_cast<TaskId>(t));
+    if (consensus.has_value()) results[t] = *consensus;
+  }
+  return results;
+}
+
+}  // namespace icrowd

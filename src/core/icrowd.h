@@ -1,0 +1,111 @@
+#ifndef ICROWD_CORE_ICROWD_H_
+#define ICROWD_CORE_ICROWD_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "assign/adaptive_assigner.h"
+#include "common/result.h"
+#include "core/config.h"
+#include "graph/similarity_graph.h"
+#include "model/campaign_state.h"
+#include "model/dataset.h"
+#include "qualification/qualification_selector.h"
+#include "qualification/warmup.h"
+#include "sim/activity_tracker.h"
+
+namespace icrowd {
+
+/// The iCrowd system facade: the full adaptive-crowdsourcing pipeline
+/// behind the three callbacks a crowdsourcing platform integration needs
+/// (Appendix A's ExternalQuestion bridge):
+///   * OnWorkerArrived()           — a worker accepted a HIT,
+///   * RequestTask(worker)         — the worker's iframe asks for a task,
+///   * SubmitAnswer(worker, ...)   — the worker submitted an answer.
+/// Internally it selects qualification tasks (Algorithm 4), runs warm-up on
+/// each new worker, estimates accuracies on the similarity graph
+/// (Algorithm 1) and serves assignments through the adaptive assigner
+/// (Algorithms 2-3). Workers never see which tasks are qualifications.
+class ICrowd {
+ public:
+  enum class WorkerStatus { kUnknown, kWarmup, kActive, kRejected, kLeft };
+
+  /// Builds the pipeline: similarity graph over `dataset`, PPR precompute,
+  /// greedy/random qualification selection, warm-up. Fails if the dataset
+  /// is empty or configured tasks lack ground truth for qualification.
+  static Result<std::unique_ptr<ICrowd>> Create(Dataset dataset,
+                                                ICrowdConfig config = {});
+
+  const Dataset& dataset() const { return dataset_; }
+  const SimilarityGraph& graph() const { return graph_; }
+  const ICrowdConfig& config() const { return config_; }
+  const std::vector<TaskId>& qualification_tasks() const {
+    return qualification_.tasks;
+  }
+  const CampaignState& state() const { return state_; }
+  const AccuracyEstimator& estimator() const {
+    return assigner_->estimator();
+  }
+
+  /// Registers a newly arrived worker and returns its id.
+  WorkerId OnWorkerArrived();
+
+  /// Serves the next task for `worker` (a qualification task during
+  /// warm-up, an adaptive assignment afterwards) and marks it assigned.
+  /// Returns nullopt when the worker is rejected, has left, or nothing is
+  /// assignable; the integration should then release the worker's HIT.
+  Result<std::optional<TaskId>> RequestTask(WorkerId worker);
+
+  /// Accepts the worker's answer for the task it currently holds.
+  Status SubmitAnswer(WorkerId worker, TaskId task, Label answer);
+
+  /// Marks the worker inactive (returned/abandoned the HIT).
+  void OnWorkerLeft(WorkerId worker);
+
+  /// Injects a time source (seconds, monotone) used for §4.1's
+  /// activity-window tracking. By default a logical clock advances one
+  /// second per RequestTask, which keeps library behavior deterministic;
+  /// platform integrations should inject wall-clock time.
+  void SetClock(std::function<double()> clock) { clock_ = std::move(clock); }
+
+  /// Workers currently counted active (accepted by warm-up, not left, and
+  /// requested within the activity window).
+  std::vector<WorkerId> ActiveWorkers() const;
+
+  WorkerStatus worker_status(WorkerId worker) const;
+
+  /// True once every microtask is globally completed.
+  bool Finished() const { return state_.AllCompleted(); }
+
+  /// Per-task results: the consensus where reached, ground truth for
+  /// qualification tasks, kNoLabel otherwise.
+  std::vector<Label> Results() const;
+
+ private:
+  ICrowd(Dataset dataset, ICrowdConfig config, SimilarityGraph graph,
+         QualificationSelection qualification, WarmupComponent warmup,
+         std::unique_ptr<AdaptiveAssigner> assigner);
+
+  double Now();
+
+  Dataset dataset_;
+  ICrowdConfig config_;
+  SimilarityGraph graph_;
+  QualificationSelection qualification_;
+  WarmupComponent warmup_;
+  std::unique_ptr<AdaptiveAssigner> assigner_;
+  CampaignState state_;
+  std::vector<WorkerStatus> status_;
+  /// Task currently held by each worker (in-flight assignment).
+  std::unordered_map<WorkerId, TaskId> holding_;
+  ActivityTracker activity_;
+  std::function<double()> clock_;
+  double logical_time_ = 0.0;
+};
+
+}  // namespace icrowd
+
+#endif  // ICROWD_CORE_ICROWD_H_

@@ -1,0 +1,157 @@
+#include "datagen/entity_resolution.h"
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "datagen/worker_pool.h"
+
+namespace icrowd {
+
+Dataset Table1Microtasks() {
+  struct Row {
+    const char* left;
+    const char* right;
+    const char* domain;
+    Label truth;
+  };
+  // Table 1 with ground truth implied by the paper's discussion: t_6 is the
+  // prototypical duplicate ("4" vs "four"), t_11 the iPad-4/Retina alias
+  // (§1), t_12 "new iPad" = iPad 3 covers; accessory-vs-device pairs do not
+  // match.
+  static constexpr std::array<Row, 12> kRows = {{
+      {"iphone 4 WiFi 32GB", "iphone four 3G black", "iphone", kNo},
+      {"ipod touch 32GB WiFi", "ipod touch headphone", "ipod", kNo},
+      {"ipad 3 WiFi 32GB black", "new ipad cover white", "ipad", kNo},
+      {"iphone four WiFi 16GB", "iphone four 3G 16GB", "iphone", kNo},
+      {"iphone 4 case black", "iphone 4 WiFi 32GB", "iphone", kNo},
+      {"iphone 4 WiFi 32GB", "iphone four WiFi 32GB", "iphone", kYes},
+      {"ipod touch 32GB WiFi", "ipod touch case black", "ipod", kNo},
+      {"ipod touch headphone", "ipod nano headphone", "ipod", kNo},
+      {"ipod touch WiFi", "ipod nano headphone", "ipod", kNo},
+      {"ipad 3 WiFi 32GB black", "iphone 4 cover white", "ipad", kNo},
+      {"ipad 4 WiFi 16GB", "ipad retina display WiFi 16GB", "ipad", kYes},
+      {"ipad 3 cover white", "new ipad cover white", "ipad", kYes},
+  }};
+  Dataset dataset("Table1");
+  for (const Row& row : kRows) {
+    Microtask task;
+    task.text = std::string(row.left) + " , " + row.right;
+    task.domain = row.domain;
+    task.ground_truth = row.truth;
+    dataset.AddTask(std::move(task));
+  }
+  return dataset;
+}
+
+namespace {
+
+struct Family {
+  const char* domain;
+  std::vector<std::string> models;
+  std::vector<std::string> variants;     // appended specs
+  std::vector<std::string> accessories;  // never match a device
+};
+
+const std::vector<Family>& Families() {
+  static const auto* kFamilies = new std::vector<Family>{
+      {"phone",
+       {"galaxy s4", "galaxy note 4", "iphone 5s", "iphone 5c", "nexus 5",
+        "lumia 920", "xperia z1", "moto g"},
+       {"16GB black", "32GB white", "64GB silver", "LTE 16GB", "dual sim"},
+       {"case", "screen protector", "charger", "battery pack"}},
+      {"tablet",
+       {"ipad air", "ipad mini", "galaxy tab 3", "nexus 7", "kindle fire",
+        "surface 2", "xperia tablet z"},
+       {"WiFi 16GB", "WiFi 32GB", "LTE 64GB", "retina 32GB"},
+       {"smart cover", "keyboard dock", "stylus", "sleeve"}},
+      {"camera",
+       {"canon eos 70d", "nikon d5300", "sony a6000", "fuji x100s",
+        "panasonic gh3", "olympus om-d"},
+       {"body only", "with 18-55mm kit lens", "with 50mm prime", "bundle"},
+       {"camera bag", "tripod", "sd card 32GB", "lens hood"}},
+      {"laptop",
+       {"macbook air 13", "macbook pro 15", "thinkpad x240", "xps 13",
+        "zenbook ux301", "chromebook 11"},
+       {"i5 4GB 128GB", "i7 8GB 256GB", "i7 16GB 512GB", "2014 model"},
+       {"laptop sleeve", "usb hub", "docking station", "power adapter"}},
+  };
+  return *kFamilies;
+}
+
+std::string SpellDigitVariant(const std::string& text, Rng* rng) {
+  // Inject the paper's "4" <-> "four" style formatting noise.
+  static const std::pair<const char*, const char*> kSwaps[] = {
+      {" 4", " four"}, {" 3", " three"}, {" 5", " five"}, {" 2", " two"}};
+  std::string out = text;
+  for (const auto& [digit, word] : kSwaps) {
+    size_t pos = out.find(digit);
+    if (pos != std::string::npos && rng->Bernoulli(0.5)) {
+      out = out.substr(0, pos) + word + out.substr(pos + std::string(digit).size());
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Dataset> GenerateEntityResolution(
+    const EntityResolutionOptions& options) {
+  if (options.tasks_per_family == 0) {
+    return Status::InvalidArgument("tasks_per_family must be >= 1");
+  }
+  Rng rng(options.seed);
+  Dataset dataset("EntityResolution");
+  for (const Family& family : Families()) {
+    for (size_t i = 0; i < options.tasks_per_family; ++i) {
+      Microtask task;
+      task.domain = family.domain;
+      const std::string& model =
+          family.models[rng.UniformInt(0, family.models.size() - 1)];
+      double kind = rng.Uniform();
+      std::string left, right;
+      if (kind < 0.4) {
+        // Same model, different formatting/spec phrasing: a match.
+        const std::string& variant =
+            family.variants[rng.UniformInt(0, family.variants.size() - 1)];
+        left = model + " " + variant;
+        right = SpellDigitVariant(model, &rng) + " " + variant;
+        task.ground_truth = kYes;
+      } else if (kind < 0.75) {
+        // Different models of the same family: not a match.
+        std::string other = model;
+        while (other == model) {
+          other = family.models[rng.UniformInt(0, family.models.size() - 1)];
+        }
+        const std::string& variant =
+            family.variants[rng.UniformInt(0, family.variants.size() - 1)];
+        left = model + " " + variant;
+        right = other + " " + variant;
+        task.ground_truth = kNo;
+      } else {
+        // Device vs. accessory: not a match.
+        const std::string& accessory =
+            family.accessories[rng.UniformInt(0, family.accessories.size() - 1)];
+        left = model + " " +
+               family.variants[rng.UniformInt(0, family.variants.size() - 1)];
+        right = model + " " + accessory;
+        task.ground_truth = kNo;
+      }
+      task.text = left + " , " + right;
+      dataset.AddTask(std::move(task));
+    }
+  }
+  return dataset;
+}
+
+std::vector<WorkerProfile> GenerateEntityResolutionWorkers(
+    const Dataset& dataset, size_t num_workers, uint64_t seed) {
+  WorkerPoolOptions options;
+  options.num_workers = num_workers;
+  options.seed = seed;
+  return GenerateWorkerPool(dataset, options);
+}
+
+}  // namespace icrowd

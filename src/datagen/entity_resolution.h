@@ -1,0 +1,37 @@
+#ifndef ICROWD_DATAGEN_ENTITY_RESOLUTION_H_
+#define ICROWD_DATAGEN_ENTITY_RESOLUTION_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "model/dataset.h"
+#include "sim/worker_profile.h"
+
+namespace icrowd {
+
+/// The twelve Table 1 microtasks verbatim (product-matching pairs about
+/// iPhone / iPod / iPad). Ground truth reflects whether the two records
+/// describe the same product model. Domains: "iphone", "ipod", "ipad".
+Dataset Table1Microtasks();
+
+struct EntityResolutionOptions {
+  /// Product-pair tasks per brand family.
+  size_t tasks_per_family = 30;
+  uint64_t seed = 23;
+};
+
+/// A larger synthetic crowdsourced-entity-resolution workload in the style
+/// of Table 1 / CrowdER [32]: families of consumer products (phones,
+/// tablets, cameras, laptops), each task pairing two record strings that
+/// either describe the same model with formatting noise (YES) or different
+/// models/accessories (NO).
+Result<Dataset> GenerateEntityResolution(
+    const EntityResolutionOptions& options = {});
+
+/// Worker pool for entity-resolution campaigns: experts per product family.
+std::vector<WorkerProfile> GenerateEntityResolutionWorkers(
+    const Dataset& dataset, size_t num_workers = 24, uint64_t seed = 29);
+
+}  // namespace icrowd
+
+#endif  // ICROWD_DATAGEN_ENTITY_RESOLUTION_H_

@@ -1,0 +1,145 @@
+#include "datagen/itemcompare.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "common/random.h"
+#include "datagen/worker_pool.h"
+
+namespace icrowd {
+
+namespace {
+
+struct DomainSpec {
+  const char* name;
+  const char* question_prefix;  // "Which food has more calories:"
+  const std::vector<ComparableItem>* items;
+};
+
+}  // namespace
+
+const std::vector<ComparableItem>& FoodItems() {
+  static const std::vector<ComparableItem>* kItems =
+      new std::vector<ComparableItem>{
+          {"dark chocolate", 546}, {"honey", 304},
+          {"white rice", 130},     {"apple", 52},
+          {"banana", 89},          {"cheddar cheese", 403},
+          {"butter", 717},         {"wheat bread", 265},
+          {"baked potato", 93},    {"chicken breast", 165},
+          {"grilled salmon", 208}, {"peanut butter", 588},
+          {"plain yogurt", 59},    {"cooked pasta", 131},
+          {"avocado", 160},        {"roasted almonds", 579},
+          {"broccoli", 34},        {"boiled egg", 155},
+          {"oatmeal", 68},         {"orange juice", 45},
+      };
+  return *kItems;
+}
+
+const std::vector<ComparableItem>& NbaItems() {
+  // Championship counts circa the paper's 2015 evaluation; jittered by
+  // fractions so every pair compares strictly (team standings themselves
+  // stay faithful).
+  static const std::vector<ComparableItem>* kItems =
+      new std::vector<ComparableItem>{
+          {"Boston Celtics", 17},         {"Los Angeles Lakers", 16},
+          {"Chicago Bulls", 6},           {"San Antonio Spurs", 5},
+          {"Golden State Warriors", 3.3}, {"Detroit Pistons", 3.2},
+          {"Miami Heat", 3.1},            {"Philadelphia 76ers", 3.05},
+          {"New York Knicks", 2.1},       {"Houston Rockets", 2.05},
+          {"Milwaukee Bucks", 1.2},       {"Dallas Mavericks", 1.15},
+          {"Atlanta Hawks", 1.1},         {"Portland Trail Blazers", 1.05},
+          {"Oklahoma City Thunder", 1.02},{"Washington Wizards", 1.01},
+          {"Cleveland Cavaliers", 0.4},   {"Phoenix Suns", 0.3},
+          {"Utah Jazz", 0.2},             {"Indiana Pacers", 0.1},
+      };
+  return *kItems;
+}
+
+const std::vector<ComparableItem>& AutoItems() {
+  // Combined MPG ratings for 2014 model-year cars (distinct by design).
+  static const std::vector<ComparableItem>* kItems =
+      new std::vector<ComparableItem>{
+          {"2014 Toyota Prius", 50},        {"2014 Honda Civic", 33},
+          {"2014 Toyota Camry", 28},        {"2014 Lexus ES", 24},
+          {"2014 Ford F-150", 19},          {"2014 Chevrolet Silverado", 17},
+          {"2014 BMW 328i", 27},            {"2014 Nissan Altima", 31},
+          {"2014 Honda Accord", 30},        {"2014 Ford Focus", 31.5},
+          {"2014 Volkswagen Jetta", 29},    {"2014 Hyundai Elantra", 32},
+          {"2014 Subaru Outback", 26},      {"2014 Jeep Wrangler", 18},
+          {"2014 Mazda 3", 33.5},           {"2014 Chevrolet Malibu", 29.5},
+          {"2014 Audi A4", 26.5},           {"2014 Kia Optima", 27.5},
+          {"2014 Dodge Charger", 22},       {"2014 Mini Cooper", 34},
+      };
+  return *kItems;
+}
+
+const std::vector<ComparableItem>& CountryItems() {
+  // Total area in thousand square kilometres.
+  static const std::vector<ComparableItem>* kItems =
+      new std::vector<ComparableItem>{
+          {"Russia", 17098},    {"Canada", 9985},  {"China", 9597},
+          {"United States", 9526}, {"Brazil", 8516}, {"Australia", 7692},
+          {"India", 3287},      {"Argentina", 2780}, {"Kazakhstan", 2725},
+          {"Algeria", 2382},    {"Mexico", 1964},  {"Indonesia", 1905},
+          {"Libya", 1760},      {"Iran", 1648},    {"Mongolia", 1564},
+          {"Peru", 1285},       {"Egypt", 1010},   {"France", 644},
+          {"Spain", 506},       {"Japan", 378},
+      };
+  return *kItems;
+}
+
+Result<Dataset> GenerateItemCompare(const ItemCompareOptions& options) {
+  if (options.tasks_per_domain == 0) {
+    return Status::InvalidArgument("tasks_per_domain must be >= 1");
+  }
+  const DomainSpec kDomains[] = {
+      {"Food", "Which food item has more calories per serving:",
+       &FoodItems()},
+      {"NBA", "Which NBA team won more championships:", &NbaItems()},
+      {"Auto", "Which car is more fuel efficient:", &AutoItems()},
+      {"Country", "Which country has a larger total area:", &CountryItems()},
+  };
+  Rng rng(options.seed);
+  Dataset dataset("ItemCompare");
+  for (const DomainSpec& spec : kDomains) {
+    const auto& items = *spec.items;
+    size_t max_pairs = items.size() * (items.size() - 1) / 2;
+    if (options.tasks_per_domain > max_pairs) {
+      return Status::InvalidArgument(
+          "tasks_per_domain exceeds the number of distinct item pairs");
+    }
+    std::set<std::pair<size_t, size_t>> used;
+    while (used.size() < options.tasks_per_domain) {
+      size_t a = rng.UniformInt(0, items.size() - 1);
+      size_t b = rng.UniformInt(0, items.size() - 1);
+      if (a == b) continue;
+      auto key = std::minmax(a, b);
+      if (!used.insert(key).second) continue;
+      // Randomize presentation order so YES/NO truth is balanced.
+      if (rng.Bernoulli(0.5)) std::swap(a, b);
+      Microtask task;
+      task.domain = spec.name;
+      task.text = std::string(spec.question_prefix) + " " + items[a].name +
+                  " or " + items[b].name + "?";
+      task.ground_truth = items[a].value > items[b].value ? kYes : kNo;
+      dataset.AddTask(std::move(task));
+    }
+  }
+  return dataset;
+}
+
+std::vector<WorkerProfile> GenerateItemCompareWorkers(const Dataset& dataset,
+                                                      uint64_t seed) {
+  WorkerPoolOptions options;
+  options.num_workers = 53;  // Table 4
+  options.seed = seed;
+  // §6.4: "there was no very good workers in [Auto]: the best worker in
+  // Auto only had an accuracy of 0.76".
+  options.domain_accuracy_cap.assign(dataset.domains().size(), 0.0);
+  int32_t auto_id = dataset.DomainId("Auto");
+  if (auto_id >= 0) options.domain_accuracy_cap[auto_id] = 0.78;
+  return GenerateWorkerPool(dataset, options);
+}
+
+}  // namespace icrowd

@@ -1,0 +1,72 @@
+#include "datagen/poi.h"
+
+#include <cmath>
+#include <string>
+
+#include "common/random.h"
+#include "datagen/worker_pool.h"
+
+namespace icrowd {
+
+namespace {
+
+const char* kPlaceKinds[] = {"cafe",    "museum",  "bakery", "pharmacy",
+                             "library", "theatre", "market", "hotel",
+                             "gallery", "bistro"};
+const char* kPlaceNames[] = {"Luna",    "Aurora", "Meridian", "Harbor",
+                             "Juniper", "Velvet", "Copper",   "Granite",
+                             "Willow",  "Saffron"};
+
+}  // namespace
+
+Result<Dataset> GeneratePoiVerification(const PoiOptions& options) {
+  if (options.num_districts == 0 || options.tasks_per_district == 0) {
+    return Status::InvalidArgument("districts and tasks must be >= 1");
+  }
+  if (options.spread <= 0.0 || options.district_radius <= 0.0) {
+    return Status::InvalidArgument("radius and spread must be positive");
+  }
+  Rng rng(options.seed);
+  Dataset dataset("PoiVerification");
+  const double two_pi = 2.0 * 3.14159265358979323846;
+  for (size_t d = 0; d < options.num_districts; ++d) {
+    double angle = two_pi * static_cast<double>(d) /
+                   static_cast<double>(options.num_districts);
+    double cx = options.district_radius * std::cos(angle);
+    double cy = options.district_radius * std::sin(angle);
+    std::string district = "District-" + std::to_string(d + 1);
+    for (size_t i = 0; i < options.tasks_per_district; ++i) {
+      Microtask task;
+      task.domain = district;
+      task.features = {cx + rng.Normal(0.0, options.spread),
+                       cy + rng.Normal(0.0, options.spread)};
+      const char* kind = kPlaceKinds[rng.UniformInt(0, 9)];
+      const char* name = kPlaceNames[rng.UniformInt(0, 9)];
+      // Half the tasks show the true name (YES); half a decoy (NO).
+      bool matches = rng.Bernoulli(0.5);
+      const char* shown =
+          matches ? name : kPlaceNames[rng.UniformInt(0, 9)];
+      if (!matches && shown == name) matches = true;  // decoy collided
+      task.text = std::string("Is the ") + kind + " at this location named " +
+                  shown + " " + kind + " in " + district + "?";
+      task.ground_truth = matches ? kYes : kNo;
+      dataset.AddTask(std::move(task));
+    }
+  }
+  return dataset;
+}
+
+std::vector<WorkerProfile> GeneratePoiWorkers(const Dataset& dataset,
+                                              size_t num_workers,
+                                              uint64_t seed) {
+  WorkerPoolOptions options;
+  options.num_workers = num_workers;
+  options.seed = seed;
+  // Locals: very strong in their home district(s), weak elsewhere.
+  options.expert_fraction = 0.6;
+  options.generalist_fraction = 0.25;
+  options.spammer_fraction = 0.15;
+  return GenerateWorkerPool(dataset, options);
+}
+
+}  // namespace icrowd

@@ -1,0 +1,39 @@
+#ifndef ICROWD_DATAGEN_POI_H_
+#define ICROWD_DATAGEN_POI_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "model/dataset.h"
+#include "sim/worker_profile.h"
+
+namespace icrowd {
+
+struct PoiOptions {
+  /// Spatial clusters ("districts"); each becomes an evaluation domain.
+  size_t num_districts = 5;
+  size_t tasks_per_district = 40;
+  /// Districts are centered on a circle of this radius; points scatter
+  /// with `spread` around their center, so same-district tasks are close
+  /// and cross-district tasks far — the §3.3.2 Euclidean-similarity regime.
+  double district_radius = 100.0;
+  double spread = 6.0;
+  uint64_t seed = 43;
+};
+
+/// Generates the §3.3.2 use case: verifying place names for map
+/// points-of-interest. Each task carries the POI's 2D coordinates as its
+/// feature vector (for the Euclidean similarity graph) and asks whether the
+/// shown name matches the place (YES) or belongs to another POI (NO).
+/// Domains are the spatial districts — the locality knowledge real map
+/// workers have.
+Result<Dataset> GeneratePoiVerification(const PoiOptions& options = {});
+
+/// Worker pool for POI campaigns: workers are "locals" of 1-2 districts.
+std::vector<WorkerProfile> GeneratePoiWorkers(const Dataset& dataset,
+                                              size_t num_workers = 30,
+                                              uint64_t seed = 47);
+
+}  // namespace icrowd
+
+#endif  // ICROWD_DATAGEN_POI_H_

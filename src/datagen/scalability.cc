@@ -1,0 +1,33 @@
+#include "datagen/scalability.h"
+
+#include <tuple>
+#include <vector>
+
+#include "common/random.h"
+
+namespace icrowd {
+
+SimilarityGraph GenerateRandomBoundedGraph(size_t num_tasks,
+                                           size_t max_neighbors,
+                                           uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::tuple<int32_t, int32_t, double>> edges;
+  if (num_tasks > 1 && max_neighbors > 0) {
+    // Each node draws ~max_neighbors/2 outgoing edges; the undirected view
+    // gives every node roughly max_neighbors neighbors in expectation,
+    // strictly bounded topology as in the paper's setup.
+    size_t per_node = std::max<size_t>(1, max_neighbors / 2);
+    edges.reserve(num_tasks * per_node);
+    for (size_t u = 0; u < num_tasks; ++u) {
+      for (size_t e = 0; e < per_node; ++e) {
+        size_t v = rng.UniformInt(0, num_tasks - 1);
+        if (v == u) continue;
+        edges.emplace_back(static_cast<int32_t>(u), static_cast<int32_t>(v),
+                           rng.Uniform(0.5, 1.0));
+      }
+    }
+  }
+  return SimilarityGraph::FromEdges(num_tasks, edges);
+}
+
+}  // namespace icrowd

@@ -1,0 +1,20 @@
+#ifndef ICROWD_DATAGEN_SCALABILITY_H_
+#define ICROWD_DATAGEN_SCALABILITY_H_
+
+#include <cstdint>
+
+#include "graph/similarity_graph.h"
+
+namespace icrowd {
+
+/// §6.5's simulation workload: a similarity graph over `num_tasks`
+/// microtasks where each microtask gets up to `max_neighbors` randomly
+/// chosen neighbors with uniform similarity weights in [0.5, 1). Used by the
+/// Figure 10 scalability bench, where 0.2M tasks are inserted per step.
+SimilarityGraph GenerateRandomBoundedGraph(size_t num_tasks,
+                                           size_t max_neighbors,
+                                           uint64_t seed = 31);
+
+}  // namespace icrowd
+
+#endif  // ICROWD_DATAGEN_SCALABILITY_H_

@@ -1,0 +1,51 @@
+#ifndef ICROWD_DATAGEN_WORKER_POOL_H_
+#define ICROWD_DATAGEN_WORKER_POOL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "model/dataset.h"
+#include "sim/worker_profile.h"
+
+namespace icrowd {
+
+/// Knobs for synthesizing a worker pool whose per-domain accuracies show
+/// the Figure 6 diversity the paper measured on real MTurk workers.
+struct WorkerPoolOptions {
+  size_t num_workers = 30;
+  uint64_t seed = 7;
+  /// Archetype mixture (normalized internally).
+  double expert_fraction = 0.45;
+  double generalist_fraction = 0.35;
+  double spammer_fraction = 0.20;
+  /// Expert accuracy range in their strong domain(s).
+  double expert_low = 0.85;
+  double expert_high = 0.95;
+  /// Expert accuracy range outside their strong domains.
+  double expert_weak_low = 0.30;
+  double expert_weak_high = 0.60;
+  /// Generalists: moderately good everywhere.
+  double generalist_low = 0.60;
+  double generalist_high = 0.75;
+  /// Spammers: near coin flips everywhere.
+  double spammer_low = 0.35;
+  double spammer_high = 0.55;
+  /// Optional per-domain cap on any worker's accuracy (aligned with
+  /// Dataset::domains(); empty = no caps). Models §6.4's Auto domain where
+  /// the best real worker only reached 0.76.
+  std::vector<double> domain_accuracy_cap;
+  /// Mean willingness (tasks per session) per activity tier; drawn
+  /// geometric so the pool is top-heavy like Figure 15.
+  double casual_mean_tasks = 15.0;
+  double regular_mean_tasks = 45.0;
+  double power_mean_tasks = 140.0;
+};
+
+/// Generates `options.num_workers` profiles for `dataset`'s domains.
+/// Experts' strong domains rotate round-robin so every domain has experts.
+std::vector<WorkerProfile> GenerateWorkerPool(const Dataset& dataset,
+                                              const WorkerPoolOptions& options);
+
+}  // namespace icrowd
+
+#endif  // ICROWD_DATAGEN_WORKER_POOL_H_

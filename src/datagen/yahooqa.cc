@@ -1,0 +1,266 @@
+#include "datagen/yahooqa.h"
+
+#include "common/random.h"
+#include "datagen/worker_pool.h"
+
+namespace icrowd {
+
+const std::vector<std::pair<std::string, std::vector<QaSeed>>>&
+YahooQaSeeds() {
+  static const auto* kSeeds = new std::vector<
+      std::pair<std::string, std::vector<QaSeed>>>{
+      {"FIFA",
+       {
+           {"Who won the 2006 FIFA World Cup final in Berlin?",
+            "Italy won the 2006 World Cup, beating France on penalties after "
+            "a 1-1 draw in the Berlin final."},
+           {"Why was Zidane sent off in the 2006 World Cup final?",
+            "Zinedine Zidane received a red card for headbutting Marco "
+            "Materazzi in the chest during extra time."},
+           {"Who scored the most goals at the 2006 World Cup tournament?",
+            "Miroslav Klose of Germany won the Golden Boot with five goals "
+            "at the 2006 tournament."},
+           {"Which country hosted the 2006 FIFA World Cup?",
+            "Germany hosted the 2006 World Cup, with the final played at the "
+            "Olympiastadion in Berlin."},
+           {"Who won the Golden Ball award at the 2006 World Cup?",
+            "Zidane was awarded the Golden Ball as the best player of the "
+            "2006 World Cup despite the final red card."},
+           {"How did France reach the 2006 World Cup final?",
+            "France beat Spain, Brazil and Portugal in the knockout rounds "
+            "behind a resurgent Zidane."},
+           {"Which goalkeeper won the Lev Yashin award in 2006?",
+            "Gianluigi Buffon of Italy took the best goalkeeper award, "
+            "conceding only two goals all tournament."},
+           {"What was the score in the 2006 semifinal between Germany and "
+            "Italy?",
+            "Italy beat the German hosts 2-0 in extra time with late goals "
+            "from Grosso and Del Piero."},
+           {"Who missed the decisive penalty in the 2006 final shootout?",
+            "David Trezeguet hit the crossbar, the only miss of the shootout, "
+            "and Italy converted all five penalties."},
+           {"Which team did Ghana face in the round of 16 in 2006?",
+            "Ghana, the only African side to advance, lost 3-0 to Brazil in "
+            "the round of sixteen."},
+       }},
+      {"Books & Authors",
+       {
+           {"Who wrote the novel One Hundred Years of Solitude?",
+            "Gabriel Garcia Marquez wrote One Hundred Years of Solitude, the "
+            "landmark magical realism novel about the Buendia family."},
+           {"Which author created the detective Hercule Poirot?",
+            "Agatha Christie created the Belgian detective Hercule Poirot in "
+            "dozens of mystery novels."},
+           {"What is the first book of the Lord of the Rings trilogy?",
+            "The Fellowship of the Ring opens Tolkien's trilogy, following "
+            "Frodo's departure from the Shire."},
+           {"Who wrote Pride and Prejudice?",
+            "Jane Austen published Pride and Prejudice in 1813, the story of "
+            "Elizabeth Bennet and Mr Darcy."},
+           {"Which Russian author wrote Crime and Punishment?",
+            "Fyodor Dostoevsky wrote Crime and Punishment, the psychological "
+            "novel about the student Raskolnikov."},
+           {"Who is the author of the Harry Potter series?",
+            "J.K. Rowling wrote the seven Harry Potter novels beginning with "
+            "the Philosopher's Stone."},
+           {"What novel begins with the line 'Call me Ishmael'?",
+            "Herman Melville's Moby-Dick opens with the narrator introducing "
+            "himself as Ishmael before joining the Pequod."},
+           {"Which playwright wrote Hamlet and Macbeth?",
+            "William Shakespeare wrote both tragedies around the turn of the "
+            "seventeenth century."},
+           {"Who wrote the dystopian novel Nineteen Eighty-Four?",
+            "George Orwell published Nineteen Eighty-Four in 1949, coining "
+            "Big Brother and the Thought Police."},
+           {"Which American author wrote The Old Man and the Sea?",
+            "Ernest Hemingway wrote The Old Man and the Sea and won the "
+            "Pulitzer Prize for it in 1953."},
+       }},
+      {"Diet & Fitness",
+       {
+           {"How many calories should I cut daily to lose a pound a week?",
+            "A deficit of roughly 500 calories per day yields about one "
+            "pound of fat loss per week."},
+           {"Is it better to do cardio before or after weight training?",
+            "Most trainers suggest lifting first while fresh, then doing "
+            "cardio, unless endurance is your main goal."},
+           {"How much protein does a strength athlete need per day?",
+            "Around 1.6 to 2.2 grams of protein per kilogram of body weight "
+            "supports muscle growth."},
+           {"What is a healthy resting heart rate for adults?",
+            "Most healthy adults have a resting heart rate between 60 and "
+            "100 beats per minute; athletes often sit lower."},
+           {"Are low carb diets effective for weight loss?",
+            "Low carb diets work mainly by reducing total calorie intake; "
+            "adherence matters more than the macro split."},
+           {"How long should I rest between heavy squat sets?",
+            "Resting two to five minutes between heavy compound sets lets "
+            "strength recover for the next set."},
+           {"Is stretching before running necessary?",
+            "Dynamic warm-ups help more than static stretching before runs; "
+            "save long static holds for afterwards."},
+           {"How much water should I drink while exercising?",
+            "Drink to thirst, roughly half a litre per hour of moderate "
+            "exercise, more in the heat."},
+           {"What is the best exercise for lower back pain?",
+            "Gentle core work such as bird-dogs and glute bridges usually "
+            "helps; see a doctor if pain radiates down the leg."},
+           {"How many days a week should a beginner lift weights?",
+            "Two to three full-body sessions per week is plenty for a "
+            "beginner to progress and recover."},
+       }},
+      {"Home Schooling",
+       {
+           {"Do homeschooled students need to take standardized tests?",
+            "Requirements vary by state: some require annual standardized "
+            "testing, others accept portfolios or evaluations."},
+           {"How do homeschoolers get into college?",
+            "Colleges accept homeschool transcripts with test scores and "
+            "course descriptions; many actively recruit homeschoolers."},
+           {"What curriculum is popular for homeschooling math?",
+            "Saxon Math and Singapore Math are widely used homeschool math "
+            "curricula with structured lesson plans."},
+           {"How many hours a day should homeschooling take?",
+            "Most families finish formal lessons in two to four hours; "
+            "one-on-one instruction is far more efficient than a classroom."},
+           {"How do homeschooled kids socialize?",
+            "Co-ops, sports leagues, scouts and community classes give "
+            "homeschoolers plenty of peer time."},
+           {"Is unschooling a legal form of homeschooling?",
+            "Unschooling is legal wherever homeschooling is legal; parents "
+            "still must meet their state's reporting rules."},
+           {"What records should homeschooling parents keep?",
+            "Keep attendance, reading lists, work samples and grades; they "
+            "become the transcript later."},
+           {"Can a working parent realistically homeschool?",
+            "Yes, with flexible scheduling, co-op days and online classes "
+            "many working parents homeschool successfully."},
+           {"How much does homeschooling cost per year?",
+            "Families typically spend a few hundred to a thousand dollars "
+            "per child on curriculum and activities each year."},
+           {"When should homeschoolers start formal reading lessons?",
+            "Most children are ready between ages four and seven; short "
+            "daily phonics sessions work well."},
+       }},
+      {"Hunting",
+       {
+           {"What caliber is recommended for whitetail deer hunting?",
+            "Classic deer calibers include .270 Winchester, .308 and 30-06; "
+            "all take whitetail cleanly at normal ranges."},
+           {"When is the best time of day to hunt deer?",
+            "Deer move most at dawn and dusk, so the first and last hour of "
+            "light are the prime windows."},
+           {"How should I practice scent control before a hunt?",
+            "Wash gear in scent-free detergent, store it sealed, and hunt "
+            "with the wind in your face."},
+           {"What is the effective range of a compound bow for deer?",
+            "Most bowhunters keep shots inside 30 to 40 yards for a clean "
+            "ethical kill with a compound bow."},
+           {"Do I need a hunting license on my own land?",
+            "Many states still require a license on private land, though "
+            "some have landowner exemptions; check your state rules."},
+           {"How do I field dress a deer?",
+            "Work from the pelvis to the sternum, remove the entrails, and "
+            "cool the carcass quickly to protect the meat."},
+           {"What choke should I use for turkey hunting?",
+            "A full or extra-full turkey choke keeps the pattern tight on "
+            "the gobbler's head at 40 yards."},
+           {"When does duck season usually open?",
+            "Duck seasons are set by flyway and state, usually opening in "
+            "the fall; consult your flyway's federal framework."},
+           {"What should a deer stand safety harness include?",
+            "Use a full-body harness with a lifeline attached from the "
+            "ground up; most falls happen climbing in or out."},
+           {"How do I age a deer by its teeth?",
+            "Jawbone tooth wear and replacement lets you bracket a deer's "
+            "age: yearlings still show their milk premolars."},
+       }},
+      {"Philosophy",
+       {
+           {"Who first proposed Heliocentrism?",
+            "Nicolaus Copernicus, a Renaissance mathematician and "
+            "astronomer, formulated the heliocentric model; Aristarchus "
+            "anticipated it in antiquity."},
+           {"What is Descartes' cogito argument?",
+            "Cogito ergo sum: Descartes argued that the act of doubting "
+            "proves the existence of the doubting mind."},
+           {"What does Kant's categorical imperative demand?",
+            "Act only on maxims you could will to become universal law — "
+            "Kant's supreme principle of morality."},
+           {"What is Plato's allegory of the cave about?",
+            "Prisoners mistaking shadows for reality illustrate Plato's "
+            "view that the senses hide the world of forms."},
+           {"What is utilitarianism in ethics?",
+            "Utilitarianism, from Bentham and Mill, judges actions by "
+            "whether they maximize overall happiness."},
+           {"What did Nietzsche mean by 'God is dead'?",
+            "Nietzsche meant that European culture could no longer ground "
+            "its values in religion and must create new ones."},
+           {"What is the trolley problem meant to show?",
+            "The trolley problem probes the clash between consequentialist "
+            "and deontological intuitions about sacrificing one to save "
+            "five."},
+           {"What is Hume's problem of induction?",
+            "Hume argued we have no non-circular justification for "
+            "expecting the future to resemble the past."},
+           {"What is dualism in philosophy of mind?",
+            "Dualism holds that mind and body are distinct substances, as "
+            "Descartes argued; physicalism denies this."},
+           {"What is Socratic method?",
+            "The Socratic method exposes contradictions through persistent "
+            "questioning, guiding the interlocutor toward clearer "
+            "definitions."},
+       }},
+  };
+  return *kSeeds;
+}
+
+Result<Dataset> GenerateYahooQa(const YahooQaOptions& options) {
+  const auto& seeds = YahooQaSeeds();
+  size_t max_tasks = 0;
+  for (const auto& [_, qa] : seeds) max_tasks += qa.size() * qa.size();
+  if (options.num_tasks == 0 || options.num_tasks > max_tasks) {
+    return Status::InvalidArgument("num_tasks out of range");
+  }
+  Rng rng(options.seed);
+  Dataset dataset("YahooQA");
+  // Round-robin across domains so every domain gets ~num_tasks/6 tasks.
+  size_t produced = 0;
+  size_t round = 0;
+  while (produced < options.num_tasks) {
+    bool any = false;
+    for (const auto& [domain, qa] : seeds) {
+      if (produced >= options.num_tasks) break;
+      size_t q_idx = round % qa.size();
+      Microtask task;
+      task.domain = domain;
+      // Alternate matched (YES) and mismatched (NO) pairs.
+      bool matched = (round % 2 == 0);
+      size_t a_idx = q_idx;
+      if (!matched) {
+        a_idx = (q_idx + 1 + rng.UniformInt(0, qa.size() - 2)) % qa.size();
+      }
+      // Task text carries the QA content only; the "does this answer
+      // address the question" instruction lives in the worker UI, exactly
+      // as on AMT, so it does not pollute text similarity.
+      task.text = qa[q_idx].question + " " + qa[a_idx].good_answer;
+      task.ground_truth = matched ? kYes : kNo;
+      dataset.AddTask(std::move(task));
+      ++produced;
+      any = true;
+    }
+    if (!any) break;
+    ++round;
+  }
+  return dataset;
+}
+
+std::vector<WorkerProfile> GenerateYahooQaWorkers(const Dataset& dataset,
+                                                  uint64_t seed) {
+  WorkerPoolOptions options;
+  options.num_workers = 25;  // Table 4
+  options.seed = seed;
+  return GenerateWorkerPool(dataset, options);
+}
+
+}  // namespace icrowd

@@ -1,0 +1,43 @@
+#ifndef ICROWD_DATAGEN_YAHOOQA_H_
+#define ICROWD_DATAGEN_YAHOOQA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "model/dataset.h"
+#include "sim/worker_profile.h"
+
+namespace icrowd {
+
+/// One curated community question with a genuinely responsive answer.
+struct QaSeed {
+  std::string question;
+  std::string good_answer;
+};
+
+struct YahooQaOptions {
+  /// Total tasks (paper: 110 over six domains).
+  size_t num_tasks = 110;
+  uint64_t seed = 13;
+};
+
+/// Generates the YahooQA-like dataset (§6.1): tasks ask whether an answer
+/// appropriately addresses its question, across six domains — 2006 FIFA
+/// World Cup, Books & Authors, Diet & Fitness, Home Schooling, Hunting, and
+/// Philosophy. YES tasks pair a question with its own answer; NO tasks pair
+/// it with another answer drawn from the same domain (plausible topic, wrong
+/// content), matching how bad community answers look.
+Result<Dataset> GenerateYahooQa(const YahooQaOptions& options = {});
+
+/// The 25-worker pool used with YahooQA (Table 4).
+std::vector<WorkerProfile> GenerateYahooQaWorkers(const Dataset& dataset,
+                                                  uint64_t seed = 19);
+
+/// Curated QA seeds per domain, exposed for tests.
+const std::vector<std::pair<std::string, std::vector<QaSeed>>>& YahooQaSeeds();
+
+}  // namespace icrowd
+
+#endif  // ICROWD_DATAGEN_YAHOOQA_H_

@@ -1,0 +1,130 @@
+#include "estimation/accuracy_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace icrowd {
+
+Result<AccuracyEstimator> AccuracyEstimator::Create(
+    const SimilarityGraph& graph, const AccuracyEstimatorOptions& options) {
+  if (options.default_accuracy <= 0.0 || options.default_accuracy >= 1.0) {
+    return Status::InvalidArgument("default_accuracy must be in (0, 1)");
+  }
+  if (options.prior_strength < 0.0) {
+    return Status::InvalidArgument("prior_strength must be >= 0");
+  }
+  auto engine = PprEngine::Precompute(graph, options.ppr);
+  if (!engine.ok()) return engine.status();
+  return AccuracyEstimator(engine.MoveValueOrDie(), options);
+}
+
+void AccuracyEstimator::SetQualificationTasks(
+    const std::vector<TaskId>& tasks) {
+  qualification_ = std::set<TaskId>(tasks.begin(), tasks.end());
+}
+
+void AccuracyEstimator::RegisterWorker(WorkerId worker,
+                                       double warmup_accuracy) {
+  if (worker < 0) return;
+  if (static_cast<size_t>(worker) >= workers_.size()) {
+    workers_.resize(worker + 1);
+  }
+  WorkerModel& model = workers_[worker];
+  model.registered = true;
+  model.warmup_accuracy = ClampProbability(warmup_accuracy, 0.02);
+  model.fallback = model.warmup_accuracy;
+}
+
+void AccuracyEstimator::Refresh(WorkerId worker, const CampaignState& state,
+                                const Dataset& dataset) {
+  if (!IsRegistered(worker)) RegisterWorker(worker, options_.default_accuracy);
+  WorkerModel& model = workers_[worker];
+  // Eq. (5) consumes co-workers' *current* estimates, which is exactly this
+  // estimator queried before the update below.
+  model.observed = ComputeObservedAccuracies(worker, state, dataset,
+                                             qualification_, AsAccuracyFn());
+  // Average observed accuracy, shrunk toward the warm-up measurement.
+  double q_sum = 0.0;
+  for (const auto& [_, q] : model.observed) q_sum += q;
+  double count = static_cast<double>(model.observed.size());
+  model.fallback = ClampProbability(
+      (model.warmup_accuracy * options_.prior_strength + q_sum) /
+          (options_.prior_strength + count),
+      0.02);
+
+  // Weight each observation by grading confidence |2q - 1|: qualification
+  // grades (q in {0, 1}) count fully, while a near-coin-flip Eq. (5) grade
+  // (q ~ 0.5, a split vote among weak co-workers) carries almost no signal
+  // and would otherwise just drag estimates toward 0.5.
+  SparseEntries weighted;
+  SparseEntries mask;
+  weighted.reserve(model.observed.size());
+  mask.reserve(model.observed.size());
+  for (const auto& [t, q] : model.observed) {
+    double confidence =
+        options_.confidence_weighting ? std::abs(2.0 * q - 1.0) : 1.0;
+    weighted.emplace_back(t, q * confidence);
+    mask.emplace_back(t, confidence);
+  }
+  model.numerator = engine_.EstimateFromObserved(weighted);
+  model.mass = engine_.EstimateFromObserved(mask);
+  model.has_estimate = true;
+}
+
+double AccuracyEstimator::Accuracy(WorkerId worker, TaskId task) const {
+  if (!IsRegistered(worker)) return options_.default_accuracy;
+  const WorkerModel& model = workers_[worker];
+  if (!model.has_estimate || task < 0 ||
+      static_cast<size_t>(task) >= model.mass.size()) {
+    return model.fallback;
+  }
+  double mass = model.mass[task];
+  if (mass <= options_.min_mass) return model.fallback;
+  double prior_mass = options_.prior_strength * SeedSelfMass();
+  double p = (model.numerator[task] + prior_mass * model.fallback) /
+             (mass + prior_mass);
+  return ClampProbability(p, 0.02);
+}
+
+double AccuracyEstimator::FallbackAccuracy(WorkerId worker) const {
+  if (!IsRegistered(worker)) return options_.default_accuracy;
+  return workers_[worker].fallback;
+}
+
+const SparseEntries& AccuracyEstimator::Observed(WorkerId worker) const {
+  if (!IsRegistered(worker)) return empty_observed_;
+  return workers_[worker].observed;
+}
+
+std::vector<double> AccuracyEstimator::RawScores(WorkerId worker) const {
+  if (!IsRegistered(worker) || !workers_[worker].has_estimate) {
+    return std::vector<double>(num_tasks(), 0.0);
+  }
+  return engine_.EstimateFromObserved(workers_[worker].observed);
+}
+
+double AccuracyEstimator::Uncertainty(WorkerId worker, TaskId task) const {
+  // Beta(1, 1) variance (= 1/12): maximal uncertainty.
+  if (!IsRegistered(worker) || !workers_[worker].has_estimate) {
+    return BetaVariance(1.0, 1.0);
+  }
+  const WorkerModel& model = workers_[worker];
+  if (task < 0 || static_cast<size_t>(task) >= model.mass.size()) {
+    return BetaVariance(1.0, 1.0);
+  }
+  // Kernel masses converted to effective counts: a completed task identical
+  // to `task` contributes self-mass r, i.e. one unit.
+  double scale = 1.0 / SeedSelfMass();
+  double n1 = std::max(0.0, model.numerator[task] * scale);
+  double n = std::max(n1, model.mass[task] * scale);
+  double n0 = n - n1;
+  return BetaVariance(n1 + 1.0, n0 + 1.0);
+}
+
+AccuracyFn AccuracyEstimator::AsAccuracyFn() const {
+  return [this](WorkerId w, TaskId t) { return Accuracy(w, t); };
+}
+
+}  // namespace icrowd

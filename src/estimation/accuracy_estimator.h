@@ -1,0 +1,130 @@
+#ifndef ICROWD_ESTIMATION_ACCURACY_ESTIMATOR_H_
+#define ICROWD_ESTIMATION_ACCURACY_ESTIMATOR_H_
+
+#include <set>
+#include <vector>
+
+#include "common/result.h"
+#include "estimation/observed_accuracy.h"
+#include "graph/ppr.h"
+#include "graph/similarity_graph.h"
+#include "model/campaign_state.h"
+#include "model/dataset.h"
+
+namespace icrowd {
+
+struct AccuracyEstimatorOptions {
+  PprOptions ppr;
+  /// Accuracy assumed for a worker with no observations at all (a random
+  /// binary guesser scores 0.5; the default is mildly optimistic).
+  double default_accuracy = 0.6;
+  /// Pseudo-observation weight shrinking estimates toward the worker's
+  /// average accuracy; guards against overconfidence off one data point.
+  /// Measured in units of the seed self-mass r = α/(1+α). PPR kernel mass
+  /// reaching a task from a *neighboring* observation is typically only a
+  /// few percent of r, so this must stay well below 1 or the prior swamps
+  /// the graph signal and every task collapses to the worker's average.
+  double prior_strength = 0.02;
+  /// Kernel mass below which a task is considered unreachable from the
+  /// worker's observations and falls back to the average accuracy.
+  double min_mass = 1e-9;
+  /// Weight each observed-accuracy entry by its grading confidence
+  /// |2q - 1| so near-coin-flip Eq. (5) grades carry little signal. The
+  /// `ablation_estimator` bench quantifies this choice.
+  bool confidence_weighting = true;
+};
+
+/// The ACCURACY ESTIMATOR component (§3, Algorithm 1). Offline it
+/// precomputes per-seed personalized-PageRank vectors on the similarity
+/// graph; online it computes a worker's observed accuracies q^w (Eq. 5) and
+/// propagates them over the graph by linearity (Lemma 3).
+///
+/// Calibration note: the raw Eq. (3) output is a *score* whose magnitude
+/// depends on graph topology, while Eq. (1)/(5) consume probabilities. We
+/// therefore normalize kernel-style: with m_j(i) = p_{t_j}(i) the PPR
+/// proximity of observed task j to task i,
+///     p_i^w = (Σ_j q_j m_j(i) + λ·r·avg_w) / (Σ_j m_j(i) + λ·r)
+/// (λ = prior_strength, r = α/(1+α) the seed self-mass, avg_w the worker's
+/// average observed accuracy). Both sums are Lemma 3 linearity evaluations,
+/// preserving the paper's O(|T|) online complexity; the raw scores remain
+/// available via RawScores().
+class AccuracyEstimator {
+ public:
+  static Result<AccuracyEstimator> Create(
+      const SimilarityGraph& graph, const AccuracyEstimatorOptions& options);
+
+  /// Tasks with requester ground truth used by the warm-up; their q entries
+  /// come from exact comparison rather than Eq. (5).
+  void SetQualificationTasks(const std::vector<TaskId>& tasks);
+  const std::set<TaskId>& qualification_tasks() const {
+    return qualification_;
+  }
+
+  /// Allocates per-worker state. `warmup_accuracy` is the average accuracy
+  /// the warm-up component measured on qualification tasks.
+  void RegisterWorker(WorkerId worker, double warmup_accuracy);
+  bool IsRegistered(WorkerId worker) const {
+    return worker >= 0 && static_cast<size_t>(worker) < workers_.size() &&
+           workers_[worker].registered;
+  }
+
+  /// Recomputes q^w from the campaign state (Eq. 5 uses co-workers'
+  /// *current* estimates) and refreshes p^w. Call after each batch of new
+  /// consensus results involving `worker`.
+  void Refresh(WorkerId worker, const CampaignState& state,
+               const Dataset& dataset);
+
+  /// Estimated p_t^w. Falls back to the worker's average accuracy on tasks
+  /// unreachable from its observations, and to default_accuracy for
+  /// unregistered workers.
+  double Accuracy(WorkerId worker, TaskId task) const;
+
+  /// Worker's average observed accuracy (the warm-up average until data
+  /// accumulates).
+  double FallbackAccuracy(WorkerId worker) const;
+
+  /// Latest q^w computed by Refresh (empty before the first Refresh).
+  const SparseEntries& Observed(WorkerId worker) const;
+
+  /// Uncalibrated Eq. (3) scores Σ_j q_j p_{t_j} for diagnostics/tests.
+  std::vector<double> RawScores(WorkerId worker) const;
+
+  /// §4.1 step 3 uncertainty: variance of Beta(N1+1, N0+1) where N1/N0 are
+  /// the (kernel-weighted) counts of correct/incorrect completed tasks
+  /// similar to `task`. Maximal (1/12) for never-observed regions.
+  double Uncertainty(WorkerId worker, TaskId task) const;
+
+  const PprEngine& engine() const { return engine_; }
+  size_t num_tasks() const { return engine_.num_tasks(); }
+
+  /// Adapter for components taking an AccuracyFn (Eq. 5, aggregation).
+  AccuracyFn AsAccuracyFn() const;
+
+ private:
+  struct WorkerModel {
+    bool registered = false;
+    double fallback = 0.6;
+    double warmup_accuracy = 0.6;
+    SparseEntries observed;
+    std::vector<double> numerator;  // Σ_j q_j · m_j(i)
+    std::vector<double> mass;       // Σ_j m_j(i)
+    bool has_estimate = false;
+  };
+
+  AccuracyEstimator(PprEngine engine, AccuracyEstimatorOptions options)
+      : engine_(std::move(engine)), options_(options) {}
+
+  double SeedSelfMass() const {
+    return options_.ppr.alpha / (1.0 + options_.ppr.alpha);
+  }
+
+  PprEngine engine_;
+  AccuracyEstimatorOptions options_;
+  std::set<TaskId> qualification_;
+  std::vector<WorkerModel> workers_;
+  SparseEntries empty_observed_;
+};
+
+}  // namespace icrowd
+
+#endif  // ICROWD_ESTIMATION_ACCURACY_ESTIMATOR_H_

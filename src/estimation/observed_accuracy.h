@@ -1,0 +1,38 @@
+#ifndef ICROWD_ESTIMATION_OBSERVED_ACCURACY_H_
+#define ICROWD_ESTIMATION_OBSERVED_ACCURACY_H_
+
+#include <functional>
+#include <set>
+
+#include "graph/ppr.h"
+#include "model/campaign_state.h"
+#include "model/dataset.h"
+
+namespace icrowd {
+
+/// Returns the current accuracy estimate p_t^w used for co-workers inside
+/// Eq. (5).
+using AccuracyFn = std::function<double(WorkerId, TaskId)>;
+
+/// Computes the observed-accuracy vector q^w of §3.2 over the globally
+/// completed tasks the worker has answered:
+///  * qualification tasks (ground truth known): q = 1 if the answer matches
+///    the truth, else 0;
+///  * consensus tasks: Eq. (5) — the posterior probability that w's answer
+///    is correct, from the co-workers' current accuracy estimates. Computed
+///    in log space.
+/// Entries are sorted by task id.
+SparseEntries ComputeObservedAccuracies(
+    WorkerId worker, const CampaignState& state, const Dataset& dataset,
+    const std::set<TaskId>& qualification_tasks, const AccuracyFn& accuracy_of);
+
+/// Eq. (5) for a single completed task. `answers` must contain worker
+/// `worker`'s answer; `consensus` is the task's consensus label.
+double ObservedAccuracyOnConsensusTask(WorkerId worker,
+                                       const std::vector<AnswerRecord>& answers,
+                                       Label consensus,
+                                       const AccuracyFn& accuracy_of);
+
+}  // namespace icrowd
+
+#endif  // ICROWD_ESTIMATION_OBSERVED_ACCURACY_H_

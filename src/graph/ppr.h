@@ -1,0 +1,78 @@
+#ifndef ICROWD_GRAPH_PPR_H_
+#define ICROWD_GRAPH_PPR_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/similarity_graph.h"
+
+namespace icrowd {
+
+/// Sparse accuracy/score vector: (task id, value) pairs sorted by id.
+using SparseEntries = std::vector<std::pair<int32_t, double>>;
+
+struct PprOptions {
+  /// The paper's α balancing graph smoothness vs. fidelity to the observed
+  /// accuracies (Eq. 2). Must be > 0. Default 1.0 per §D.2.
+  double alpha = 1.0;
+  int max_iterations = 200;
+  /// L1 convergence tolerance for the Eq. (4) iteration.
+  double tolerance = 1e-10;
+  /// Entries below this are dropped from stored seed vectors; raising it
+  /// trades accuracy for memory on very large graphs (Fig. 10 workloads).
+  double prune_epsilon = 1e-9;
+  /// Threads for the offline per-seed precompute; 0 = hardware concurrency.
+  size_t num_threads = 0;
+};
+
+/// Personalized-PageRank engine implementing §3.1. Solves
+///     p = 1/(1+α) · S'p + α/(1+α) · q                      (Eq. 4)
+/// whose fixed point is the optimum of Eq. (2) (Lemma 1/2). The offline
+/// phase precomputes the per-seed solutions p_{t_i} (q = e_i); the online
+/// phase uses linearity (Lemma 3): p* = Σ_i q_i · p_{t_i}, giving O(|T|)
+/// estimation per worker (Algorithm 1).
+class PprEngine {
+ public:
+  /// Runs the offline phase of Algorithm 1 over `graph`.
+  static Result<PprEngine> Precompute(const SimilarityGraph& graph,
+                                      const PprOptions& options);
+
+  size_t num_tasks() const { return seeds_.size(); }
+  double alpha() const { return options_.alpha; }
+  const PprOptions& options() const { return options_; }
+
+  /// The converged p_{t_i} for seed task i, ε-pruned, sorted by task id.
+  /// Always contains the seed itself with value >= α/(1+α).
+  const SparseEntries& SeedVector(size_t i) const { return seeds_[i]; }
+
+  /// Online estimation via Lemma 3. `observed` holds the (task, q value)
+  /// pairs of the worker's observed accuracies on globally completed tasks;
+  /// returns a dense length-|T| estimate.
+  std::vector<double> EstimateFromObserved(const SparseEntries& observed) const;
+
+  /// As above but returns a sparse result (only tasks reachable from the
+  /// observed set). Used on large graphs where dense vectors are wasteful.
+  SparseEntries EstimateSparseFromObserved(const SparseEntries& observed) const;
+
+  /// Reference solver: direct Eq. (4) power iteration from an arbitrary
+  /// dense q. Exact up to `tolerance`; used to validate Lemma 3 and by
+  /// callers that need one-off solves.
+  std::vector<double> SolveIteratively(const std::vector<double>& q) const;
+
+ private:
+  PprEngine(SparseMatrix normalized, PprOptions options)
+      : s_prime_(std::move(normalized)), options_(options) {}
+
+  /// Sparse Eq. (4) iteration from a single seed, pruning per sweep.
+  SparseEntries SolveSeed(size_t seed) const;
+
+  SparseMatrix s_prime_;
+  PprOptions options_;
+  std::vector<SparseEntries> seeds_;
+};
+
+}  // namespace icrowd
+
+#endif  // ICROWD_GRAPH_PPR_H_

@@ -1,0 +1,243 @@
+#include "graph/similarity_graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <set>
+
+#include "text/similarity.h"
+#include "text/tfidf.h"
+#include "text/tokenizer.h"
+
+namespace icrowd {
+
+const char* SimilarityMeasureName(SimilarityMeasure measure) {
+  switch (measure) {
+    case SimilarityMeasure::kJaccard:
+      return "Jaccard";
+    case SimilarityMeasure::kCosineTfIdf:
+      return "Cos(tf-idf)";
+    case SimilarityMeasure::kCosineTopic:
+      return "Cos(topic)";
+    case SimilarityMeasure::kEuclidean:
+      return "Euclidean";
+  }
+  return "?";
+}
+
+void SimilarityGraph::AddUndirectedEdge(int32_t u, int32_t v, double weight) {
+  adjacency_[u].push_back({v, weight});
+  adjacency_[v].push_back({u, weight});
+  ++num_edges_;
+}
+
+void SimilarityGraph::SortAdjacency() {
+  for (auto& edges : adjacency_) {
+    std::sort(edges.begin(), edges.end(),
+              [](const Edge& a, const Edge& b) {
+                return a.neighbor < b.neighbor;
+              });
+  }
+}
+
+void SimilarityGraph::ApplyNeighborCap(size_t max_neighbors) {
+  if (max_neighbors == 0) return;
+  // An edge survives iff it ranks within the top `max_neighbors` by weight
+  // on at least one endpoint; this keeps the graph symmetric.
+  std::set<std::pair<int32_t, int32_t>> keep;
+  for (size_t u = 0; u < adjacency_.size(); ++u) {
+    std::vector<Edge> edges = adjacency_[u];
+    std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+      return a.weight > b.weight;
+    });
+    size_t limit = std::min(max_neighbors, edges.size());
+    for (size_t i = 0; i < limit; ++i) {
+      int32_t v = edges[i].neighbor;
+      keep.insert({std::min<int32_t>(u, v), std::max<int32_t>(u, v)});
+    }
+  }
+  std::vector<std::vector<Edge>> pruned(adjacency_.size());
+  size_t edges_kept = 0;
+  for (size_t u = 0; u < adjacency_.size(); ++u) {
+    for (const Edge& e : adjacency_[u]) {
+      int32_t a = std::min<int32_t>(u, e.neighbor);
+      int32_t b = std::max<int32_t>(u, e.neighbor);
+      if (keep.count({a, b})) {
+        pruned[u].push_back(e);
+        if (static_cast<int32_t>(u) < e.neighbor) ++edges_kept;
+      }
+    }
+  }
+  adjacency_ = std::move(pruned);
+  num_edges_ = edges_kept;
+}
+
+Result<SimilarityGraph> SimilarityGraph::Build(
+    const Dataset& dataset, const GraphBuildOptions& options) {
+  if (dataset.empty()) {
+    return Status::InvalidArgument("cannot build graph on empty dataset");
+  }
+  if (options.measure == SimilarityMeasure::kEuclidean) {
+    const size_t n = dataset.size();
+    size_t dim = dataset.task(0).features.size();
+    if (dim == 0) {
+      return Status::InvalidArgument(
+          "Euclidean measure requires task feature vectors");
+    }
+    for (const Microtask& t : dataset.tasks()) {
+      if (t.features.size() != dim) {
+        return Status::InvalidArgument(
+            "inconsistent feature dimensionality across tasks");
+      }
+    }
+    // tau_d: max pairwise distance (the paper's normalizer).
+    double max_dist = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        max_dist = std::max(max_dist,
+                            EuclideanDistance(dataset.task(i).features,
+                                              dataset.task(j).features));
+      }
+    }
+    if (max_dist == 0.0) max_dist = 1.0;  // all tasks coincide
+    return BuildFromFunction(
+        n,
+        [&](size_t i, size_t j) {
+          return EuclideanSimilarity(dataset.task(i).features,
+                                     dataset.task(j).features, max_dist);
+        },
+        options.threshold, options.max_neighbors);
+  }
+  return BuildFromTexts(dataset.Texts(), options);
+}
+
+Result<SimilarityGraph> SimilarityGraph::BuildFromTexts(
+    const std::vector<std::string>& texts, const GraphBuildOptions& options) {
+  if (texts.empty()) {
+    return Status::InvalidArgument("cannot build graph on empty text set");
+  }
+  const size_t n = texts.size();
+  Tokenizer tokenizer;
+
+  switch (options.measure) {
+    case SimilarityMeasure::kJaccard: {
+      std::vector<std::vector<std::string>> tokens(n);
+      for (size_t i = 0; i < n; ++i) tokens[i] = tokenizer.Tokenize(texts[i]);
+      return BuildFromFunction(
+          n,
+          [&](size_t i, size_t j) {
+            return JaccardSimilarity(tokens[i], tokens[j]);
+          },
+          options.threshold, options.max_neighbors);
+    }
+    case SimilarityMeasure::kCosineTfIdf: {
+      TfIdfModel model(texts, tokenizer);
+      return BuildFromFunction(
+          n,
+          [&](size_t i, size_t j) {
+            return CosineSimilarity(model.VectorOf(i), model.VectorOf(j));
+          },
+          options.threshold, options.max_neighbors);
+    }
+    case SimilarityMeasure::kCosineTopic: {
+      auto lda = LdaModel::Fit(texts, tokenizer, options.lda);
+      if (!lda.ok()) return lda.status();
+      return BuildFromFunction(
+          n,
+          [&](size_t i, size_t j) { return lda->TopicCosine(i, j); },
+          options.threshold, options.max_neighbors);
+    }
+    case SimilarityMeasure::kEuclidean:
+      return Status::InvalidArgument(
+          "Euclidean measure needs feature vectors; use Build(Dataset)");
+  }
+  return Status::Internal("unknown similarity measure");
+}
+
+SimilarityGraph SimilarityGraph::BuildFromFunction(
+    size_t n, const std::function<double(size_t, size_t)>& similarity,
+    double threshold, size_t max_neighbors) {
+  SimilarityGraph graph(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double s = similarity(i, j);
+      if (s >= threshold && s > 0.0) {
+        graph.AddUndirectedEdge(static_cast<int32_t>(i),
+                                static_cast<int32_t>(j), s);
+      }
+    }
+  }
+  graph.ApplyNeighborCap(max_neighbors);
+  graph.SortAdjacency();
+  return graph;
+}
+
+SimilarityGraph SimilarityGraph::FromEdges(
+    size_t n, const std::vector<std::tuple<int32_t, int32_t, double>>& edges) {
+  SimilarityGraph graph(n);
+  for (const auto& [u, v, w] : edges) {
+    if (u == v) continue;
+    graph.AddUndirectedEdge(u, v, w);
+  }
+  graph.SortAdjacency();
+  return graph;
+}
+
+double SimilarityGraph::Weight(size_t u, size_t v) const {
+  const std::vector<Edge>& edges = adjacency_[u];
+  auto it = std::lower_bound(
+      edges.begin(), edges.end(), static_cast<int32_t>(v),
+      [](const Edge& e, int32_t target) { return e.neighbor < target; });
+  if (it == edges.end() || it->neighbor != static_cast<int32_t>(v)) {
+    return 0.0;
+  }
+  return it->weight;
+}
+
+double SimilarityGraph::AverageDegree() const {
+  if (adjacency_.empty()) return 0.0;
+  return 2.0 * static_cast<double>(num_edges_) /
+         static_cast<double>(adjacency_.size());
+}
+
+SparseMatrix SimilarityGraph::AdjacencyMatrix() const {
+  std::vector<SparseMatrix::Triplet> triplets;
+  triplets.reserve(2 * num_edges_);
+  for (size_t u = 0; u < adjacency_.size(); ++u) {
+    for (const Edge& e : adjacency_[u]) {
+      triplets.emplace_back(static_cast<int32_t>(u), e.neighbor, e.weight);
+    }
+  }
+  return SparseMatrix(adjacency_.size(), std::move(triplets));
+}
+
+SparseMatrix SimilarityGraph::NormalizedAdjacency() const {
+  return AdjacencyMatrix().SymmetricNormalized();
+}
+
+std::vector<int> SimilarityGraph::ConnectedComponents(
+    int* num_components) const {
+  std::vector<int> label(adjacency_.size(), -1);
+  int next = 0;
+  for (size_t start = 0; start < adjacency_.size(); ++start) {
+    if (label[start] != -1) continue;
+    int component = next++;
+    std::queue<size_t> frontier;
+    frontier.push(start);
+    label[start] = component;
+    while (!frontier.empty()) {
+      size_t u = frontier.front();
+      frontier.pop();
+      for (const Edge& e : adjacency_[u]) {
+        if (label[e.neighbor] == -1) {
+          label[e.neighbor] = component;
+          frontier.push(e.neighbor);
+        }
+      }
+    }
+  }
+  if (num_components != nullptr) *num_components = next;
+  return label;
+}
+
+}  // namespace icrowd

@@ -1,0 +1,90 @@
+#include "io/csv.h"
+
+namespace icrowd {
+namespace csv {
+
+std::string EscapeField(std::string_view field) {
+  bool needs_quotes = field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string JoinRow(const std::vector<std::string>& fields) {
+  std::string out;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out += ',';
+    out += EscapeField(fields[i]);
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> ParseRow(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quote in CSV row");
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+Result<std::vector<std::vector<std::string>>> ParseFile(
+    std::string_view contents) {
+  std::vector<std::vector<std::string>> rows;
+  std::string logical_line;
+  bool in_quotes = false;
+  auto flush = [&]() -> Status {
+    if (logical_line.empty()) return Status::OK();
+    auto row = ParseRow(logical_line);
+    if (!row.ok()) return row.status();
+    rows.push_back(row.MoveValueOrDie());
+    logical_line.clear();
+    return Status::OK();
+  };
+  for (size_t i = 0; i < contents.size(); ++i) {
+    char c = contents[i];
+    if (c == '"') in_quotes = !in_quotes;
+    if ((c == '\n' || c == '\r') && !in_quotes) {
+      ICROWD_RETURN_NOT_OK(flush());
+      continue;  // swallow the line break (and \r\n pairs)
+    }
+    logical_line += c;
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quote at end of CSV file");
+  }
+  ICROWD_RETURN_NOT_OK(flush());
+  return rows;
+}
+
+}  // namespace csv
+}  // namespace icrowd

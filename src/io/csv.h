@@ -1,0 +1,34 @@
+#ifndef ICROWD_IO_CSV_H_
+#define ICROWD_IO_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace icrowd {
+
+/// Minimal RFC-4180-style CSV support: fields containing commas, quotes or
+/// newlines are quoted; embedded quotes are doubled. Used by the dataset /
+/// answer-log readers and writers.
+namespace csv {
+
+/// Escapes one field for CSV output.
+std::string EscapeField(std::string_view field);
+
+/// Joins fields into one CSV line (no trailing newline).
+std::string JoinRow(const std::vector<std::string>& fields);
+
+/// Parses one CSV line into fields. Fails on unterminated quotes.
+Result<std::vector<std::string>> ParseRow(std::string_view line);
+
+/// Splits file contents into logical CSV rows (quoted fields may contain
+/// newlines) and parses each.
+Result<std::vector<std::vector<std::string>>> ParseFile(
+    std::string_view contents);
+
+}  // namespace csv
+}  // namespace icrowd
+
+#endif  // ICROWD_IO_CSV_H_

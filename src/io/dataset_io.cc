@@ -1,0 +1,201 @@
+#include "io/dataset_io.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/string_util.h"
+#include "io/csv.h"
+
+namespace icrowd {
+
+namespace {
+
+std::string FeaturesToString(const std::vector<double>& features) {
+  std::vector<std::string> parts;
+  parts.reserve(features.size());
+  for (double f : features) parts.push_back(FormatDouble(f, 6));
+  return JoinStrings(parts, ";");
+}
+
+Result<std::vector<double>> FeaturesFromString(const std::string& text) {
+  std::vector<double> features;
+  for (const std::string& piece : SplitString(text, ';')) {
+    try {
+      features.push_back(std::stod(piece));
+    } catch (...) {
+      return Status::InvalidArgument("bad feature value: " + piece);
+    }
+  }
+  return features;
+}
+
+}  // namespace
+
+std::string DatasetToCsv(const Dataset& dataset) {
+  std::string out = "id,text,domain,ground_truth,num_choices,features\n";
+  for (const Microtask& t : dataset.tasks()) {
+    std::vector<std::string> row = {
+        std::to_string(t.id),
+        t.text,
+        t.domain,
+        t.ground_truth.has_value() ? std::to_string(*t.ground_truth) : "",
+        std::to_string(t.num_choices),
+        FeaturesToString(t.features),
+    };
+    out += csv::JoinRow(row);
+    out += '\n';
+  }
+  return out;
+}
+
+Result<Dataset> DatasetFromCsv(const std::string& name,
+                               const std::string& contents) {
+  ICROWD_ASSIGN_OR_RETURN(auto rows, csv::ParseFile(contents));
+  if (rows.empty()) {
+    return Status::InvalidArgument("empty dataset CSV");
+  }
+  const std::vector<std::string> kHeader = {"id",           "text",
+                                            "domain",       "ground_truth",
+                                            "num_choices",  "features"};
+  if (rows[0] != kHeader) {
+    return Status::InvalidArgument(
+        "dataset CSV header mismatch; expected "
+        "id,text,domain,ground_truth,num_choices,features");
+  }
+  Dataset dataset(name);
+  for (size_t r = 1; r < rows.size(); ++r) {
+    const auto& row = rows[r];
+    if (row.size() != kHeader.size()) {
+      return Status::InvalidArgument("dataset CSV row " + std::to_string(r) +
+                                     " has wrong field count");
+    }
+    Microtask task;
+    task.text = row[1];
+    task.domain = row[2];
+    if (!row[3].empty()) {
+      try {
+        task.ground_truth = std::stoi(row[3]);
+      } catch (...) {
+        return Status::InvalidArgument("bad ground_truth: " + row[3]);
+      }
+    }
+    try {
+      task.num_choices = std::stoi(row[4]);
+    } catch (...) {
+      return Status::InvalidArgument("bad num_choices: " + row[4]);
+    }
+    if (!row[5].empty()) {
+      ICROWD_ASSIGN_OR_RETURN(task.features, FeaturesFromString(row[5]));
+    }
+    TaskId assigned = dataset.AddTask(std::move(task));
+    if (!row[0].empty() && row[0] != std::to_string(assigned)) {
+      return Status::InvalidArgument("dataset CSV row " + std::to_string(r) +
+                                     ": id out of order");
+    }
+  }
+  return dataset;
+}
+
+std::string AnswersToCsv(const std::vector<AnswerRecord>& answers) {
+  std::string out = "task,worker,label,time\n";
+  for (const AnswerRecord& a : answers) {
+    out += std::to_string(a.task) + "," + std::to_string(a.worker) + "," +
+           std::to_string(a.label) + "," + FormatDouble(a.time, 6) + "\n";
+  }
+  return out;
+}
+
+Result<std::vector<AnswerRecord>> AnswersFromCsv(const std::string& contents) {
+  ICROWD_ASSIGN_OR_RETURN(auto rows, csv::ParseFile(contents));
+  if (rows.empty() || rows[0] != std::vector<std::string>{"task", "worker",
+                                                          "label", "time"}) {
+    return Status::InvalidArgument(
+        "answers CSV must start with header task,worker,label,time");
+  }
+  std::vector<AnswerRecord> answers;
+  answers.reserve(rows.size() - 1);
+  for (size_t r = 1; r < rows.size(); ++r) {
+    const auto& row = rows[r];
+    if (row.size() != 4) {
+      return Status::InvalidArgument("answers CSV row " + std::to_string(r) +
+                                     " has wrong field count");
+    }
+    try {
+      answers.push_back({std::stoi(row[0]), std::stoi(row[1]),
+                         std::stoi(row[2]), std::stod(row[3])});
+    } catch (...) {
+      return Status::InvalidArgument("bad answers CSV row " +
+                                     std::to_string(r));
+    }
+  }
+  return answers;
+}
+
+std::string ReportToCsv(const AccuracyReport& report) {
+  std::string out = "domain,accuracy,correct,total\n";
+  for (const DomainAccuracy& d : report.per_domain) {
+    out += csv::JoinRow({d.domain, FormatDouble(d.accuracy, 4),
+                         std::to_string(d.num_correct),
+                         std::to_string(d.num_tasks)}) +
+           "\n";
+  }
+  out += csv::JoinRow({"ALL", FormatDouble(report.overall, 4),
+                       std::to_string(report.num_correct),
+                       std::to_string(report.num_tasks)}) +
+         "\n";
+  return out;
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::NotFound("cannot open " + path + ": " +
+                            std::strerror(errno));
+  }
+  std::string contents;
+  char buffer[1 << 14];
+  size_t read;
+  while ((read = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    contents.append(buffer, read);
+  }
+  bool failed = std::ferror(file) != 0;
+  std::fclose(file);
+  if (failed) return Status::Internal("error reading " + path);
+  return contents;
+}
+
+Status WriteStringToFile(const std::string& contents,
+                         const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::InvalidArgument("cannot open " + path + " for writing: " +
+                                   std::strerror(errno));
+  }
+  size_t written = std::fwrite(contents.data(), 1, contents.size(), file);
+  bool failed = (written != contents.size()) || std::fclose(file) != 0;
+  if (failed) return Status::Internal("error writing " + path);
+  return Status::OK();
+}
+
+Status WriteDatasetCsv(const Dataset& dataset, const std::string& path) {
+  return WriteStringToFile(DatasetToCsv(dataset), path);
+}
+
+Result<Dataset> ReadDatasetCsv(const std::string& name,
+                               const std::string& path) {
+  ICROWD_ASSIGN_OR_RETURN(std::string contents, ReadFileToString(path));
+  return DatasetFromCsv(name, contents);
+}
+
+Status WriteAnswersCsv(const std::vector<AnswerRecord>& answers,
+                       const std::string& path) {
+  return WriteStringToFile(AnswersToCsv(answers), path);
+}
+
+Result<std::vector<AnswerRecord>> ReadAnswersCsv(const std::string& path) {
+  ICROWD_ASSIGN_OR_RETURN(std::string contents, ReadFileToString(path));
+  return AnswersFromCsv(contents);
+}
+
+}  // namespace icrowd

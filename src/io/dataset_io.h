@@ -1,0 +1,48 @@
+#ifndef ICROWD_IO_DATASET_IO_H_
+#define ICROWD_IO_DATASET_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "model/answer.h"
+#include "model/dataset.h"
+#include "sim/metrics.h"
+
+namespace icrowd {
+
+/// Serializes a dataset to CSV with header
+///   id,text,domain,ground_truth,num_choices,features
+/// (ground_truth empty when unknown; features ';'-separated).
+std::string DatasetToCsv(const Dataset& dataset);
+
+/// Parses a dataset from DatasetToCsv output (or a hand-written file with
+/// the same header). Task ids are re-assigned sequentially; the `id`
+/// column, when present, must match the row order.
+Result<Dataset> DatasetFromCsv(const std::string& name,
+                               const std::string& contents);
+
+/// Writes a dataset CSV to `path`.
+Status WriteDatasetCsv(const Dataset& dataset, const std::string& path);
+/// Reads a dataset CSV from `path`.
+Result<Dataset> ReadDatasetCsv(const std::string& name,
+                               const std::string& path);
+
+/// Serializes an answer log to CSV (task,worker,label,time) and back.
+std::string AnswersToCsv(const std::vector<AnswerRecord>& answers);
+Result<std::vector<AnswerRecord>> AnswersFromCsv(const std::string& contents);
+Status WriteAnswersCsv(const std::vector<AnswerRecord>& answers,
+                       const std::string& path);
+Result<std::vector<AnswerRecord>> ReadAnswersCsv(const std::string& path);
+
+/// Serializes a per-domain accuracy report (domain,accuracy,correct,total;
+/// final ALL row) for downstream plotting.
+std::string ReportToCsv(const AccuracyReport& report);
+
+/// Whole-file helpers.
+Result<std::string> ReadFileToString(const std::string& path);
+Status WriteStringToFile(const std::string& contents,
+                         const std::string& path);
+
+}  // namespace icrowd
+
+#endif  // ICROWD_IO_DATASET_IO_H_

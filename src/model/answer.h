@@ -1,0 +1,32 @@
+#ifndef ICROWD_MODEL_ANSWER_H_
+#define ICROWD_MODEL_ANSWER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "model/microtask.h"
+
+namespace icrowd {
+
+/// One submitted answer: worker `worker` answered `label` on task `task`.
+struct AnswerRecord {
+  TaskId task = -1;
+  WorkerId worker = -1;
+  Label label = kNoLabel;
+  /// Simulation time (or request sequence number) of submission.
+  double time = 0.0;
+};
+
+/// An assignment pair <t_i, w> (Table 2): task `task` handed to `worker`.
+struct Assignment {
+  TaskId task = -1;
+  WorkerId worker = -1;
+};
+
+inline bool operator==(const Assignment& a, const Assignment& b) {
+  return a.task == b.task && a.worker == b.worker;
+}
+
+}  // namespace icrowd
+
+#endif  // ICROWD_MODEL_ANSWER_H_

@@ -1,0 +1,148 @@
+#include "model/campaign_state.h"
+
+#include <algorithm>
+#include <string>
+
+namespace icrowd {
+
+CampaignState::CampaignState(size_t num_tasks, int assignment_size)
+    : num_tasks_(num_tasks), k_(assignment_size), tasks_(num_tasks) {}
+
+WorkerId CampaignState::RegisterWorker() {
+  WorkerId id = static_cast<WorkerId>(num_workers_++);
+  worker_answers_.emplace_back();
+  return id;
+}
+
+Status CampaignState::CheckTask(TaskId task) const {
+  if (task < 0 || static_cast<size_t>(task) >= num_tasks_) {
+    return Status::OutOfRange("task id " + std::to_string(task) +
+                              " out of range");
+  }
+  return Status::OK();
+}
+
+Status CampaignState::MarkAssigned(TaskId task, WorkerId worker) {
+  ICROWD_RETURN_NOT_OK(CheckTask(task));
+  if (worker < 0 || static_cast<size_t>(worker) >= num_workers_) {
+    return Status::OutOfRange("worker id " + std::to_string(worker) +
+                              " out of range");
+  }
+  TaskState& state = tasks_[task];
+  if (IsAssignedTo(task, worker)) {
+    return Status::AlreadyExists("worker " + std::to_string(worker) +
+                                 " already assigned task " +
+                                 std::to_string(task));
+  }
+  if (!state.qualification &&
+      static_cast<int>(state.assigned.size()) >= k_) {
+    return Status::FailedPrecondition("task " + std::to_string(task) +
+                                      " has no remaining assignment slot");
+  }
+  state.assigned.push_back(worker);
+  return Status::OK();
+}
+
+Status CampaignState::RecordAnswer(const AnswerRecord& answer) {
+  ICROWD_RETURN_NOT_OK(CheckTask(answer.task));
+  if (!IsAssignedTo(answer.task, answer.worker)) {
+    return Status::FailedPrecondition(
+        "answer from worker " + std::to_string(answer.worker) + " on task " +
+        std::to_string(answer.task) + " without assignment");
+  }
+  for (const AnswerRecord& prev : tasks_[answer.task].answers) {
+    if (prev.worker == answer.worker) {
+      return Status::AlreadyExists("duplicate answer from worker " +
+                                   std::to_string(answer.worker) +
+                                   " on task " + std::to_string(answer.task));
+    }
+  }
+  TaskState& state = tasks_[answer.task];
+  state.answers.push_back(answer);
+  worker_answers_[answer.worker].push_back(answer);
+  all_answers_.push_back(answer);
+  int votes = ++state.votes[answer.label];
+  // Majority consensus: >= (k+1)/2 identical votes globally completes the
+  // task (§2.1).
+  if (!state.completed && votes >= (k_ + 1) / 2) {
+    state.consensus = answer.label;
+    state.completed = true;
+    ++num_completed_;
+  }
+  // Multi-choice tasks can exhaust all k slots without any label reaching
+  // a strict majority (three distinct answers out of four choices, say);
+  // resolve by plurality — ties break toward the smaller label — so the
+  // task cannot deadlock with no free slot.
+  if (!state.completed &&
+      static_cast<int>(state.answers.size()) >= k_) {
+    Label best = kNoLabel;
+    int best_votes = -1;
+    for (const auto& [label, count] : state.votes) {
+      if (count > best_votes) {  // map iterates ascending: ties -> smaller
+        best = label;
+        best_votes = count;
+      }
+    }
+    state.consensus = best;
+    state.completed = true;
+    ++num_completed_;
+  }
+  return Status::OK();
+}
+
+bool CampaignState::CanAssign(TaskId task, WorkerId worker) const {
+  if (task < 0 || static_cast<size_t>(task) >= num_tasks_) return false;
+  if (tasks_[task].qualification) return !IsAssignedTo(task, worker);
+  return RemainingSlots(task) > 0 && !IsAssignedTo(task, worker);
+}
+
+int CampaignState::RemainingSlots(TaskId task) const {
+  return k_ - static_cast<int>(tasks_[task].assigned.size());
+}
+
+const std::vector<WorkerId>& CampaignState::AssignedWorkers(
+    TaskId task) const {
+  return tasks_[task].assigned;
+}
+
+bool CampaignState::IsAssignedTo(TaskId task, WorkerId worker) const {
+  const std::vector<WorkerId>& assigned = tasks_[task].assigned;
+  return std::find(assigned.begin(), assigned.end(), worker) !=
+         assigned.end();
+}
+
+const std::vector<AnswerRecord>& CampaignState::Answers(TaskId task) const {
+  return tasks_[task].answers;
+}
+
+const std::vector<AnswerRecord>& CampaignState::WorkerAnswers(
+    WorkerId worker) const {
+  return worker_answers_[worker];
+}
+
+std::optional<Label> CampaignState::Consensus(TaskId task) const {
+  return tasks_[task].consensus;
+}
+
+std::vector<TaskId> CampaignState::UncompletedTasks() const {
+  std::vector<TaskId> out;
+  for (size_t t = 0; t < num_tasks_; ++t) {
+    if (!tasks_[t].completed) out.push_back(static_cast<TaskId>(t));
+  }
+  return out;
+}
+
+void CampaignState::MarkQualification(TaskId task) {
+  tasks_[task].qualification = true;
+}
+
+void CampaignState::ForceComplete(TaskId task, Label label) {
+  TaskState& state = tasks_[task];
+  if (!state.completed) {
+    state.completed = true;
+    ++num_completed_;
+  }
+  state.consensus = label;
+}
+
+}  // namespace icrowd

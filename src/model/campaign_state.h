@@ -1,0 +1,100 @@
+#ifndef ICROWD_MODEL_CAMPAIGN_STATE_H_
+#define ICROWD_MODEL_CAMPAIGN_STATE_H_
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "model/answer.h"
+#include "model/microtask.h"
+
+namespace icrowd {
+
+/// Mutable bookkeeping for one running crowdsourcing campaign: which workers
+/// each task has been assigned to (the paper's W^d(t_i)), the answers
+/// collected so far, and which tasks are *globally completed* (reached a
+/// majority consensus, the paper's T^d). Shared by the accuracy estimator
+/// (§3) and every assignment strategy (§4).
+class CampaignState {
+ public:
+  /// `assignment_size` is the paper's k (answers solicited per task, odd).
+  CampaignState(size_t num_tasks, int assignment_size);
+
+  size_t num_tasks() const { return num_tasks_; }
+  int assignment_size() const { return k_; }
+
+  /// Registers a (new) worker and returns its dense id. The worker set is
+  /// dynamic (§2.1); ids are never reused.
+  WorkerId RegisterWorker();
+  size_t num_workers() const { return num_workers_; }
+
+  /// Marks `task` as handed to `worker` (consumes one of the task's k
+  /// slots). Fails if the worker already holds/completed the task or the
+  /// task has no remaining slot.
+  Status MarkAssigned(TaskId task, WorkerId worker);
+
+  /// Records a submitted answer. The worker must have been assigned first.
+  /// Updates majority consensus; a task becomes globally completed once
+  /// >= (k+1)/2 answers agree.
+  Status RecordAnswer(const AnswerRecord& answer);
+
+  /// True if `worker` may still be assigned `task`: not already assigned
+  /// and a slot remains.
+  bool CanAssign(TaskId task, WorkerId worker) const;
+  /// k - |W^d(t)| (Definition 3's k').
+  int RemainingSlots(TaskId task) const;
+  /// W^d(t): workers assigned to (working on or having completed) `task`.
+  const std::vector<WorkerId>& AssignedWorkers(TaskId task) const;
+  bool IsAssignedTo(TaskId task, WorkerId worker) const;
+
+  const std::vector<AnswerRecord>& Answers(TaskId task) const;
+  /// All answers by `worker` in submission order.
+  const std::vector<AnswerRecord>& WorkerAnswers(WorkerId worker) const;
+  /// Every answer recorded in the campaign, in arrival order.
+  const std::vector<AnswerRecord>& AllAnswers() const { return all_answers_; }
+
+  bool IsCompleted(TaskId task) const { return tasks_[task].completed; }
+  /// Majority-consensus label, or nullopt before consensus.
+  std::optional<Label> Consensus(TaskId task) const;
+  /// Number of globally completed tasks (|T^d|).
+  size_t NumCompleted() const { return num_completed_; }
+  bool AllCompleted() const { return num_completed_ == num_tasks_; }
+  /// Task ids not yet globally completed (T - T^d), ascending.
+  std::vector<TaskId> UncompletedTasks() const;
+
+  /// Force-completes a task with a known label (used when the requester
+  /// supplies ground truth, e.g. qualification tasks folded into T^d).
+  void ForceComplete(TaskId task, Label label);
+
+  /// Marks a task as a qualification task: it no longer counts against the
+  /// k-slot limit, since the warm-up hands it to every new worker.
+  void MarkQualification(TaskId task);
+  bool IsQualification(TaskId task) const {
+    return tasks_[task].qualification;
+  }
+
+ private:
+  struct TaskState {
+    std::vector<WorkerId> assigned;
+    std::vector<AnswerRecord> answers;
+    std::map<Label, int> votes;
+    std::optional<Label> consensus;
+    bool completed = false;
+    bool qualification = false;
+  };
+
+  Status CheckTask(TaskId task) const;
+
+  size_t num_tasks_;
+  int k_;
+  size_t num_workers_ = 0;
+  size_t num_completed_ = 0;
+  std::vector<TaskState> tasks_;
+  std::vector<std::vector<AnswerRecord>> worker_answers_;
+  std::vector<AnswerRecord> all_answers_;
+};
+
+}  // namespace icrowd
+
+#endif  // ICROWD_MODEL_CAMPAIGN_STATE_H_

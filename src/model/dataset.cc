@@ -1,0 +1,65 @@
+#include "model/dataset.h"
+
+#include <algorithm>
+
+namespace icrowd {
+
+TaskId Dataset::AddTask(Microtask task) {
+  task.id = static_cast<TaskId>(tasks_.size());
+  if (!task.domain.empty()) {
+    int32_t domain_id = DomainId(task.domain);
+    if (domain_id < 0) {
+      domain_id = static_cast<int32_t>(domains_.size());
+      domains_.push_back(task.domain);
+    }
+    task.domain_id = domain_id;
+  }
+  tasks_.push_back(std::move(task));
+  return tasks_.back().id;
+}
+
+int32_t Dataset::DomainId(const std::string& domain) const {
+  auto it = std::find(domains_.begin(), domains_.end(), domain);
+  if (it == domains_.end()) return -1;
+  return static_cast<int32_t>(it - domains_.begin());
+}
+
+DatasetStats Dataset::Stats() const {
+  DatasetStats stats;
+  stats.num_microtasks = tasks_.size();
+  stats.num_domains = domains_.size();
+  stats.tasks_per_domain.assign(domains_.size(), 0);
+  for (const Microtask& t : tasks_) {
+    if (t.domain_id >= 0) ++stats.tasks_per_domain[t.domain_id];
+  }
+  return stats;
+}
+
+std::vector<std::string> Dataset::Texts() const {
+  std::vector<std::string> texts;
+  texts.reserve(tasks_.size());
+  for (const Microtask& t : tasks_) texts.push_back(t.text);
+  return texts;
+}
+
+Status Dataset::Validate() const {
+  if (tasks_.empty()) {
+    return Status::FailedPrecondition("dataset '" + name_ + "' is empty");
+  }
+  for (size_t i = 0; i < tasks_.size(); ++i) {
+    const Microtask& t = tasks_[i];
+    if (t.id != static_cast<TaskId>(i)) {
+      return Status::Internal("task id mismatch at index " +
+                              std::to_string(i));
+    }
+    if (!t.domain.empty() &&
+        (t.domain_id < 0 ||
+         t.domain_id >= static_cast<int32_t>(domains_.size()))) {
+      return Status::Internal("task " + std::to_string(i) +
+                              " has out-of-range domain id");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace icrowd

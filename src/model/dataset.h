@@ -1,0 +1,58 @@
+#ifndef ICROWD_MODEL_DATASET_H_
+#define ICROWD_MODEL_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "model/microtask.h"
+
+namespace icrowd {
+
+/// Aggregate statistics matching the paper's Table 4.
+struct DatasetStats {
+  size_t num_microtasks = 0;
+  size_t num_domains = 0;
+  /// Per-domain task counts aligned with Dataset::domains().
+  std::vector<size_t> tasks_per_domain;
+};
+
+/// A named collection of microtasks plus its domain dictionary. Owns the
+/// tasks; TaskId is the index into tasks().
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::string name) : name_(std::move(name)) {}
+
+  /// Appends a task, assigning its id and interning its domain string.
+  /// Returns the assigned TaskId.
+  TaskId AddTask(Microtask task);
+
+  const std::string& name() const { return name_; }
+  const std::vector<Microtask>& tasks() const { return tasks_; }
+  const Microtask& task(TaskId id) const { return tasks_[id]; }
+  size_t size() const { return tasks_.size(); }
+  bool empty() const { return tasks_.empty(); }
+
+  /// Distinct domain names in first-seen order.
+  const std::vector<std::string>& domains() const { return domains_; }
+  /// Dense id of `domain`, or -1 if absent.
+  int32_t DomainId(const std::string& domain) const;
+
+  DatasetStats Stats() const;
+
+  /// All task texts in id order (input to similarity-graph construction).
+  std::vector<std::string> Texts() const;
+
+  /// Validates invariants: non-empty, ids consecutive, domain ids in range.
+  Status Validate() const;
+
+ private:
+  std::string name_;
+  std::vector<Microtask> tasks_;
+  std::vector<std::string> domains_;
+};
+
+}  // namespace icrowd
+
+#endif  // ICROWD_MODEL_DATASET_H_

@@ -1,0 +1,49 @@
+#ifndef ICROWD_MODEL_MICROTASK_H_
+#define ICROWD_MODEL_MICROTASK_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace icrowd {
+
+/// Dense task index into the campaign's task set T = {t_1, ..., t_m}.
+using TaskId = int32_t;
+/// Dense worker index into the worker set W.
+using WorkerId = int32_t;
+
+/// A binary answer label. The paper presents YES/NO microtasks; the
+/// framework treats labels as opaque ints so multi-choice extends naturally.
+using Label = int32_t;
+
+inline constexpr Label kNo = 0;
+inline constexpr Label kYes = 1;
+inline constexpr Label kNoLabel = -1;  // "no answer / unknown"
+
+/// One crowdsourcing microtask (§2.1): a question shown to workers, with
+/// text used by the similarity graph, an optional feature vector (for
+/// Euclidean similarity on POI/image tasks), a domain tag used only for
+/// evaluation/reporting, and ground truth known to the requester alone.
+struct Microtask {
+  TaskId id = -1;
+  /// Free text shown to workers; tokenized for similarity (Table 1 style).
+  std::string text;
+  /// Evaluation-only domain tag (e.g. "NBA"); never revealed to algorithms.
+  std::string domain;
+  /// Dense domain index aligned with Dataset::domains().
+  int32_t domain_id = -1;
+  /// Optional multi-dimensional features for Euclidean similarity (§3.3.2).
+  std::vector<double> features;
+  /// Requester-side correct answer; used for scoring and for qualification
+  /// tasks. std::nullopt when truly unknown.
+  std::optional<Label> ground_truth;
+  /// Number of answer choices; labels are 0 .. num_choices-1. The paper
+  /// presents binary YES/NO tasks and notes the techniques extend to more
+  /// choices — voting, Eq. (5) grading, and assignment are label-agnostic.
+  int32_t num_choices = 2;
+};
+
+}  // namespace icrowd
+
+#endif  // ICROWD_MODEL_MICROTASK_H_

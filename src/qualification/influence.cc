@@ -1,0 +1,29 @@
+#include "qualification/influence.h"
+
+namespace icrowd {
+
+size_t ComputeInfluence(const PprEngine& engine,
+                        const std::vector<TaskId>& seeds, double epsilon) {
+  std::vector<bool> covered(engine.num_tasks(), false);
+  size_t influence = 0;
+  for (TaskId seed : seeds) {
+    for (const auto& [t, mass] : engine.SeedVector(seed)) {
+      if (mass > epsilon && !covered[t]) {
+        covered[t] = true;
+        ++influence;
+      }
+    }
+  }
+  return influence;
+}
+
+size_t MarginalInfluence(const PprEngine& engine, TaskId candidate,
+                         const std::vector<bool>& covered, double epsilon) {
+  size_t gain = 0;
+  for (const auto& [t, mass] : engine.SeedVector(candidate)) {
+    if (mass > epsilon && !covered[t]) ++gain;
+  }
+  return gain;
+}
+
+}  // namespace icrowd

@@ -1,0 +1,28 @@
+#ifndef ICROWD_QUALIFICATION_INFLUENCE_H_
+#define ICROWD_QUALIFICATION_INFLUENCE_H_
+
+#include <vector>
+
+#include "graph/ppr.h"
+#include "model/microtask.h"
+
+namespace icrowd {
+
+/// §5's influence of a qualification set T^q: the number of tasks with a
+/// non-zero entry in Σ_{t ∈ T^q} p_t — i.e. how many tasks the framework
+/// could say something about if a worker aced exactly these qualification
+/// tasks. `epsilon` treats PPR mass at/below it as zero (matching the
+/// engine's pruning).
+size_t ComputeInfluence(const PprEngine& engine,
+                        const std::vector<TaskId>& seeds,
+                        double epsilon = 0.0);
+
+/// Marginal influence INF(T^q ∪ {t}) - INF(T^q) given the tasks already
+/// covered. `covered` must have engine.num_tasks() entries.
+size_t MarginalInfluence(const PprEngine& engine, TaskId candidate,
+                         const std::vector<bool>& covered,
+                         double epsilon = 0.0);
+
+}  // namespace icrowd
+
+#endif  // ICROWD_QUALIFICATION_INFLUENCE_H_

@@ -1,0 +1,100 @@
+#include "qualification/warmup.h"
+
+#include <algorithm>
+#include <string>
+
+namespace icrowd {
+
+Result<WarmupComponent> WarmupComponent::Create(
+    const Dataset* dataset, std::vector<TaskId> qualification_tasks,
+    const WarmupOptions& options) {
+  if (dataset == nullptr) {
+    return Status::InvalidArgument("dataset must not be null");
+  }
+  if (qualification_tasks.empty()) {
+    return Status::InvalidArgument("need at least one qualification task");
+  }
+  if (options.tasks_per_worker < 1) {
+    return Status::InvalidArgument("tasks_per_worker must be >= 1");
+  }
+  for (TaskId t : qualification_tasks) {
+    if (t < 0 || static_cast<size_t>(t) >= dataset->size()) {
+      return Status::OutOfRange("qualification task " + std::to_string(t) +
+                                " out of range");
+    }
+    if (!dataset->task(t).ground_truth.has_value()) {
+      return Status::FailedPrecondition(
+          "qualification task " + std::to_string(t) + " has no ground truth");
+    }
+  }
+  return WarmupComponent(dataset, std::move(qualification_tasks), options);
+}
+
+int WarmupComponent::RequiredTasks() const {
+  return std::min<int>(options_.tasks_per_worker,
+                       static_cast<int>(qualification_tasks_.size()));
+}
+
+std::optional<TaskId> WarmupComponent::NextTask(WorkerId worker) const {
+  auto it = progress_.find(worker);
+  size_t answered = (it == progress_.end()) ? 0 : it->second.answered.size();
+  if (static_cast<int>(answered) >= RequiredTasks()) return std::nullopt;
+  // Per-worker rotation: worker w starts at offset w so qualification load
+  // spreads across the pool.
+  size_t start = static_cast<size_t>(worker) % qualification_tasks_.size();
+  for (size_t i = 0; i < qualification_tasks_.size(); ++i) {
+    TaskId candidate =
+        qualification_tasks_[(start + i) % qualification_tasks_.size()];
+    bool already = false;
+    if (it != progress_.end()) {
+      already = std::find(it->second.answered.begin(),
+                          it->second.answered.end(),
+                          candidate) != it->second.answered.end();
+    }
+    if (!already) return candidate;
+  }
+  return std::nullopt;
+}
+
+Status WarmupComponent::RecordAnswer(WorkerId worker, TaskId task,
+                                     Label answer) {
+  if (std::find(qualification_tasks_.begin(), qualification_tasks_.end(),
+                task) == qualification_tasks_.end()) {
+    return Status::InvalidArgument("task " + std::to_string(task) +
+                                   " is not a qualification task");
+  }
+  Progress& progress = progress_[worker];
+  if (std::find(progress.answered.begin(), progress.answered.end(), task) !=
+      progress.answered.end()) {
+    return Status::AlreadyExists("worker " + std::to_string(worker) +
+                                 " already answered qualification task " +
+                                 std::to_string(task));
+  }
+  progress.answered.push_back(task);
+  if (answer == *dataset_->task(task).ground_truth) ++progress.correct;
+  return Status::OK();
+}
+
+bool WarmupComponent::IsComplete(WorkerId worker) const {
+  auto it = progress_.find(worker);
+  return it != progress_.end() &&
+         static_cast<int>(it->second.answered.size()) >= RequiredTasks();
+}
+
+Result<WarmupVerdict> WarmupComponent::Evaluate(WorkerId worker) const {
+  if (!IsComplete(worker)) {
+    return Status::FailedPrecondition("warm-up not complete for worker " +
+                                      std::to_string(worker));
+  }
+  const Progress& progress = progress_.at(worker);
+  WarmupVerdict verdict;
+  verdict.total = static_cast<int>(progress.answered.size());
+  verdict.correct = progress.correct;
+  verdict.average_accuracy =
+      static_cast<double>(progress.correct) / verdict.total;
+  verdict.accepted = !options_.eliminate_bad_workers ||
+                     verdict.average_accuracy >= options_.rejection_threshold;
+  return verdict;
+}
+
+}  // namespace icrowd

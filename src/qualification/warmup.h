@@ -1,0 +1,87 @@
+#ifndef ICROWD_QUALIFICATION_WARMUP_H_
+#define ICROWD_QUALIFICATION_WARMUP_H_
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "model/dataset.h"
+#include "model/microtask.h"
+
+namespace icrowd {
+
+struct WarmupOptions {
+  /// Qualification tasks each new worker must answer before real work. The
+  /// §2.2 example grades on 5; defaulting to the full qualification set
+  /// (capped by its size) gives the estimator gold signal in every domain.
+  int tasks_per_worker = 10;
+  /// Reject the worker when their qualification accuracy is below this (the
+  /// §2.2 example threshold is 0.6). Ignored when eliminate_bad_workers is
+  /// false (the Random* baselines accept everyone).
+  double rejection_threshold = 0.6;
+  bool eliminate_bad_workers = true;
+};
+
+/// Outcome of a completed warm-up.
+struct WarmupVerdict {
+  bool accepted = false;
+  double average_accuracy = 0.0;
+  int correct = 0;
+  int total = 0;
+};
+
+/// The WARM-UP component (§2.2): solves the cold-start problem by routing
+/// every new worker through ground-truth qualification tasks (the worker
+/// cannot tell them apart from real tasks), measuring an initial average
+/// accuracy, and optionally rejecting workers below a threshold.
+class WarmupComponent {
+ public:
+  /// Every task in `qualification_tasks` must carry ground truth in
+  /// `dataset`. The dataset must outlive the component.
+  static Result<WarmupComponent> Create(const Dataset* dataset,
+                                        std::vector<TaskId> qualification_tasks,
+                                        const WarmupOptions& options);
+
+  const std::vector<TaskId>& qualification_tasks() const {
+    return qualification_tasks_;
+  }
+  const WarmupOptions& options() const { return options_; }
+
+  /// Next qualification task for `worker`, or nullopt when the worker has
+  /// answered the required number (warm-up complete). Tasks are handed out
+  /// in a per-worker rotation so different workers start at different
+  /// qualification tasks.
+  std::optional<TaskId> NextTask(WorkerId worker) const;
+
+  /// Records the worker's answer to a qualification task it was handed.
+  Status RecordAnswer(WorkerId worker, TaskId task, Label answer);
+
+  bool IsComplete(WorkerId worker) const;
+
+  /// Grades a completed warm-up. Fails if the warm-up is not complete.
+  Result<WarmupVerdict> Evaluate(WorkerId worker) const;
+
+ private:
+  struct Progress {
+    std::vector<TaskId> answered;
+    int correct = 0;
+  };
+
+  WarmupComponent(const Dataset* dataset, std::vector<TaskId> tasks,
+                  const WarmupOptions& options)
+      : dataset_(dataset),
+        qualification_tasks_(std::move(tasks)),
+        options_(options) {}
+
+  int RequiredTasks() const;
+
+  const Dataset* dataset_;
+  std::vector<TaskId> qualification_tasks_;
+  WarmupOptions options_;
+  std::unordered_map<WorkerId, Progress> progress_;
+};
+
+}  // namespace icrowd
+
+#endif  // ICROWD_QUALIFICATION_WARMUP_H_

@@ -1,0 +1,16 @@
+#include "sim/activity_tracker.h"
+
+#include <algorithm>
+
+namespace icrowd {
+
+std::vector<WorkerId> ActivityTracker::ActiveWorkers(double now) const {
+  std::vector<WorkerId> active;
+  for (const auto& [worker, last] : last_request_) {
+    if (now - last <= window_) active.push_back(worker);
+  }
+  std::sort(active.begin(), active.end());
+  return active;
+}
+
+}  // namespace icrowd

@@ -1,0 +1,49 @@
+#ifndef ICROWD_SIM_ACTIVITY_TRACKER_H_
+#define ICROWD_SIM_ACTIVITY_TRACKER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "model/microtask.h"
+
+namespace icrowd {
+
+/// §4.1 step 1's first method for identifying the dynamic active worker
+/// set W: a worker is active iff its last task request is within a sliding
+/// time window (the paper suggests 30 minutes). Time is supplied by the
+/// caller (seconds on any monotone clock), keeping the tracker
+/// deterministic under test.
+class ActivityTracker {
+ public:
+  explicit ActivityTracker(double window_seconds = 1800.0)
+      : window_(window_seconds) {}
+
+  double window_seconds() const { return window_; }
+
+  /// Notes that `worker` requested work at time `now`.
+  void RecordRequest(WorkerId worker, double now) {
+    last_request_[worker] = now;
+  }
+
+  /// Removes the worker (returned its HIT / was rejected).
+  void MarkLeft(WorkerId worker) { last_request_.erase(worker); }
+
+  /// True if the worker requested within the window ending at `now`.
+  bool IsActive(WorkerId worker, double now) const {
+    auto it = last_request_.find(worker);
+    return it != last_request_.end() && now - it->second <= window_;
+  }
+
+  /// All workers active at `now`, ascending by id.
+  std::vector<WorkerId> ActiveWorkers(double now) const;
+
+  size_t tracked() const { return last_request_.size(); }
+
+ private:
+  double window_;
+  std::unordered_map<WorkerId, double> last_request_;
+};
+
+}  // namespace icrowd
+
+#endif  // ICROWD_SIM_ACTIVITY_TRACKER_H_

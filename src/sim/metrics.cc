@@ -1,0 +1,93 @@
+#include "sim/metrics.h"
+
+#include <algorithm>
+#include <map>
+
+namespace icrowd {
+
+AccuracyReport EvaluateAccuracy(const Dataset& dataset,
+                                const std::vector<Label>& predicted,
+                                const std::set<TaskId>& qualification,
+                                bool include_qualification) {
+  AccuracyReport report;
+  const auto& domains = dataset.domains();
+  report.per_domain.resize(domains.size());
+  for (size_t d = 0; d < domains.size(); ++d) {
+    report.per_domain[d].domain = domains[d];
+  }
+  for (const Microtask& task : dataset.tasks()) {
+    if (!task.ground_truth.has_value()) continue;
+    bool is_qual = qualification.count(task.id) > 0;
+    if (is_qual && !include_qualification) continue;
+    // Qualification results equal the requester-provided truth.
+    bool correct =
+        is_qual || (static_cast<size_t>(task.id) < predicted.size() &&
+                    predicted[task.id] == *task.ground_truth);
+    ++report.num_tasks;
+    report.num_correct += correct;
+    if (task.domain_id >= 0) {
+      DomainAccuracy& domain = report.per_domain[task.domain_id];
+      ++domain.num_tasks;
+      domain.num_correct += correct;
+    }
+  }
+  for (DomainAccuracy& domain : report.per_domain) {
+    domain.accuracy =
+        domain.num_tasks == 0
+            ? 0.0
+            : static_cast<double>(domain.num_correct) / domain.num_tasks;
+  }
+  report.overall =
+      report.num_tasks == 0
+          ? 0.0
+          : static_cast<double>(report.num_correct) / report.num_tasks;
+  return report;
+}
+
+std::vector<WorkerDomainAccuracy> ComputeWorkerDomainAccuracies(
+    const Dataset& dataset, const std::vector<AnswerRecord>& answers,
+    size_t min_answers) {
+  std::map<WorkerId, WorkerDomainAccuracy> by_worker;
+  std::map<WorkerId, std::vector<size_t>> correct;
+  const size_t num_domains = dataset.domains().size();
+  for (const AnswerRecord& a : answers) {
+    const Microtask& task = dataset.task(a.task);
+    if (!task.ground_truth.has_value() || task.domain_id < 0) continue;
+    auto [it, inserted] = by_worker.try_emplace(a.worker);
+    if (inserted) {
+      it->second.worker = a.worker;
+      it->second.accuracy.assign(num_domains, 0.0);
+      it->second.count.assign(num_domains, 0);
+      correct[a.worker].assign(num_domains, 0);
+    }
+    ++it->second.total_answers;
+    ++it->second.count[task.domain_id];
+    if (a.label == *task.ground_truth) ++correct[a.worker][task.domain_id];
+  }
+  std::vector<WorkerDomainAccuracy> out;
+  for (auto& [worker, stats] : by_worker) {
+    if (stats.total_answers < min_answers) continue;
+    for (size_t d = 0; d < num_domains; ++d) {
+      stats.accuracy[d] =
+          stats.count[d] == 0
+              ? 0.0
+              : static_cast<double>(correct[worker][d]) / stats.count[d];
+    }
+    out.push_back(std::move(stats));
+  }
+  return out;
+}
+
+std::vector<std::pair<WorkerId, size_t>> AssignmentDistribution(
+    const std::vector<AnswerRecord>& answers) {
+  std::map<WorkerId, size_t> counts;
+  for (const AnswerRecord& a : answers) ++counts[a.worker];
+  std::vector<std::pair<WorkerId, size_t>> out(counts.begin(), counts.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+}  // namespace icrowd

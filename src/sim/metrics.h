@@ -1,0 +1,62 @@
+#ifndef ICROWD_SIM_METRICS_H_
+#define ICROWD_SIM_METRICS_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "model/answer.h"
+#include "model/dataset.h"
+
+namespace icrowd {
+
+/// Accuracy within one domain (one bar group of Figures 7-9).
+struct DomainAccuracy {
+  std::string domain;
+  double accuracy = 0.0;
+  size_t num_tasks = 0;
+  size_t num_correct = 0;
+};
+
+/// Per-domain plus overall ("ALL") accuracy of predicted results.
+struct AccuracyReport {
+  std::vector<DomainAccuracy> per_domain;
+  double overall = 0.0;
+  size_t num_tasks = 0;
+  size_t num_correct = 0;
+};
+
+/// Scores `predicted` against the dataset's ground truth, per domain and
+/// overall (§6.1's accuracy metric). Qualification tasks (if any) carry
+/// requester ground truth, so their result is correct by construction;
+/// pass them in `qualification` to count them that way, or set
+/// `include_qualification` false to exclude them from scoring entirely.
+AccuracyReport EvaluateAccuracy(const Dataset& dataset,
+                                const std::vector<Label>& predicted,
+                                const std::set<TaskId>& qualification = {},
+                                bool include_qualification = true);
+
+/// One worker's empirical accuracy per domain (one row of Figure 6),
+/// computed from its answers against ground truth.
+struct WorkerDomainAccuracy {
+  WorkerId worker = -1;
+  size_t total_answers = 0;
+  /// Aligned with Dataset::domains().
+  std::vector<double> accuracy;
+  std::vector<size_t> count;
+};
+
+/// Figure 6: per-worker per-domain empirical accuracies from an answer log.
+/// Workers with fewer than `min_answers` total answers are dropped (the
+/// paper lists only workers that completed more than 20 microtasks).
+std::vector<WorkerDomainAccuracy> ComputeWorkerDomainAccuracies(
+    const Dataset& dataset, const std::vector<AnswerRecord>& answers,
+    size_t min_answers = 0);
+
+/// Figure 15: (worker, #assignments completed) sorted descending.
+std::vector<std::pair<WorkerId, size_t>> AssignmentDistribution(
+    const std::vector<AnswerRecord>& answers);
+
+}  // namespace icrowd
+
+#endif  // ICROWD_SIM_METRICS_H_

@@ -1,0 +1,91 @@
+#ifndef ICROWD_SIM_SIMULATOR_H_
+#define ICROWD_SIM_SIMULATOR_H_
+
+#include <vector>
+
+#include "assign/assigner.h"
+#include "common/result.h"
+#include "model/campaign_state.h"
+#include "model/dataset.h"
+#include "qualification/warmup.h"
+#include "sim/worker_profile.h"
+
+namespace icrowd {
+
+struct SimulationOptions {
+  /// Assignment size k (§2.1); odd.
+  int assignment_size = 3;
+  /// Qualification task ids (must carry ground truth) when use_warmup.
+  std::vector<TaskId> qualification_tasks;
+  WarmupOptions warmup;
+  /// Route new workers through the warm-up component. When false, workers
+  /// register immediately with a neutral 0.5 accuracy estimate.
+  bool use_warmup = true;
+  uint64_t seed = 123;
+  /// Hard cap on simulated events (guards against livelock).
+  size_t max_events = 5'000'000;
+  /// When every worker has left but tasks remain, fresh workers with the
+  /// same profiles arrive (the dynamic worker set of §2.1). Caps how many
+  /// times the pool may be recycled.
+  int max_pool_respawns = 50;
+  /// Payment per completed assignment in dollars (the paper priced each
+  /// assignment at $0.1, Appendix A / §6.1). Workers cannot tell
+  /// qualification tasks apart, so those assignments are paid too.
+  double price_per_assignment = 0.1;
+};
+
+/// What a campaign run produced, for downstream aggregation/metrics.
+struct SimulationResult {
+  /// Per-task result: the majority consensus (Campaign semantics) with
+  /// qualification tasks fixed to their ground truth; kNoLabel when a task
+  /// never completed.
+  std::vector<Label> consensus;
+  /// Every recorded answer, including qualification answers (time-ordered).
+  std::vector<AnswerRecord> answers;
+  /// Answers excluding qualification tasks.
+  std::vector<AnswerRecord> work_answers;
+  std::vector<TaskId> qualification_tasks;
+  /// WorkerId -> index into the profile pool (ids beyond the first spawn
+  /// wrap around on respawns).
+  std::vector<size_t> worker_profile;
+  size_t num_requests = 0;
+  size_t workers_spawned = 0;
+  size_t workers_rejected = 0;
+  /// Total / max wall-clock seconds spent inside Assigner::RequestTask —
+  /// the quantity Figure 10 reports.
+  double assignment_seconds = 0.0;
+  double max_assignment_seconds = 0.0;
+  /// Requester spend: every recorded answer is one paid assignment.
+  double total_cost = 0.0;
+  /// Portion of total_cost spent on qualification (warm-up) answers.
+  double qualification_cost = 0.0;
+  bool completed_all = false;
+};
+
+/// Discrete-event crowd-platform simulator standing in for AMT (Appendix
+/// A): it owns the campaign bookkeeping and emits exactly the two events an
+/// assignment strategy observes in production — "worker requests a task"
+/// and "worker submitted an answer". Workers arrive, answer with their true
+/// per-domain accuracy, and leave when their willingness is exhausted or
+/// nothing is assignable to them.
+class CrowdSimulator {
+ public:
+  /// `dataset` and `profiles` must outlive the simulator. Every task needs
+  /// ground truth (used to generate worker answers).
+  CrowdSimulator(const Dataset* dataset,
+                 const std::vector<WorkerProfile>* profiles,
+                 SimulationOptions options)
+      : dataset_(dataset), profiles_(profiles), options_(std::move(options)) {}
+
+  /// Runs one full campaign with `assigner` making every assignment call.
+  Result<SimulationResult> Run(Assigner* assigner);
+
+ private:
+  const Dataset* dataset_;
+  const std::vector<WorkerProfile>* profiles_;
+  SimulationOptions options_;
+};
+
+}  // namespace icrowd
+
+#endif  // ICROWD_SIM_SIMULATOR_H_

@@ -1,0 +1,43 @@
+#ifndef ICROWD_SIM_WORKER_PROFILE_H_
+#define ICROWD_SIM_WORKER_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/microtask.h"
+
+namespace icrowd {
+
+/// Ground-truth behavioural model of one simulated crowd worker. Replaces
+/// the paper's real MTurk workers: the per-domain accuracies reproduce the
+/// Figure 6 phenomenon (workers excellent in some domains, poor in others),
+/// which is the property every §6 experiment depends on. The true
+/// accuracies are visible only to the simulator — algorithms observe
+/// answers alone.
+struct WorkerProfile {
+  /// MTurk-style display id (e.g. "W03-NBA"), used in Figure 6 output.
+  std::string external_id;
+  /// True P(correct) per dataset domain id.
+  std::vector<double> domain_accuracy;
+  /// Simulation time at which the worker first requests work.
+  double arrival_time = 0.0;
+  /// Number of microtasks the worker is willing to complete before leaving
+  /// (heavy-tailed across the pool: Figure 15's top-heavy distribution).
+  int64_t willingness = 100;
+  /// Mean simulated seconds per answered task.
+  double mean_dwell = 1.0;
+
+  /// True accuracy on `task`; 0.5 (coin flip) for unknown domains.
+  double TrueAccuracy(const Microtask& task) const {
+    if (task.domain_id >= 0 &&
+        static_cast<size_t>(task.domain_id) < domain_accuracy.size()) {
+      return domain_accuracy[task.domain_id];
+    }
+    return 0.5;
+  }
+};
+
+}  // namespace icrowd
+
+#endif  // ICROWD_SIM_WORKER_PROFILE_H_

@@ -1,0 +1,99 @@
+#include "text/classifier.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <string>
+
+#include "common/random.h"
+#include "text/similarity.h"
+#include "text/tokenizer.h"
+
+namespace icrowd {
+
+namespace {
+
+double Sigmoid(double z) {
+  if (z >= 0) {
+    return 1.0 / (1.0 + std::exp(-z));
+  }
+  double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+}  // namespace
+
+Result<LogisticRegression> LogisticRegression::Fit(
+    const std::vector<std::vector<double>>& features,
+    const std::vector<int>& labels, const LogisticRegressionOptions& options) {
+  if (features.empty()) {
+    return Status::InvalidArgument("classifier requires training examples");
+  }
+  if (features.size() != labels.size()) {
+    return Status::InvalidArgument("features/labels size mismatch");
+  }
+  const size_t dim = features[0].size();
+  for (const auto& row : features) {
+    if (row.size() != dim) {
+      return Status::InvalidArgument("inconsistent feature dimensionality");
+    }
+  }
+  bool has_pos = false, has_neg = false;
+  for (int y : labels) {
+    if (y == 1) {
+      has_pos = true;
+    } else if (y == 0) {
+      has_neg = true;
+    } else {
+      return Status::InvalidArgument("labels must be 0 or 1");
+    }
+  }
+  if (!has_pos || !has_neg) {
+    return Status::InvalidArgument(
+        "classifier requires at least one example of each class");
+  }
+
+  LogisticRegression model;
+  model.weights_.assign(dim, 0.0);
+  Rng rng(options.seed);
+  std::vector<size_t> order(features.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (size_t idx : order) {
+      const std::vector<double>& x = features[idx];
+      double z = model.bias_;
+      for (size_t d = 0; d < dim; ++d) z += model.weights_[d] * x[d];
+      double grad = Sigmoid(z) - labels[idx];
+      for (size_t d = 0; d < dim; ++d) {
+        model.weights_[d] -= options.learning_rate *
+                             (grad * x[d] + options.l2 * model.weights_[d]);
+      }
+      model.bias_ -= options.learning_rate * grad;
+    }
+  }
+  return model;
+}
+
+double LogisticRegression::PredictProbability(
+    const std::vector<double>& x) const {
+  double z = bias_;
+  for (size_t d = 0; d < weights_.size() && d < x.size(); ++d) {
+    z += weights_[d] * x[d];
+  }
+  return Sigmoid(z);
+}
+
+std::vector<double> PairFeatures(const std::string& a, const std::string& b) {
+  static const Tokenizer tokenizer{};
+  double jaccard = JaccardSimilarity(a, b, tokenizer);
+  double edit = EditSimilarity(a, b);
+  double max_len = std::max<double>(1.0, std::max(a.size(), b.size()));
+  double len_diff =
+      std::abs(static_cast<double>(a.size()) - static_cast<double>(b.size())) /
+      max_len;
+  return {jaccard, edit, len_diff};
+}
+
+}  // namespace icrowd

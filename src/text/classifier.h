@@ -1,0 +1,54 @@
+#ifndef ICROWD_TEXT_CLASSIFIER_H_
+#define ICROWD_TEXT_CLASSIFIER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace icrowd {
+
+struct LogisticRegressionOptions {
+  double learning_rate = 0.1;
+  double l2 = 1e-4;
+  int epochs = 200;
+  uint64_t seed = 7;
+};
+
+/// L2-regularized logistic regression trained by SGD. §3.3 option 3 derives
+/// task similarity from a trained classifier: a pair of microtasks is
+/// classified as similar (similarity 1) or not (similarity 0) based on
+/// features of the pair (e.g. token overlap, length difference).
+class LogisticRegression {
+ public:
+  /// Fits on dense feature rows with {0,1} labels. All rows must share one
+  /// dimensionality; at least one example of each class is required.
+  static Result<LogisticRegression> Fit(
+      const std::vector<std::vector<double>>& features,
+      const std::vector<int>& labels, const LogisticRegressionOptions& options);
+
+  /// P(label = 1 | x).
+  double PredictProbability(const std::vector<double>& x) const;
+
+  /// Hard 0/1 decision at threshold 0.5.
+  int Predict(const std::vector<double>& x) const {
+    return PredictProbability(x) >= 0.5 ? 1 : 0;
+  }
+
+  const std::vector<double>& weights() const { return weights_; }
+  double bias() const { return bias_; }
+
+ private:
+  LogisticRegression() = default;
+
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+};
+
+/// Pair features used by the classification-based similarity: token Jaccard,
+/// normalized edit similarity, relative length difference.
+std::vector<double> PairFeatures(const std::string& a, const std::string& b);
+
+}  // namespace icrowd
+
+#endif  // ICROWD_TEXT_CLASSIFIER_H_

@@ -1,0 +1,146 @@
+#include "text/lda.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace icrowd {
+
+Result<LdaModel> LdaModel::Fit(const std::vector<std::string>& documents,
+                               const Tokenizer& tokenizer,
+                               const LdaOptions& options) {
+  if (documents.empty()) {
+    return Status::InvalidArgument("LDA requires at least one document");
+  }
+  if (options.num_topics < 1) {
+    return Status::InvalidArgument("LDA requires num_topics >= 1");
+  }
+  if (options.alpha <= 0.0 || options.beta <= 0.0) {
+    return Status::InvalidArgument("LDA priors must be positive");
+  }
+  if (options.num_iterations < 1) {
+    return Status::InvalidArgument("LDA requires num_iterations >= 1");
+  }
+
+  LdaModel model;
+  model.options_ = options;
+
+  // Tokenize into word-id streams.
+  std::vector<std::vector<int32_t>> docs;
+  docs.reserve(documents.size());
+  size_t total_tokens = 0;
+  for (const std::string& doc : documents) {
+    std::vector<int32_t> ids;
+    for (const std::string& tok : tokenizer.Tokenize(doc)) {
+      ids.push_back(model.vocab_.GetOrAdd(tok));
+    }
+    total_tokens += ids.size();
+    docs.push_back(std::move(ids));
+  }
+  if (total_tokens == 0) {
+    return Status::InvalidArgument(
+        "LDA corpus tokenized to zero tokens (all stop words?)");
+  }
+
+  const int K = options.num_topics;
+  const size_t V = model.vocab_.size();
+  const size_t D = docs.size();
+
+  // Collapsed Gibbs state.
+  std::vector<std::vector<int32_t>> z(D);            // token topic labels
+  std::vector<std::vector<int32_t>> doc_topic(D, std::vector<int32_t>(K, 0));
+  model.topic_word_.assign(K, std::vector<int32_t>(V, 0));
+  model.topic_totals_.assign(K, 0);
+
+  Rng rng(options.seed);
+  for (size_t d = 0; d < D; ++d) {
+    z[d].resize(docs[d].size());
+    for (size_t n = 0; n < docs[d].size(); ++n) {
+      int k = static_cast<int>(rng.UniformInt(0, K - 1));
+      z[d][n] = k;
+      ++doc_topic[d][k];
+      ++model.topic_word_[k][docs[d][n]];
+      ++model.topic_totals_[k];
+    }
+  }
+
+  const double alpha = options.alpha;
+  const double beta = options.beta;
+  const double v_beta = static_cast<double>(V) * beta;
+  std::vector<double> probs(K);
+
+  std::vector<std::vector<double>> theta_sum(D, std::vector<double>(K, 0.0));
+  int samples = 0;
+
+  for (int iter = 0; iter < options.num_iterations; ++iter) {
+    for (size_t d = 0; d < D; ++d) {
+      for (size_t n = 0; n < docs[d].size(); ++n) {
+        int32_t w = docs[d][n];
+        int old_k = z[d][n];
+        --doc_topic[d][old_k];
+        --model.topic_word_[old_k][w];
+        --model.topic_totals_[old_k];
+        // Full conditional P(z = k | rest).
+        for (int k = 0; k < K; ++k) {
+          probs[k] = (doc_topic[d][k] + alpha) *
+                     (model.topic_word_[k][w] + beta) /
+                     (model.topic_totals_[k] + v_beta);
+        }
+        int new_k = static_cast<int>(rng.WeightedIndex(probs));
+        z[d][n] = new_k;
+        ++doc_topic[d][new_k];
+        ++model.topic_word_[new_k][w];
+        ++model.topic_totals_[new_k];
+      }
+    }
+    // Rao-Blackwellized posterior averaging after burn-in.
+    bool past_burn_in = iter >= options.burn_in;
+    bool last_sweep = iter + 1 == options.num_iterations;
+    if ((past_burn_in && options.sample_lag > 0 &&
+         (iter - options.burn_in) % options.sample_lag == 0) ||
+        (last_sweep && samples == 0)) {
+      for (size_t d = 0; d < D; ++d) {
+        double denom = static_cast<double>(docs[d].size()) + K * alpha;
+        for (int k = 0; k < K; ++k) {
+          theta_sum[d][k] += (doc_topic[d][k] + alpha) / denom;
+        }
+      }
+      ++samples;
+    }
+  }
+
+  // Posterior-mean document-topic proportions, averaged over samples.
+  model.theta_.resize(D);
+  for (size_t d = 0; d < D; ++d) {
+    model.theta_[d].resize(K);
+    for (int k = 0; k < K; ++k) {
+      model.theta_[d][k] = theta_sum[d][k] / samples;
+    }
+  }
+  return model;
+}
+
+std::vector<double> LdaModel::TopicWordDistribution(int k) const {
+  const size_t V = vocab_.size();
+  std::vector<double> phi(V);
+  double denom = static_cast<double>(topic_totals_[k]) +
+                 static_cast<double>(V) * options_.beta;
+  for (size_t v = 0; v < V; ++v) {
+    phi[v] = (topic_word_[k][v] + options_.beta) / denom;
+  }
+  return phi;
+}
+
+double LdaModel::TopicCosine(size_t a, size_t b) const {
+  const std::vector<double>& ta = theta_[a];
+  const std::vector<double>& tb = theta_[b];
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (size_t k = 0; k < ta.size(); ++k) {
+    dot += ta[k] * tb[k];
+    na += ta[k] * ta[k];
+    nb += tb[k] * tb[k];
+  }
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / std::sqrt(na * nb);
+}
+
+}  // namespace icrowd

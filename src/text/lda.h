@@ -1,0 +1,73 @@
+#ifndef ICROWD_TEXT_LDA_H_
+#define ICROWD_TEXT_LDA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+namespace icrowd {
+
+struct LdaOptions {
+  int num_topics = 12;
+  /// Symmetric Dirichlet prior on document-topic proportions. Microtask
+  /// texts are short and single-topic, so a sparse prior keeps each
+  /// document's distribution peaked and domain clusters separable.
+  double alpha = 0.1;
+  /// Symmetric Dirichlet prior on topic-word distributions.
+  double beta = 0.05;
+  int num_iterations = 200;
+  /// Sweeps before posterior samples are collected.
+  int burn_in = 100;
+  /// Collect a theta sample every `sample_lag` sweeps after burn-in and
+  /// average them — standard Rao-Blackwellized smoothing that stabilizes
+  /// the topic distributions of short documents.
+  int sample_lag = 10;
+  uint64_t seed = 42;
+};
+
+/// Latent Dirichlet Allocation fit with collapsed Gibbs sampling. Used for
+/// the Cos(topic) similarity measure of §D.1 — the measure the paper picks
+/// as its default (threshold 0.8) — by comparing per-document topic
+/// distributions with cosine similarity.
+class LdaModel {
+ public:
+  /// Tokenizes and fits `documents`. Fails on empty corpora, corpora whose
+  /// tokenization is empty, or nonsensical options.
+  static Result<LdaModel> Fit(const std::vector<std::string>& documents,
+                              const Tokenizer& tokenizer,
+                              const LdaOptions& options);
+
+  /// Smoothed topic proportions theta_d for document `index`
+  /// (length = num_topics, sums to 1).
+  const std::vector<double>& TopicDistribution(size_t index) const {
+    return theta_[index];
+  }
+
+  /// Smoothed word distribution phi_k for topic `k` (length = vocab size).
+  std::vector<double> TopicWordDistribution(int k) const;
+
+  int num_topics() const { return options_.num_topics; }
+  size_t num_documents() const { return theta_.size(); }
+  const Vocabulary& vocabulary() const { return vocab_; }
+
+  /// Cosine similarity of the topic distributions of documents `a` and `b`.
+  double TopicCosine(size_t a, size_t b) const;
+
+ private:
+  LdaModel() = default;
+
+  LdaOptions options_;
+  Vocabulary vocab_;
+  std::vector<std::vector<double>> theta_;       // doc -> topic proportions
+  std::vector<std::vector<int32_t>> topic_word_; // topic -> word counts
+  std::vector<int64_t> topic_totals_;            // topic -> total count
+};
+
+}  // namespace icrowd
+
+#endif  // ICROWD_TEXT_LDA_H_

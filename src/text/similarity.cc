@@ -1,0 +1,78 @@
+#include "text/similarity.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/math_util.h"
+
+namespace icrowd {
+
+double JaccardSimilarity(const std::vector<std::string>& a,
+                         const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) return 0.0;
+  std::unordered_set<std::string> set_a(a.begin(), a.end());
+  std::unordered_set<std::string> set_b(b.begin(), b.end());
+  size_t intersection = 0;
+  for (const std::string& tok : set_a) {
+    if (set_b.count(tok)) ++intersection;
+  }
+  size_t uni = set_a.size() + set_b.size() - intersection;
+  if (uni == 0) return 0.0;
+  return static_cast<double>(intersection) / static_cast<double>(uni);
+}
+
+double JaccardSimilarity(const std::string& a, const std::string& b,
+                         const Tokenizer& tokenizer) {
+  return JaccardSimilarity(tokenizer.Tokenize(a), tokenizer.Tokenize(b));
+}
+
+size_t EditDistance(const std::string& a, const std::string& b) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0) return m;
+  if (m == 0) return n;
+  // Rolling single-row DP.
+  std::vector<size_t> row(m + 1);
+  for (size_t j = 0; j <= m; ++j) row[j] = j;
+  for (size_t i = 1; i <= n; ++i) {
+    size_t diag = row[0];
+    row[0] = i;
+    for (size_t j = 1; j <= m; ++j) {
+      size_t next_diag = row[j];
+      size_t sub = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, sub});
+      diag = next_diag;
+    }
+  }
+  return row[m];
+}
+
+double EditSimilarity(const std::string& a, const std::string& b) {
+  size_t max_len = std::max(a.size(), b.size());
+  if (max_len == 0) return 1.0;
+  return 1.0 -
+         static_cast<double>(EditDistance(a, b)) /
+             static_cast<double>(max_len);
+}
+
+double EuclideanDistance(const std::vector<double>& a,
+                         const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+double EuclideanSimilarity(const std::vector<double>& a,
+                           const std::vector<double>& b,
+                           double max_distance) {
+  assert(max_distance > 0.0);
+  return Clamp(1.0 - EuclideanDistance(a, b) / max_distance, 0.0, 1.0);
+}
+
+}  // namespace icrowd

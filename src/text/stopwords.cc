@@ -1,0 +1,38 @@
+#include "text/stopwords.h"
+
+#include <algorithm>
+#include <array>
+
+namespace icrowd {
+
+namespace {
+
+// Sorted so lookup can binary-search. Compact English list adequate for
+// microtask text (questions, product titles, comparison prompts).
+constexpr std::array<std::string_view, 119> kStopWords = {
+    "a",       "about",  "above",  "after",   "again",   "all",     "am",
+    "an",      "and",    "any",    "are",     "as",      "at",      "be",
+    "because", "been",   "before", "being",   "below",   "between", "both",
+    "but",     "by",     "can",    "could",   "did",     "do",      "does",
+    "doing",   "down",   "during", "each",    "few",     "for",     "from",
+    "further", "had",    "has",    "have",    "having",  "he",      "her",
+    "here",    "hers",   "him",    "his",     "how",     "i",       "if",
+    "in",      "into",   "is",     "it",      "its",     "itself",  "just",
+    "me",      "more",   "most",   "my",      "no",      "nor",     "not",
+    "now",     "of",     "off",    "on",      "once",    "only",    "or",
+    "other",   "our",    "ours",   "out",     "over",    "own",     "same",
+    "she",     "should", "so",     "some",    "such",    "than",    "that",
+    "the",     "their",  "theirs", "them",    "then",    "there",   "these",
+    "they",    "this",   "those",  "through", "to",      "too",     "under",
+    "until",   "up",     "very",   "was",     "we",      "were",    "what",
+    "when",    "where",  "which",  "while",   "who",     "whom",    "why",
+    "will",    "with",   "would",  "you",     "your",    "yours",
+    "yourself"};
+
+}  // namespace
+
+bool IsStopWord(std::string_view token) {
+  return std::binary_search(kStopWords.begin(), kStopWords.end(), token);
+}
+
+}  // namespace icrowd

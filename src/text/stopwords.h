@@ -1,0 +1,15 @@
+#ifndef ICROWD_TEXT_STOPWORDS_H_
+#define ICROWD_TEXT_STOPWORDS_H_
+
+#include <string_view>
+
+namespace icrowd {
+
+/// True if `token` (already lowercased) is a common English stop word
+/// (articles, pronouns, auxiliaries, ...). §D.1 removes stop words before
+/// computing any similarity measure.
+bool IsStopWord(std::string_view token);
+
+}  // namespace icrowd
+
+#endif  // ICROWD_TEXT_STOPWORDS_H_

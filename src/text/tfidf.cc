@@ -1,0 +1,97 @@
+#include "text/tfidf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace icrowd {
+
+double SparseVector::Norm() const {
+  double acc = 0.0;
+  for (double w : weights) acc += w * w;
+  return std::sqrt(acc);
+}
+
+double Dot(const SparseVector& a, const SparseVector& b) {
+  double acc = 0.0;
+  size_t i = 0, j = 0;
+  while (i < a.ids.size() && j < b.ids.size()) {
+    if (a.ids[i] == b.ids[j]) {
+      acc += a.weights[i] * b.weights[j];
+      ++i;
+      ++j;
+    } else if (a.ids[i] < b.ids[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return acc;
+}
+
+double CosineSimilarity(const SparseVector& a, const SparseVector& b) {
+  double na = a.Norm();
+  double nb = b.Norm();
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return Dot(a, b) / (na * nb);
+}
+
+namespace {
+
+// Sorted (id -> count) map for one document.
+std::map<int32_t, int> CountTokens(const std::vector<std::string>& tokens,
+                                   Vocabulary* vocab) {
+  std::map<int32_t, int> counts;
+  for (const std::string& tok : tokens) {
+    ++counts[vocab->GetOrAdd(tok)];
+  }
+  return counts;
+}
+
+}  // namespace
+
+TfIdfModel::TfIdfModel(const std::vector<std::string>& documents,
+                       const Tokenizer& tokenizer) {
+  std::vector<std::map<int32_t, int>> doc_counts;
+  doc_counts.reserve(documents.size());
+  for (const std::string& doc : documents) {
+    doc_counts.push_back(CountTokens(tokenizer.Tokenize(doc), &vocab_));
+  }
+  std::vector<int> df(vocab_.size(), 0);
+  for (const auto& counts : doc_counts) {
+    for (const auto& [id, _] : counts) ++df[id];
+  }
+  double n = static_cast<double>(documents.size());
+  idf_.resize(vocab_.size());
+  for (size_t id = 0; id < idf_.size(); ++id) {
+    idf_[id] = std::log((1.0 + n) / (1.0 + df[id])) + 1.0;
+  }
+  vectors_.reserve(doc_counts.size());
+  for (const auto& counts : doc_counts) {
+    SparseVector vec;
+    vec.ids.reserve(counts.size());
+    vec.weights.reserve(counts.size());
+    for (const auto& [id, count] : counts) {
+      vec.ids.push_back(id);
+      vec.weights.push_back(count * idf_[id]);
+    }
+    vectors_.push_back(std::move(vec));
+  }
+}
+
+SparseVector TfIdfModel::Transform(const std::string& document,
+                                   const Tokenizer& tokenizer) const {
+  std::map<int32_t, int> counts;
+  for (const std::string& tok : tokenizer.Tokenize(document)) {
+    int32_t id = vocab_.Find(tok);
+    if (id >= 0) ++counts[id];
+  }
+  SparseVector vec;
+  for (const auto& [id, count] : counts) {
+    vec.ids.push_back(id);
+    vec.weights.push_back(count * idf_[id]);
+  }
+  return vec;
+}
+
+}  // namespace icrowd

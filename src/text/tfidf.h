@@ -1,0 +1,58 @@
+#ifndef ICROWD_TEXT_TFIDF_H_
+#define ICROWD_TEXT_TFIDF_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+namespace icrowd {
+
+/// Sparse term vector: parallel (term id, weight) arrays sorted by id.
+struct SparseVector {
+  std::vector<int32_t> ids;
+  std::vector<double> weights;
+
+  size_t size() const { return ids.size(); }
+  bool empty() const { return ids.empty(); }
+
+  /// Euclidean norm of the weights.
+  double Norm() const;
+};
+
+/// Dot product of two id-sorted sparse vectors.
+double Dot(const SparseVector& a, const SparseVector& b);
+
+/// Cosine similarity; 0 when either vector is empty/zero.
+double CosineSimilarity(const SparseVector& a, const SparseVector& b);
+
+/// Corpus-level TF-IDF model (the Cos(tf-idf) measure of §D.1).
+/// tf = raw count within the document; idf = log((1 + N) / (1 + df)) + 1.
+class TfIdfModel {
+ public:
+  /// Tokenizes `documents` and fits document frequencies.
+  TfIdfModel(const std::vector<std::string>& documents,
+             const Tokenizer& tokenizer);
+
+  /// TF-IDF vector of document `index` (as passed to the constructor).
+  const SparseVector& VectorOf(size_t index) const { return vectors_[index]; }
+
+  size_t num_documents() const { return vectors_.size(); }
+  const Vocabulary& vocabulary() const { return vocab_; }
+
+  /// Embeds an unseen document using the fitted idf table; unknown tokens
+  /// are ignored.
+  SparseVector Transform(const std::string& document,
+                         const Tokenizer& tokenizer) const;
+
+ private:
+  Vocabulary vocab_;
+  std::vector<double> idf_;
+  std::vector<SparseVector> vectors_;
+};
+
+}  // namespace icrowd
+
+#endif  // ICROWD_TEXT_TFIDF_H_

@@ -1,0 +1,34 @@
+#ifndef ICROWD_TEXT_TOKENIZER_H_
+#define ICROWD_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace icrowd {
+
+struct TokenizerOptions {
+  bool lowercase = true;
+  bool remove_stopwords = true;
+  /// Tokens shorter than this are dropped (after lowercasing).
+  size_t min_token_length = 1;
+};
+
+/// Splits free text into word tokens on non-alphanumeric boundaries,
+/// optionally lowercasing and removing stop words. This is the shared
+/// front-end for every similarity measure in §3.3 / §D.1.
+class Tokenizer {
+ public:
+  explicit Tokenizer(TokenizerOptions options = {}) : options_(options) {}
+
+  std::vector<std::string> Tokenize(std::string_view text) const;
+
+  const TokenizerOptions& options() const { return options_; }
+
+ private:
+  TokenizerOptions options_;
+};
+
+}  // namespace icrowd
+
+#endif  // ICROWD_TEXT_TOKENIZER_H_

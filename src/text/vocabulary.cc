@@ -1,0 +1,19 @@
+#include "text/vocabulary.h"
+
+namespace icrowd {
+
+int32_t Vocabulary::GetOrAdd(std::string_view token) {
+  auto it = ids_.find(std::string(token));
+  if (it != ids_.end()) return it->second;
+  int32_t id = static_cast<int32_t>(tokens_.size());
+  tokens_.emplace_back(token);
+  ids_.emplace(tokens_.back(), id);
+  return id;
+}
+
+int32_t Vocabulary::Find(std::string_view token) const {
+  auto it = ids_.find(std::string(token));
+  return it == ids_.end() ? -1 : it->second;
+}
+
+}  // namespace icrowd

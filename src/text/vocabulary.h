@@ -1,0 +1,33 @@
+#ifndef ICROWD_TEXT_VOCABULARY_H_
+#define ICROWD_TEXT_VOCABULARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace icrowd {
+
+/// Bidirectional token <-> dense id mapping shared by tf-idf and LDA.
+class Vocabulary {
+ public:
+  /// Returns the id of `token`, inserting it if unseen.
+  int32_t GetOrAdd(std::string_view token);
+
+  /// Returns the id of `token` or -1 if unknown.
+  int32_t Find(std::string_view token) const;
+
+  /// Token string for a valid id.
+  const std::string& TokenOf(int32_t id) const { return tokens_[id]; }
+
+  size_t size() const { return tokens_.size(); }
+
+ private:
+  std::unordered_map<std::string, int32_t> ids_;
+  std::vector<std::string> tokens_;
+};
+
+}  // namespace icrowd
+
+#endif  // ICROWD_TEXT_VOCABULARY_H_

@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include "agg/dawid_skene.h"
+#include "agg/majority_vote.h"
+#include "agg/probabilistic_verification.h"
+#include "common/random.h"
+
+namespace icrowd {
+namespace {
+
+AnswerRecord Ans(TaskId t, WorkerId w, Label label) {
+  return {t, w, label, 0.0};
+}
+
+// ---------------------------------------------------------- MajorityVote --
+
+TEST(MajorityVoteTest, BasicMajority) {
+  MajorityVoteAggregator agg;
+  std::vector<AnswerRecord> answers = {Ans(0, 0, kYes), Ans(0, 1, kYes),
+                                       Ans(0, 2, kNo), Ans(1, 0, kNo)};
+  auto labels = agg.Aggregate(2, answers);
+  ASSERT_TRUE(labels.ok());
+  EXPECT_EQ((*labels)[0], kYes);
+  EXPECT_EQ((*labels)[1], kNo);
+}
+
+TEST(MajorityVoteTest, UnansweredTaskGetsNoLabel) {
+  MajorityVoteAggregator agg;
+  auto labels = agg.Aggregate(3, {Ans(1, 0, kYes)});
+  ASSERT_TRUE(labels.ok());
+  EXPECT_EQ((*labels)[0], kNoLabel);
+  EXPECT_EQ((*labels)[2], kNoLabel);
+}
+
+TEST(MajorityVoteTest, TieBreaksDeterministicallyTowardSmallerLabel) {
+  std::vector<AnswerRecord> answers = {Ans(0, 0, kYes), Ans(0, 1, kNo)};
+  EXPECT_EQ(MajorityLabel(answers), kNo);  // kNo == 0 < kYes == 1
+}
+
+TEST(MajorityVoteTest, MultiChoiceLabels) {
+  // The voting machinery is label-agnostic (more than two choices).
+  std::vector<AnswerRecord> answers = {Ans(0, 0, 7), Ans(0, 1, 7),
+                                       Ans(0, 2, 3)};
+  EXPECT_EQ(MajorityLabel(answers), 7);
+}
+
+TEST(MajorityVoteTest, IgnoresOutOfRangeTasks) {
+  MajorityVoteAggregator agg;
+  auto labels = agg.Aggregate(1, {Ans(5, 0, kYes), Ans(0, 0, kNo)});
+  ASSERT_TRUE(labels.ok());
+  EXPECT_EQ(labels->size(), 1u);
+  EXPECT_EQ((*labels)[0], kNo);
+}
+
+TEST(GroupAnswersTest, GroupsByTask) {
+  auto by_task =
+      GroupAnswersByTask(3, {Ans(2, 0, kYes), Ans(0, 1, kNo), Ans(2, 2, kNo)});
+  EXPECT_EQ(by_task[0].size(), 1u);
+  EXPECT_TRUE(by_task[1].empty());
+  EXPECT_EQ(by_task[2].size(), 2u);
+}
+
+// ------------------------------------------- ProbabilisticVerification --
+
+TEST(ProbabilisticVerificationTest, AccurateMinorityOutweighsWeakMajority) {
+  // One 0.95-accurate worker says YES; two 0.55 workers say NO.
+  auto accuracy = [](WorkerId w, TaskId) { return w == 0 ? 0.95 : 0.55; };
+  ProbabilisticVerificationAggregator agg(accuracy);
+  std::vector<AnswerRecord> answers = {Ans(0, 0, kYes), Ans(0, 1, kNo),
+                                       Ans(0, 2, kNo)};
+  auto labels = agg.Aggregate(1, answers);
+  ASSERT_TRUE(labels.ok());
+  EXPECT_EQ((*labels)[0], kYes);
+}
+
+TEST(ProbabilisticVerificationTest, EqualAccuraciesReduceToMajority) {
+  auto accuracy = [](WorkerId, TaskId) { return 0.8; };
+  ProbabilisticVerificationAggregator agg(accuracy);
+  std::vector<AnswerRecord> answers = {Ans(0, 0, kYes), Ans(0, 1, kYes),
+                                       Ans(0, 2, kNo)};
+  auto labels = agg.Aggregate(1, answers);
+  ASSERT_TRUE(labels.ok());
+  EXPECT_EQ((*labels)[0], kYes);
+}
+
+TEST(ProbabilisticVerificationTest, MissingAccuracyFnFails) {
+  ProbabilisticVerificationAggregator agg(nullptr);
+  EXPECT_EQ(agg.Aggregate(1, {Ans(0, 0, kYes)}).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ProbabilisticVerificationTest, LabelPosteriorSumsToOneForBinary) {
+  auto accuracy = [](WorkerId w, TaskId) { return 0.6 + 0.05 * w; };
+  std::vector<AnswerRecord> answers = {Ans(0, 0, kYes), Ans(0, 1, kNo),
+                                       Ans(0, 2, kYes)};
+  double yes = ProbabilisticVerificationAggregator::LabelPosterior(
+      answers, kYes, accuracy);
+  double no = ProbabilisticVerificationAggregator::LabelPosterior(
+      answers, kNo, accuracy);
+  EXPECT_NEAR(yes + no, 1.0, 1e-9);
+  EXPECT_GT(yes, no);
+}
+
+TEST(ProbabilisticVerificationTest, PosteriorMatchesHandComputation) {
+  // Two workers, p = 0.9 and p = 0.7, both say YES.
+  auto accuracy = [](WorkerId w, TaskId) { return w == 0 ? 0.9 : 0.7; };
+  std::vector<AnswerRecord> answers = {Ans(0, 0, kYes), Ans(0, 1, kYes)};
+  double yes = ProbabilisticVerificationAggregator::LabelPosterior(
+      answers, kYes, accuracy);
+  double expected = (0.9 * 0.7) / (0.9 * 0.7 + 0.1 * 0.3);
+  EXPECT_NEAR(yes, expected, 1e-9);
+}
+
+TEST(ProbabilisticVerificationTest, ExtremeAccuraciesStayFinite) {
+  auto accuracy = [](WorkerId, TaskId) { return 1.0; };  // clamped inside
+  std::vector<AnswerRecord> answers;
+  for (int i = 0; i < 50; ++i) answers.push_back(Ans(0, i, kYes));
+  double yes = ProbabilisticVerificationAggregator::LabelPosterior(
+      answers, kYes, accuracy);
+  EXPECT_TRUE(std::isfinite(yes));
+  EXPECT_NEAR(yes, 1.0, 1e-6);
+}
+
+// ------------------------------------------------------------ DawidSkene --
+
+TEST(DawidSkeneTest, RejectsNonBinaryLabelsAndBadTasks) {
+  DawidSkeneAggregator agg;
+  EXPECT_FALSE(agg.Aggregate(1, {Ans(0, 0, 5)}).ok());
+  EXPECT_FALSE(agg.Aggregate(1, {Ans(3, 0, kYes)}).ok());
+}
+
+TEST(DawidSkeneTest, UnanimousAnswersRecovered) {
+  DawidSkeneAggregator agg;
+  std::vector<AnswerRecord> answers;
+  for (WorkerId w = 0; w < 3; ++w) {
+    answers.push_back(Ans(0, w, kYes));
+    answers.push_back(Ans(1, w, kNo));
+  }
+  auto labels = agg.Aggregate(2, answers);
+  ASSERT_TRUE(labels.ok());
+  EXPECT_EQ((*labels)[0], kYes);
+  EXPECT_EQ((*labels)[1], kNo);
+}
+
+TEST(DawidSkeneTest, RecoversPlantedTruthAgainstNoisyWorkers) {
+  // 40 tasks, 7 workers: 4 accurate (0.9), 3 near-random (0.5). EM should
+  // recover the planted truth better than any single worker.
+  Rng rng(77);
+  const size_t num_tasks = 40;
+  std::vector<Label> truth(num_tasks);
+  for (auto& t : truth) t = rng.Bernoulli(0.5) ? kYes : kNo;
+  std::vector<double> worker_acc = {0.9, 0.9, 0.88, 0.92, 0.52, 0.5, 0.48};
+  std::vector<AnswerRecord> answers;
+  for (size_t t = 0; t < num_tasks; ++t) {
+    for (WorkerId w = 0; w < static_cast<WorkerId>(worker_acc.size()); ++w) {
+      Label ans = rng.Bernoulli(worker_acc[w])
+                      ? truth[t]
+                      : (truth[t] == kYes ? kNo : kYes);
+      answers.push_back(Ans(static_cast<TaskId>(t), w, ans));
+    }
+  }
+  DawidSkeneAggregator agg;
+  auto fit = agg.Fit(num_tasks, answers);
+  ASSERT_TRUE(fit.ok());
+  size_t correct = 0;
+  for (size_t t = 0; t < num_tasks; ++t) {
+    correct += (fit->labels[t] == truth[t]);
+  }
+  EXPECT_GE(correct, 36u);  // >= 90%
+  // Estimated confusion diagonals should rank good workers above spammers.
+  auto diag = [&](WorkerId w) {
+    return (fit->confusion[w][0][0] + fit->confusion[w][1][1]) / 2.0;
+  };
+  EXPECT_GT(diag(0), diag(5));
+  EXPECT_GT(diag(3), diag(6));
+}
+
+TEST(DawidSkeneTest, PosteriorsAreProbabilities) {
+  DawidSkeneAggregator agg;
+  std::vector<AnswerRecord> answers = {Ans(0, 0, kYes), Ans(0, 1, kNo),
+                                       Ans(1, 0, kYes)};
+  auto fit = agg.Fit(3, answers);
+  ASSERT_TRUE(fit.ok());
+  for (double p : fit->posterior_yes) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+  EXPECT_EQ(fit->labels[2], kNoLabel);  // unanswered
+  EXPECT_DOUBLE_EQ(fit->posterior_yes[2], 0.5);
+}
+
+TEST(DawidSkeneTest, ConvergesWithinIterationBudget) {
+  DawidSkeneAggregator agg(DawidSkeneOptions{.max_iterations = 100});
+  std::vector<AnswerRecord> answers;
+  for (WorkerId w = 0; w < 5; ++w) {
+    for (TaskId t = 0; t < 10; ++t) {
+      answers.push_back(Ans(t, w, (t + w) % 2 == 0 ? kYes : kNo));
+    }
+  }
+  auto fit = agg.Fit(10, answers);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_LT(fit->iterations_run, 100);
+}
+
+TEST(DawidSkeneTest, EmptyAnswerLogYieldsAllNoLabel) {
+  DawidSkeneAggregator agg;
+  auto labels = agg.Aggregate(4, {});
+  ASSERT_TRUE(labels.ok());
+  for (Label l : *labels) EXPECT_EQ(l, kNoLabel);
+}
+
+}  // namespace
+}  // namespace icrowd

@@ -1,0 +1,492 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "assign/adaptive_assigner.h"
+#include "assign/avgacc_assigner.h"
+#include "assign/best_effort_assigner.h"
+#include "assign/exact_assign.h"
+#include "assign/greedy_assign.h"
+#include "assign/random_assigner.h"
+#include "assign/scalable_assign.h"
+#include "assign/top_workers.h"
+#include "common/random.h"
+#include "graph/similarity_graph.h"
+
+namespace icrowd {
+namespace {
+
+TopWorkerSet MakeSet(TaskId task, std::vector<WorkerId> workers,
+                     std::vector<double> accuracies) {
+  TopWorkerSet set;
+  set.task = task;
+  set.workers = std::move(workers);
+  set.accuracies = std::move(accuracies);
+  return set;
+}
+
+// ------------------------------------------------------------ TopWorkers --
+
+class TopWorkersTest : public ::testing::Test {
+ protected:
+  TopWorkersTest() : state_(3, 3) {
+    for (int i = 0; i < 5; ++i) workers_.push_back(state_.RegisterWorker());
+  }
+  AccuracyFn Fn() {
+    return [](WorkerId w, TaskId t) {
+      static const double base[] = {0.9, 0.8, 0.7, 0.6, 0.5};
+      return base[w] - 0.05 * t;
+    };
+  }
+  CampaignState state_;
+  std::vector<WorkerId> workers_;
+};
+
+TEST_F(TopWorkersTest, PicksHighestAccuracyWorkers) {
+  TopWorkerSet set = ComputeTopWorkerSet(0, state_, workers_, Fn());
+  EXPECT_EQ(set.task, 0);
+  EXPECT_EQ(set.workers, (std::vector<WorkerId>{0, 1, 2}));
+  EXPECT_DOUBLE_EQ(set.accuracies[0], 0.9);
+  EXPECT_NEAR(set.AvgAccuracy(), 0.8, 1e-12);
+  EXPECT_NEAR(set.SumAccuracy(), 2.4, 1e-12);
+}
+
+TEST_F(TopWorkersTest, ExcludesAlreadyAssignedWorkers) {
+  ASSERT_TRUE(state_.MarkAssigned(0, 0).ok());
+  TopWorkerSet set = ComputeTopWorkerSet(0, state_, workers_, Fn());
+  // k' = 2 remaining slots; worker 0 excluded.
+  EXPECT_EQ(set.workers, (std::vector<WorkerId>{1, 2}));
+}
+
+TEST_F(TopWorkersTest, PartialSetWhenFewWorkers) {
+  std::vector<WorkerId> two = {3, 4};
+  TopWorkerSet set = ComputeTopWorkerSet(0, state_, two, Fn());
+  EXPECT_EQ(set.workers.size(), 2u);
+}
+
+TEST_F(TopWorkersTest, EmptyWhenNoSlots) {
+  for (WorkerId w : {0, 1, 2}) ASSERT_TRUE(state_.MarkAssigned(0, w).ok());
+  TopWorkerSet set = ComputeTopWorkerSet(0, state_, workers_, Fn());
+  EXPECT_TRUE(set.empty());
+}
+
+TEST_F(TopWorkersTest, AllUncompletedTasksCovered) {
+  auto sets = ComputeTopWorkerSets(state_, workers_, Fn());
+  EXPECT_EQ(sets.size(), 3u);
+  std::set<TaskId> tasks;
+  for (const auto& s : sets) tasks.insert(s.task);
+  EXPECT_EQ(tasks.size(), 3u);
+}
+
+TEST_F(TopWorkersTest, RequireFullDropsPartialSets) {
+  std::vector<WorkerId> two = {0, 1};
+  auto sets = ComputeTopWorkerSets(state_, two, Fn(), /*require_full=*/true);
+  EXPECT_TRUE(sets.empty());  // k' = 3 but only 2 workers exist
+}
+
+TEST_F(TopWorkersTest, CompletedTasksSkipped) {
+  state_.ForceComplete(1, kYes);
+  auto sets = ComputeTopWorkerSets(state_, workers_, Fn());
+  EXPECT_EQ(sets.size(), 2u);
+}
+
+TEST(AssignableTasksTest, FiltersHeldAndCompleted) {
+  CampaignState state(3, 3);
+  WorkerId w = state.RegisterWorker();
+  state.ForceComplete(0, kYes);
+  ASSERT_TRUE(state.MarkAssigned(1, w).ok());
+  EXPECT_EQ(AssignableTasks(w, state), (std::vector<TaskId>{2}));
+}
+
+// ---------------------------------------------------------- GreedyAssign --
+
+TEST(GreedyAssignTest, PaperTable3Example) {
+  // Table 3: t4 {w5,w4,w1}, t11 {w5,w3}, t9 {w4,w2,w1}, t10 {w3,w1}.
+  std::vector<TopWorkerSet> candidates = {
+      MakeSet(4, {5, 4, 1}, {0.75, 0.7, 0.6}),
+      MakeSet(11, {5, 3}, {0.85, 0.8}),
+      MakeSet(9, {4, 2, 1}, {0.85, 0.75, 0.7}),
+      MakeSet(10, {3, 1}, {0.7, 0.6}),
+  };
+  auto scheme = GreedyAssign(candidates);
+  // The paper's §4.2 walkthrough: pick t11 (avg 0.825), then t9 (avg
+  // 0.767); t4 and t10 are eliminated by overlap.
+  ASSERT_EQ(scheme.size(), 2u);
+  EXPECT_EQ(scheme[0].task, 11);
+  EXPECT_EQ(scheme[1].task, 9);
+}
+
+TEST(GreedyAssignTest, SchemeIsWorkerDisjoint) {
+  Rng rng(5);
+  std::vector<TopWorkerSet> candidates;
+  for (TaskId t = 0; t < 30; ++t) {
+    std::vector<WorkerId> workers;
+    std::vector<double> acc;
+    for (size_t i : rng.SampleWithoutReplacement(10, 3)) {
+      workers.push_back(static_cast<WorkerId>(i));
+      acc.push_back(rng.Uniform(0.4, 0.95));
+    }
+    candidates.push_back(MakeSet(t, workers, acc));
+  }
+  auto scheme = GreedyAssign(candidates);
+  std::set<WorkerId> used;
+  for (const auto& s : scheme) {
+    for (WorkerId w : s.workers) {
+      EXPECT_TRUE(used.insert(w).second) << "worker reused";
+    }
+  }
+  EXPECT_FALSE(scheme.empty());
+}
+
+TEST(GreedyAssignTest, EmptyAndSingleCandidate) {
+  EXPECT_TRUE(GreedyAssign({}).empty());
+  auto scheme = GreedyAssign({MakeSet(0, {1}, {0.7})});
+  ASSERT_EQ(scheme.size(), 1u);
+  EXPECT_EQ(scheme[0].task, 0);
+}
+
+TEST(GreedyAssignTest, SkipsEmptyCandidates) {
+  auto scheme = GreedyAssign({MakeSet(0, {}, {}), MakeSet(1, {2}, {0.9})});
+  ASSERT_EQ(scheme.size(), 1u);
+  EXPECT_EQ(scheme[0].task, 1);
+}
+
+// ----------------------------------------------------------- ExactAssign --
+
+TEST(ExactAssignTest, FindsOptimumOnHandInstance) {
+  // Exact (by sum) picks {t0, t3}: 1.8 + 0.95.
+  std::vector<TopWorkerSet> candidates = {
+      MakeSet(0, {0, 1}, {0.9, 0.9}),
+      MakeSet(1, {0}, {0.7}),
+      MakeSet(2, {1}, {0.7}),
+      MakeSet(3, {2}, {0.95}),
+  };
+  auto exact = ExactAssign(candidates);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_NEAR(SchemeObjective(*exact), 1.8 + 0.95, 1e-12);
+}
+
+TEST(ExactAssignTest, RespectsDisjointnessConstraint) {
+  std::vector<TopWorkerSet> candidates = {
+      MakeSet(0, {0}, {0.9}),
+      MakeSet(1, {0}, {0.8}),
+  };
+  auto exact = ExactAssign(candidates);
+  ASSERT_TRUE(exact.ok());
+  ASSERT_EQ(exact->size(), 1u);
+  EXPECT_EQ((*exact)[0].task, 0);
+}
+
+TEST(ExactAssignTest, NodeBudgetAborts) {
+  std::vector<TopWorkerSet> candidates;
+  for (TaskId t = 0; t < 40; ++t) {
+    candidates.push_back(MakeSet(t, {static_cast<WorkerId>(t)}, {0.5}));
+  }
+  ExactAssignOptions options;
+  options.max_nodes = 10;
+  EXPECT_EQ(ExactAssign(candidates, options).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+// Property: greedy never beats exact and stays within a reasonable factor
+// (Appendix D.4 measured < 2% error on real instances).
+class GreedyVsExactTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GreedyVsExactTest, GreedyWithinBoundOfOptimal) {
+  Rng rng(GetParam());
+  size_t num_workers = 3 + rng.UniformInt(0, 4);  // 3..7 as in Table 5
+  std::vector<TopWorkerSet> candidates;
+  for (TaskId t = 0; t < 12; ++t) {
+    size_t size = 1 + rng.UniformInt(0, std::min<size_t>(2, num_workers - 1));
+    std::vector<WorkerId> workers;
+    std::vector<double> acc;
+    for (size_t i : rng.SampleWithoutReplacement(num_workers, size)) {
+      workers.push_back(static_cast<WorkerId>(i));
+      acc.push_back(rng.Uniform(0.4, 0.95));
+    }
+    candidates.push_back(MakeSet(t, workers, acc));
+  }
+  auto exact = ExactAssign(candidates);
+  ASSERT_TRUE(exact.ok());
+  double opt = SchemeObjective(*exact);
+  double app = SchemeObjective(GreedyAssign(candidates));
+  EXPECT_LE(app, opt + 1e-9);
+  EXPECT_GE(app, 0.5 * opt);  // loose, never violated in practice
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GreedyVsExactTest,
+                         ::testing::Range<uint64_t>(0, 12));
+
+// -------------------------------------------------------- ScalableAssign --
+
+TEST(ScalableAssignTest, SparseEstimateLookup) {
+  SparseWorkerEstimate est;
+  est.fallback = 0.55;
+  est.scores = {{2, 0.9}, {7, 0.3}};
+  EXPECT_DOUBLE_EQ(est.Accuracy(2), 0.9);
+  EXPECT_DOUBLE_EQ(est.Accuracy(7), 0.3);
+  EXPECT_DOUBLE_EQ(est.Accuracy(5), 0.55);
+}
+
+TEST(ScalableAssignTest, CountsTouchedAndUntouchedTasks) {
+  const size_t num_tasks = 6;
+  std::vector<SparseWorkerEstimate> workers(5);
+  Rng rng(3);
+  for (size_t w = 0; w < workers.size(); ++w) {
+    workers[w].worker = static_cast<WorkerId>(w);
+    workers[w].fallback = rng.Uniform(0.5, 0.7);
+    for (TaskId t = 0; t < static_cast<TaskId>(num_tasks); t += 2) {
+      workers[w].scores.emplace_back(t, rng.Uniform(0.3, 0.95));
+    }
+  }
+  ScalableAssignStats stats;
+  auto scheme = ScalableAssign(num_tasks, 2, workers, &stats);
+  EXPECT_EQ(stats.touched_tasks, 3u);
+  EXPECT_EQ(stats.untouched_tasks, 3u);
+  std::set<WorkerId> used;
+  for (const auto& s : scheme) {
+    for (WorkerId w : s.workers) EXPECT_TRUE(used.insert(w).second);
+    EXPECT_LE(s.workers.size(), 2u);
+  }
+}
+
+TEST(ScalableAssignTest, UntouchedTasksServedFromFallbackRanking) {
+  std::vector<SparseWorkerEstimate> workers(4);
+  for (size_t w = 0; w < 4; ++w) {
+    workers[w].worker = static_cast<WorkerId>(w);
+    workers[w].fallback = 0.9 - 0.1 * w;
+  }
+  auto scheme = ScalableAssign(100, 2, workers, nullptr);
+  // 4 workers / k=2 -> two groups; best group {0,1}, second {2,3}.
+  ASSERT_EQ(scheme.size(), 2u);
+  EXPECT_EQ(scheme[0].workers, (std::vector<WorkerId>{0, 1}));
+  EXPECT_EQ(scheme[1].workers, (std::vector<WorkerId>{2, 3}));
+  EXPECT_NE(scheme[0].task, scheme[1].task);
+}
+
+TEST(ScalableAssignTest, EmptyWorkersYieldEmptyScheme) {
+  EXPECT_TRUE(ScalableAssign(10, 3, {}, nullptr).empty());
+}
+
+// -------------------------------------------------------- RandomAssigner --
+
+TEST(RandomAssignerTest, OnlyReturnsAssignableTasks) {
+  CampaignState state(5, 3);
+  WorkerId w = state.RegisterWorker();
+  state.ForceComplete(0, kYes);
+  ASSERT_TRUE(state.MarkAssigned(1, w).ok());
+  RandomAssigner assigner(1);
+  for (int i = 0; i < 50; ++i) {
+    auto task = assigner.RequestTask(w, state, {w});
+    ASSERT_TRUE(task.has_value());
+    EXPECT_NE(*task, 0);
+    EXPECT_NE(*task, 1);
+  }
+}
+
+TEST(RandomAssignerTest, ReturnsNulloptWhenNothingAssignable) {
+  CampaignState state(1, 3);
+  WorkerId w = state.RegisterWorker();
+  state.ForceComplete(0, kYes);
+  RandomAssigner assigner(1);
+  EXPECT_FALSE(assigner.RequestTask(w, state, {w}).has_value());
+}
+
+// -------------------------------------------------------- AvgAccAssigner --
+
+TEST(AvgAccAssignerTest, GatesWorkersBelowThreshold) {
+  CampaignState state(5, 3);
+  WorkerId good = state.RegisterWorker();
+  WorkerId bad = state.RegisterWorker();
+  AvgAccAssigner assigner;
+  assigner.OnWorkerRegistered(good, 0.8, state);
+  assigner.OnWorkerRegistered(bad, 0.4, state);
+  EXPECT_TRUE(assigner.RequestTask(good, state, {good, bad}).has_value());
+  EXPECT_FALSE(assigner.RequestTask(bad, state, {good, bad}).has_value());
+  EXPECT_DOUBLE_EQ(assigner.AverageAccuracy(good), 0.8);
+  EXPECT_DOUBLE_EQ(assigner.AverageAccuracy(99), 0.5);  // unseen
+}
+
+// ---------------------------------------- BestEffort / Adaptive fixtures --
+
+Dataset TwoDomainDataset() {
+  Dataset ds("two-domain");
+  for (int i = 0; i < 8; ++i) {
+    Microtask t;
+    t.text = "task";
+    t.domain = i < 4 ? "A" : "B";
+    t.ground_truth = kYes;
+    ds.AddTask(std::move(t));
+  }
+  return ds;
+}
+
+SimilarityGraph TwoCliqueGraph() {
+  std::vector<std::tuple<int32_t, int32_t, double>> edges;
+  for (int32_t i = 0; i < 4; ++i) {
+    for (int32_t j = i + 1; j < 4; ++j) {
+      edges.emplace_back(i, j, 1.0);
+      edges.emplace_back(i + 4, j + 4, 1.0);
+    }
+  }
+  return SimilarityGraph::FromEdges(8, edges);
+}
+
+std::unique_ptr<AccuracyEstimator> MakeEstimator(
+    const SimilarityGraph& graph) {
+  auto est = AccuracyEstimator::Create(graph, {});
+  EXPECT_TRUE(est.ok());
+  auto owned = std::make_unique<AccuracyEstimator>(est.MoveValueOrDie());
+  owned->SetQualificationTasks({0, 4});
+  return owned;
+}
+
+// Gives worker w gold observations: correct on task 0 (domain A) iff
+// `good_at_a`, correct on task 4 (domain B) iff `good_at_b`.
+void SeedGold(CampaignState* state, WorkerId w, bool good_at_a,
+              bool good_at_b) {
+  for (auto [task, good] : {std::pair<TaskId, bool>{0, good_at_a},
+                            std::pair<TaskId, bool>{4, good_at_b}}) {
+    if (!state->IsQualification(task)) {
+      state->MarkQualification(task);
+      state->ForceComplete(task, kYes);
+    }
+    ASSERT_TRUE(state->MarkAssigned(task, w).ok());
+    ASSERT_TRUE(state->RecordAnswer({task, w, good ? kYes : kNo, 0.0}).ok());
+  }
+}
+
+TEST(BestEffortAssignerTest, RoutesWorkerToItsStrongDomain) {
+  Dataset ds = TwoDomainDataset();
+  SimilarityGraph graph = TwoCliqueGraph();
+  BestEffortAssigner assigner(&ds, MakeEstimator(graph));
+  EXPECT_EQ(assigner.name(), "BestEffort");
+  CampaignState state(ds.size(), 3);
+  WorkerId w = state.RegisterWorker();
+  SeedGold(&state, w, /*good_at_a=*/true, /*good_at_b=*/false);
+  assigner.OnWorkerRegistered(w, 0.5, state);
+  auto task = assigner.RequestTask(w, state, {w});
+  ASSERT_TRUE(task.has_value());
+  EXPECT_LT(*task, 4) << "expected a domain-A task";
+}
+
+TEST(AdaptiveAssignerTest, PlansWorkersOntoTheirStrongDomains) {
+  Dataset ds = TwoDomainDataset();
+  SimilarityGraph graph = TwoCliqueGraph();
+  AdaptiveAssigner assigner(&ds, MakeEstimator(graph));
+  EXPECT_EQ(assigner.name(), "Adapt");
+  // k = 1 so each top worker set is a single worker and routing is
+  // per-worker (with 2 workers and k = 3 every set would contain both).
+  CampaignState state(ds.size(), 1);
+  WorkerId w0 = state.RegisterWorker();
+  WorkerId w1 = state.RegisterWorker();
+  SeedGold(&state, w0, true, false);
+  SeedGold(&state, w1, false, true);
+  assigner.OnWorkerRegistered(w0, 0.5, state);
+  assigner.OnWorkerRegistered(w1, 0.5, state);
+  auto t0 = assigner.RequestTask(w0, state, {w0, w1});
+  auto t1 = assigner.RequestTask(w1, state, {w0, w1});
+  ASSERT_TRUE(t0.has_value());
+  ASSERT_TRUE(t1.has_value());
+  EXPECT_LT(*t0, 4) << "worker 0 belongs in domain A";
+  EXPECT_GE(*t1, 4) << "worker 1 belongs in domain B";
+}
+
+TEST(AdaptiveAssignerTest, NeverReturnsUnassignableTask) {
+  Dataset ds = TwoDomainDataset();
+  SimilarityGraph graph = TwoCliqueGraph();
+  AdaptiveAssigner assigner(&ds, MakeEstimator(graph));
+  CampaignState state(ds.size(), 1);  // k = 1: slots vanish fast
+  std::vector<WorkerId> workers;
+  for (int i = 0; i < 3; ++i) workers.push_back(state.RegisterWorker());
+  for (WorkerId w : workers) assigner.OnWorkerRegistered(w, 0.7, state);
+  Rng rng(4);
+  for (int round = 0; round < 20; ++round) {
+    for (WorkerId w : workers) {
+      auto task = assigner.RequestTask(w, state, workers);
+      if (!task.has_value()) continue;
+      ASSERT_TRUE(state.CanAssign(*task, w));
+      ASSERT_TRUE(state.MarkAssigned(*task, w).ok());
+      AnswerRecord answer{*task, w, rng.Bernoulli(0.7) ? kYes : kNo, 0.0};
+      ASSERT_TRUE(state.RecordAnswer(answer).ok());
+      assigner.OnAnswer(answer, state);
+    }
+  }
+  EXPECT_TRUE(state.AllCompleted());
+}
+
+TEST(AdaptiveAssignerTest, QfOnlyModeFreezesEstimates) {
+  Dataset ds = TwoDomainDataset();
+  SimilarityGraph graph = TwoCliqueGraph();
+  AdaptiveAssignerOptions options;
+  options.adaptive_updates = false;
+  AdaptiveAssigner assigner(&ds, MakeEstimator(graph), options);
+  EXPECT_EQ(assigner.name(), "QF-Only");
+  CampaignState state(ds.size(), 3);
+  WorkerId w = state.RegisterWorker();
+  SeedGold(&state, w, true, false);
+  assigner.OnWorkerRegistered(w, 0.5, state);
+  double before = assigner.estimator().Accuracy(w, 1);
+  // Complete a task involving this worker; QF-Only must not refresh.
+  auto task = assigner.RequestTask(w, state, {w});
+  ASSERT_TRUE(task.has_value());
+  ASSERT_TRUE(state.MarkAssigned(*task, w).ok());
+  AnswerRecord answer{*task, w, kYes, 0.0};
+  ASSERT_TRUE(state.RecordAnswer(answer).ok());
+  WorkerId w2 = state.RegisterWorker();
+  ASSERT_TRUE(state.MarkAssigned(*task, w2).ok());
+  ASSERT_TRUE(state.RecordAnswer({*task, w2, kYes, 1.0}).ok());
+  ASSERT_TRUE(state.IsCompleted(*task));
+  assigner.OnAnswer(answer, state);
+  assigner.RequestTask(w, state, {w});
+  EXPECT_DOUBLE_EQ(assigner.estimator().Accuracy(w, 1), before);
+}
+
+TEST(AdaptiveAssignerTest, SingleSlotServedOnce) {
+  Dataset ds = TwoDomainDataset();
+  SimilarityGraph graph = TwoCliqueGraph();
+  AdaptiveAssigner assigner(&ds, MakeEstimator(graph));
+  CampaignState state(ds.size(), 1);
+  std::vector<WorkerId> workers;
+  for (int i = 0; i < 10; ++i) workers.push_back(state.RegisterWorker());
+  for (WorkerId w : workers) assigner.OnWorkerRegistered(w, 0.7, state);
+  // Complete all but one task so a single slot remains for ten workers.
+  for (TaskId t = 0; t + 1 < static_cast<TaskId>(ds.size()); ++t) {
+    state.ForceComplete(t, kYes);
+  }
+  int served = 0;
+  for (WorkerId w : workers) {
+    auto task = assigner.RequestTask(w, state, workers);
+    if (task.has_value()) {
+      EXPECT_EQ(*task, static_cast<TaskId>(ds.size() - 1));
+      ASSERT_TRUE(state.MarkAssigned(*task, w).ok());
+      ++served;
+    }
+  }
+  EXPECT_EQ(served, 1);
+}
+
+TEST(AdaptiveAssignerTest, PerformanceTestingCanBeDisabled) {
+  Dataset ds = TwoDomainDataset();
+  SimilarityGraph graph = TwoCliqueGraph();
+  AdaptiveAssignerOptions options;
+  options.performance_testing = false;
+  AdaptiveAssigner assigner(&ds, MakeEstimator(graph), options);
+  CampaignState state(ds.size(), 1);
+  std::vector<WorkerId> workers;
+  for (int i = 0; i < 3; ++i) workers.push_back(state.RegisterWorker());
+  for (WorkerId w : workers) assigner.OnWorkerRegistered(w, 0.7, state);
+  int assigned = 0;
+  for (WorkerId w : workers) {
+    auto task = assigner.RequestTask(w, state, workers);
+    if (task.has_value()) {
+      ASSERT_TRUE(state.MarkAssigned(*task, w).ok());
+      ++assigned;
+    }
+  }
+  EXPECT_EQ(assigner.test_assignments(), 0u);
+  EXPECT_GT(assigned, 0);
+}
+
+}  // namespace
+}  // namespace icrowd

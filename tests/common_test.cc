@@ -1,0 +1,399 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+
+namespace icrowd {
+namespace {
+
+// ---------------------------------------------------------------- Status --
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Internal("boom").message(), "boom");
+}
+
+TEST(StatusTest, ToStringIncludesCodeNameAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_EQ(s.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+Status FailsThenPropagates() {
+  ICROWD_RETURN_NOT_OK(Status::OutOfRange("inner"));
+  return Status::Internal("should not reach");
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  Status s = FailsThenPropagates();
+  EXPECT_EQ(s.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(s.message(), "inner");
+}
+
+// ---------------------------------------------------------------- Result --
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = ParsePositive(5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 5);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = ParsePositive(-1);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+Result<std::string> Doubler(int x) {
+  ICROWD_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  return std::string(static_cast<size_t>(v), 'x');
+}
+
+TEST(ResultTest, AssignOrReturnMacroOnSuccess) {
+  auto r = Doubler(3);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "xxx");
+}
+
+TEST(ResultTest, AssignOrReturnMacroOnError) {
+  auto r = Doubler(0);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, MoveValueOrDieMovesOutOwnership) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  std::unique_ptr<int> v = r.MoveValueOrDie();
+  EXPECT_EQ(*v, 7);
+}
+
+// ------------------------------------------------------------------- Rng --
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Uniform(), b.Uniform());
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(2);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.UniformInt(0, 4));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 4);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRoughlyCalibrated) {
+  Rng rng(4);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, BetaInUnitIntervalAndRoughMean) {
+  Rng rng(5);
+  double sum = 0.0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    double b = rng.Beta(2.0, 3.0);
+    EXPECT_GT(b, 0.0);
+    EXPECT_LT(b, 1.0);
+    sum += b;
+  }
+  EXPECT_NEAR(sum / n, 2.0 / 5.0, 0.02);  // mean of Beta(2,3)
+}
+
+TEST(RngTest, WeightedIndexFollowsWeights) {
+  Rng rng(6);
+  std::vector<double> weights = {0.0, 3.0, 1.0};
+  int counts[3] = {0, 0, 0};
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) ++counts[rng.WeightedIndex(weights)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, 0.75, 0.02);
+}
+
+TEST(RngTest, WeightedIndexAllZeroFallsBackToUniform) {
+  Rng rng(7);
+  std::vector<double> weights = {0.0, 0.0, 0.0};
+  std::set<size_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.WeightedIndex(weights));
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(8);
+  auto sample = rng.SampleWithoutReplacement(10, 7);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(sample.size(), 7u);
+  EXPECT_EQ(unique.size(), 7u);
+  for (size_t s : sample) EXPECT_LT(s, 10u);
+}
+
+TEST(RngTest, SampleWithoutReplacementFullSet) {
+  Rng rng(9);
+  auto sample = rng.SampleWithoutReplacement(5, 5);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(RngTest, GeometricAtLeastOne) {
+  Rng rng(10);
+  for (int i = 0; i < 200; ++i) EXPECT_GE(rng.Geometric(20.0), 1);
+  EXPECT_EQ(rng.Geometric(0.5), 1);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(11);
+  Rng b = a.Fork();
+  // Streams should differ from the parent's continued stream.
+  bool any_diff = false;
+  for (int i = 0; i < 20; ++i) {
+    if (a.Uniform() != b.Uniform()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+// ------------------------------------------------------------- MathUtil --
+
+TEST(MathUtilTest, MeanAndStdDev) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({2.0, 4.0}), 3.0);
+  EXPECT_DOUBLE_EQ(StdDev({5.0}), 0.0);
+  EXPECT_NEAR(StdDev({2.0, 4.0}), 1.0, 1e-12);
+}
+
+TEST(MathUtilTest, ClampProbabilityKeepsOpenInterval) {
+  EXPECT_DOUBLE_EQ(ClampProbability(-0.5), 1e-6);
+  EXPECT_DOUBLE_EQ(ClampProbability(1.5), 1.0 - 1e-6);
+  EXPECT_DOUBLE_EQ(ClampProbability(0.4), 0.4);
+  EXPECT_DOUBLE_EQ(ClampProbability(0.0, 0.02), 0.02);
+}
+
+TEST(MathUtilTest, LogSumExpMatchesDirectComputation) {
+  std::vector<double> xs = {std::log(0.2), std::log(0.3), std::log(0.5)};
+  EXPECT_NEAR(LogSumExp(xs), std::log(1.0), 1e-12);
+}
+
+TEST(MathUtilTest, LogSumExpHandlesLargeMagnitudes) {
+  // Direct exp would overflow; the stable version must not.
+  EXPECT_NEAR(LogSumExp({1000.0, 1000.0}), 1000.0 + std::log(2.0), 1e-9);
+  EXPECT_NEAR(LogSumExp({-1000.0, -1000.0}), -1000.0 + std::log(2.0), 1e-9);
+}
+
+TEST(MathUtilTest, BetaVarianceMatchesFormula) {
+  // Beta(1,1) is uniform: variance 1/12.
+  EXPECT_NEAR(BetaVariance(1, 1), 1.0 / 12.0, 1e-12);
+  // More observations -> smaller variance.
+  EXPECT_LT(BetaVariance(10, 10), BetaVariance(2, 2));
+}
+
+TEST(MathUtilTest, ForEachSubsetEnumeratesBinomialCount) {
+  int count = 0;
+  ForEachSubset(5, 3, [&](const std::vector<size_t>& s) {
+    EXPECT_EQ(s.size(), 3u);
+    EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+    ++count;
+  });
+  EXPECT_EQ(count, 10);  // C(5,3)
+}
+
+TEST(MathUtilTest, ForEachSubsetDegenerateCases) {
+  int count = 0;
+  ForEachSubset(3, 0, [&](const std::vector<size_t>&) { ++count; });
+  EXPECT_EQ(count, 1);  // the empty subset
+  count = 0;
+  ForEachSubset(2, 3, [&](const std::vector<size_t>&) { ++count; });
+  EXPECT_EQ(count, 0);  // k > n
+}
+
+TEST(MajorityAccuracyTest, SingleWorker) {
+  EXPECT_NEAR(MajorityAccuracy({0.8}), 0.8, 1e-12);
+}
+
+TEST(MajorityAccuracyTest, ThreeIdenticalWorkersClosedForm) {
+  // P(majority of 3 iid p) = 3p^2(1-p) + p^3.
+  double p = 0.7;
+  double expected = 3 * p * p * (1 - p) + p * p * p;
+  EXPECT_NEAR(MajorityAccuracy({p, p, p}), expected, 1e-12);
+}
+
+TEST(MajorityAccuracyTest, MatchesBruteForceEnumeration) {
+  std::vector<double> p = {0.9, 0.6, 0.7, 0.55, 0.8};
+  // Brute force over all 2^5 outcomes.
+  double expected = 0.0;
+  for (int mask = 0; mask < 32; ++mask) {
+    int correct = __builtin_popcount(mask);
+    if (correct < 3) continue;
+    double prob = 1.0;
+    for (int i = 0; i < 5; ++i) {
+      prob *= (mask >> i & 1) ? p[i] : 1.0 - p[i];
+    }
+    expected += prob;
+  }
+  EXPECT_NEAR(MajorityAccuracy(p), expected, 1e-12);
+}
+
+TEST(MajorityAccuracyTest, PerfectAndUselessWorkers) {
+  EXPECT_NEAR(MajorityAccuracy({1.0, 1.0, 1.0}), 1.0, 1e-12);
+  EXPECT_NEAR(MajorityAccuracy({0.0, 0.0, 0.0}), 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(MajorityAccuracy({}), 0.0);
+}
+
+TEST(MajorityAccuracyTest, MonotoneInWorkerAccuracy) {
+  double low = MajorityAccuracy({0.6, 0.6, 0.6});
+  double high = MajorityAccuracy({0.6, 0.9, 0.6});
+  EXPECT_GT(high, low);
+}
+
+// ----------------------------------------------------------- StringUtil --
+
+TEST(StringUtilTest, SplitDropsEmptyPieces) {
+  EXPECT_EQ(SplitString("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(SplitString("", ',').empty());
+  EXPECT_EQ(SplitString(",x,", ','), (std::vector<std::string>{"x"}));
+}
+
+TEST(StringUtilTest, JoinRoundTrips) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+  EXPECT_EQ(JoinStrings({"only"}, ","), "only");
+}
+
+TEST(StringUtilTest, ToLowerAscii) {
+  EXPECT_EQ(ToLowerAscii("MiXeD 123"), "mixed 123");
+}
+
+TEST(StringUtilTest, TrimWhitespace) {
+  EXPECT_EQ(TrimWhitespace("  hi there \t\n"), "hi there");
+  EXPECT_EQ(TrimWhitespace("   "), "");
+  EXPECT_EQ(TrimWhitespace("x"), "x");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("icrowd", "ic"));
+  EXPECT_FALSE(StartsWith("ic", "icrowd"));
+  EXPECT_TRUE(EndsWith("table4.csv", ".csv"));
+  EXPECT_FALSE(EndsWith("csv", "table4.csv"));
+}
+
+TEST(StringUtilTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(0.87349, 3), "0.873");
+  EXPECT_EQ(FormatDouble(2.0, 1), "2.0");
+}
+
+// ------------------------------------------------------------ Stopwatch --
+
+TEST(StopwatchTest, MeasuresNonNegativeMonotoneTime) {
+  Stopwatch sw;
+  double t1 = sw.ElapsedSeconds();
+  double t2 = sw.ElapsedSeconds();
+  EXPECT_GE(t1, 0.0);
+  EXPECT_GE(t2, t1);
+  EXPECT_NEAR(sw.ElapsedMillis(), sw.ElapsedSeconds() * 1e3, 1.0);
+}
+
+// ----------------------------------------------------------- ThreadPool --
+
+TEST(ThreadPoolTest, ExecutesAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+  pool.Submit([&] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(257);
+  ThreadPool::ParallelFor(hits.size(), 4,
+                          [&](size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForZeroAndSingleThread) {
+  ThreadPool::ParallelFor(0, 4, [](size_t) { FAIL(); });
+  int sum = 0;
+  ThreadPool::ParallelFor(5, 1, [&](size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum, 10);
+}
+
+// -------------------------------------------------------------- Logging --
+
+TEST(LoggingTest, LevelFilterRoundTrips) {
+  LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  // Below-threshold logging must be a no-op (no crash, no output check).
+  ICROWD_LOG(Debug) << "dropped " << 42;
+  SetLogLevel(before);
+}
+
+}  // namespace
+}  // namespace icrowd

@@ -1,0 +1,313 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datagen/entity_resolution.h"
+#include "datagen/itemcompare.h"
+#include "datagen/poi.h"
+#include "datagen/scalability.h"
+#include "datagen/yahooqa.h"
+#include "graph/similarity_graph.h"
+#include "text/tokenizer.h"
+#include "text/similarity.h"
+
+namespace icrowd {
+namespace {
+
+// ----------------------------------------------------------- ItemCompare --
+
+TEST(ItemCompareTest, MatchesTable4Shape) {
+  auto ds = GenerateItemCompare();
+  ASSERT_TRUE(ds.ok());
+  DatasetStats stats = ds->Stats();
+  EXPECT_EQ(stats.num_microtasks, 360u);  // Table 4
+  EXPECT_EQ(stats.num_domains, 4u);
+  for (size_t count : stats.tasks_per_domain) EXPECT_EQ(count, 90u);
+  EXPECT_TRUE(ds->Validate().ok());
+}
+
+TEST(ItemCompareTest, EveryTaskHasGroundTruthFromItemValues) {
+  auto ds = GenerateItemCompare();
+  ASSERT_TRUE(ds.ok());
+  size_t yes = 0;
+  for (const Microtask& t : ds->tasks()) {
+    ASSERT_TRUE(t.ground_truth.has_value());
+    yes += (*t.ground_truth == kYes);
+  }
+  // Presentation order is randomized: truths roughly balanced.
+  EXPECT_GT(yes, 120u);
+  EXPECT_LT(yes, 240u);
+}
+
+TEST(ItemCompareTest, ItemValuesAreDistinctWithinDomain) {
+  for (const auto* items :
+       {&FoodItems(), &NbaItems(), &AutoItems(), &CountryItems()}) {
+    std::set<double> values;
+    for (const ComparableItem& item : *items) {
+      EXPECT_TRUE(values.insert(item.value).second)
+          << "duplicate value " << item.value;
+    }
+    EXPECT_GE(items->size(), 20u);
+  }
+}
+
+TEST(ItemCompareTest, TasksAreUniquePairs) {
+  auto ds = GenerateItemCompare();
+  ASSERT_TRUE(ds.ok());
+  std::set<std::string> texts;
+  for (const Microtask& t : ds->tasks()) {
+    EXPECT_TRUE(texts.insert(t.text).second) << "duplicate task " << t.text;
+  }
+}
+
+TEST(ItemCompareTest, RejectsOversizedRequest) {
+  ItemCompareOptions options;
+  options.tasks_per_domain = 1000;  // more than C(20,2)
+  EXPECT_FALSE(GenerateItemCompare(options).ok());
+  options.tasks_per_domain = 0;
+  EXPECT_FALSE(GenerateItemCompare(options).ok());
+}
+
+TEST(ItemCompareTest, WorkerPoolMatchesTable4AndCapsAuto) {
+  auto ds = GenerateItemCompare();
+  ASSERT_TRUE(ds.ok());
+  auto workers = GenerateItemCompareWorkers(*ds);
+  EXPECT_EQ(workers.size(), 53u);  // Table 4
+  int32_t auto_id = ds->DomainId("Auto");
+  ASSERT_GE(auto_id, 0);
+  double best_auto = 0.0;
+  for (const WorkerProfile& w : workers) {
+    best_auto = std::max(best_auto, w.domain_accuracy[auto_id]);
+  }
+  EXPECT_LE(best_auto, 0.78);  // §6.4's Auto ceiling
+}
+
+TEST(ItemCompareTest, SameDomainTasksShareTemplateVocabulary) {
+  auto ds = GenerateItemCompare();
+  ASSERT_TRUE(ds.ok());
+  Tokenizer tok;
+  // Two Food tasks share the question template tokens.
+  double same = JaccardSimilarity(ds->task(0).text, ds->task(1).text, tok);
+  // A Food task and an Auto task share almost nothing.
+  TaskId auto_task = -1;
+  for (const Microtask& t : ds->tasks()) {
+    if (t.domain == "Auto") {
+      auto_task = t.id;
+      break;
+    }
+  }
+  double cross =
+      JaccardSimilarity(ds->task(0).text, ds->task(auto_task).text, tok);
+  EXPECT_GT(same, cross);
+}
+
+// --------------------------------------------------------------- YahooQA --
+
+TEST(YahooQaTest, MatchesTable4Shape) {
+  auto ds = GenerateYahooQa();
+  ASSERT_TRUE(ds.ok());
+  DatasetStats stats = ds->Stats();
+  EXPECT_EQ(stats.num_microtasks, 110u);  // Table 4
+  EXPECT_EQ(stats.num_domains, 6u);
+  for (size_t count : stats.tasks_per_domain) {
+    EXPECT_GE(count, 18u);
+    EXPECT_LE(count, 19u);
+  }
+}
+
+TEST(YahooQaTest, SeedsCoverSixDomainsWithTenQaPairsEach) {
+  const auto& seeds = YahooQaSeeds();
+  EXPECT_EQ(seeds.size(), 6u);
+  for (const auto& [domain, qa] : seeds) {
+    EXPECT_FALSE(domain.empty());
+    EXPECT_EQ(qa.size(), 10u);
+    for (const QaSeed& seed : qa) {
+      EXPECT_FALSE(seed.question.empty());
+      EXPECT_FALSE(seed.good_answer.empty());
+    }
+  }
+}
+
+TEST(YahooQaTest, MixesMatchedAndMismatchedPairs) {
+  auto ds = GenerateYahooQa();
+  ASSERT_TRUE(ds.ok());
+  size_t yes = 0;
+  for (const Microtask& t : ds->tasks()) {
+    ASSERT_TRUE(t.ground_truth.has_value());
+    yes += (*t.ground_truth == kYes);
+  }
+  EXPECT_GT(yes, 40u);
+  EXPECT_LT(yes, 70u);
+}
+
+TEST(YahooQaTest, WorkerPoolMatchesTable4) {
+  auto ds = GenerateYahooQa();
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(GenerateYahooQaWorkers(*ds).size(), 25u);
+}
+
+TEST(YahooQaTest, RejectsBadSizes) {
+  YahooQaOptions options;
+  options.num_tasks = 0;
+  EXPECT_FALSE(GenerateYahooQa(options).ok());
+  options.num_tasks = 100000;
+  EXPECT_FALSE(GenerateYahooQa(options).ok());
+}
+
+TEST(YahooQaTest, CustomSizeHonored) {
+  YahooQaOptions options;
+  options.num_tasks = 30;
+  auto ds = GenerateYahooQa(options);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->size(), 30u);
+}
+
+// ------------------------------------------------------ EntityResolution --
+
+TEST(EntityResolutionTest, Table1HasTwelveTasksWithPaperDomains) {
+  Dataset ds = Table1Microtasks();
+  EXPECT_EQ(ds.size(), 12u);
+  EXPECT_EQ(ds.domains(),
+            (std::vector<std::string>{"iphone", "ipod", "ipad"}));
+  // t6 (index 5) is the prototypical duplicate; t11 (index 10) the
+  // retina-display alias from §1.
+  EXPECT_EQ(*ds.task(5).ground_truth, kYes);
+  EXPECT_EQ(*ds.task(10).ground_truth, kYes);
+  EXPECT_EQ(*ds.task(0).ground_truth, kNo);
+}
+
+TEST(EntityResolutionTest, Table1GraphReproducesFigure3Clusters) {
+  // With Jaccard at threshold 0.5, Figure 3 shows intra-family clusters.
+  Dataset ds = Table1Microtasks();
+  GraphBuildOptions options;
+  options.measure = SimilarityMeasure::kJaccard;
+  options.threshold = 0.5;
+  auto graph = SimilarityGraph::Build(ds, options);
+  ASSERT_TRUE(graph.ok());
+  // The paper's Figure 3 edge t8-t9 has similarity 0.8; reproduce it.
+  EXPECT_NEAR(graph->Weight(7, 8), 0.8, 1e-9);
+  // t1-t6: {iphone 4 wifi 32gb four} pairs.
+  EXPECT_GT(graph->Weight(0, 5), 0.5);
+}
+
+TEST(EntityResolutionTest, GeneratorShapeAndTruths) {
+  EntityResolutionOptions options;
+  options.tasks_per_family = 25;
+  auto ds = GenerateEntityResolution(options);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->size(), 100u);
+  EXPECT_EQ(ds->domains().size(), 4u);
+  size_t yes = 0;
+  for (const Microtask& t : ds->tasks()) {
+    ASSERT_TRUE(t.ground_truth.has_value());
+    yes += (*t.ground_truth == kYes);
+  }
+  EXPECT_GT(yes, 10u);
+  EXPECT_LT(yes, 80u);
+  EXPECT_FALSE(GenerateEntityResolution({.tasks_per_family = 0}).ok());
+}
+
+// ------------------------------------------------------------------- POI --
+
+TEST(PoiTest, GeneratesSpatialDistrictsWithFeatures) {
+  PoiOptions options;
+  options.num_districts = 4;
+  options.tasks_per_district = 25;
+  auto ds = GeneratePoiVerification(options);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->size(), 100u);
+  EXPECT_EQ(ds->domains().size(), 4u);
+  for (const Microtask& t : ds->tasks()) {
+    ASSERT_EQ(t.features.size(), 2u);
+    ASSERT_TRUE(t.ground_truth.has_value());
+    EXPECT_FALSE(t.text.empty());
+  }
+}
+
+TEST(PoiTest, EuclideanGraphRecoversDistricts) {
+  // The §3.3.2 pipeline: Euclidean similarity on the coordinate features
+  // separates the spatial districts into graph components.
+  PoiOptions options;
+  options.num_districts = 3;
+  options.tasks_per_district = 15;
+  auto ds = GeneratePoiVerification(options);
+  ASSERT_TRUE(ds.ok());
+  GraphBuildOptions graph_options;
+  graph_options.measure = SimilarityMeasure::kEuclidean;
+  graph_options.threshold = 0.85;
+  auto graph = SimilarityGraph::Build(*ds, graph_options);
+  ASSERT_TRUE(graph.ok());
+  size_t cross = 0;
+  for (size_t u = 0; u < graph->num_nodes(); ++u) {
+    for (const auto& e : graph->Neighbors(u)) {
+      if (ds->task(u).domain_id != ds->task(e.neighbor).domain_id) ++cross;
+    }
+  }
+  EXPECT_EQ(cross, 0u) << "districts should not connect";
+  // Every task connects to someone in its district.
+  for (size_t u = 0; u < graph->num_nodes(); ++u) {
+    EXPECT_FALSE(graph->Neighbors(u).empty()) << "task " << u;
+  }
+}
+
+TEST(PoiTest, RejectsBadOptions) {
+  EXPECT_FALSE(GeneratePoiVerification({.num_districts = 0}).ok());
+  EXPECT_FALSE(GeneratePoiVerification({.tasks_per_district = 0}).ok());
+  EXPECT_FALSE(GeneratePoiVerification({.spread = 0.0}).ok());
+}
+
+TEST(PoiTest, WorkerPoolCoversDistricts) {
+  auto ds = GeneratePoiVerification();
+  ASSERT_TRUE(ds.ok());
+  auto workers = GeneratePoiWorkers(*ds, 20);
+  EXPECT_EQ(workers.size(), 20u);
+  for (const WorkerProfile& w : workers) {
+    EXPECT_EQ(w.domain_accuracy.size(), ds->domains().size());
+  }
+}
+
+TEST(PoiTest, BalancedGroundTruth) {
+  auto ds = GeneratePoiVerification();
+  ASSERT_TRUE(ds.ok());
+  size_t yes = 0;
+  for (const Microtask& t : ds->tasks()) yes += (*t.ground_truth == kYes);
+  EXPECT_GT(yes, ds->size() / 4);
+  EXPECT_LT(yes, 3 * ds->size() / 4);
+}
+
+// ------------------------------------------------------------ Scalability --
+
+TEST(ScalabilityTest, BoundedRandomGraphShape) {
+  SimilarityGraph g = GenerateRandomBoundedGraph(1000, 10, 3);
+  EXPECT_EQ(g.num_nodes(), 1000u);
+  // Expected degree ~ max_neighbors; generous bounds.
+  EXPECT_GT(g.AverageDegree(), 4.0);
+  EXPECT_LT(g.AverageDegree(), 16.0);
+  for (size_t u = 0; u < 50; ++u) {
+    for (const auto& e : g.Neighbors(u)) {
+      EXPECT_GE(e.weight, 0.5);
+      EXPECT_LT(e.weight, 1.0);
+      EXPECT_NE(e.neighbor, static_cast<int32_t>(u));
+    }
+  }
+}
+
+TEST(ScalabilityTest, EdgeCases) {
+  EXPECT_EQ(GenerateRandomBoundedGraph(0, 10).num_nodes(), 0u);
+  SimilarityGraph one = GenerateRandomBoundedGraph(1, 10);
+  EXPECT_EQ(one.num_edges(), 0u);
+  SimilarityGraph no_neighbors = GenerateRandomBoundedGraph(100, 0);
+  EXPECT_EQ(no_neighbors.num_edges(), 0u);
+}
+
+TEST(ScalabilityTest, DeterministicForSeed) {
+  SimilarityGraph a = GenerateRandomBoundedGraph(200, 8, 5);
+  SimilarityGraph b = GenerateRandomBoundedGraph(200, 8, 5);
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  for (size_t u = 0; u < 200; ++u) {
+    ASSERT_EQ(a.Neighbors(u).size(), b.Neighbors(u).size());
+  }
+}
+
+}  // namespace
+}  // namespace icrowd

@@ -1,0 +1,165 @@
+// Randomized invariant tests ("fuzz-lite"): drive random-but-valid
+// operation sequences through the campaign state and full campaigns through
+// every strategy, and assert the structural invariants that must hold for
+// ANY input — no duplicate (task, worker) assignments, slot limits, answer
+// conservation, consensus consistency, probability ranges.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/random.h"
+#include "core/experiment.h"
+#include "datagen/poi.h"
+#include "datagen/worker_pool.h"
+#include "model/campaign_state.h"
+
+namespace icrowd {
+namespace {
+
+class CampaignStateFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CampaignStateFuzzTest, RandomOperationSequencesKeepInvariants) {
+  Rng rng(GetParam());
+  const size_t num_tasks = 1 + rng.UniformInt(0, 11);
+  const int k = 1 + 2 * static_cast<int>(rng.UniformInt(0, 2));  // 1/3/5
+  CampaignState state(num_tasks, k);
+  std::vector<WorkerId> workers;
+  for (int i = 0; i < 8; ++i) workers.push_back(state.RegisterWorker());
+
+  // Shadow model of what we did.
+  std::set<std::pair<TaskId, WorkerId>> assigned;
+  std::set<std::pair<TaskId, WorkerId>> answered;
+  std::map<TaskId, int> assignments_per_task;
+  size_t answers_recorded = 0;
+
+  for (int op = 0; op < 300; ++op) {
+    TaskId t = static_cast<TaskId>(rng.UniformInt(0, num_tasks - 1));
+    WorkerId w = workers[rng.UniformInt(0, workers.size() - 1)];
+    if (rng.Bernoulli(0.5)) {
+      Status st = state.MarkAssigned(t, w);
+      bool expect_ok = !assigned.count({t, w}) &&
+                       (state.IsQualification(t) ||
+                        assignments_per_task[t] < k);
+      EXPECT_EQ(st.ok(), expect_ok) << st.ToString();
+      if (st.ok()) {
+        assigned.insert({t, w});
+        ++assignments_per_task[t];
+      }
+    } else if (rng.Bernoulli(0.1)) {
+      state.MarkQualification(t);
+    } else {
+      Label label = static_cast<Label>(rng.UniformInt(0, 2));
+      Status st = state.RecordAnswer({t, w, label, static_cast<double>(op)});
+      bool expect_ok = assigned.count({t, w}) && !answered.count({t, w});
+      EXPECT_EQ(st.ok(), expect_ok) << st.ToString();
+      if (st.ok()) {
+        answered.insert({t, w});
+        ++answers_recorded;
+      }
+    }
+  }
+
+  // Conservation: every recorded answer appears exactly once in the global
+  // log, the per-task log, and the per-worker log.
+  EXPECT_EQ(state.AllAnswers().size(), answers_recorded);
+  size_t by_task = 0, by_worker = 0;
+  for (size_t t = 0; t < num_tasks; ++t) {
+    by_task += state.Answers(static_cast<TaskId>(t)).size();
+    // Per-task answers never exceed assignments.
+    EXPECT_LE(state.Answers(static_cast<TaskId>(t)).size(),
+              state.AssignedWorkers(static_cast<TaskId>(t)).size());
+  }
+  for (WorkerId w : workers) by_worker += state.WorkerAnswers(w).size();
+  EXPECT_EQ(by_task, answers_recorded);
+  EXPECT_EQ(by_worker, answers_recorded);
+
+  // Consensus consistency: completed tasks have a consensus that received
+  // at least as many votes as any other label... at minimum, it received
+  // >= 1 vote and the task is marked completed exactly when consensus set.
+  for (size_t t = 0; t < num_tasks; ++t) {
+    TaskId task = static_cast<TaskId>(t);
+    if (state.Consensus(task).has_value()) {
+      EXPECT_TRUE(state.IsCompleted(task));
+    }
+    // Qualification tasks keep accepting answers after their consensus is
+    // frozen (unlimited slots), so vote dominance only holds for regular
+    // tasks, whose answers are capped at k.
+    if (!state.IsQualification(task) && state.IsCompleted(task) &&
+        !state.Answers(task).empty() && state.Consensus(task).has_value()) {
+      std::map<Label, int> votes;
+      for (const AnswerRecord& a : state.Answers(task)) ++votes[a.label];
+      int consensus_votes = votes[*state.Consensus(task)];
+      for (const auto& [label, count] : votes) {
+        EXPECT_LE(count, std::max(consensus_votes, (k + 1) / 2))
+            << "label " << label << " outvoted the consensus";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CampaignStateFuzzTest,
+                         ::testing::Range<uint64_t>(0, 20));
+
+class StrategyFuzzTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, StrategyKind>> {};
+
+TEST_P(StrategyFuzzTest, RandomCampaignsKeepInvariants) {
+  auto [seed, kind] = GetParam();
+  Rng rng(seed);
+  // Random small POI-style dataset and pool shape.
+  PoiOptions poi;
+  poi.num_districts = 2 + rng.UniformInt(0, 2);
+  poi.tasks_per_district = 8 + rng.UniformInt(0, 10);
+  poi.seed = seed;
+  auto dataset = GeneratePoiVerification(poi);
+  ASSERT_TRUE(dataset.ok());
+  WorkerPoolOptions pool_options;
+  pool_options.num_workers = 6 + rng.UniformInt(0, 10);
+  pool_options.seed = seed + 1;
+  auto workers = GenerateWorkerPool(*dataset, pool_options);
+
+  ICrowdConfig config;
+  config.seed = seed + 2;
+  config.num_qualification = 4;
+  config.warmup.tasks_per_worker = 4;
+  config.assignment_size = 1 + 2 * static_cast<int>(rng.UniformInt(0, 1));
+  config.graph.measure = SimilarityMeasure::kEuclidean;
+  config.graph.threshold = 0.85;
+
+  auto result = RunExperiment(*dataset, workers, config, kind);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // No duplicate (task, worker) answers; per-task answer counts <= k;
+  // qualification never appears among work answers; labels valid.
+  std::set<std::pair<TaskId, WorkerId>> seen;
+  std::map<TaskId, int> per_task;
+  std::set<TaskId> qual(result->qualification.tasks.begin(),
+                        result->qualification.tasks.end());
+  for (const AnswerRecord& a : result->sim.work_answers) {
+    EXPECT_TRUE(seen.insert({a.task, a.worker}).second);
+    EXPECT_LE(++per_task[a.task], config.assignment_size);
+    EXPECT_FALSE(qual.count(a.task));
+    EXPECT_GE(a.label, 0);
+    EXPECT_LT(a.label, 2);
+  }
+  // Report sanity.
+  EXPECT_GE(result->report.overall, 0.0);
+  EXPECT_LE(result->report.overall, 1.0);
+  EXPECT_EQ(result->predictions.size(), dataset->size());
+  // Cost accounting is consistent.
+  EXPECT_NEAR(result->sim.total_cost, 0.1 * result->sim.answers.size(),
+              1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Campaigns, StrategyFuzzTest,
+    ::testing::Combine(::testing::Range<uint64_t>(0, 4),
+                       ::testing::Values(StrategyKind::kRandomMV,
+                                         StrategyKind::kAvgAccPV,
+                                         StrategyKind::kBestEffort,
+                                         StrategyKind::kAdapt)));
+
+}  // namespace
+}  // namespace icrowd

@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "assign/hungarian.h"
+#include "assign/hungarian_assigner.h"
+#include "common/random.h"
+#include "graph/similarity_graph.h"
+#include "model/campaign_state.h"
+#include "model/dataset.h"
+
+namespace icrowd {
+namespace {
+
+double MatchingValue(const std::vector<std::vector<double>>& benefit,
+                     const std::vector<int>& row_to_col) {
+  double total = 0.0;
+  for (size_t i = 0; i < row_to_col.size(); ++i) {
+    if (row_to_col[i] >= 0) total += benefit[i][row_to_col[i]];
+  }
+  return total;
+}
+
+// Brute force over all row->column injections (small instances only).
+double BruteForceBest(const std::vector<std::vector<double>>& benefit) {
+  const size_t rows = benefit.size();
+  const size_t cols = benefit[0].size();
+  std::vector<int> columns(cols);
+  std::iota(columns.begin(), columns.end(), 0);
+  double best = -1e18;
+  // Permute columns; match row i to perm[i] for i < min(rows, cols).
+  std::sort(columns.begin(), columns.end());
+  do {
+    double value = 0.0;
+    for (size_t i = 0; i < std::min(rows, cols); ++i) {
+      value += benefit[i][columns[i]];
+    }
+    best = std::max(best, value);
+  } while (std::next_permutation(columns.begin(), columns.end()));
+  // For rows > cols we must also consider which rows stay unmatched; handle
+  // by trying all row subsets when rows > cols.
+  if (rows > cols) {
+    best = -1e18;
+    std::vector<size_t> row_ids(rows);
+    std::iota(row_ids.begin(), row_ids.end(), 0);
+    std::vector<bool> select(rows, false);
+    std::fill(select.begin(), select.begin() + cols, true);
+    std::sort(select.begin(), select.end());
+    do {
+      std::vector<size_t> chosen;
+      for (size_t i = 0; i < rows; ++i) {
+        if (select[i]) chosen.push_back(i);
+      }
+      std::vector<int> perm(cols);
+      std::iota(perm.begin(), perm.end(), 0);
+      do {
+        double value = 0.0;
+        for (size_t i = 0; i < cols; ++i) value += benefit[chosen[i]][perm[i]];
+        best = std::max(best, value);
+      } while (std::next_permutation(perm.begin(), perm.end()));
+    } while (std::next_permutation(select.begin(), select.end()));
+  }
+  return best;
+}
+
+TEST(HungarianTest, EmptyAndInvalidInputs) {
+  auto empty = HungarianMaxMatching({});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+  EXPECT_FALSE(HungarianMaxMatching({{}}).ok());
+  EXPECT_FALSE(HungarianMaxMatching({{1.0, 2.0}, {1.0}}).ok());
+}
+
+TEST(HungarianTest, SquareKnownOptimum) {
+  std::vector<std::vector<double>> benefit = {
+      {7, 4, 3},
+      {6, 8, 5},
+      {9, 4, 4},
+  };
+  auto matching = HungarianMaxMatching(benefit);
+  ASSERT_TRUE(matching.ok());
+  // Optimal: row0->col1? enumerate: best is 4+5+9=18? or 7+8+4=19.
+  EXPECT_NEAR(MatchingValue(benefit, *matching), BruteForceBest(benefit),
+              1e-9);
+}
+
+TEST(HungarianTest, MoreColumnsThanRows) {
+  std::vector<std::vector<double>> benefit = {
+      {1, 9, 2, 3},
+      {4, 8, 7, 1},
+  };
+  auto matching = HungarianMaxMatching(benefit);
+  ASSERT_TRUE(matching.ok());
+  EXPECT_NEAR(MatchingValue(benefit, *matching), 9 + 7, 1e-9);
+  // Every row matched, columns distinct.
+  EXPECT_NE((*matching)[0], (*matching)[1]);
+  EXPECT_GE((*matching)[0], 0);
+}
+
+TEST(HungarianTest, MoreRowsThanColumns) {
+  std::vector<std::vector<double>> benefit = {
+      {5}, {9}, {2},
+  };
+  auto matching = HungarianMaxMatching(benefit);
+  ASSERT_TRUE(matching.ok());
+  // Only row 1 (benefit 9) gets the single column.
+  EXPECT_EQ((*matching)[0], -1);
+  EXPECT_EQ((*matching)[1], 0);
+  EXPECT_EQ((*matching)[2], -1);
+}
+
+class HungarianRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HungarianRandomTest, MatchesBruteForceOptimum) {
+  Rng rng(GetParam());
+  size_t rows = 2 + rng.UniformInt(0, 3);  // 2..5
+  size_t cols = 2 + rng.UniformInt(0, 3);
+  std::vector<std::vector<double>> benefit(rows, std::vector<double>(cols));
+  for (auto& row : benefit) {
+    for (double& v : row) v = rng.Uniform(0.0, 10.0);
+  }
+  auto matching = HungarianMaxMatching(benefit);
+  ASSERT_TRUE(matching.ok());
+  // Matching must be injective.
+  std::vector<bool> used(cols, false);
+  size_t matched = 0;
+  for (int col : *matching) {
+    if (col < 0) continue;
+    EXPECT_FALSE(used[col]);
+    used[col] = true;
+    ++matched;
+  }
+  EXPECT_EQ(matched, std::min(rows, cols));
+  EXPECT_NEAR(MatchingValue(benefit, *matching), BruteForceBest(benefit),
+              1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HungarianRandomTest,
+                         ::testing::Range<uint64_t>(0, 16));
+
+// ----------------------------------------------------- HungarianAssigner --
+
+Dataset TwoDomainDataset() {
+  Dataset ds("two-domain");
+  for (int i = 0; i < 8; ++i) {
+    Microtask t;
+    t.text = "task";
+    t.domain = i < 4 ? "A" : "B";
+    t.ground_truth = kYes;
+    ds.AddTask(std::move(t));
+  }
+  return ds;
+}
+
+SimilarityGraph TwoCliqueGraph() {
+  std::vector<std::tuple<int32_t, int32_t, double>> edges;
+  for (int32_t i = 0; i < 4; ++i) {
+    for (int32_t j = i + 1; j < 4; ++j) {
+      edges.emplace_back(i, j, 1.0);
+      edges.emplace_back(i + 4, j + 4, 1.0);
+    }
+  }
+  return SimilarityGraph::FromEdges(8, edges);
+}
+
+std::unique_ptr<AccuracyEstimator> MakeEstimator(
+    const SimilarityGraph& graph) {
+  auto est = AccuracyEstimator::Create(graph, {});
+  EXPECT_TRUE(est.ok());
+  auto owned = std::make_unique<AccuracyEstimator>(est.MoveValueOrDie());
+  owned->SetQualificationTasks({0, 4});
+  return owned;
+}
+
+void SeedGold(CampaignState* state, WorkerId w, bool good_at_a,
+              bool good_at_b) {
+  for (auto [task, good] : {std::pair<TaskId, bool>{0, good_at_a},
+                            std::pair<TaskId, bool>{4, good_at_b}}) {
+    if (!state->IsQualification(task)) {
+      state->MarkQualification(task);
+      state->ForceComplete(task, kYes);
+    }
+    ASSERT_TRUE(state->MarkAssigned(task, w).ok());
+    ASSERT_TRUE(state->RecordAnswer({task, w, good ? kYes : kNo, 0.0}).ok());
+  }
+}
+
+TEST(HungarianAssignerTest, RoutesWorkersToTheirStrongDomains) {
+  Dataset ds = TwoDomainDataset();
+  SimilarityGraph graph = TwoCliqueGraph();
+  HungarianAssigner assigner(&ds, MakeEstimator(graph));
+  EXPECT_EQ(assigner.name(), "Hungarian");
+  CampaignState state(ds.size(), 1);
+  WorkerId w0 = state.RegisterWorker();
+  WorkerId w1 = state.RegisterWorker();
+  SeedGold(&state, w0, true, false);
+  SeedGold(&state, w1, false, true);
+  assigner.OnWorkerRegistered(w0, 0.5, state);
+  assigner.OnWorkerRegistered(w1, 0.5, state);
+  auto t0 = assigner.RequestTask(w0, state, {w0, w1});
+  auto t1 = assigner.RequestTask(w1, state, {w0, w1});
+  ASSERT_TRUE(t0.has_value());
+  ASSERT_TRUE(t1.has_value());
+  EXPECT_LT(*t0, 4);
+  EXPECT_GE(*t1, 4);
+}
+
+TEST(HungarianAssignerTest, CompletesCampaignWithoutInvalidAssignments) {
+  Dataset ds = TwoDomainDataset();
+  SimilarityGraph graph = TwoCliqueGraph();
+  HungarianAssigner assigner(&ds, MakeEstimator(graph));
+  CampaignState state(ds.size(), 1);
+  std::vector<WorkerId> workers;
+  for (int i = 0; i < 3; ++i) workers.push_back(state.RegisterWorker());
+  for (WorkerId w : workers) assigner.OnWorkerRegistered(w, 0.7, state);
+  Rng rng(6);
+  for (int round = 0; round < 20 && !state.AllCompleted(); ++round) {
+    for (WorkerId w : workers) {
+      auto task = assigner.RequestTask(w, state, workers);
+      if (!task.has_value()) continue;
+      ASSERT_TRUE(state.CanAssign(*task, w));
+      ASSERT_TRUE(state.MarkAssigned(*task, w).ok());
+      AnswerRecord answer{*task, w, rng.Bernoulli(0.8) ? kYes : kNo, 0.0};
+      ASSERT_TRUE(state.RecordAnswer(answer).ok());
+      assigner.OnAnswer(answer, state);
+    }
+  }
+  EXPECT_TRUE(state.AllCompleted());
+}
+
+}  // namespace
+}  // namespace icrowd

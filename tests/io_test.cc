@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "datagen/itemcompare.h"
+#include "datagen/poi.h"
+#include "io/csv.h"
+#include "io/dataset_io.h"
+
+namespace icrowd {
+namespace {
+
+// ------------------------------------------------------------------- CSV --
+
+TEST(CsvTest, EscapePlainAndSpecialFields) {
+  EXPECT_EQ(csv::EscapeField("plain"), "plain");
+  EXPECT_EQ(csv::EscapeField("with,comma"), "\"with,comma\"");
+  EXPECT_EQ(csv::EscapeField("with\"quote"), "\"with\"\"quote\"");
+  EXPECT_EQ(csv::EscapeField("with\nnewline"), "\"with\nnewline\"");
+  EXPECT_EQ(csv::EscapeField(""), "");
+}
+
+TEST(CsvTest, JoinAndParseRoundTrip) {
+  std::vector<std::string> fields = {"a", "b,c", "d\"e", "", "f\ng"};
+  std::string line = csv::JoinRow(fields);
+  auto parsed = csv::ParseRow(line);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, fields);
+}
+
+TEST(CsvTest, ParseRowRejectsUnterminatedQuote) {
+  EXPECT_FALSE(csv::ParseRow("\"oops").ok());
+}
+
+TEST(CsvTest, ParseFileHandlesQuotedNewlinesAndCrlf) {
+  std::string contents = "a,b\r\n\"line\nbreak\",c\r\n";
+  auto rows = csv::ParseFile(contents);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{"line\nbreak", "c"}));
+}
+
+TEST(CsvTest, ParseFileEmptyAndBlankLines) {
+  auto empty = csv::ParseFile("");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+  auto blanks = csv::ParseFile("a\n\n\nb\n");
+  ASSERT_TRUE(blanks.ok());
+  EXPECT_EQ(blanks->size(), 2u);
+}
+
+// ------------------------------------------------------------ Dataset IO --
+
+TEST(DatasetIoTest, RoundTripsItemCompare) {
+  auto original = GenerateItemCompare();
+  ASSERT_TRUE(original.ok());
+  std::string serialized = DatasetToCsv(*original);
+  auto restored = DatasetFromCsv("ItemCompare", serialized);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ASSERT_EQ(restored->size(), original->size());
+  EXPECT_EQ(restored->domains(), original->domains());
+  for (size_t i = 0; i < original->size(); ++i) {
+    EXPECT_EQ(restored->task(i).text, original->task(i).text);
+    EXPECT_EQ(restored->task(i).domain, original->task(i).domain);
+    EXPECT_EQ(restored->task(i).ground_truth, original->task(i).ground_truth);
+    EXPECT_EQ(restored->task(i).num_choices, original->task(i).num_choices);
+  }
+}
+
+TEST(DatasetIoTest, RoundTripsFeatureVectors) {
+  auto poi = GeneratePoiVerification({.num_districts = 2,
+                                      .tasks_per_district = 5});
+  ASSERT_TRUE(poi.ok());
+  auto restored = DatasetFromCsv("poi", DatasetToCsv(*poi));
+  ASSERT_TRUE(restored.ok());
+  for (size_t i = 0; i < poi->size(); ++i) {
+    ASSERT_EQ(restored->task(i).features.size(),
+              poi->task(i).features.size());
+    for (size_t d = 0; d < poi->task(i).features.size(); ++d) {
+      EXPECT_NEAR(restored->task(i).features[d], poi->task(i).features[d],
+                  1e-5);
+    }
+  }
+}
+
+TEST(DatasetIoTest, PreservesMissingGroundTruth) {
+  Dataset ds("partial");
+  Microtask with;
+  with.text = "known";
+  with.ground_truth = kYes;
+  ds.AddTask(std::move(with));
+  Microtask without;
+  without.text = "unknown, with comma";
+  ds.AddTask(std::move(without));
+  auto restored = DatasetFromCsv("partial", DatasetToCsv(ds));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(restored->task(0).ground_truth.has_value());
+  EXPECT_FALSE(restored->task(1).ground_truth.has_value());
+  EXPECT_EQ(restored->task(1).text, "unknown, with comma");
+}
+
+TEST(DatasetIoTest, RejectsMalformedInput) {
+  EXPECT_FALSE(DatasetFromCsv("x", "").ok());
+  EXPECT_FALSE(DatasetFromCsv("x", "wrong,header\n1,2\n").ok());
+  std::string bad_truth =
+      "id,text,domain,ground_truth,num_choices,features\n0,t,d,notanum,2,\n";
+  EXPECT_FALSE(DatasetFromCsv("x", bad_truth).ok());
+  std::string short_row =
+      "id,text,domain,ground_truth,num_choices,features\n0,t,d\n";
+  EXPECT_FALSE(DatasetFromCsv("x", short_row).ok());
+}
+
+TEST(DatasetIoTest, AnswersRoundTrip) {
+  std::vector<AnswerRecord> answers = {
+      {0, 3, kYes, 1.5}, {7, 0, kNo, 2.25}, {2, 1, 3, 10.0}};
+  auto restored = AnswersFromCsv(AnswersToCsv(answers));
+  ASSERT_TRUE(restored.ok());
+  ASSERT_EQ(restored->size(), answers.size());
+  for (size_t i = 0; i < answers.size(); ++i) {
+    EXPECT_EQ((*restored)[i].task, answers[i].task);
+    EXPECT_EQ((*restored)[i].worker, answers[i].worker);
+    EXPECT_EQ((*restored)[i].label, answers[i].label);
+    EXPECT_NEAR((*restored)[i].time, answers[i].time, 1e-6);
+  }
+}
+
+TEST(DatasetIoTest, AnswersRejectBadHeaderOrRows) {
+  EXPECT_FALSE(AnswersFromCsv("").ok());
+  EXPECT_FALSE(AnswersFromCsv("a,b,c,d\n1,2,3,4\n").ok());
+  EXPECT_FALSE(AnswersFromCsv("task,worker,label,time\n1,2\n").ok());
+  EXPECT_FALSE(AnswersFromCsv("task,worker,label,time\nx,y,z,w\n").ok());
+}
+
+TEST(DatasetIoTest, ReportCsvContainsAllRow) {
+  AccuracyReport report;
+  report.per_domain = {{"Food", 0.875, 8, 7}};
+  report.per_domain[0].num_tasks = 8;
+  report.per_domain[0].num_correct = 7;
+  report.overall = 0.875;
+  report.num_tasks = 8;
+  report.num_correct = 7;
+  std::string out = ReportToCsv(report);
+  EXPECT_NE(out.find("domain,accuracy,correct,total"), std::string::npos);
+  EXPECT_NE(out.find("Food,0.8750,7,8"), std::string::npos);
+  EXPECT_NE(out.find("ALL,0.8750,7,8"), std::string::npos);
+}
+
+TEST(DatasetIoTest, FileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/icrowd_io_test.csv";
+  Dataset ds("file");
+  Microtask t;
+  t.text = "hello file";
+  t.domain = "d";
+  t.ground_truth = kNo;
+  ds.AddTask(std::move(t));
+  ASSERT_TRUE(WriteDatasetCsv(ds, path).ok());
+  auto restored = ReadDatasetCsv("file", path);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->task(0).text, "hello file");
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, ReadMissingFileFails) {
+  EXPECT_EQ(ReadFileToString("/nonexistent/icrowd/file.csv").status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace icrowd

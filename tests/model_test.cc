@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include "model/campaign_state.h"
+#include "model/dataset.h"
+
+namespace icrowd {
+namespace {
+
+Microtask MakeTask(const std::string& text, const std::string& domain,
+                   Label truth = kYes) {
+  Microtask t;
+  t.text = text;
+  t.domain = domain;
+  t.ground_truth = truth;
+  return t;
+}
+
+// --------------------------------------------------------------- Dataset --
+
+TEST(DatasetTest, AddTaskAssignsSequentialIdsAndInternsDomains) {
+  Dataset ds("d");
+  EXPECT_EQ(ds.AddTask(MakeTask("a", "Food")), 0);
+  EXPECT_EQ(ds.AddTask(MakeTask("b", "NBA")), 1);
+  EXPECT_EQ(ds.AddTask(MakeTask("c", "Food")), 2);
+  EXPECT_EQ(ds.size(), 3u);
+  EXPECT_EQ(ds.domains(), (std::vector<std::string>{"Food", "NBA"}));
+  EXPECT_EQ(ds.task(0).domain_id, 0);
+  EXPECT_EQ(ds.task(1).domain_id, 1);
+  EXPECT_EQ(ds.task(2).domain_id, 0);
+  EXPECT_EQ(ds.DomainId("NBA"), 1);
+  EXPECT_EQ(ds.DomainId("Auto"), -1);
+}
+
+TEST(DatasetTest, StatsMatchTable4Shape) {
+  Dataset ds("d");
+  ds.AddTask(MakeTask("a", "Food"));
+  ds.AddTask(MakeTask("b", "Food"));
+  ds.AddTask(MakeTask("c", "NBA"));
+  DatasetStats stats = ds.Stats();
+  EXPECT_EQ(stats.num_microtasks, 3u);
+  EXPECT_EQ(stats.num_domains, 2u);
+  EXPECT_EQ(stats.tasks_per_domain, (std::vector<size_t>{2, 1}));
+}
+
+TEST(DatasetTest, TextsPreserveOrder) {
+  Dataset ds("d");
+  ds.AddTask(MakeTask("first", "x"));
+  ds.AddTask(MakeTask("second", "x"));
+  EXPECT_EQ(ds.Texts(), (std::vector<std::string>{"first", "second"}));
+}
+
+TEST(DatasetTest, ValidateRejectsEmpty) {
+  Dataset ds("d");
+  EXPECT_EQ(ds.Validate().code(), StatusCode::kFailedPrecondition);
+  ds.AddTask(MakeTask("a", "x"));
+  EXPECT_TRUE(ds.Validate().ok());
+}
+
+TEST(DatasetTest, TaskWithoutDomainHasNoDomainId) {
+  Dataset ds("d");
+  Microtask t;
+  t.text = "no domain";
+  ds.AddTask(std::move(t));
+  EXPECT_EQ(ds.task(0).domain_id, -1);
+  EXPECT_TRUE(ds.domains().empty());
+  EXPECT_TRUE(ds.Validate().ok());
+}
+
+// --------------------------------------------------------- CampaignState --
+
+class CampaignStateTest : public ::testing::Test {
+ protected:
+  CampaignStateTest() : state_(4, 3) {
+    w0_ = state_.RegisterWorker();
+    w1_ = state_.RegisterWorker();
+    w2_ = state_.RegisterWorker();
+  }
+  CampaignState state_;
+  WorkerId w0_, w1_, w2_;
+};
+
+TEST_F(CampaignStateTest, RegisterWorkerAssignsSequentialIds) {
+  EXPECT_EQ(w0_, 0);
+  EXPECT_EQ(w1_, 1);
+  EXPECT_EQ(state_.num_workers(), 3u);
+}
+
+TEST_F(CampaignStateTest, MarkAssignedConsumesSlots) {
+  EXPECT_EQ(state_.RemainingSlots(0), 3);
+  ASSERT_TRUE(state_.MarkAssigned(0, w0_).ok());
+  EXPECT_EQ(state_.RemainingSlots(0), 2);
+  EXPECT_TRUE(state_.IsAssignedTo(0, w0_));
+  EXPECT_FALSE(state_.CanAssign(0, w0_));
+  EXPECT_TRUE(state_.CanAssign(0, w1_));
+}
+
+TEST_F(CampaignStateTest, MarkAssignedRejectsDuplicatesAndOverflow) {
+  ASSERT_TRUE(state_.MarkAssigned(0, w0_).ok());
+  EXPECT_EQ(state_.MarkAssigned(0, w0_).code(), StatusCode::kAlreadyExists);
+  ASSERT_TRUE(state_.MarkAssigned(0, w1_).ok());
+  ASSERT_TRUE(state_.MarkAssigned(0, w2_).ok());
+  WorkerId w3 = state_.RegisterWorker();
+  EXPECT_EQ(state_.MarkAssigned(0, w3).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(CampaignStateTest, MarkAssignedValidatesIds) {
+  EXPECT_EQ(state_.MarkAssigned(99, w0_).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(state_.MarkAssigned(-1, w0_).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(state_.MarkAssigned(0, 99).code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(CampaignStateTest, AnswerWithoutAssignmentRejected) {
+  EXPECT_EQ(state_.RecordAnswer({0, w0_, kYes, 0.0}).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(CampaignStateTest, DuplicateAnswerRejected) {
+  ASSERT_TRUE(state_.MarkAssigned(0, w0_).ok());
+  ASSERT_TRUE(state_.RecordAnswer({0, w0_, kYes, 0.0}).ok());
+  EXPECT_EQ(state_.RecordAnswer({0, w0_, kNo, 1.0}).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(CampaignStateTest, ConsensusAtMajorityOfK) {
+  // k = 3: two matching votes globally complete the task.
+  ASSERT_TRUE(state_.MarkAssigned(0, w0_).ok());
+  ASSERT_TRUE(state_.MarkAssigned(0, w1_).ok());
+  ASSERT_TRUE(state_.RecordAnswer({0, w0_, kYes, 0.0}).ok());
+  EXPECT_FALSE(state_.IsCompleted(0));
+  EXPECT_FALSE(state_.Consensus(0).has_value());
+  ASSERT_TRUE(state_.RecordAnswer({0, w1_, kYes, 1.0}).ok());
+  EXPECT_TRUE(state_.IsCompleted(0));
+  EXPECT_EQ(*state_.Consensus(0), kYes);
+  EXPECT_EQ(state_.NumCompleted(), 1u);
+}
+
+TEST_F(CampaignStateTest, SplitVotesNeedTieBreaker) {
+  ASSERT_TRUE(state_.MarkAssigned(1, w0_).ok());
+  ASSERT_TRUE(state_.MarkAssigned(1, w1_).ok());
+  ASSERT_TRUE(state_.MarkAssigned(1, w2_).ok());
+  ASSERT_TRUE(state_.RecordAnswer({1, w0_, kYes, 0.0}).ok());
+  ASSERT_TRUE(state_.RecordAnswer({1, w1_, kNo, 1.0}).ok());
+  EXPECT_FALSE(state_.IsCompleted(1));
+  ASSERT_TRUE(state_.RecordAnswer({1, w2_, kNo, 2.0}).ok());
+  EXPECT_TRUE(state_.IsCompleted(1));
+  EXPECT_EQ(*state_.Consensus(1), kNo);
+}
+
+TEST_F(CampaignStateTest, MultiChoicePluralityFallbackPreventsDeadlock) {
+  // Three distinct answers (4-choice task): no pair matches, all slots
+  // consumed — plurality with smallest-label tie-break resolves it.
+  for (WorkerId w : {w0_, w1_, w2_}) {
+    ASSERT_TRUE(state_.MarkAssigned(0, w).ok());
+  }
+  ASSERT_TRUE(state_.RecordAnswer({0, w0_, 3, 0.0}).ok());
+  ASSERT_TRUE(state_.RecordAnswer({0, w1_, 1, 1.0}).ok());
+  EXPECT_FALSE(state_.IsCompleted(0));
+  ASSERT_TRUE(state_.RecordAnswer({0, w2_, 2, 2.0}).ok());
+  EXPECT_TRUE(state_.IsCompleted(0));
+  EXPECT_EQ(*state_.Consensus(0), 1);  // three-way tie -> smallest label
+}
+
+TEST_F(CampaignStateTest, PluralityFallbackPrefersMostVotes) {
+  CampaignState state(1, 5);
+  std::vector<WorkerId> workers;
+  for (int i = 0; i < 5; ++i) workers.push_back(state.RegisterWorker());
+  for (WorkerId w : workers) ASSERT_TRUE(state.MarkAssigned(0, w).ok());
+  // Votes: {7: 2, 3: 2, 5: 1} — no strict majority (needs 3) at k = 5.
+  ASSERT_TRUE(state.RecordAnswer({0, workers[0], 7, 0.0}).ok());
+  ASSERT_TRUE(state.RecordAnswer({0, workers[1], 3, 1.0}).ok());
+  ASSERT_TRUE(state.RecordAnswer({0, workers[2], 5, 2.0}).ok());
+  ASSERT_TRUE(state.RecordAnswer({0, workers[3], 7, 3.0}).ok());
+  EXPECT_FALSE(state.IsCompleted(0));
+  ASSERT_TRUE(state.RecordAnswer({0, workers[4], 3, 4.0}).ok());
+  EXPECT_TRUE(state.IsCompleted(0));
+  EXPECT_EQ(*state.Consensus(0), 3);  // 2-2 tie between 3 and 7 -> smaller
+}
+
+TEST_F(CampaignStateTest, UncompletedTasksShrinkAsConsensusForms) {
+  EXPECT_EQ(state_.UncompletedTasks().size(), 4u);
+  state_.ForceComplete(2, kYes);
+  auto uncompleted = state_.UncompletedTasks();
+  EXPECT_EQ(uncompleted.size(), 3u);
+  EXPECT_TRUE(std::find(uncompleted.begin(), uncompleted.end(), 2) ==
+              uncompleted.end());
+  EXPECT_EQ(*state_.Consensus(2), kYes);
+}
+
+TEST_F(CampaignStateTest, ForceCompleteIsIdempotentOnCount) {
+  state_.ForceComplete(0, kYes);
+  state_.ForceComplete(0, kNo);
+  EXPECT_EQ(state_.NumCompleted(), 1u);
+  EXPECT_EQ(*state_.Consensus(0), kNo);
+}
+
+TEST_F(CampaignStateTest, QualificationTasksHaveUnlimitedSlots) {
+  state_.MarkQualification(3);
+  state_.ForceComplete(3, kYes);
+  EXPECT_TRUE(state_.IsQualification(3));
+  for (int i = 0; i < 5; ++i) {
+    WorkerId w = (i < 3) ? static_cast<WorkerId>(i) : state_.RegisterWorker();
+    EXPECT_TRUE(state_.CanAssign(3, w));
+    ASSERT_TRUE(state_.MarkAssigned(3, w).ok());
+    ASSERT_TRUE(state_.RecordAnswer({3, w, kYes, 0.0}).ok());
+  }
+  EXPECT_EQ(state_.Answers(3).size(), 5u);
+  // Consensus stays at the forced ground truth.
+  EXPECT_EQ(*state_.Consensus(3), kYes);
+}
+
+TEST_F(CampaignStateTest, AnswerLogsAreConsistent) {
+  ASSERT_TRUE(state_.MarkAssigned(0, w0_).ok());
+  ASSERT_TRUE(state_.MarkAssigned(1, w0_).ok());
+  ASSERT_TRUE(state_.MarkAssigned(0, w1_).ok());
+  ASSERT_TRUE(state_.RecordAnswer({0, w0_, kYes, 0.0}).ok());
+  ASSERT_TRUE(state_.RecordAnswer({1, w0_, kNo, 1.0}).ok());
+  ASSERT_TRUE(state_.RecordAnswer({0, w1_, kNo, 2.0}).ok());
+  EXPECT_EQ(state_.WorkerAnswers(w0_).size(), 2u);
+  EXPECT_EQ(state_.WorkerAnswers(w1_).size(), 1u);
+  EXPECT_EQ(state_.Answers(0).size(), 2u);
+  EXPECT_EQ(state_.AllAnswers().size(), 3u);
+  EXPECT_EQ(state_.AllAnswers()[1].task, 1);
+}
+
+TEST_F(CampaignStateTest, AllCompletedOnlyWhenEveryTaskDone) {
+  EXPECT_FALSE(state_.AllCompleted());
+  for (TaskId t = 0; t < 4; ++t) state_.ForceComplete(t, kYes);
+  EXPECT_TRUE(state_.AllCompleted());
+}
+
+class AssignmentSizeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AssignmentSizeTest, ConsensusThresholdTracksK) {
+  const int k = GetParam();
+  CampaignState state(1, k);
+  std::vector<WorkerId> workers;
+  for (int i = 0; i < k; ++i) workers.push_back(state.RegisterWorker());
+  int needed = (k + 1) / 2;
+  for (int i = 0; i < needed; ++i) {
+    ASSERT_TRUE(state.MarkAssigned(0, workers[i]).ok());
+    EXPECT_FALSE(state.IsCompleted(0));
+    ASSERT_TRUE(state.RecordAnswer({0, workers[i], kYes, 0.0}).ok());
+  }
+  EXPECT_TRUE(state.IsCompleted(0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, AssignmentSizeTest,
+                         ::testing::Values(1, 3, 5, 7));
+
+}  // namespace
+}  // namespace icrowd
