@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig10_scalability.cc" "bench/CMakeFiles/fig10_scalability.dir/fig10_scalability.cc.o" "gcc" "bench/CMakeFiles/fig10_scalability.dir/fig10_scalability.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/icrowd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/agg/CMakeFiles/icrowd_agg.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/icrowd_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/icrowd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/assign/CMakeFiles/icrowd_assign.dir/DependInfo.cmake"
+  "/root/repo/build/src/estimation/CMakeFiles/icrowd_estimation.dir/DependInfo.cmake"
+  "/root/repo/build/src/qualification/CMakeFiles/icrowd_qual.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/icrowd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/icrowd_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/icrowd_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/icrowd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_similarity.dir/fig12_similarity.cc.o"
+  "CMakeFiles/fig12_similarity.dir/fig12_similarity.cc.o.d"
+  "fig12_similarity"
+  "fig12_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_alpha.dir/fig13_alpha.cc.o"
+  "CMakeFiles/fig13_alpha.dir/fig13_alpha.cc.o.d"
+  "fig13_alpha"
+  "fig13_alpha.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_alpha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_assignment_size.dir/fig14_assignment_size.cc.o"
+  "CMakeFiles/fig14_assignment_size.dir/fig14_assignment_size.cc.o.d"
+  "fig14_assignment_size"
+  "fig14_assignment_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_assignment_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_distribution.dir/fig15_distribution.cc.o"
+  "CMakeFiles/fig15_distribution.dir/fig15_distribution.cc.o.d"
+  "fig15_distribution"
+  "fig15_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

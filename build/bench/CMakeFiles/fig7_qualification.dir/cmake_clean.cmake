@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_qualification.dir/fig7_qualification.cc.o"
+  "CMakeFiles/fig7_qualification.dir/fig7_qualification.cc.o.d"
+  "fig7_qualification"
+  "fig7_qualification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_qualification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_assign.dir/micro_assign.cc.o"
+  "CMakeFiles/micro_assign.dir/micro_assign.cc.o.d"
+  "micro_assign"
+  "micro_assign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_assign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

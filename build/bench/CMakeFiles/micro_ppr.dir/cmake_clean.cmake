@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_ppr.dir/micro_ppr.cc.o"
+  "CMakeFiles/micro_ppr.dir/micro_ppr.cc.o.d"
+  "micro_ppr"
+  "micro_ppr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_ppr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_greedy_error.dir/table5_greedy_error.cc.o"
+  "CMakeFiles/table5_greedy_error.dir/table5_greedy_error.cc.o.d"
+  "table5_greedy_error"
+  "table5_greedy_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_greedy_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

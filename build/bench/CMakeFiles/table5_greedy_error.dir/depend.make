@@ -1,0 +1,2 @@
+# Empty dependencies file for table5_greedy_error.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icrowd_cli.dir/icrowd_cli.cpp.o"
+  "CMakeFiles/icrowd_cli.dir/icrowd_cli.cpp.o.d"
+  "icrowd_cli"
+  "icrowd_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icrowd_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

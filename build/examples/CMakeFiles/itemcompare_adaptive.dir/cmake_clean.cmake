@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itemcompare_adaptive.dir/itemcompare_adaptive.cpp.o"
+  "CMakeFiles/itemcompare_adaptive.dir/itemcompare_adaptive.cpp.o.d"
+  "itemcompare_adaptive"
+  "itemcompare_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itemcompare_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

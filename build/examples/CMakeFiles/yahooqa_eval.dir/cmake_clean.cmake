@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yahooqa_eval.dir/yahooqa_eval.cpp.o"
+  "CMakeFiles/yahooqa_eval.dir/yahooqa_eval.cpp.o.d"
+  "yahooqa_eval"
+  "yahooqa_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yahooqa_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

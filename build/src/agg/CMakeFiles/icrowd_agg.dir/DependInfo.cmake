@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/agg/dawid_skene.cc" "src/agg/CMakeFiles/icrowd_agg.dir/dawid_skene.cc.o" "gcc" "src/agg/CMakeFiles/icrowd_agg.dir/dawid_skene.cc.o.d"
+  "/root/repo/src/agg/majority_vote.cc" "src/agg/CMakeFiles/icrowd_agg.dir/majority_vote.cc.o" "gcc" "src/agg/CMakeFiles/icrowd_agg.dir/majority_vote.cc.o.d"
+  "/root/repo/src/agg/probabilistic_verification.cc" "src/agg/CMakeFiles/icrowd_agg.dir/probabilistic_verification.cc.o" "gcc" "src/agg/CMakeFiles/icrowd_agg.dir/probabilistic_verification.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/icrowd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/icrowd_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icrowd_agg.dir/dawid_skene.cc.o"
+  "CMakeFiles/icrowd_agg.dir/dawid_skene.cc.o.d"
+  "CMakeFiles/icrowd_agg.dir/majority_vote.cc.o"
+  "CMakeFiles/icrowd_agg.dir/majority_vote.cc.o.d"
+  "CMakeFiles/icrowd_agg.dir/probabilistic_verification.cc.o"
+  "CMakeFiles/icrowd_agg.dir/probabilistic_verification.cc.o.d"
+  "libicrowd_agg.a"
+  "libicrowd_agg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icrowd_agg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/assign/adaptive_assigner.cc" "src/assign/CMakeFiles/icrowd_assign.dir/adaptive_assigner.cc.o" "gcc" "src/assign/CMakeFiles/icrowd_assign.dir/adaptive_assigner.cc.o.d"
+  "/root/repo/src/assign/assigner.cc" "src/assign/CMakeFiles/icrowd_assign.dir/assigner.cc.o" "gcc" "src/assign/CMakeFiles/icrowd_assign.dir/assigner.cc.o.d"
+  "/root/repo/src/assign/avgacc_assigner.cc" "src/assign/CMakeFiles/icrowd_assign.dir/avgacc_assigner.cc.o" "gcc" "src/assign/CMakeFiles/icrowd_assign.dir/avgacc_assigner.cc.o.d"
+  "/root/repo/src/assign/best_effort_assigner.cc" "src/assign/CMakeFiles/icrowd_assign.dir/best_effort_assigner.cc.o" "gcc" "src/assign/CMakeFiles/icrowd_assign.dir/best_effort_assigner.cc.o.d"
+  "/root/repo/src/assign/exact_assign.cc" "src/assign/CMakeFiles/icrowd_assign.dir/exact_assign.cc.o" "gcc" "src/assign/CMakeFiles/icrowd_assign.dir/exact_assign.cc.o.d"
+  "/root/repo/src/assign/greedy_assign.cc" "src/assign/CMakeFiles/icrowd_assign.dir/greedy_assign.cc.o" "gcc" "src/assign/CMakeFiles/icrowd_assign.dir/greedy_assign.cc.o.d"
+  "/root/repo/src/assign/hungarian.cc" "src/assign/CMakeFiles/icrowd_assign.dir/hungarian.cc.o" "gcc" "src/assign/CMakeFiles/icrowd_assign.dir/hungarian.cc.o.d"
+  "/root/repo/src/assign/hungarian_assigner.cc" "src/assign/CMakeFiles/icrowd_assign.dir/hungarian_assigner.cc.o" "gcc" "src/assign/CMakeFiles/icrowd_assign.dir/hungarian_assigner.cc.o.d"
+  "/root/repo/src/assign/random_assigner.cc" "src/assign/CMakeFiles/icrowd_assign.dir/random_assigner.cc.o" "gcc" "src/assign/CMakeFiles/icrowd_assign.dir/random_assigner.cc.o.d"
+  "/root/repo/src/assign/scalable_assign.cc" "src/assign/CMakeFiles/icrowd_assign.dir/scalable_assign.cc.o" "gcc" "src/assign/CMakeFiles/icrowd_assign.dir/scalable_assign.cc.o.d"
+  "/root/repo/src/assign/top_workers.cc" "src/assign/CMakeFiles/icrowd_assign.dir/top_workers.cc.o" "gcc" "src/assign/CMakeFiles/icrowd_assign.dir/top_workers.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/icrowd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/icrowd_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/estimation/CMakeFiles/icrowd_estimation.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/icrowd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/icrowd_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icrowd_assign.dir/adaptive_assigner.cc.o"
+  "CMakeFiles/icrowd_assign.dir/adaptive_assigner.cc.o.d"
+  "CMakeFiles/icrowd_assign.dir/assigner.cc.o"
+  "CMakeFiles/icrowd_assign.dir/assigner.cc.o.d"
+  "CMakeFiles/icrowd_assign.dir/avgacc_assigner.cc.o"
+  "CMakeFiles/icrowd_assign.dir/avgacc_assigner.cc.o.d"
+  "CMakeFiles/icrowd_assign.dir/best_effort_assigner.cc.o"
+  "CMakeFiles/icrowd_assign.dir/best_effort_assigner.cc.o.d"
+  "CMakeFiles/icrowd_assign.dir/exact_assign.cc.o"
+  "CMakeFiles/icrowd_assign.dir/exact_assign.cc.o.d"
+  "CMakeFiles/icrowd_assign.dir/greedy_assign.cc.o"
+  "CMakeFiles/icrowd_assign.dir/greedy_assign.cc.o.d"
+  "CMakeFiles/icrowd_assign.dir/hungarian.cc.o"
+  "CMakeFiles/icrowd_assign.dir/hungarian.cc.o.d"
+  "CMakeFiles/icrowd_assign.dir/hungarian_assigner.cc.o"
+  "CMakeFiles/icrowd_assign.dir/hungarian_assigner.cc.o.d"
+  "CMakeFiles/icrowd_assign.dir/random_assigner.cc.o"
+  "CMakeFiles/icrowd_assign.dir/random_assigner.cc.o.d"
+  "CMakeFiles/icrowd_assign.dir/scalable_assign.cc.o"
+  "CMakeFiles/icrowd_assign.dir/scalable_assign.cc.o.d"
+  "CMakeFiles/icrowd_assign.dir/top_workers.cc.o"
+  "CMakeFiles/icrowd_assign.dir/top_workers.cc.o.d"
+  "libicrowd_assign.a"
+  "libicrowd_assign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icrowd_assign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

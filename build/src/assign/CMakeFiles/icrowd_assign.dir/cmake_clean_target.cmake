@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libicrowd_assign.a"
+)

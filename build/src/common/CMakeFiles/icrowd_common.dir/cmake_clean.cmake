@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icrowd_common.dir/logging.cc.o"
+  "CMakeFiles/icrowd_common.dir/logging.cc.o.d"
+  "CMakeFiles/icrowd_common.dir/math_util.cc.o"
+  "CMakeFiles/icrowd_common.dir/math_util.cc.o.d"
+  "CMakeFiles/icrowd_common.dir/random.cc.o"
+  "CMakeFiles/icrowd_common.dir/random.cc.o.d"
+  "CMakeFiles/icrowd_common.dir/status.cc.o"
+  "CMakeFiles/icrowd_common.dir/status.cc.o.d"
+  "CMakeFiles/icrowd_common.dir/string_util.cc.o"
+  "CMakeFiles/icrowd_common.dir/string_util.cc.o.d"
+  "CMakeFiles/icrowd_common.dir/thread_pool.cc.o"
+  "CMakeFiles/icrowd_common.dir/thread_pool.cc.o.d"
+  "libicrowd_common.a"
+  "libicrowd_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icrowd_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for icrowd_common.
+# This may be replaced when dependencies are built.

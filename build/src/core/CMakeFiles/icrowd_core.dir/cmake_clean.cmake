@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icrowd_core.dir/experiment.cc.o"
+  "CMakeFiles/icrowd_core.dir/experiment.cc.o.d"
+  "CMakeFiles/icrowd_core.dir/icrowd.cc.o"
+  "CMakeFiles/icrowd_core.dir/icrowd.cc.o.d"
+  "CMakeFiles/icrowd_core.dir/strategy_factory.cc.o"
+  "CMakeFiles/icrowd_core.dir/strategy_factory.cc.o.d"
+  "libicrowd_core.a"
+  "libicrowd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icrowd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icrowd_datagen.dir/entity_resolution.cc.o"
+  "CMakeFiles/icrowd_datagen.dir/entity_resolution.cc.o.d"
+  "CMakeFiles/icrowd_datagen.dir/itemcompare.cc.o"
+  "CMakeFiles/icrowd_datagen.dir/itemcompare.cc.o.d"
+  "CMakeFiles/icrowd_datagen.dir/poi.cc.o"
+  "CMakeFiles/icrowd_datagen.dir/poi.cc.o.d"
+  "CMakeFiles/icrowd_datagen.dir/scalability.cc.o"
+  "CMakeFiles/icrowd_datagen.dir/scalability.cc.o.d"
+  "CMakeFiles/icrowd_datagen.dir/worker_pool.cc.o"
+  "CMakeFiles/icrowd_datagen.dir/worker_pool.cc.o.d"
+  "CMakeFiles/icrowd_datagen.dir/yahooqa.cc.o"
+  "CMakeFiles/icrowd_datagen.dir/yahooqa.cc.o.d"
+  "libicrowd_datagen.a"
+  "libicrowd_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icrowd_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/estimation/accuracy_estimator.cc" "src/estimation/CMakeFiles/icrowd_estimation.dir/accuracy_estimator.cc.o" "gcc" "src/estimation/CMakeFiles/icrowd_estimation.dir/accuracy_estimator.cc.o.d"
+  "/root/repo/src/estimation/observed_accuracy.cc" "src/estimation/CMakeFiles/icrowd_estimation.dir/observed_accuracy.cc.o" "gcc" "src/estimation/CMakeFiles/icrowd_estimation.dir/observed_accuracy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/icrowd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/icrowd_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/icrowd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/icrowd_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icrowd_estimation.dir/accuracy_estimator.cc.o"
+  "CMakeFiles/icrowd_estimation.dir/accuracy_estimator.cc.o.d"
+  "CMakeFiles/icrowd_estimation.dir/observed_accuracy.cc.o"
+  "CMakeFiles/icrowd_estimation.dir/observed_accuracy.cc.o.d"
+  "libicrowd_estimation.a"
+  "libicrowd_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icrowd_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

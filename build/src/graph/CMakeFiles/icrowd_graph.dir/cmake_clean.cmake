@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icrowd_graph.dir/ppr.cc.o"
+  "CMakeFiles/icrowd_graph.dir/ppr.cc.o.d"
+  "CMakeFiles/icrowd_graph.dir/similarity_graph.cc.o"
+  "CMakeFiles/icrowd_graph.dir/similarity_graph.cc.o.d"
+  "CMakeFiles/icrowd_graph.dir/sparse_matrix.cc.o"
+  "CMakeFiles/icrowd_graph.dir/sparse_matrix.cc.o.d"
+  "libicrowd_graph.a"
+  "libicrowd_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icrowd_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icrowd_io.dir/csv.cc.o"
+  "CMakeFiles/icrowd_io.dir/csv.cc.o.d"
+  "CMakeFiles/icrowd_io.dir/dataset_io.cc.o"
+  "CMakeFiles/icrowd_io.dir/dataset_io.cc.o.d"
+  "libicrowd_io.a"
+  "libicrowd_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icrowd_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icrowd_model.dir/campaign_state.cc.o"
+  "CMakeFiles/icrowd_model.dir/campaign_state.cc.o.d"
+  "CMakeFiles/icrowd_model.dir/dataset.cc.o"
+  "CMakeFiles/icrowd_model.dir/dataset.cc.o.d"
+  "libicrowd_model.a"
+  "libicrowd_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icrowd_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

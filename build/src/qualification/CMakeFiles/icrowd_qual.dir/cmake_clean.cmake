@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icrowd_qual.dir/influence.cc.o"
+  "CMakeFiles/icrowd_qual.dir/influence.cc.o.d"
+  "CMakeFiles/icrowd_qual.dir/qualification_selector.cc.o"
+  "CMakeFiles/icrowd_qual.dir/qualification_selector.cc.o.d"
+  "CMakeFiles/icrowd_qual.dir/warmup.cc.o"
+  "CMakeFiles/icrowd_qual.dir/warmup.cc.o.d"
+  "libicrowd_qual.a"
+  "libicrowd_qual.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icrowd_qual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icrowd_sim.dir/activity_tracker.cc.o"
+  "CMakeFiles/icrowd_sim.dir/activity_tracker.cc.o.d"
+  "CMakeFiles/icrowd_sim.dir/metrics.cc.o"
+  "CMakeFiles/icrowd_sim.dir/metrics.cc.o.d"
+  "CMakeFiles/icrowd_sim.dir/simulator.cc.o"
+  "CMakeFiles/icrowd_sim.dir/simulator.cc.o.d"
+  "libicrowd_sim.a"
+  "libicrowd_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icrowd_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/classifier.cc" "src/text/CMakeFiles/icrowd_text.dir/classifier.cc.o" "gcc" "src/text/CMakeFiles/icrowd_text.dir/classifier.cc.o.d"
+  "/root/repo/src/text/lda.cc" "src/text/CMakeFiles/icrowd_text.dir/lda.cc.o" "gcc" "src/text/CMakeFiles/icrowd_text.dir/lda.cc.o.d"
+  "/root/repo/src/text/similarity.cc" "src/text/CMakeFiles/icrowd_text.dir/similarity.cc.o" "gcc" "src/text/CMakeFiles/icrowd_text.dir/similarity.cc.o.d"
+  "/root/repo/src/text/stopwords.cc" "src/text/CMakeFiles/icrowd_text.dir/stopwords.cc.o" "gcc" "src/text/CMakeFiles/icrowd_text.dir/stopwords.cc.o.d"
+  "/root/repo/src/text/tfidf.cc" "src/text/CMakeFiles/icrowd_text.dir/tfidf.cc.o" "gcc" "src/text/CMakeFiles/icrowd_text.dir/tfidf.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/text/CMakeFiles/icrowd_text.dir/tokenizer.cc.o" "gcc" "src/text/CMakeFiles/icrowd_text.dir/tokenizer.cc.o.d"
+  "/root/repo/src/text/vocabulary.cc" "src/text/CMakeFiles/icrowd_text.dir/vocabulary.cc.o" "gcc" "src/text/CMakeFiles/icrowd_text.dir/vocabulary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/icrowd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

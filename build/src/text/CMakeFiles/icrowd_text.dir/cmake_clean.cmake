@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icrowd_text.dir/classifier.cc.o"
+  "CMakeFiles/icrowd_text.dir/classifier.cc.o.d"
+  "CMakeFiles/icrowd_text.dir/lda.cc.o"
+  "CMakeFiles/icrowd_text.dir/lda.cc.o.d"
+  "CMakeFiles/icrowd_text.dir/similarity.cc.o"
+  "CMakeFiles/icrowd_text.dir/similarity.cc.o.d"
+  "CMakeFiles/icrowd_text.dir/stopwords.cc.o"
+  "CMakeFiles/icrowd_text.dir/stopwords.cc.o.d"
+  "CMakeFiles/icrowd_text.dir/tfidf.cc.o"
+  "CMakeFiles/icrowd_text.dir/tfidf.cc.o.d"
+  "CMakeFiles/icrowd_text.dir/tokenizer.cc.o"
+  "CMakeFiles/icrowd_text.dir/tokenizer.cc.o.d"
+  "CMakeFiles/icrowd_text.dir/vocabulary.cc.o"
+  "CMakeFiles/icrowd_text.dir/vocabulary.cc.o.d"
+  "libicrowd_text.a"
+  "libicrowd_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icrowd_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qual_test.dir/qual_test.cc.o"
+  "CMakeFiles/qual_test.dir/qual_test.cc.o.d"
+  "qual_test"
+  "qual_test.pdb"
+  "qual_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qual_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
