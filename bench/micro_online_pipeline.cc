@@ -1,0 +1,156 @@
+// Microbenchmarks (google-benchmark) for the parallel online pipeline: the
+// scheme-recompute kernel (per-task top-worker-set fan-out + greedy
+// worker-disjoint selection, Algorithm 2 step 1 + Algorithm 3) at 1/2/4/8
+// threads, and a full adaptive campaign at each thread count. Every
+// parallel variant is checked against the serial scheme before timing —
+// thread count must never change a single assignment (see DESIGN.md
+// "Concurrency model"). Speedups require real cores; on a single-core host
+// the numbers show the (small) coordination overhead instead.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "assign/greedy_assign.h"
+#include "assign/top_workers.h"
+#include "common/thread_pool.h"
+#include "core/experiment.h"
+#include "datagen/itemcompare.h"
+#include "model/campaign_state.h"
+
+namespace icrowd {
+namespace {
+
+constexpr size_t kTasks = 8000;
+constexpr size_t kWorkers = 160;
+constexpr int kAssignmentSize = 3;
+
+// Deterministic stand-in for the estimator: a cheap hash mix of (worker,
+// task) mapped into [0.5, 1). Pure and thread-safe by construction, like
+// the frozen snapshot the real pipeline hands out.
+double HashAccuracy(WorkerId w, TaskId t) {
+  uint64_t x = static_cast<uint64_t>(w) * 0x9e3779b97f4a7c15ull ^
+               static_cast<uint64_t>(t) * 0xc2b2ae3d27d4eb4full;
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  return 0.5 + 0.5 * static_cast<double>(x % 10'000) / 10'000.0;
+}
+
+struct Kernel {
+  CampaignState state{kTasks, kAssignmentSize};
+  std::vector<WorkerId> active;
+  AccuracyFn accuracy = HashAccuracy;
+
+  Kernel() {
+    for (size_t w = 0; w < kWorkers; ++w) {
+      active.push_back(state.RegisterWorker());
+    }
+  }
+};
+
+bool SameScheme(const std::vector<TopWorkerSet>& a,
+                const std::vector<TopWorkerSet>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].task != b[i].task || a[i].workers != b[i].workers ||
+        a[i].accuracies != b[i].accuracies) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<TopWorkerSet> RecomputeScheme(const Kernel& kernel,
+                                          ThreadPool* pool) {
+  return GreedyAssign(ComputeTopWorkerSets(kernel.state, kernel.active,
+                                           kernel.accuracy,
+                                           /*require_full=*/false, pool));
+}
+
+void BM_SchemeRecompute(benchmark::State& state) {
+  const size_t threads = static_cast<size_t>(state.range(0));
+  static Kernel kernel;  // shared: setup cost paid once across variants
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+
+  // Determinism gate before timing: the parallel scheme must be
+  // bit-identical to the serial one.
+  std::vector<TopWorkerSet> serial = RecomputeScheme(kernel, nullptr);
+  if (!SameScheme(serial, RecomputeScheme(kernel, pool.get()))) {
+    state.SkipWithError("parallel scheme diverged from serial scheme");
+    return;
+  }
+
+  for (auto _ : state) {
+    auto scheme = RecomputeScheme(kernel, pool.get());
+    benchmark::DoNotOptimize(scheme);
+  }
+  state.SetItemsProcessed(state.iterations() * kTasks);
+  state.counters["threads"] = static_cast<double>(threads);
+}
+BENCHMARK(BM_SchemeRecompute)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AdaptiveCampaign(benchmark::State& state) {
+  const size_t threads = static_cast<size_t>(state.range(0));
+  ItemCompareOptions options;
+  options.tasks_per_domain = 30;
+  auto ds = GenerateItemCompare(options);
+  auto workers = GenerateItemCompareWorkers(*ds);
+  ICrowdConfig config;
+  auto graph = SimilarityGraph::Build(*ds, config.graph);
+  config.num_threads = threads;
+
+  // Determinism gate: the campaign at `threads` must reproduce the serial
+  // campaign answer-for-answer.
+  ICrowdConfig serial_config = config;
+  serial_config.num_threads = 1;
+  auto serial =
+      RunExperiment(*ds, workers, *graph, serial_config, StrategyKind::kAdapt);
+  auto parallel =
+      RunExperiment(*ds, workers, *graph, config, StrategyKind::kAdapt);
+  if (!serial.ok() || !parallel.ok()) {
+    state.SkipWithError("campaign failed");
+    return;
+  }
+  if (serial->sim.consensus != parallel->sim.consensus ||
+      serial->sim.answers.size() != parallel->sim.answers.size() ||
+      serial->sim.total_cost != parallel->sim.total_cost) {
+    state.SkipWithError("parallel campaign diverged from serial campaign");
+    return;
+  }
+
+  double refresh_seconds = 0.0, recompute_seconds = 0.0;
+  size_t runs = 0;
+  for (auto _ : state) {
+    auto result =
+        RunExperiment(*ds, workers, *graph, config, StrategyKind::kAdapt);
+    benchmark::DoNotOptimize(result);
+    refresh_seconds += result->sim.assigner.refresh_seconds;
+    recompute_seconds += result->sim.assigner.scheme_recompute_seconds;
+    ++runs;
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["refresh_ms"] =
+      1e3 * refresh_seconds / static_cast<double>(runs);
+  state.counters["recompute_ms"] =
+      1e3 * recompute_seconds / static_cast<double>(runs);
+}
+BENCHMARK(BM_AdaptiveCampaign)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace icrowd
+
+BENCHMARK_MAIN();

@@ -3,7 +3,8 @@
 //
 //   icrowd_cli [--dataset=yahooqa|itemcompare|entity|poi] [--strategy=NAME]
 //              [--k=3] [--q=10] [--alpha=1.0] [--threshold=0.8]
-//              [--measure=topic|jaccard|tfidf] [--seeds=5] [--seed-base=1000]
+//              [--measure=topic|jaccard|tfidf] [--threads=1]
+//              [--seeds=5] [--seed-base=1000]
 //              [--random-qualification] [--per-domain]
 //              [--export-dataset=FILE] [--export-answers=FILE]
 //
@@ -53,7 +54,8 @@ int Usage() {
       "                  [--strategy=randommv|randomem|avgaccpv|qfonly|\n"
       "                   besteffort|icrowd]\n"
       "                  [--k=3] [--q=10] [--alpha=1.0] [--threshold=0.8]\n"
-      "                  [--measure=topic|jaccard|tfidf] [--seeds=5]\n"
+      "                  [--measure=topic|jaccard|tfidf] [--threads=1]\n"
+      "                  [--seeds=5]\n"
       "                  [--seed-base=1000] [--random-qualification]\n"
       "                  [--per-domain] [--export-dataset=FILE]\n"
       "                  [--export-answers=FILE]\n");
@@ -89,6 +91,8 @@ int main(int argc, char** argv) {
       } else {
         return Usage();
       }
+    } else if (ParseFlag(arg, "threads", &value)) {
+      options.config.num_threads = std::stoul(value);
     } else if (ParseFlag(arg, "seeds", &value)) {
       options.seeds = std::stoi(value);
     } else if (ParseFlag(arg, "seed-base", &value)) {

@@ -1,7 +1,10 @@
 #include "assign/adaptive_assigner.h"
 
+#include <algorithm>
+
 #include "assign/greedy_assign.h"
 #include "assign/top_workers.h"
+#include "common/stopwatch.h"
 
 namespace icrowd {
 
@@ -28,16 +31,35 @@ void AdaptiveAssigner::OnAnswer(const AnswerRecord& answer,
 
 void AdaptiveAssigner::RefreshDirtyWorkers(const CampaignState& state) {
   if (dirty_workers_.empty()) return;
-  for (WorkerId w : dirty_workers_) {
-    estimator_->Refresh(w, state, *dataset_);
-  }
+  Stopwatch timer;
+  std::vector<WorkerId> dirty(dirty_workers_.begin(), dirty_workers_.end());
+  std::sort(dirty.begin(), dirty.end());
   dirty_workers_.clear();
+  // Snapshot the Eq. (5) inputs before any model is overwritten: every
+  // refresh this round grades against the same pre-round estimates, so the
+  // results cannot depend on refresh order — which makes the parallel
+  // fan-out below bit-identical to the serial loop at any thread count.
+  // Dirty workers are exactly the set being mutated; everyone else's live
+  // state is read-only during the round.
+  AccuracyFn pre_round = estimator_->SnapshotAccuracyFn(dirty);
+  // Registration may grow the estimator's worker table — do it serially.
+  for (WorkerId w : dirty) estimator_->EnsureRegistered(w);
+  auto refresh_one = [&](size_t i) {
+    estimator_->Refresh(dirty[i], state, *dataset_, pre_round);
+  };
+  if (pool() != nullptr) {
+    pool()->ParallelFor(dirty.size(), refresh_one);
+  } else {
+    for (size_t i = 0; i < dirty.size(); ++i) refresh_one(i);
+  }
   scheme_dirty_ = true;
+  refresh_seconds_ += timer.ElapsedSeconds();
 }
 
 void AdaptiveAssigner::RecomputeScheme(
     const CampaignState& state, const std::vector<WorkerId>& active_workers) {
   ++scheme_recomputations_;
+  Stopwatch timer;
   planned_.clear();
   // Multi-round planning: one Algorithm 3 pass plans only a few disjoint
   // sets because the globally best workers appear in almost every top set.
@@ -51,8 +73,9 @@ void AdaptiveAssigner::RecomputeScheme(
   while (!remaining_workers.empty() && !remaining_tasks.empty() &&
          (first_round || options_.multi_round_planning)) {
     first_round = false;
-    std::vector<TopWorkerSet> candidates = ComputeTopWorkerSets(
-        remaining_tasks, state, remaining_workers, accuracy);
+    std::vector<TopWorkerSet> candidates =
+        ComputeTopWorkerSets(remaining_tasks, state, remaining_workers,
+                             accuracy, /*require_full=*/false, pool());
     std::vector<TopWorkerSet> scheme = GreedyAssign(std::move(candidates));
     if (scheme.empty()) break;
     std::unordered_set<WorkerId> used;
@@ -70,6 +93,7 @@ void AdaptiveAssigner::RecomputeScheme(
                   [&](TaskId t) { return chosen.count(t) > 0; });
   }
   scheme_dirty_ = false;
+  scheme_recompute_seconds_ += timer.ElapsedSeconds();
 }
 
 std::optional<TaskId> AdaptiveAssigner::TestAssignment(

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "assign/assigner.h"
+#include "common/thread_pool.h"
 #include "estimation/accuracy_estimator.h"
 
 namespace icrowd {
@@ -26,6 +27,15 @@ struct AdaptiveAssignerOptions {
   /// and everyone else falls to step-3 testing. The `ablation_assignment`
   /// bench quantifies this choice.
   bool multi_round_planning = true;
+  /// Threads for the online hot path (dirty-worker estimate refresh and
+  /// per-task top-worker-set fan-out). 1 = serial; 0 = hardware
+  /// concurrency. Results are bit-identical at any value: Eq. (5) always
+  /// reads a pre-round snapshot of the refreshed workers' estimates, and
+  /// top worker sets merge in task-index order.
+  size_t num_threads = 1;
+  /// Optional shared pool (one per campaign/process); when null and
+  /// num_threads != 1 the assigner spawns its own.
+  std::shared_ptr<ThreadPool> pool;
 };
 
 /// iCrowd's ADAPTIVE ASSIGNER (Algorithm 2 / §4):
@@ -44,7 +54,11 @@ class AdaptiveAssigner : public Assigner {
                    AdaptiveAssignerOptions options = {})
       : dataset_(dataset),
         estimator_(std::move(estimator)),
-        options_(options) {}
+        options_(std::move(options)) {
+    if (options_.pool == nullptr && options_.num_threads != 1) {
+      options_.pool = std::make_shared<ThreadPool>(options_.num_threads);
+    }
+  }
 
   std::string name() const override {
     return options_.adaptive_updates ? "Adapt" : "QF-Only";
@@ -68,7 +82,13 @@ class AdaptiveAssigner : public Assigner {
   /// Number of assignments served by step 3 rather than the scheme.
   size_t test_assignments() const { return test_assignments_; }
 
+  AssignerStats Stats() const override {
+    return {scheme_recomputations_, test_assignments_,
+            scheme_recompute_seconds_, refresh_seconds_};
+  }
+
  private:
+  ThreadPool* pool() const { return options_.pool.get(); }
   void RefreshDirtyWorkers(const CampaignState& state);
   void RecomputeScheme(const CampaignState& state,
                        const std::vector<WorkerId>& active_workers);
@@ -84,6 +104,8 @@ class AdaptiveAssigner : public Assigner {
   bool scheme_dirty_ = true;
   size_t scheme_recomputations_ = 0;
   size_t test_assignments_ = 0;
+  double scheme_recompute_seconds_ = 0.0;
+  double refresh_seconds_ = 0.0;
 };
 
 }  // namespace icrowd

@@ -10,6 +10,22 @@
 
 namespace icrowd {
 
+/// Online-pipeline counters an assigner may expose (zeros for strategies
+/// that keep no scheme). The driver copies them into SimulationResult so
+/// benches can attribute wall-clock to the scheme recompute vs the
+/// estimate refresh without reaching into strategy internals.
+struct AssignerStats {
+  /// Times the full Algorithm 2/3 scheme was rebuilt (the "effective
+  /// index" metric of §6.5).
+  size_t scheme_recomputations = 0;
+  /// Assignments served by §4.1 step-3 performance testing.
+  size_t test_assignments = 0;
+  /// Wall-clock seconds inside scheme recomputation (top worker sets +
+  /// greedy pass) and inside the dirty-worker estimate refresh.
+  double scheme_recompute_seconds = 0.0;
+  double refresh_seconds = 0.0;
+};
+
 /// A task-assignment strategy (the MICROTASK ASSIGNER of Figure 1 and the
 /// baselines of §6). The driver (simulator or platform bridge) owns the
 /// CampaignState: it calls RequestTask when a worker asks for work, performs
@@ -20,6 +36,8 @@ class Assigner {
   virtual ~Assigner() = default;
 
   virtual std::string name() const = 0;
+
+  virtual AssignerStats Stats() const { return {}; }
 
   /// Notifies that `worker` passed warm-up with the given average accuracy
   /// on qualification tasks and is now eligible for real tasks. `state`

@@ -6,17 +6,38 @@
 namespace icrowd {
 
 std::vector<TopWorkerSet> GreedyAssign(std::vector<TopWorkerSet> candidates) {
-  std::sort(candidates.begin(), candidates.end(),
-            [](const TopWorkerSet& a, const TopWorkerSet& b) {
-              double avg_a = a.AvgAccuracy();
-              double avg_b = b.AvgAccuracy();
-              if (avg_a != avg_b) return avg_a > avg_b;
-              return a.task < b.task;  // deterministic tie-break
-            });
+  // Lazy max-heap keyed by (average accuracy desc, task id asc). Candidate
+  // sets are fixed, so keys never change and stale-entry reinsertion is
+  // unnecessary; "lazy" here means overlap is only checked when a candidate
+  // reaches the top. Compared to sorting everything up front, the heap pays
+  // O(n) to build and O(log n) per pop, and the pop loop stops as soon as
+  // every worker appearing in any candidate is used — in the multi-round
+  // planner the early rounds consume all workers within a few pops while
+  // thousands of candidates remain unsorted.
+  std::vector<double> avg(candidates.size());
+  std::unordered_set<WorkerId> universe;
+  std::vector<size_t> heap;
+  heap.reserve(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (candidates[i].empty()) continue;
+    avg[i] = candidates[i].AvgAccuracy();
+    heap.push_back(i);
+    for (WorkerId w : candidates[i].workers) universe.insert(w);
+  }
+  // std::*_heap keeps the max at front; "less" orders worse candidates
+  // first. Task ids are unique, so the order is total and deterministic.
+  auto worse = [&](size_t a, size_t b) {
+    if (avg[a] != avg[b]) return avg[a] < avg[b];
+    return candidates[a].task > candidates[b].task;
+  };
+  std::make_heap(heap.begin(), heap.end(), worse);
+
   std::vector<TopWorkerSet> scheme;
   std::unordered_set<WorkerId> used;
-  for (TopWorkerSet& candidate : candidates) {
-    if (candidate.empty()) continue;
+  while (!heap.empty() && used.size() < universe.size()) {
+    std::pop_heap(heap.begin(), heap.end(), worse);
+    TopWorkerSet& candidate = candidates[heap.back()];
+    heap.pop_back();
     bool overlaps = false;
     for (WorkerId w : candidate.workers) {
       if (used.count(w)) {

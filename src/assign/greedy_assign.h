@@ -10,9 +10,12 @@ namespace icrowd {
 /// Algorithm 3 (GreedyAssign): repeatedly picks the candidate <t, Ŵ(t)>
 /// with the maximum average worker accuracy and discards all candidates
 /// whose worker set overlaps it, producing a worker-disjoint assignment
-/// scheme A*. Candidate sets are fixed, so a single descending-average scan
-/// with a used-worker set is exactly equivalent to the paper's iterative
-/// remove-and-rescan and runs in O(|T| log |T| + |T|·k).
+/// scheme A*. Candidate sets are fixed, so a lazy max-heap over the average
+/// accuracies with a used-worker overlap check at pop time is exactly
+/// equivalent to the paper's iterative remove-and-rescan; it stops as soon
+/// as every worker is used, so a round that exhausts the worker pool after
+/// m pops costs O(|T| + m log |T| + |T|·k) instead of a full sort. Ties
+/// break toward the smaller task id (deterministic).
 std::vector<TopWorkerSet> GreedyAssign(std::vector<TopWorkerSet> candidates);
 
 /// The Definition 4 objective of a scheme: Σ_{<t,Ŵ(t)>} Σ_w p_t^w.

@@ -20,24 +20,30 @@ double SparseWorkerEstimate::Accuracy(TaskId task) const {
 std::vector<TopWorkerSet> ScalableAssign(
     size_t num_tasks, int assignment_size,
     const std::vector<SparseWorkerEstimate>& workers,
-    ScalableAssignStats* stats) {
+    ScalableAssignStats* stats, ThreadPool* pool) {
   const size_t k = static_cast<size_t>(std::max(1, assignment_size));
 
-  // Touched tasks: any task some worker has an explicit score for.
-  std::unordered_set<TaskId> touched;
+  // Touched tasks: any task some worker has an explicit score for. Sorted
+  // so candidate order (and thus the parallel fan-out merge) is
+  // deterministic.
+  std::unordered_set<TaskId> touched_set;
   for (const SparseWorkerEstimate& w : workers) {
     for (const auto& [t, _] : w.scores) {
-      if (t >= 0 && static_cast<size_t>(t) < num_tasks) touched.insert(t);
+      if (t >= 0 && static_cast<size_t>(t) < num_tasks) touched_set.insert(t);
     }
   }
+  std::vector<TaskId> touched(touched_set.begin(), touched_set.end());
+  std::sort(touched.begin(), touched.end());
 
   std::vector<TopWorkerSet> candidates;
   candidates.reserve(touched.size() + workers.size() / k + 1);
 
-  // Per-task top-k for touched tasks only.
-  std::vector<std::pair<double, WorkerId>> scored;
-  for (TaskId t : touched) {
-    scored.clear();
+  // Per-task top-k for touched tasks only, one independent slot per task.
+  candidates.resize(touched.size());
+  auto compute_one = [&](size_t i) {
+    TaskId t = touched[i];
+    std::vector<std::pair<double, WorkerId>> scored;
+    scored.reserve(workers.size());
     for (const SparseWorkerEstimate& w : workers) {
       scored.emplace_back(w.Accuracy(t), w.worker);
     }
@@ -47,13 +53,17 @@ std::vector<TopWorkerSet> ScalableAssign(
                         if (a.first != b.first) return a.first > b.first;
                         return a.second < b.second;
                       });
-    TopWorkerSet set;
+    TopWorkerSet& set = candidates[i];
     set.task = t;
-    for (size_t i = 0; i < keep; ++i) {
-      set.workers.push_back(scored[i].second);
-      set.accuracies.push_back(scored[i].first);
+    for (size_t j = 0; j < keep; ++j) {
+      set.workers.push_back(scored[j].second);
+      set.accuracies.push_back(scored[j].first);
     }
-    candidates.push_back(std::move(set));
+  };
+  if (pool != nullptr && touched.size() > 1) {
+    pool->ParallelFor(touched.size(), compute_one);
+  } else {
+    for (size_t i = 0; i < touched.size(); ++i) compute_one(i);
   }
 
   // Fallback index for untouched tasks: every untouched task ranks workers
@@ -77,7 +87,7 @@ std::vector<TopWorkerSet> ScalableAssign(
     size_t next_task = 0;
     for (size_t g = 0; g < groups; ++g) {
       while (next_task < num_tasks &&
-             touched.count(static_cast<TaskId>(next_task))) {
+             touched_set.count(static_cast<TaskId>(next_task))) {
         ++next_task;
       }
       if (next_task >= num_tasks) break;

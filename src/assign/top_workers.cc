@@ -49,22 +49,35 @@ TopWorkerSet ComputeTopWorkerSet(TaskId task, const CampaignState& state,
 
 std::vector<TopWorkerSet> ComputeTopWorkerSets(
     const CampaignState& state, const std::vector<WorkerId>& active_workers,
-    const AccuracyFn& accuracy, bool require_full) {
+    const AccuracyFn& accuracy, bool require_full, ThreadPool* pool) {
   return ComputeTopWorkerSets(state.UncompletedTasks(), state,
-                              active_workers, accuracy, require_full);
+                              active_workers, accuracy, require_full, pool);
 }
 
 std::vector<TopWorkerSet> ComputeTopWorkerSets(
     const std::vector<TaskId>& tasks, const CampaignState& state,
     const std::vector<WorkerId>& active_workers, const AccuracyFn& accuracy,
-    bool require_full) {
+    bool require_full, ThreadPool* pool) {
+  // Fan out one slot per task, then merge in index order: the output is the
+  // same sequence the serial loop produces, at any thread count.
+  std::vector<TopWorkerSet> per_task(tasks.size());
+  auto compute_one = [&](size_t i) {
+    per_task[i] = ComputeTopWorkerSet(tasks[i], state, active_workers,
+                                      accuracy);
+  };
+  if (pool != nullptr && tasks.size() > 1) {
+    pool->ParallelFor(tasks.size(), compute_one);
+  } else {
+    for (size_t i = 0; i < tasks.size(); ++i) compute_one(i);
+  }
   std::vector<TopWorkerSet> sets;
-  for (TaskId t : tasks) {
-    TopWorkerSet set =
-        ComputeTopWorkerSet(t, state, active_workers, accuracy);
+  sets.reserve(tasks.size());
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    TopWorkerSet& set = per_task[i];
     if (set.empty()) continue;
     if (require_full &&
-        static_cast<int>(set.workers.size()) < state.RemainingSlots(t)) {
+        static_cast<int>(set.workers.size()) <
+            state.RemainingSlots(tasks[i])) {
       continue;
     }
     sets.push_back(std::move(set));

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
+#include <utility>
 
 namespace icrowd {
 
@@ -36,6 +38,11 @@ void ThreadPool::Submit(std::function<void()> task) {
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mutex_);
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 void ThreadPool::WorkerLoop() {
@@ -49,13 +56,50 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
-    task();
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      if (error && !first_error_) first_error_ = error;
       --in_flight_;
       if (in_flight_ == 0) all_done_.notify_all();
     }
   }
+}
+
+void ThreadPool::ParallelFor(size_t count,
+                             const std::function<void(size_t)>& fn) {
+  if (count == 0) return;
+  size_t runners = std::min(threads_.size(), count);
+  if (runners <= 1) {
+    for (size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  // Runners pull indices from a shared counter; `stop` short-circuits the
+  // remaining indices once one call throws (the exception itself travels
+  // through the pool's Wait() capture).
+  auto next = std::make_shared<std::atomic<size_t>>(0);
+  auto stop = std::make_shared<std::atomic<bool>>(false);
+  for (size_t r = 0; r < runners; ++r) {
+    Submit([next, stop, count, &fn] {
+      for (;;) {
+        if (stop->load(std::memory_order_relaxed)) return;
+        size_t i = next->fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) return;
+        try {
+          fn(i);
+        } catch (...) {
+          stop->store(true, std::memory_order_relaxed);
+          throw;
+        }
+      }
+    });
+  }
+  Wait();
 }
 
 void ThreadPool::ParallelFor(size_t count, size_t num_threads,
@@ -70,18 +114,29 @@ void ThreadPool::ParallelFor(size_t count, size_t num_threads,
     return;
   }
   std::atomic<size_t> next{0};
+  std::atomic<bool> stop{false};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
   std::vector<std::thread> threads;
   threads.reserve(num_threads);
   for (size_t t = 0; t < num_threads; ++t) {
     threads.emplace_back([&] {
       for (;;) {
+        if (stop.load(std::memory_order_relaxed)) return;
         size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= count) return;
-        fn(i);
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+          stop.store(true, std::memory_order_relaxed);
+        }
       }
     });
   }
   for (std::thread& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace icrowd

@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -11,8 +12,17 @@
 
 namespace icrowd {
 
-/// Fixed-size worker pool used to parallelize the offline per-seed
-/// personalized-PageRank precomputation (Algorithm 1's offline phase).
+/// Fixed-size worker pool. Originally only the offline per-seed
+/// personalized-PageRank precomputation (Algorithm 1's offline phase) used
+/// it; the online assignment pipeline (dirty-worker refresh and per-task
+/// top-worker-set computation) now shares one pool handle per campaign so
+/// threads are spawned once, not per round.
+///
+/// Exception contract: a task that throws does not kill the worker thread.
+/// The first exception raised by any task since the last Wait() is captured
+/// and rethrown by the next Wait() call, after every in-flight task has
+/// drained — Wait() never deadlocks on a throwing task. Exceptions raised
+/// while no one ever calls Wait() again are swallowed at destruction.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (>= 1; 0 means hardware concurrency).
@@ -22,15 +32,26 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task; never blocks.
+  /// Enqueues a task; never blocks. Safe to call concurrently with Wait():
+  /// an in-flight Wait() also waits for the newly submitted task.
   void Submit(std::function<void()> task);
 
-  /// Blocks until all submitted tasks have finished.
+  /// Blocks until all submitted tasks have finished, then rethrows the
+  /// first exception any of them raised (if any).
   void Wait();
 
   size_t num_threads() const { return threads_.size(); }
 
-  /// Runs fn(i) for i in [0, count) across the pool and waits.
+  /// Runs fn(i) for i in [0, count) across this pool's workers and blocks
+  /// until done; the calling thread runs nothing itself unless the pool has
+  /// a single worker (then fn runs inline). Rethrows the first exception fn
+  /// raised; remaining indices are skipped after a failure. Must not be
+  /// called from inside a pool task (it would deadlock in Wait()).
+  void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
+
+  /// One-shot variant: spawns up to `num_threads` fresh threads (0 means
+  /// hardware concurrency), runs fn(i) for i in [0, count), joins, and
+  /// rethrows the first exception fn raised.
   static void ParallelFor(size_t count, size_t num_threads,
                           const std::function<void(size_t)>& fn);
 
@@ -44,6 +65,7 @@ class ThreadPool {
   std::condition_variable all_done_;
   size_t in_flight_ = 0;
   bool shutting_down_ = false;
+  std::exception_ptr first_error_;  // guarded by mutex_
 };
 
 }  // namespace icrowd

@@ -2,7 +2,9 @@
 #define ICROWD_CORE_CONFIG_H_
 
 #include <cstdint>
+#include <memory>
 
+#include "common/thread_pool.h"
 #include "estimation/accuracy_estimator.h"
 #include "graph/similarity_graph.h"
 #include "qualification/warmup.h"
@@ -36,6 +38,16 @@ struct ICrowdConfig {
   /// §4.1 step 1: a worker counts as active while its last task request is
   /// within this window (the paper suggests 30 minutes).
   double activity_window_seconds = 1800.0;
+  /// Threads for the *online* assignment hot path (dirty-worker estimate
+  /// refresh + per-task top-worker-set fan-out). 1 = serial, 0 = hardware
+  /// concurrency. Campaign results are bit-identical at any value; see
+  /// DESIGN.md "Concurrency model". (The *offline* PPR precompute is
+  /// controlled separately by estimator.ppr.num_threads.)
+  size_t num_threads = 1;
+  /// Optional pre-built pool shared across strategies/experiments so
+  /// threads are spawned once per process, not per campaign. When null and
+  /// num_threads != 1 each adaptive assigner creates its own.
+  std::shared_ptr<ThreadPool> pool;
   uint64_t seed = 123;
 };
 

@@ -74,8 +74,10 @@ Result<Strategy> MakeStrategy(StrategyKind kind, const Dataset& dataset,
           auto estimator, MakeEstimator(graph, config, qualification_tasks));
       AdaptiveAssignerOptions options;
       options.adaptive_updates = false;
+      options.num_threads = config.num_threads;
+      options.pool = config.pool;
       auto assigner = std::make_unique<AdaptiveAssigner>(
-          &dataset, std::move(estimator), options);
+          &dataset, std::move(estimator), std::move(options));
       strategy.accuracy_fn = assigner->estimator().AsAccuracyFn();
       strategy.assigner = std::move(assigner);
       strategy.aggregation = AggregationKind::kConsensus;
@@ -94,8 +96,11 @@ Result<Strategy> MakeStrategy(StrategyKind kind, const Dataset& dataset,
     case StrategyKind::kAdapt: {
       ICROWD_ASSIGN_OR_RETURN(
           auto estimator, MakeEstimator(graph, config, qualification_tasks));
+      AdaptiveAssignerOptions options;
+      options.num_threads = config.num_threads;
+      options.pool = config.pool;
       auto assigner = std::make_unique<AdaptiveAssigner>(
-          &dataset, std::move(estimator));
+          &dataset, std::move(estimator), std::move(options));
       strategy.accuracy_fn = assigner->estimator().AsAccuracyFn();
       strategy.assigner = std::move(assigner);
       strategy.aggregation = AggregationKind::kConsensus;

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+#include <unordered_map>
+#include <utility>
 
 #include "common/math_util.h"
 
@@ -37,14 +40,24 @@ void AccuracyEstimator::RegisterWorker(WorkerId worker,
   model.fallback = model.warmup_accuracy;
 }
 
+void AccuracyEstimator::EnsureRegistered(WorkerId worker) {
+  if (!IsRegistered(worker)) RegisterWorker(worker, options_.default_accuracy);
+}
+
 void AccuracyEstimator::Refresh(WorkerId worker, const CampaignState& state,
                                 const Dataset& dataset) {
-  if (!IsRegistered(worker)) RegisterWorker(worker, options_.default_accuracy);
-  WorkerModel& model = workers_[worker];
   // Eq. (5) consumes co-workers' *current* estimates, which is exactly this
   // estimator queried before the update below.
+  Refresh(worker, state, dataset, AsAccuracyFn());
+}
+
+void AccuracyEstimator::Refresh(WorkerId worker, const CampaignState& state,
+                                const Dataset& dataset,
+                                const AccuracyFn& coworker_accuracy) {
+  EnsureRegistered(worker);
+  WorkerModel& model = workers_[worker];
   model.observed = ComputeObservedAccuracies(worker, state, dataset,
-                                             qualification_, AsAccuracyFn());
+                                             qualification_, coworker_accuracy);
   // Average observed accuracy, shrunk toward the warm-up measurement.
   double q_sum = 0.0;
   for (const auto& [_, q] : model.observed) q_sum += q;
@@ -73,9 +86,9 @@ void AccuracyEstimator::Refresh(WorkerId worker, const CampaignState& state,
   model.has_estimate = true;
 }
 
-double AccuracyEstimator::Accuracy(WorkerId worker, TaskId task) const {
-  if (!IsRegistered(worker)) return options_.default_accuracy;
-  const WorkerModel& model = workers_[worker];
+double AccuracyEstimator::AccuracyFromModel(const WorkerModel& model,
+                                            TaskId task) const {
+  if (!model.registered) return options_.default_accuracy;
   if (!model.has_estimate || task < 0 ||
       static_cast<size_t>(task) >= model.mass.size()) {
     return model.fallback;
@@ -86,6 +99,28 @@ double AccuracyEstimator::Accuracy(WorkerId worker, TaskId task) const {
   double p = (model.numerator[task] + prior_mass * model.fallback) /
              (mass + prior_mass);
   return ClampProbability(p, 0.02);
+}
+
+double AccuracyEstimator::Accuracy(WorkerId worker, TaskId task) const {
+  if (!IsRegistered(worker)) return options_.default_accuracy;
+  return AccuracyFromModel(workers_[worker], task);
+}
+
+AccuracyFn AccuracyEstimator::SnapshotAccuracyFn(
+    const std::vector<WorkerId>& workers) const {
+  auto frozen =
+      std::make_shared<std::unordered_map<WorkerId, WorkerModel>>();
+  frozen->reserve(workers.size());
+  for (WorkerId w : workers) {
+    // Unregistered workers freeze as a default model (registered = false),
+    // matching what Accuracy() would have returned for them right now.
+    (*frozen)[w] = IsRegistered(w) ? workers_[w] : WorkerModel{};
+  }
+  return [this, frozen](WorkerId w, TaskId t) {
+    auto it = frozen->find(w);
+    if (it != frozen->end()) return AccuracyFromModel(it->second, t);
+    return Accuracy(w, t);
+  };
 }
 
 double AccuracyEstimator::FallbackAccuracy(WorkerId worker) const {

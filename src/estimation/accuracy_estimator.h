@@ -63,6 +63,10 @@ class AccuracyEstimator {
   /// Allocates per-worker state. `warmup_accuracy` is the average accuracy
   /// the warm-up component measured on qualification tasks.
   void RegisterWorker(WorkerId worker, double warmup_accuracy);
+  /// Registers `worker` with the default accuracy if not yet registered.
+  /// Parallel Refresh callers must pre-register every worker serially:
+  /// registration may grow the worker table.
+  void EnsureRegistered(WorkerId worker);
   bool IsRegistered(WorkerId worker) const {
     return worker >= 0 && static_cast<size_t>(worker) < workers_.size() &&
            workers_[worker].registered;
@@ -73,6 +77,23 @@ class AccuracyEstimator {
   /// consensus results involving `worker`.
   void Refresh(WorkerId worker, const CampaignState& state,
                const Dataset& dataset);
+
+  /// As above, but Eq. (5) reads co-workers' estimates through
+  /// `coworker_accuracy` instead of this estimator's live state. With a
+  /// SnapshotAccuracyFn over the batch being refreshed, concurrent calls on
+  /// distinct *registered* workers are thread-safe and the results are
+  /// independent of refresh order (and therefore of thread count).
+  void Refresh(WorkerId worker, const CampaignState& state,
+               const Dataset& dataset, const AccuracyFn& coworker_accuracy);
+
+  /// Returns an AccuracyFn that serves the listed workers from a copy of
+  /// their current estimate state (frozen at call time) and every other
+  /// worker from live state. This is the pre-round snapshot the parallel
+  /// dirty-worker refresh feeds to Eq. (5): the listed workers are exactly
+  /// the ones about to be overwritten, so freezing them makes every grade
+  /// this round read the same pre-round estimates no matter which workers
+  /// refreshed first.
+  AccuracyFn SnapshotAccuracyFn(const std::vector<WorkerId>& workers) const;
 
   /// Estimated p_t^w. Falls back to the worker's average accuracy on tasks
   /// unreachable from its observations, and to default_accuracy for
@@ -113,6 +134,10 @@ class AccuracyEstimator {
 
   AccuracyEstimator(PprEngine engine, AccuracyEstimatorOptions options)
       : engine_(std::move(engine)), options_(options) {}
+
+  /// The Accuracy() calibration applied to an explicit model (live or a
+  /// snapshot copy). `model.registered` must reflect the worker's state.
+  double AccuracyFromModel(const WorkerModel& model, TaskId task) const;
 
   double SeedSelfMass() const {
     return options_.ppr.alpha / (1.0 + options_.ppr.alpha);

@@ -202,6 +202,7 @@ Result<SimulationResult> CrowdSimulator::Run(Assigner* assigner) {
   }
 
   result.completed_all = state.AllCompleted();
+  result.assigner = assigner->Stats();
   result.consensus.assign(dataset_->size(), kNoLabel);
   for (size_t t = 0; t < dataset_->size(); ++t) {
     auto consensus = state.Consensus(static_cast<TaskId>(t));

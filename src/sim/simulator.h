@@ -55,6 +55,10 @@ struct SimulationResult {
   /// the quantity Figure 10 reports.
   double assignment_seconds = 0.0;
   double max_assignment_seconds = 0.0;
+  /// Online-pipeline counters copied from the assigner at campaign end
+  /// (scheme recomputations, step-3 test assignments, and the wall-clock
+  /// split between scheme recompute and estimate refresh).
+  AssignerStats assigner;
   /// Requester spend: every recorded answer is one paid assignment.
   double total_cost = 0.0;
   /// Portion of total_cost spent on qualification (warm-up) answers.

@@ -1,0 +1,117 @@
+// End-to-end determinism of the parallel online pipeline: a full campaign
+// on the ItemCompare generator must produce bit-identical results for a
+// fixed seed at any thread count. The refresh/fan-out stages snapshot their
+// inputs and merge in index order (see DESIGN.md "Concurrency model"), so
+// num_threads only changes wall-clock, never a single answer.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/experiment.h"
+#include "datagen/itemcompare.h"
+
+namespace icrowd {
+namespace {
+
+struct Fixture {
+  Dataset dataset;
+  std::vector<WorkerProfile> workers;
+  SimilarityGraph graph;
+};
+
+Fixture SmallItemCompare() {
+  ItemCompareOptions options;
+  options.tasks_per_domain = 30;
+  auto ds = GenerateItemCompare(options);
+  EXPECT_TRUE(ds.ok());
+  auto workers = GenerateItemCompareWorkers(*ds);
+  ICrowdConfig config;
+  auto graph = SimilarityGraph::Build(*ds, config.graph);
+  EXPECT_TRUE(graph.ok());
+  return {ds.MoveValueOrDie(), std::move(workers), graph.MoveValueOrDie()};
+}
+
+// AnswerRecord carries no operator==; compare every field explicitly so a
+// divergence names the first differing record.
+void ExpectSameAnswers(const std::vector<AnswerRecord>& a,
+                       const std::vector<AnswerRecord>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].task, b[i].task) << "answer " << i;
+    EXPECT_EQ(a[i].worker, b[i].worker) << "answer " << i;
+    EXPECT_EQ(a[i].label, b[i].label) << "answer " << i;
+    EXPECT_EQ(a[i].time, b[i].time) << "answer " << i;
+  }
+}
+
+void ExpectSameCampaign(const ExperimentResult& a, const ExperimentResult& b,
+                        const char* what) {
+  SCOPED_TRACE(what);
+  ExpectSameAnswers(a.sim.answers, b.sim.answers);
+  ExpectSameAnswers(a.sim.work_answers, b.sim.work_answers);
+  EXPECT_EQ(a.sim.consensus, b.sim.consensus);
+  EXPECT_EQ(a.sim.total_cost, b.sim.total_cost);
+  EXPECT_EQ(a.sim.qualification_cost, b.sim.qualification_cost);
+  EXPECT_EQ(a.sim.num_requests, b.sim.num_requests);
+  EXPECT_EQ(a.sim.workers_spawned, b.sim.workers_spawned);
+  EXPECT_EQ(a.sim.workers_rejected, b.sim.workers_rejected);
+  EXPECT_EQ(a.sim.completed_all, b.sim.completed_all);
+  EXPECT_EQ(a.sim.assigner.scheme_recomputations,
+            b.sim.assigner.scheme_recomputations);
+  EXPECT_EQ(a.sim.assigner.test_assignments, b.sim.assigner.test_assignments);
+  EXPECT_EQ(a.predictions, b.predictions);
+  EXPECT_EQ(a.report.overall, b.report.overall);
+}
+
+class DeterminismTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DeterminismTest, ThreadCountNeverChangesCampaignResults) {
+  Fixture fx = SmallItemCompare();
+  ICrowdConfig config;
+  config.seed = GetParam();
+
+  config.num_threads = 1;
+  auto serial =
+      RunExperiment(fx.dataset, fx.workers, fx.graph, config, StrategyKind::kAdapt);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  ASSERT_FALSE(serial->sim.answers.empty());
+
+  for (size_t threads : {size_t{2}, size_t{8}}) {
+    config.num_threads = threads;
+    auto parallel = RunExperiment(fx.dataset, fx.workers, fx.graph, config,
+                                  StrategyKind::kAdapt);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    ExpectSameCampaign(*serial, *parallel,
+                       threads == 2 ? "2 threads vs serial"
+                                    : "8 threads vs serial");
+  }
+}
+
+TEST_P(DeterminismTest, SharedPoolMatchesPerAssignerPool) {
+  // A pool handed in via config (spawned once per process) must behave
+  // exactly like the per-assigner pool the factory otherwise creates.
+  Fixture fx = SmallItemCompare();
+  ICrowdConfig config;
+  config.seed = GetParam();
+  config.num_threads = 4;
+
+  auto owned = RunExperiment(fx.dataset, fx.workers, fx.graph, config,
+                             StrategyKind::kAdapt);
+  ASSERT_TRUE(owned.ok());
+
+  config.pool = std::make_shared<ThreadPool>(4);
+  auto shared = RunExperiment(fx.dataset, fx.workers, fx.graph, config,
+                              StrategyKind::kAdapt);
+  ASSERT_TRUE(shared.ok());
+  ExpectSameCampaign(*owned, *shared, "shared pool vs owned pool");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeterminismTest,
+                         ::testing::Values(1u, 7u, 42u),
+                         [](const auto& info) {
+                           return "Seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace icrowd

@@ -12,7 +12,9 @@
 #include "common/random.h"
 #include "core/experiment.h"
 #include "datagen/poi.h"
+#include "datagen/scalability.h"
 #include "datagen/worker_pool.h"
+#include "graph/ppr.h"
 #include "model/campaign_state.h"
 
 namespace icrowd {
@@ -160,6 +162,60 @@ INSTANTIATE_TEST_SUITE_P(
                                          StrategyKind::kAvgAccPV,
                                          StrategyKind::kBestEffort,
                                          StrategyKind::kAdapt)));
+
+class PprLinearityFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PprLinearityFuzzTest, SparseDenseAndDirectSolveAgree) {
+  // Lemma 3 property, fuzzed: on a random graph with a random sparse
+  // observation vector, the three estimation paths — sparse Lemma 3 sum
+  // densified, dense Lemma 3 sum, and the direct Eq. (4) power iteration —
+  // must agree everywhere within solver tolerance. This is the invariant
+  // the online refresh (and its parallel fan-out) leans on: any path may be
+  // picked per worker without changing estimates.
+  Rng rng(GetParam());
+  const size_t n = 8 + rng.UniformInt(0, 56);
+  const size_t max_neighbors = 2 + rng.UniformInt(0, 6);
+  SimilarityGraph g =
+      GenerateRandomBoundedGraph(n, max_neighbors, /*seed=*/GetParam() + 99);
+
+  PprOptions options;
+  options.alpha = 0.25 + rng.Uniform() * 3.0;
+  options.tolerance = 1e-13;
+  options.prune_epsilon = 0.0;
+  auto engine = PprEngine::Precompute(g, options);
+  ASSERT_TRUE(engine.ok());
+
+  SparseEntries observed;
+  std::vector<double> q(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    if (!rng.Bernoulli(0.3)) continue;
+    double v = rng.Uniform();
+    observed.emplace_back(static_cast<int32_t>(i), v);
+    q[i] = v;
+  }
+
+  std::vector<double> dense = engine->EstimateFromObserved(observed);
+  SparseEntries sparse = engine->EstimateSparseFromObserved(observed);
+  std::vector<double> direct = engine->SolveIteratively(q);
+
+  std::vector<double> densified(n, 0.0);
+  int32_t prev = -1;
+  for (const auto& [t, v] : sparse) {
+    EXPECT_GT(t, prev) << "sparse entries must be sorted and unique";
+    prev = t;
+    ASSERT_GE(t, 0);
+    ASSERT_LT(static_cast<size_t>(t), n);
+    densified[t] = v;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(densified[i], dense[i], 1e-12) << "task " << i;
+    EXPECT_NEAR(dense[i], direct[i], 1e-7) << "task " << i;
+    EXPECT_GE(dense[i], -1e-12);  // PPR mass of non-negative q stays >= 0
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PprLinearityFuzzTest,
+                         ::testing::Range<uint64_t>(0, 12));
 
 }  // namespace
 }  // namespace icrowd

@@ -365,6 +365,19 @@ TEST_P(PprRandomGraphTest, LinearityHoldsOnRandomGraphs) {
   for (size_t i = 0; i < n; ++i) {
     EXPECT_NEAR(via_linearity[i], direct[i], 1e-7);
   }
+  // The sparse path is the same Lemma 3 sum with zero entries skipped:
+  // densified, it must agree with both the dense path and the direct solve.
+  SparseEntries sparse = engine->EstimateSparseFromObserved(observed);
+  std::vector<double> densified(n, 0.0);
+  for (const auto& [t, v] : sparse) {
+    ASSERT_GE(t, 0);
+    ASSERT_LT(static_cast<size_t>(t), n);
+    densified[t] = v;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(densified[i], via_linearity[i], 1e-12) << "task " << i;
+    EXPECT_NEAR(densified[i], direct[i], 1e-7) << "task " << i;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Sizes, PprRandomGraphTest,
