@@ -70,16 +70,14 @@ int main() {
     const char* name;
     AdaptiveAssignerOptions options;
   };
+  AdaptiveAssignerOptions single_round;
+  single_round.multi_round_planning = false;
+  AdaptiveAssignerOptions no_perf_testing;
+  no_perf_testing.performance_testing = false;
   const Variant kVariants[] = {
       {"Adapt (full)", {}},
-      {"single-round scheme",
-       {.adaptive_updates = true,
-        .performance_testing = true,
-        .multi_round_planning = false}},
-      {"no performance testing",
-       {.adaptive_updates = true,
-        .performance_testing = false,
-        .multi_round_planning = true}},
+      {"single-round scheme", single_round},
+      {"no performance testing", no_perf_testing},
   };
   for (const Variant& variant : kVariants) {
     double acc = RunCampaigns(

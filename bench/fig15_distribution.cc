@@ -32,8 +32,11 @@ int main() {
   double top15_share = 0.0;
   for (size_t i = 0; i < distribution.size() && i < 15; ++i) {
     cumulative += distribution[i].second;
-    double share = 100.0 * distribution[i].second / total;
-    double cum_share = 100.0 * cumulative / total;
+    double share =
+        100.0 * static_cast<double>(distribution[i].second) /
+        static_cast<double>(total);
+    double cum_share =
+        100.0 * static_cast<double>(cumulative) / static_cast<double>(total);
     const WorkerProfile& profile =
         bd.workers[result->sim.worker_profile[distribution[i].first]];
     std::printf("%-6zu %-12s %12zu %9.1f%% %11.1f%%\n", i + 1,

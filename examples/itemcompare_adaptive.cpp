@@ -77,15 +77,21 @@ int main() {
   for (size_t i = 0; i < distribution.size(); ++i) {
     if (i < 15) top15 += distribution[i].second;
     if (i < 10) {
-      std::printf("  w%-4d %5zu assignments (%s%%)\n", distribution[i].first,
-                  distribution[i].second,
-                  FormatDouble(100.0 * distribution[i].second /
-                                   std::max<size_t>(1, total), 1)
-                      .c_str());
+      std::printf(
+          "  w%-4d %5zu assignments (%s%%)\n", distribution[i].first,
+          distribution[i].second,
+          FormatDouble(
+              100.0 * static_cast<double>(distribution[i].second) /
+                  static_cast<double>(std::max<size_t>(1, total)),
+              1)
+              .c_str());
     }
   }
-  std::printf("Top-15 workers completed %s%% of all assignments.\n",
-              FormatDouble(100.0 * top15 / std::max<size_t>(1, total), 1)
-                  .c_str());
+  std::printf(
+      "Top-15 workers completed %s%% of all assignments.\n",
+      FormatDouble(100.0 * static_cast<double>(top15) /
+                       static_cast<double>(std::max<size_t>(1, total)),
+                   1)
+          .c_str());
   return 0;
 }

@@ -4,6 +4,7 @@
 // qualification selection, and one round of optimal assignment.
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "assign/greedy_assign.h"
 #include "assign/top_workers.h"
@@ -14,6 +15,15 @@
 #include "qualification/qualification_selector.h"
 
 using namespace icrowd;  // NOLINT: example brevity
+
+// The walkthrough feeds known-good inputs; fail loudly if that ever stops
+// holding instead of silently dropping the Status.
+static void OrDie(const Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "unexpected error: %s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+}
 
 int main() {
   // ---- 1. The microtasks of Table 1 --------------------------------------
@@ -73,14 +83,14 @@ int main() {
   for (TaskId t : {0, 1, 2}) {
     state.MarkQualification(t);
     state.ForceComplete(t, *dataset.task(t).ground_truth);
-    state.MarkAssigned(t, w);
+    OrDie(state.MarkAssigned(t, w));
   }
   estimator->SetQualificationTasks({0, 1, 2});
   // Correct on t1; wrong on t2 and t3.
   auto flip = [](Label label) { return label == kYes ? kNo : kYes; };
-  state.RecordAnswer({0, w, *dataset.task(0).ground_truth, 0.0});
-  state.RecordAnswer({1, w, flip(*dataset.task(1).ground_truth), 1.0});
-  state.RecordAnswer({2, w, flip(*dataset.task(2).ground_truth), 2.0});
+  OrDie(state.RecordAnswer({0, w, *dataset.task(0).ground_truth, 0.0}));
+  OrDie(state.RecordAnswer({1, w, flip(*dataset.task(1).ground_truth), 1.0}));
+  OrDie(state.RecordAnswer({2, w, flip(*dataset.task(2).ground_truth), 2.0}));
 
   estimator->RegisterWorker(w, 1.0 / 3.0);
   estimator->Refresh(w, state, dataset);
@@ -105,9 +115,9 @@ int main() {
     WorkerId wi = state.RegisterWorker();
     workers.push_back(wi);
     for (auto [t, correct] : history[i]) {
-      state.MarkAssigned(t, wi);
+      OrDie(state.MarkAssigned(t, wi));
       Label truth = *dataset.task(t).ground_truth;
-      state.RecordAnswer({t, wi, correct ? truth : flip(truth), 3.0});
+      OrDie(state.RecordAnswer({t, wi, correct ? truth : flip(truth), 3.0}));
     }
     estimator->RegisterWorker(wi, warmup_accuracy[i]);
     estimator->Refresh(wi, state, dataset);

@@ -60,8 +60,8 @@ Result<DawidSkeneResult> DawidSkeneAggregator::Fit(
     }
     double posterior_sum = 0.0;
     for (size_t t = 0; t < num_tasks; ++t) posterior_sum += fit.posterior_yes[t];
-    prior_yes = ClampProbability(posterior_sum /
-                                 std::max<size_t>(1, num_tasks));
+    prior_yes = ClampProbability(
+        posterior_sum / static_cast<double>(std::max<size_t>(1, num_tasks)));
 
     // E-step: posteriors from confusion matrices.
     double max_change = 0.0;

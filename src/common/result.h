@@ -1,7 +1,8 @@
 #ifndef ICROWD_COMMON_RESULT_H_
 #define ICROWD_COMMON_RESULT_H_
 
-#include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <optional>
 #include <utility>
 
@@ -9,19 +10,40 @@
 
 namespace icrowd {
 
+namespace internal {
+
+/// Prints `what` (plus the offending status, if any) to stderr and aborts.
+/// Used for Result misuse; unlike assert() this also fires in NDEBUG builds,
+/// so a Release binary can never silently read an empty std::optional.
+[[noreturn]] inline void ResultFatal(const char* what, const Status& status) {
+  std::fprintf(stderr, "icrowd fatal: %s: %s\n", what,
+               status.ToString().c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+
 /// Holds either a value of type T or a non-OK Status explaining why the
 /// value is absent. Mirrors arrow::Result.
+///
+/// [[nodiscard]]: dropping a returned Result discards a possible error and
+/// does not compile under ICROWD_WERROR.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (the common success path).
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
 
   /// Implicit construction from an error Status. Constructing a Result from
-  /// an OK status is a programming error (there would be no value).
+  /// an OK status is a programming error (there would be no value) and
+  /// aborts, in Release builds too.
   Result(Status status)  // NOLINT(runtime/explicit)
       : status_(std::move(status)) {
-    assert(!status_.ok() && "Result constructed from OK status without value");
+    if (status_.ok()) {
+      internal::ResultFatal("Result constructed from OK status without value",
+                            status_);
+    }
   }
 
   Result(const Result&) = default;
@@ -29,28 +51,36 @@ class Result {
   Result(Result&&) = default;
   Result& operator=(Result&&) = default;
 
-  bool ok() const { return value_.has_value(); }
+  [[nodiscard]] bool ok() const { return value_.has_value(); }
 
   /// The carried status: OK when a value is present.
-  const Status& status() const { return status_; }
+  [[nodiscard]] const Status& status() const { return status_; }
 
-  const T& ValueOrDie() const {
-    assert(ok() && "ValueOrDie called on errored Result");
+  [[nodiscard]] const T& ValueOrDie() const {
+    if (!ok()) {
+      internal::ResultFatal("ValueOrDie called on errored Result", status_);
+    }
     return *value_;
   }
-  T& ValueOrDie() {
-    assert(ok() && "ValueOrDie called on errored Result");
+  [[nodiscard]] T& ValueOrDie() {
+    if (!ok()) {
+      internal::ResultFatal("ValueOrDie called on errored Result", status_);
+    }
     return *value_;
   }
 
-  /// Moves the value out. Only valid when ok().
-  T MoveValueOrDie() {
-    assert(ok() && "MoveValueOrDie called on errored Result");
+  /// Moves the value out. Only valid when ok(); aborts otherwise, in Release
+  /// builds too.
+  [[nodiscard]] T MoveValueOrDie() {
+    if (!ok()) {
+      internal::ResultFatal("MoveValueOrDie called on errored Result",
+                            status_);
+    }
     return std::move(*value_);
   }
 
-  const T& operator*() const { return ValueOrDie(); }
-  T& operator*() { return ValueOrDie(); }
+  [[nodiscard]] const T& operator*() const { return ValueOrDie(); }
+  [[nodiscard]] T& operator*() { return ValueOrDie(); }
   const T* operator->() const { return &ValueOrDie(); }
   T* operator->() { return &ValueOrDie(); }
 
@@ -62,15 +92,34 @@ class Result {
 }  // namespace icrowd
 
 /// Evaluates an expression producing Result<T>; on error propagates the
-/// Status, otherwise assigns the value to `lhs`.
+/// Status, otherwise assigns the value to `lhs` (which may declare a new
+/// variable, e.g. `ICROWD_ASSIGN_OR_RETURN(auto rows, Parse(s))`).
+///
+/// The expansion is a single statement, so the macro is safe inside an
+/// unbraced `if`/`else`/loop body:
+///   if (have_file) ICROWD_ASSIGN_OR_RETURN(contents, ReadFile(path));
+/// runs the whole propagate-or-assign only when `have_file` holds. (On
+/// compilers without GNU statement expressions a multi-statement fallback is
+/// used; brace your bodies there.)
 #define ICROWD_INTERNAL_CONCAT_IMPL(a, b) a##b
 #define ICROWD_INTERNAL_CONCAT(a, b) ICROWD_INTERNAL_CONCAT_IMPL(a, b)
+#if defined(__GNUC__) || defined(__clang__)
+#define ICROWD_INTERNAL_ASSIGN_OR_RETURN(tmp, lhs, expr) \
+  lhs = ({                                               \
+    auto tmp = (expr);                                   \
+    if (!tmp.ok()) {                                     \
+      return tmp.status();                               \
+    }                                                    \
+    tmp.MoveValueOrDie();                                \
+  })
+#else
 #define ICROWD_INTERNAL_ASSIGN_OR_RETURN(tmp, lhs, expr) \
   auto tmp = (expr);                                     \
   if (!tmp.ok()) {                                       \
     return tmp.status();                                 \
   }                                                      \
   lhs = tmp.MoveValueOrDie()
+#endif
 #define ICROWD_ASSIGN_OR_RETURN(lhs, expr)                                 \
   ICROWD_INTERNAL_ASSIGN_OR_RETURN(                                        \
       ICROWD_INTERNAL_CONCAT(_icrowd_result_, __LINE__), lhs, expr)

@@ -19,12 +19,16 @@ enum class StatusCode {
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
-const char* StatusCodeToString(StatusCode code);
+[[nodiscard]] const char* StatusCodeToString(StatusCode code);
 
 /// Arrow/RocksDB-style operation outcome. Cheap to copy when OK (no
 /// allocation); carries a code plus message otherwise. Functions in this
 /// library return Status (or Result<T>) instead of throwing exceptions.
-class Status {
+///
+/// The class is [[nodiscard]]: a call site that drops a returned Status does
+/// not compile under ICROWD_WERROR. Propagate it (ICROWD_RETURN_NOT_OK) or
+/// discard explicitly with `(void)` plus a comment saying why.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -37,37 +41,37 @@ class Status {
   Status(Status&&) = default;
   Status& operator=(Status&&) = default;
 
-  static Status OK() { return Status(); }
-  static Status InvalidArgument(std::string msg) {
+  [[nodiscard]] static Status OK() { return Status(); }
+  [[nodiscard]] static Status InvalidArgument(std::string msg) {
     return Status(StatusCode::kInvalidArgument, std::move(msg));
   }
-  static Status NotFound(std::string msg) {
+  [[nodiscard]] static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
   }
-  static Status AlreadyExists(std::string msg) {
+  [[nodiscard]] static Status AlreadyExists(std::string msg) {
     return Status(StatusCode::kAlreadyExists, std::move(msg));
   }
-  static Status OutOfRange(std::string msg) {
+  [[nodiscard]] static Status OutOfRange(std::string msg) {
     return Status(StatusCode::kOutOfRange, std::move(msg));
   }
-  static Status FailedPrecondition(std::string msg) {
+  [[nodiscard]] static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
-  static Status Unimplemented(std::string msg) {
+  [[nodiscard]] static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
-  static Status Internal(std::string msg) {
+  [[nodiscard]] static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
-  const std::string& message() const { return message_; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
 
   /// "OK" or "<CodeName>: <message>".
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 
-  bool operator==(const Status& other) const {
+  [[nodiscard]] bool operator==(const Status& other) const {
     return code_ == other.code_ && message_ == other.message_;
   }
 

@@ -51,17 +51,19 @@ void SimilarityGraph::ApplyNeighborCap(size_t max_neighbors) {
       return a.weight > b.weight;
     });
     size_t limit = std::min(max_neighbors, edges.size());
+    const int32_t ui = static_cast<int32_t>(u);
     for (size_t i = 0; i < limit; ++i) {
       int32_t v = edges[i].neighbor;
-      keep.insert({std::min<int32_t>(u, v), std::max<int32_t>(u, v)});
+      keep.insert({std::min(ui, v), std::max(ui, v)});
     }
   }
   std::vector<std::vector<Edge>> pruned(adjacency_.size());
   size_t edges_kept = 0;
   for (size_t u = 0; u < adjacency_.size(); ++u) {
+    const int32_t ui = static_cast<int32_t>(u);
     for (const Edge& e : adjacency_[u]) {
-      int32_t a = std::min<int32_t>(u, e.neighbor);
-      int32_t b = std::max<int32_t>(u, e.neighbor);
+      int32_t a = std::min(ui, e.neighbor);
+      int32_t b = std::max(ui, e.neighbor);
       if (keep.count({a, b})) {
         pruned[u].push_back(e);
         if (static_cast<int32_t>(u) < e.neighbor) ++edges_kept;
@@ -94,17 +96,19 @@ Result<SimilarityGraph> SimilarityGraph::Build(
     double max_dist = 0.0;
     for (size_t i = 0; i < n; ++i) {
       for (size_t j = i + 1; j < n; ++j) {
-        max_dist = std::max(max_dist,
-                            EuclideanDistance(dataset.task(i).features,
-                                              dataset.task(j).features));
+        max_dist = std::max(
+            max_dist,
+            EuclideanDistance(dataset.task(static_cast<TaskId>(i)).features,
+                              dataset.task(static_cast<TaskId>(j)).features));
       }
     }
     if (max_dist == 0.0) max_dist = 1.0;  // all tasks coincide
     return BuildFromFunction(
         n,
         [&](size_t i, size_t j) {
-          return EuclideanSimilarity(dataset.task(i).features,
-                                     dataset.task(j).features, max_dist);
+          return EuclideanSimilarity(
+              dataset.task(static_cast<TaskId>(i)).features,
+              dataset.task(static_cast<TaskId>(j)).features, max_dist);
         },
         options.threshold, options.max_neighbors);
   }

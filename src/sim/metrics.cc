@@ -32,15 +32,15 @@ AccuracyReport EvaluateAccuracy(const Dataset& dataset,
     }
   }
   for (DomainAccuracy& domain : report.per_domain) {
-    domain.accuracy =
-        domain.num_tasks == 0
-            ? 0.0
-            : static_cast<double>(domain.num_correct) / domain.num_tasks;
+    domain.accuracy = domain.num_tasks == 0
+                          ? 0.0
+                          : static_cast<double>(domain.num_correct) /
+                                static_cast<double>(domain.num_tasks);
   }
-  report.overall =
-      report.num_tasks == 0
-          ? 0.0
-          : static_cast<double>(report.num_correct) / report.num_tasks;
+  report.overall = report.num_tasks == 0
+                       ? 0.0
+                       : static_cast<double>(report.num_correct) /
+                             static_cast<double>(report.num_tasks);
   return report;
 }
 
@@ -68,10 +68,10 @@ std::vector<WorkerDomainAccuracy> ComputeWorkerDomainAccuracies(
   for (auto& [worker, stats] : by_worker) {
     if (stats.total_answers < min_answers) continue;
     for (size_t d = 0; d < num_domains; ++d) {
-      stats.accuracy[d] =
-          stats.count[d] == 0
-              ? 0.0
-              : static_cast<double>(correct[worker][d]) / stats.count[d];
+      stats.accuracy[d] = stats.count[d] == 0
+                              ? 0.0
+                              : static_cast<double>(correct[worker][d]) /
+                                    static_cast<double>(stats.count[d]);
     }
     out.push_back(std::move(stats));
   }

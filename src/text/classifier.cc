@@ -89,7 +89,8 @@ std::vector<double> PairFeatures(const std::string& a, const std::string& b) {
   static const Tokenizer tokenizer{};
   double jaccard = JaccardSimilarity(a, b, tokenizer);
   double edit = EditSimilarity(a, b);
-  double max_len = std::max<double>(1.0, std::max(a.size(), b.size()));
+  double max_len =
+      std::max(1.0, static_cast<double>(std::max(a.size(), b.size())));
   double len_diff =
       std::abs(static_cast<double>(a.size()) - static_cast<double>(b.size())) /
       max_len;

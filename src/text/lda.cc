@@ -83,7 +83,7 @@ Result<LdaModel> LdaModel::Fit(const std::vector<std::string>& documents,
         for (int k = 0; k < K; ++k) {
           probs[k] = (doc_topic[d][k] + alpha) *
                      (model.topic_word_[k][w] + beta) /
-                     (model.topic_totals_[k] + v_beta);
+                     (static_cast<double>(model.topic_totals_[k]) + v_beta);
         }
         int new_k = static_cast<int>(rng.WeightedIndex(probs));
         z[d][n] = new_k;

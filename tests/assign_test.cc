@@ -254,7 +254,7 @@ TEST(ScalableAssignTest, UntouchedTasksServedFromFallbackRanking) {
   std::vector<SparseWorkerEstimate> workers(4);
   for (size_t w = 0; w < 4; ++w) {
     workers[w].worker = static_cast<WorkerId>(w);
-    workers[w].fallback = 0.9 - 0.1 * w;
+    workers[w].fallback = 0.9 - 0.1 * static_cast<double>(w);
   }
   auto scheme = ScalableAssign(100, 2, workers, nullptr);
   // 4 workers / k=2 -> two groups; best group {0,1}, second {2,3}.

@@ -192,7 +192,8 @@ TEST(ICrowdTest, FullPlatformLifecycle) {
   EXPECT_TRUE(system.Finished());
   std::vector<Label> results = system.Results();
   for (size_t t = 0; t < reference.size(); ++t) {
-    EXPECT_EQ(results[t], *reference.task(t).ground_truth) << "task " << t;
+    EXPECT_EQ(results[t], *reference.task(static_cast<TaskId>(t)).ground_truth)
+        << "task " << t;
   }
   for (WorkerId w : workers) {
     EXPECT_EQ(system.worker_status(w), ICrowd::WorkerStatus::kActive);

@@ -240,7 +240,10 @@ TEST(PoiTest, EuclideanGraphRecoversDistricts) {
   size_t cross = 0;
   for (size_t u = 0; u < graph->num_nodes(); ++u) {
     for (const auto& e : graph->Neighbors(u)) {
-      if (ds->task(u).domain_id != ds->task(e.neighbor).domain_id) ++cross;
+      if (ds->task(static_cast<TaskId>(u)).domain_id !=
+          ds->task(e.neighbor).domain_id) {
+        ++cross;
+      }
     }
   }
   EXPECT_EQ(cross, 0u) << "districts should not connect";

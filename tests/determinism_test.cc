@@ -109,8 +109,8 @@ TEST_P(DeterminismTest, SharedPoolMatchesPerAssignerPool) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DeterminismTest,
                          ::testing::Values(1u, 7u, 42u),
-                         [](const auto& info) {
-                           return "Seed" + std::to_string(info.param);
+                         [](const auto& param_info) {
+                           return "Seed" + std::to_string(param_info.param);
                          });
 
 }  // namespace

@@ -151,8 +151,8 @@ TEST_P(StrategyFuzzTest, RandomCampaignsKeepInvariants) {
   EXPECT_LE(result->report.overall, 1.0);
   EXPECT_EQ(result->predictions.size(), dataset->size());
   // Cost accounting is consistent.
-  EXPECT_NEAR(result->sim.total_cost, 0.1 * result->sim.answers.size(),
-              1e-9);
+  EXPECT_NEAR(result->sim.total_cost,
+              0.1 * static_cast<double>(result->sim.answers.size()), 1e-9);
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -62,10 +62,12 @@ TEST(DatasetIoTest, RoundTripsItemCompare) {
   ASSERT_EQ(restored->size(), original->size());
   EXPECT_EQ(restored->domains(), original->domains());
   for (size_t i = 0; i < original->size(); ++i) {
-    EXPECT_EQ(restored->task(i).text, original->task(i).text);
-    EXPECT_EQ(restored->task(i).domain, original->task(i).domain);
-    EXPECT_EQ(restored->task(i).ground_truth, original->task(i).ground_truth);
-    EXPECT_EQ(restored->task(i).num_choices, original->task(i).num_choices);
+    const TaskId id = static_cast<TaskId>(i);
+    EXPECT_EQ(restored->task(id).text, original->task(id).text);
+    EXPECT_EQ(restored->task(id).domain, original->task(id).domain);
+    EXPECT_EQ(restored->task(id).ground_truth,
+              original->task(id).ground_truth);
+    EXPECT_EQ(restored->task(id).num_choices, original->task(id).num_choices);
   }
 }
 
@@ -76,10 +78,11 @@ TEST(DatasetIoTest, RoundTripsFeatureVectors) {
   auto restored = DatasetFromCsv("poi", DatasetToCsv(*poi));
   ASSERT_TRUE(restored.ok());
   for (size_t i = 0; i < poi->size(); ++i) {
-    ASSERT_EQ(restored->task(i).features.size(),
-              poi->task(i).features.size());
-    for (size_t d = 0; d < poi->task(i).features.size(); ++d) {
-      EXPECT_NEAR(restored->task(i).features[d], poi->task(i).features[d],
+    const TaskId id = static_cast<TaskId>(i);
+    ASSERT_EQ(restored->task(id).features.size(),
+              poi->task(id).features.size());
+    for (size_t d = 0; d < poi->task(id).features.size(); ++d) {
+      EXPECT_NEAR(restored->task(id).features[d], poi->task(id).features[d],
                   1e-5);
     }
   }

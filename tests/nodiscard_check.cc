@@ -1,0 +1,26 @@
+// NEGATIVE compile check — this file must NOT compile under
+// -Werror=unused-result. The `nodiscard_compile_check` ctest entry runs the
+// compiler over it and asserts failure (WILL_FAIL), which pins the
+// [[nodiscard]] attribute on Status, Result<T>, and their key accessors: if
+// someone removes the attribute, this file starts compiling and the test
+// suite goes red.
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace icrowd {
+
+Status MakeStatus() { return Status::Internal("dropped"); }
+Result<int> MakeResult() { return 1; }
+
+void DropsEverything() {
+  MakeStatus();               // dropped Status return value
+  MakeResult();               // dropped Result return value
+  Status::InvalidArgument(""); // dropped factory result
+  Result<int> r = MakeResult();
+  r.ok();                     // dropped ok()
+  r.status();                 // dropped status()
+  r.ValueOrDie();             // dropped accessor
+}
+
+}  // namespace icrowd

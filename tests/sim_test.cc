@@ -220,7 +220,7 @@ TEST(MetricsTest, EvaluateAccuracyPerDomain) {
   Dataset ds = SmallDataset(6);  // domains even/odd, truths per i%3
   std::vector<Label> predicted(6);
   for (size_t i = 0; i < 6; ++i) {
-    predicted[i] = *ds.task(i).ground_truth;
+    predicted[i] = *ds.task(static_cast<TaskId>(i)).ground_truth;
   }
   predicted[1] = (predicted[1] == kYes) ? kNo : kYes;  // one error in "odd"
   AccuracyReport report = EvaluateAccuracy(ds, predicted);
@@ -335,9 +335,11 @@ TEST(SimulatorTest, PaymentAccountingMatchesAnswerCounts) {
   RandomAssigner assigner(21);
   auto result = sim.Run(&assigner);
   ASSERT_TRUE(result.ok());
-  EXPECT_NEAR(result->total_cost, 0.1 * result->answers.size(), 1e-9);
+  EXPECT_NEAR(result->total_cost,
+              0.1 * static_cast<double>(result->answers.size()), 1e-9);
   size_t qual_answers = result->answers.size() - result->work_answers.size();
-  EXPECT_NEAR(result->qualification_cost, 0.1 * qual_answers, 1e-9);
+  EXPECT_NEAR(result->qualification_cost,
+              0.1 * static_cast<double>(qual_answers), 1e-9);
   EXPECT_GT(result->qualification_cost, 0.0);
   EXPECT_LT(result->qualification_cost, result->total_cost);
 }

@@ -1,0 +1,479 @@
+#!/usr/bin/env python3
+"""iCrowd project linter: invariants clang-tidy cannot express.
+
+Rules (see DESIGN.md "Static-analysis layer"):
+
+  rng-source      All randomness flows through src/common/random.*. Any use of
+                  std::rand/srand, std::random_device, or direct construction
+                  or naming of std::mt19937/std::mt19937_64 outside those two
+                  files breaks seed-reproducibility and is an error. No waiver.
+
+  unordered-iter  In the online hot paths (src/assign, src/estimation) a
+                  range-for over a std::unordered_map/std::unordered_set whose
+                  body appends to a container or accumulates with a compound
+                  assignment is iteration-order-sensitive: hash order is not
+                  part of the determinism contract, and float accumulation is
+                  not associative. Such loops need an explicit waiver comment
+                  on the loop line or the line above:
+                      // lint: unordered-ok(<reason>)
+
+  include-guard   Headers use #ifndef/#define guards named
+                  ICROWD_<RELATIVE_PATH>_H_ (path from the repo root with a
+                  leading "src/" stripped, upper-cased, separators -> "_").
+
+  cc-include      #include of a .cc/.cpp file is never correct here; it hides
+                  ODR violations and breaks the per-target build graph.
+
+Exit status: 0 when clean, 1 when any violation is found, 2 on usage error.
+Run directly or via `cmake --build build --target lint`.
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# Directories scanned for each rule, relative to the repo root.
+SOURCE_DIRS = ("src", "tests", "bench", "examples", "tools")
+HOT_PATH_DIRS = ("src/assign", "src/estimation")
+RNG_ALLOWED = {"src/common/random.h", "src/common/random.cc"}
+
+SOURCE_SUFFIXES = {".h", ".hpp", ".cc", ".cpp"}
+
+RNG_PATTERN = re.compile(
+    r"\bstd::rand\b|\bsrand\s*\(|\brandom_device\b|\bmt19937(?:_64)?\b"
+)
+CC_INCLUDE_PATTERN = re.compile(r'#\s*include\s+"[^"]+\.(?:cc|cpp)"')
+GUARD_IFNDEF_PATTERN = re.compile(r"^#\s*ifndef\s+(\w+)\s*$", re.MULTILINE)
+UNORDERED_DECL_PATTERN = re.compile(
+    r"\bunordered_(?:map|set)\s*<[^;{}()]*>\s+(\w+)\s*(?:;|=|\{)"
+)
+RANGE_FOR_PATTERN = re.compile(r"\bfor\s*\(([^;)]*?)\s*:\s*([^)]+)\)")
+WAIVER_PATTERN = re.compile(r"//\s*lint:\s*unordered-ok\([^)]+\)")
+# Appends to an output container or accumulates state in place; on an
+# unordered range these make the result depend on hash iteration order.
+ORDER_SENSITIVE_BODY_PATTERN = re.compile(
+    r"\.\s*(?:push_back|emplace_back|emplace|insert|append)\s*\(|[-+*/]="
+)
+
+
+class Violation:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text, keep_strings=False):
+    """Blanks out comments and (unless keep_strings) string/char literals,
+    preserving line structure, so token patterns never match inside them."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            out.append("".join(ch if ch == "\n" else " " for ch in text[i:j]))
+            i = j
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == quote or text[j] == "\n":
+                    j += 1
+                    break
+                j += 1
+            if keep_strings:
+                out.append(text[i:j])
+            else:
+                out.append(quote + " " * (j - i - 2)
+                           + (text[j - 1] if j - 1 > i else ""))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def line_of(text, pos):
+    return text.count("\n", 0, pos) + 1
+
+
+def check_rng(rel, text, stripped):
+    del text
+    if rel.replace("\\", "/") in RNG_ALLOWED:
+        return []
+    violations = []
+    for m in RNG_PATTERN.finditer(stripped):
+        violations.append(
+            Violation(
+                rel,
+                line_of(stripped, m.start()),
+                "rng-source",
+                f"'{m.group(0)}' outside src/common/random.*; route all "
+                "randomness through icrowd::Rng to keep runs seed-"
+                "reproducible",
+            )
+        )
+    return violations
+
+
+def check_cc_include(rel, text, stripped):
+    del stripped
+    no_comments = strip_comments_and_strings(text, keep_strings=True)
+    return [
+        Violation(
+            rel,
+            line_of(no_comments, m.start()),
+            "cc-include",
+            "#include of a .cc/.cpp file; include the header and link the "
+            "object instead",
+        )
+        for m in CC_INCLUDE_PATTERN.finditer(no_comments)
+    ]
+
+
+def expected_guard(rel):
+    p = rel.replace("\\", "/")
+    if p.startswith("src/"):
+        p = p[len("src/"):]
+    stem = re.sub(r"\.(h|hpp)$", "", p)
+    return "ICROWD_" + re.sub(r"[^A-Za-z0-9]", "_", stem).upper() + "_H_"
+
+
+def check_include_guard(rel, text, stripped):
+    if Path(rel).suffix not in (".h", ".hpp"):
+        return []
+    want = expected_guard(rel)
+    m = GUARD_IFNDEF_PATTERN.search(stripped)
+    if not m:
+        return [
+            Violation(rel, 1, "include-guard",
+                      f"missing include guard; expected #ifndef {want}")
+        ]
+    got = m.group(1)
+    if got != want:
+        return [
+            Violation(rel, line_of(stripped, m.start()), "include-guard",
+                      f"guard is {got}; expected {want}")
+        ]
+    define = re.search(r"^#\s*define\s+(\w+)", stripped[m.end():], re.MULTILINE)
+    if not define or define.group(1) != want:
+        return [
+            Violation(rel, line_of(stripped, m.start()), "include-guard",
+                      f"#define after #ifndef must define {want}")
+        ]
+    del text
+    return []
+
+
+def unordered_names(stripped_texts):
+    """Names declared as std::unordered_{map,set} in any given text."""
+    names = set()
+    for stripped in stripped_texts:
+        for m in UNORDERED_DECL_PATTERN.finditer(stripped):
+            names.add(m.group(1))
+    return names
+
+
+def loop_body_span(stripped, open_pos):
+    """Span of the loop body starting after the for(...) at `open_pos`
+    (position just past the closing paren): a braced block or a single
+    statement up to ';'."""
+    n = len(stripped)
+    i = open_pos
+    while i < n and stripped[i] in " \t\n":
+        i += 1
+    if i < n and stripped[i] == "{":
+        depth = 0
+        j = i
+        while j < n:
+            if stripped[j] == "{":
+                depth += 1
+            elif stripped[j] == "}":
+                depth -= 1
+                if depth == 0:
+                    return (i, j + 1)
+            j += 1
+        return (i, n)
+    j = stripped.find(";", i)
+    return (i, n if j == -1 else j + 1)
+
+
+def check_unordered_iter(rel, text, stripped, sibling_stripped):
+    p = rel.replace("\\", "/")
+    if not any(p.startswith(d + "/") for d in HOT_PATH_DIRS):
+        return []
+    names = unordered_names([stripped] + sibling_stripped)
+    lines = text.splitlines()
+    violations = []
+    for m in RANGE_FOR_PATTERN.finditer(stripped):
+        range_expr = m.group(2).strip()
+        base = re.sub(r"^[&*\s]+|\(\)$", "", range_expr)
+        base_name = base.split(".")[-1].split("->")[-1].strip()
+        is_unordered = "unordered" in range_expr or base_name in names
+        if not is_unordered:
+            continue
+        end_paren = m.end()
+        body_start, body_end = loop_body_span(stripped, end_paren)
+        body = stripped[body_start:body_end]
+        if not ORDER_SENSITIVE_BODY_PATTERN.search(body):
+            continue
+        line = line_of(stripped, m.start())
+        context = "\n".join(lines[max(0, line - 2):line])
+        if WAIVER_PATTERN.search(context):
+            continue
+        violations.append(
+            Violation(
+                rel, line, "unordered-iter",
+                f"order-sensitive accumulation while iterating unordered "
+                f"container '{range_expr}' in a hot path; iterate a sorted "
+                "copy, or add '// lint: unordered-ok(<reason>)' if provably "
+                "order-insensitive",
+            )
+        )
+    return violations
+
+
+def lint_file(root, path):
+    rel = path.relative_to(root).as_posix()
+    text = path.read_text(encoding="utf-8", errors="replace")
+    stripped = strip_comments_and_strings(text)
+    sibling_stripped = []
+    if path.suffix in (".cc", ".cpp"):
+        header = path.with_suffix(".h")
+        if header.exists():
+            sibling_stripped.append(
+                strip_comments_and_strings(
+                    header.read_text(encoding="utf-8", errors="replace")
+                )
+            )
+    violations = []
+    violations += check_rng(rel, text, stripped)
+    violations += check_cc_include(rel, text, stripped)
+    violations += check_include_guard(rel, text, stripped)
+    violations += check_unordered_iter(rel, text, stripped, sibling_stripped)
+    return violations
+
+
+def collect_files(root):
+    files = []
+    for d in SOURCE_DIRS:
+        base = root / d
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix in SOURCE_SUFFIXES and path.is_file():
+                files.append(path)
+    return files
+
+
+# --------------------------- self test ------------------------------------
+
+SELF_TEST_CASES = [
+    # (name, rel_path, source, sibling_header_source_or_None, expected_rules)
+    (
+        "rand outside common/random",
+        "src/sim/bad.cc",
+        "int f() { return std::rand(); }\n",
+        None,
+        {"rng-source"},
+    ),
+    (
+        "raw mt19937 construction",
+        "src/assign/bad.cc",
+        "#include <random>\nstd::mt19937 g(42);\n",
+        None,
+        {"rng-source"},
+    ),
+    (
+        "random_device",
+        "tests/bad_test.cc",
+        "std::random_device rd;\n",
+        None,
+        {"rng-source"},
+    ),
+    (
+        "rng mention in comment is fine",
+        "src/sim/ok.cc",
+        "// std::rand is banned here\nint f() { return 1; }\n",
+        None,
+        set(),
+    ),
+    (
+        "mt19937 allowed in common/random.h",
+        "src/common/random.h",
+        "#ifndef ICROWD_COMMON_RANDOM_H_\n#define ICROWD_COMMON_RANDOM_H_\n"
+        "#include <random>\nnamespace icrowd { using E = std::mt19937_64; }\n"
+        "#endif  // ICROWD_COMMON_RANDOM_H_\n",
+        None,
+        set(),
+    ),
+    (
+        "cc include",
+        "src/core/bad.cc",
+        '#include "assign/assigner.cc"\n',
+        None,
+        {"cc-include"},
+    ),
+    (
+        "wrong include guard",
+        "src/agg/thing.h",
+        "#ifndef WRONG_GUARD_H\n#define WRONG_GUARD_H\n#endif\n",
+        None,
+        {"include-guard"},
+    ),
+    (
+        "correct include guard",
+        "src/agg/thing.h",
+        "#ifndef ICROWD_AGG_THING_H_\n#define ICROWD_AGG_THING_H_\n"
+        "#endif  // ICROWD_AGG_THING_H_\n",
+        None,
+        set(),
+    ),
+    (
+        "unordered iteration appending in hot path",
+        "src/assign/bad2.cc",
+        "#include <unordered_set>\nvoid f() {\n"
+        "  std::unordered_set<int> used;\n"
+        "  std::vector<int> out;\n"
+        "  for (int w : used) {\n    out.push_back(w);\n  }\n}\n",
+        None,
+        {"unordered-iter"},
+    ),
+    (
+        "unordered float accumulation in hot path",
+        "src/estimation/bad3.cc",
+        "#include <unordered_map>\nvoid f() {\n"
+        "  std::unordered_map<int, double> q;\n  double sum = 0.0;\n"
+        "  for (const auto& [k, v] : q) sum += v;\n}\n",
+        None,
+        {"unordered-iter"},
+    ),
+    (
+        "unordered accumulation with waiver",
+        "src/estimation/ok3.cc",
+        "#include <unordered_map>\nvoid f() {\n"
+        "  std::unordered_map<int, double> q;\n  double sum = 0.0;\n"
+        "  // lint: unordered-ok(sum of doubles verified tolerance-tested)\n"
+        "  for (const auto& [k, v] : q) sum += v;\n}\n",
+        None,
+        set(),
+    ),
+    (
+        "unordered member declared in sibling header",
+        "src/assign/bad4.cc",
+        "void C::f() {\n  for (int w : dirty_) {\n    out_.push_back(w);\n  }\n}\n",
+        "sibling",
+        {"unordered-iter"},
+    ),
+    (
+        "unordered read-only loop is fine",
+        "src/assign/ok4.cc",
+        "#include <unordered_set>\nvoid f() {\n"
+        "  std::unordered_set<int> used;\n  for (int w : used) Refresh(w);\n}\n",
+        None,
+        set(),
+    ),
+    (
+        "vector loop appending is fine",
+        "src/assign/ok5.cc",
+        "#include <vector>\nvoid f() {\n  std::vector<int> v;\n"
+        "  std::vector<int> out;\n  for (int w : v) out.push_back(w);\n}\n",
+        None,
+        set(),
+    ),
+    (
+        "unordered accumulation outside hot paths is fine",
+        "src/agg/ok6.cc",
+        "#include <unordered_map>\nvoid f() {\n"
+        "  std::unordered_map<int, int> votes;\n  int total = 0;\n"
+        "  for (const auto& [k, v] : votes) total += v;\n}\n",
+        None,
+        set(),
+    ),
+]
+
+SIBLING_HEADER = (
+    "#include <unordered_set>\n"
+    "class C { std::unordered_set<int> dirty_; std::vector<int> out_; };\n"
+)
+
+
+def run_self_test():
+    import tempfile
+
+    failures = 0
+    for name, rel, source, sibling, expected in SELF_TEST_CASES:
+        with tempfile.TemporaryDirectory() as tmp:
+            root = Path(tmp)
+            path = root / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(source, encoding="utf-8")
+            if sibling is not None:
+                path.with_suffix(".h").write_text(SIBLING_HEADER,
+                                                 encoding="utf-8")
+            got = {v.rule for v in lint_file(root, path)}
+            # Synthetic fixtures only need guards checked when the case is
+            # about guards.
+            if "include-guard" not in expected and rel.endswith(".cc"):
+                got.discard("include-guard")
+            if got != expected:
+                print(f"SELF-TEST FAIL: {name}: expected {sorted(expected)}, "
+                      f"got {sorted(got)}")
+                failures += 1
+    if failures:
+        print(f"{failures} self-test case(s) failed")
+        return 1
+    print(f"icrowd_lint self-test: {len(SELF_TEST_CASES)} cases OK")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", type=Path,
+                        default=Path(__file__).resolve().parent.parent,
+                        help="repo root (default: parent of tools/)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the linter's own unit tests and exit")
+    parser.add_argument("files", nargs="*", type=Path,
+                        help="restrict to these files (default: whole tree)")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return run_self_test()
+
+    root = args.root.resolve()
+    if not root.is_dir():
+        print(f"icrowd_lint: no such root: {root}", file=sys.stderr)
+        return 2
+    files = [f.resolve() for f in args.files] if args.files \
+        else collect_files(root)
+    violations = []
+    for path in files:
+        violations.extend(lint_file(root, path))
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"icrowd_lint: {len(violations)} violation(s) in "
+              f"{len({v.path for v in violations})} file(s)")
+        return 1
+    print(f"icrowd_lint: {len(files)} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
