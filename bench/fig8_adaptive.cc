@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "obs/exporter.h"
 
 using namespace icrowd;         // NOLINT
 using namespace icrowd::bench;  // NOLINT
@@ -26,7 +27,9 @@ void Report(const BenchDataset& bd, const char* tag) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  obs::MetricsCliOptions metrics_options =
+      obs::ConsumeMetricsFlags(&argc, argv);
   std::printf("=== Figure 8: Effect of Adaptive Assignment ===\n\n");
   Report(LoadYahooQa(), "a");
   Report(LoadItemCompare(), "b");
@@ -34,5 +37,6 @@ int main() {
       "Paper shape: QF-Only worst (qualification-only estimates are noisy); "
       "BestEffort\nimproves by updating estimates; Adapt best thanks to "
       "optimal assignment + testing.\n");
+  if (!obs::WriteMetricsIfRequested(metrics_options)) return 1;
   return 0;
 }

@@ -7,6 +7,7 @@
 //              [--seeds=5] [--seed-base=1000]
 //              [--random-qualification] [--per-domain]
 //              [--export-dataset=FILE] [--export-answers=FILE]
+//              [--metrics-out=FILE.jsonl] [--deterministic]
 //
 // Prints overall (and optionally per-domain) accuracy averaged over seeds;
 // optionally exports the dataset and the last run's answer log as CSV.
@@ -23,6 +24,7 @@
 #include "datagen/itemcompare.h"
 #include "datagen/worker_pool.h"
 #include "datagen/yahooqa.h"
+#include "obs/exporter.h"
 
 using namespace icrowd;  // NOLINT: example brevity
 
@@ -58,13 +60,18 @@ int Usage() {
       "                  [--seeds=5]\n"
       "                  [--seed-base=1000] [--random-qualification]\n"
       "                  [--per-domain] [--export-dataset=FILE]\n"
-      "                  [--export-answers=FILE]\n");
+      "                  [--export-answers=FILE]\n"
+      "                  [--metrics-out=FILE.jsonl] [--deterministic]\n");
   return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Shared observability flags (--metrics-out=PATH, --deterministic) are
+  // stripped before the driver's own flag loop sees argv.
+  obs::MetricsCliOptions metrics_options =
+      obs::ConsumeMetricsFlags(&argc, argv);
   CliOptions options;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -209,5 +216,6 @@ int main(int argc, char** argv) {
   }
   std::printf("overall accuracy: %s\n",
               FormatDouble(overall / options.seeds, 3).c_str());
+  if (!obs::WriteMetricsIfRequested(metrics_options)) return 1;
   return 0;
 }

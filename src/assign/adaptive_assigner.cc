@@ -5,6 +5,7 @@
 #include "assign/greedy_assign.h"
 #include "assign/top_workers.h"
 #include "common/stopwatch.h"
+#include "obs/metrics.h"
 
 namespace icrowd {
 
@@ -31,6 +32,19 @@ void AdaptiveAssigner::OnAnswer(const AnswerRecord& answer,
 
 void AdaptiveAssigner::RefreshDirtyWorkers(const CampaignState& state) {
   if (dirty_workers_.empty()) return;
+  auto& registry = obs::MetricsRegistry::Global();
+  static const obs::Counter refresh_rounds = registry.GetCounter(
+      "icrowd.assign.refresh_rounds",
+      {true, "dirty-worker refresh rounds (one per affected RequestTask)"});
+  static const obs::Histogram dirty_count = registry.GetHistogram(
+      "icrowd.assign.dirty_workers", obs::ExponentialBuckets(1, 2, 8),
+      {true, "workers re-estimated per refresh round"});
+  static const obs::Gauge refresh_seconds = registry.GetGauge(
+      "icrowd.assign.refresh_seconds",
+      {false, "cumulative wall-clock inside dirty-worker refreshes"});
+  ICROWD_TRACE_SCOPE("assign.refresh");
+  refresh_rounds.Increment();
+  dirty_count.Observe(static_cast<double>(dirty_workers_.size()));
   Stopwatch timer;
   std::vector<WorkerId> dirty(dirty_workers_.begin(), dirty_workers_.end());
   std::sort(dirty.begin(), dirty.end());
@@ -53,12 +67,27 @@ void AdaptiveAssigner::RefreshDirtyWorkers(const CampaignState& state) {
     for (size_t i = 0; i < dirty.size(); ++i) refresh_one(i);
   }
   scheme_dirty_ = true;
-  refresh_seconds_ += timer.ElapsedSeconds();
+  double elapsed = timer.ElapsedSeconds();
+  refresh_fp_.fetch_add(obs::ToFixedPoint(elapsed),
+                        std::memory_order_relaxed);
+  refresh_seconds.Add(elapsed);
 }
 
 void AdaptiveAssigner::RecomputeScheme(
     const CampaignState& state, const std::vector<WorkerId>& active_workers) {
-  ++scheme_recomputations_;
+  auto& registry = obs::MetricsRegistry::Global();
+  static const obs::Counter recomputations = registry.GetCounter(
+      "icrowd.assign.scheme_recomputations",
+      {true, "full Algorithm 2/3 scheme rebuilds"});
+  static const obs::Counter planned_assignments = registry.GetCounter(
+      "icrowd.assign.planned_assignments",
+      {true, "worker->task plan entries produced by scheme rebuilds"});
+  static const obs::Gauge recompute_seconds = registry.GetGauge(
+      "icrowd.assign.recompute_seconds",
+      {false, "cumulative wall-clock inside scheme rebuilds"});
+  ICROWD_TRACE_SCOPE("assign.recompute");
+  recomputations.Increment();
+  scheme_recomputations_.fetch_add(1, std::memory_order_relaxed);
   Stopwatch timer;
   planned_.clear();
   // Multi-round planning: one Algorithm 3 pass plans only a few disjoint
@@ -93,7 +122,11 @@ void AdaptiveAssigner::RecomputeScheme(
                   [&](TaskId t) { return chosen.count(t) > 0; });
   }
   scheme_dirty_ = false;
-  scheme_recompute_seconds_ += timer.ElapsedSeconds();
+  planned_assignments.Increment(planned_.size());
+  double elapsed = timer.ElapsedSeconds();
+  scheme_recompute_fp_.fetch_add(obs::ToFixedPoint(elapsed),
+                                 std::memory_order_relaxed);
+  recompute_seconds.Add(elapsed);
 }
 
 std::optional<TaskId> AdaptiveAssigner::TestAssignment(
@@ -145,7 +178,14 @@ std::optional<TaskId> AdaptiveAssigner::RequestTask(
 
   if (!options_.performance_testing) return std::nullopt;
   std::optional<TaskId> test = TestAssignment(worker, state);
-  if (test.has_value()) ++test_assignments_;
+  if (test.has_value()) {
+    static const obs::Counter test_counter =
+        obs::MetricsRegistry::Global().GetCounter(
+            "icrowd.assign.test_assignments",
+            {true, "assignments served by step-3 performance testing"});
+    test_counter.Increment();
+    test_assignments_.fetch_add(1, std::memory_order_relaxed);
+  }
   return test;
 }
 

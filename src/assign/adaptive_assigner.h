@@ -1,6 +1,7 @@
 #ifndef ICROWD_ASSIGN_ADAPTIVE_ASSIGNER_H_
 #define ICROWD_ASSIGN_ADAPTIVE_ASSIGNER_H_
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <string>
@@ -11,6 +12,7 @@
 #include "assign/assigner.h"
 #include "common/thread_pool.h"
 #include "estimation/accuracy_estimator.h"
+#include "obs/metrics.h"
 
 namespace icrowd {
 
@@ -78,13 +80,24 @@ class AdaptiveAssigner : public Assigner {
 
   /// Number of times the full scheme was recomputed (index effectiveness
   /// metric used by the scalability bench).
-  size_t scheme_recomputations() const { return scheme_recomputations_; }
+  size_t scheme_recomputations() const {
+    return scheme_recomputations_.load(std::memory_order_relaxed);
+  }
   /// Number of assignments served by step 3 rather than the scheme.
-  size_t test_assignments() const { return test_assignments_; }
+  size_t test_assignments() const {
+    return test_assignments_.load(std::memory_order_relaxed);
+  }
 
+  /// Snapshot of the pipeline counters. Safe to call from any thread while
+  /// the assigner is serving requests: every field is an atomic (seconds
+  /// are stored fixed-point), so a concurrent poller — the dashboard use
+  /// case — reads torn-free values rather than racing on plain doubles.
   AssignerStats Stats() const override {
-    return {scheme_recomputations_, test_assignments_,
-            scheme_recompute_seconds_, refresh_seconds_};
+    return {scheme_recomputations(), test_assignments(),
+            obs::FromFixedPoint(
+                scheme_recompute_fp_.load(std::memory_order_relaxed)),
+            obs::FromFixedPoint(
+                refresh_fp_.load(std::memory_order_relaxed))};
   }
 
  private:
@@ -102,10 +115,12 @@ class AdaptiveAssigner : public Assigner {
   std::unordered_set<WorkerId> dirty_workers_;
   std::unordered_map<WorkerId, TaskId> planned_;
   bool scheme_dirty_ = true;
-  size_t scheme_recomputations_ = 0;
-  size_t test_assignments_ = 0;
-  double scheme_recompute_seconds_ = 0.0;
-  double refresh_seconds_ = 0.0;
+  std::atomic<size_t> scheme_recomputations_{0};
+  std::atomic<size_t> test_assignments_{0};
+  // Fixed-point seconds (obs::kFixedPointScale) so Stats() never reads a
+  // torn double.
+  std::atomic<int64_t> scheme_recompute_fp_{0};
+  std::atomic<int64_t> refresh_fp_{0};
 };
 
 }  // namespace icrowd

@@ -3,9 +3,25 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+
 namespace icrowd {
 
 std::vector<TopWorkerSet> GreedyAssign(std::vector<TopWorkerSet> candidates) {
+  auto& registry = obs::MetricsRegistry::Global();
+  static const obs::Counter heap_pops = registry.GetCounter(
+      "icrowd.assign.heap_pops",
+      {true, "candidate sets popped off the Algorithm 3 lazy heap"});
+  static const obs::Counter conflict_rejections = registry.GetCounter(
+      "icrowd.assign.conflict_rejections",
+      {true, "popped sets rejected for overlapping an already-used worker"});
+  static const obs::Counter scheme_sets = registry.GetCounter(
+      "icrowd.assign.scheme_sets",
+      {true, "disjoint sets accepted into assignment schemes"});
+  static const obs::Histogram scheme_avg_accuracy = registry.GetHistogram(
+      "icrowd.assign.scheme_avg_accuracy", obs::LinearBuckets(0.1, 0.1, 9),
+      {true, "average estimated accuracy of each accepted set"});
+  ICROWD_TRACE_SCOPE("assign.greedy");
   // Lazy max-heap keyed by (average accuracy desc, task id asc). Candidate
   // sets are fixed, so keys never change and stale-entry reinsertion is
   // unnecessary; "lazy" here means overlap is only checked when a candidate
@@ -36,8 +52,10 @@ std::vector<TopWorkerSet> GreedyAssign(std::vector<TopWorkerSet> candidates) {
   std::unordered_set<WorkerId> used;
   while (!heap.empty() && used.size() < universe.size()) {
     std::pop_heap(heap.begin(), heap.end(), worse);
-    TopWorkerSet& candidate = candidates[heap.back()];
+    size_t index = heap.back();
+    TopWorkerSet& candidate = candidates[index];
     heap.pop_back();
+    heap_pops.Increment();
     bool overlaps = false;
     for (WorkerId w : candidate.workers) {
       if (used.count(w)) {
@@ -45,8 +63,13 @@ std::vector<TopWorkerSet> GreedyAssign(std::vector<TopWorkerSet> candidates) {
         break;
       }
     }
-    if (overlaps) continue;
+    if (overlaps) {
+      conflict_rejections.Increment();
+      continue;
+    }
     for (WorkerId w : candidate.workers) used.insert(w);
+    scheme_sets.Increment();
+    scheme_avg_accuracy.Observe(avg[index]);
     scheme.push_back(std::move(candidate));
   }
   return scheme;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace icrowd {
 
 double TopWorkerSet::SumAccuracy() const {
@@ -58,6 +60,17 @@ std::vector<TopWorkerSet> ComputeTopWorkerSets(
     const std::vector<TaskId>& tasks, const CampaignState& state,
     const std::vector<WorkerId>& active_workers, const AccuracyFn& accuracy,
     bool require_full, ThreadPool* pool) {
+  auto& registry = obs::MetricsRegistry::Global();
+  static const obs::Counter sets_computed = registry.GetCounter(
+      "icrowd.assign.top_sets_computed",
+      {true, "Definition 3 top worker sets computed"});
+  static const obs::Counter sets_skipped = registry.GetCounter(
+      "icrowd.assign.top_sets_skipped",
+      {true, "candidate sets dropped as empty or under-filled"});
+  static const obs::Histogram set_size = registry.GetHistogram(
+      "icrowd.assign.top_set_size", obs::LinearBuckets(0, 1, 8),
+      {true, "workers per kept top worker set"});
+  ICROWD_TRACE_SCOPE("assign.top_worker_sets");
   // Fan out one slot per task, then merge in index order: the output is the
   // same sequence the serial loop produces, at any thread count.
   std::vector<TopWorkerSet> per_task(tasks.size());
@@ -70,16 +83,22 @@ std::vector<TopWorkerSet> ComputeTopWorkerSets(
   } else {
     for (size_t i = 0; i < tasks.size(); ++i) compute_one(i);
   }
+  sets_computed.Increment(tasks.size());
   std::vector<TopWorkerSet> sets;
   sets.reserve(tasks.size());
   for (size_t i = 0; i < tasks.size(); ++i) {
     TopWorkerSet& set = per_task[i];
-    if (set.empty()) continue;
+    if (set.empty()) {
+      sets_skipped.Increment();
+      continue;
+    }
     if (require_full &&
         static_cast<int>(set.workers.size()) <
             state.RemainingSlots(tasks[i])) {
+      sets_skipped.Increment();
       continue;
     }
+    set_size.Observe(static_cast<double>(set.workers.size()));
     sets.push_back(std::move(set));
   }
   return sets;

@@ -1,8 +1,13 @@
 #ifndef ICROWD_COMMON_LOGGING_H_
 #define ICROWD_COMMON_LOGGING_H_
 
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <vector>
 
 namespace icrowd {
 
@@ -12,13 +17,69 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
-/// Emits one formatted line ("[LEVEL] message") to stderr if `level` passes
-/// the process-wide threshold. Prefer the ICROWD_LOG macro below.
+/// True when `level` passes the process threshold. ICROWD_LOG checks this
+/// before constructing its stream, so a suppressed statement never formats
+/// its operands — `ICROWD_LOG(Debug) << Expensive()` costs one atomic load
+/// at the default Info threshold.
+bool LogLevelEnabled(LogLevel level);
+
+/// One structured log line, as handed to the installed sink.
+struct LogRecord {
+  LogLevel level = LogLevel::kInfo;
+  /// Steady-clock seconds since logging first initialized in this process.
+  double uptime_seconds = 0.0;
+  /// Wall-clock Unix seconds at emission — for humans correlating a log
+  /// against the outside world; never use it in exported metrics.
+  int64_t wall_unix_seconds = 0;
+  /// Dense per-process thread index (obs::ThisThreadIndex()).
+  uint64_t thread = 0;
+  std::string message;
+};
+
+using LogSink = std::function<void(const LogRecord&)>;
+
+/// Replaces the process-wide sink and returns the previous one; nullptr
+/// restores the default stderr sink. Thread-safe, but swapping while other
+/// threads log concurrently delivers in-flight records to either sink.
+LogSink SetLogSink(LogSink sink);
+
+/// How the default sink renders a record:
+/// "[LEVEL <uptime>s T<thread>] message".
+std::string FormatLogRecord(const LogRecord& record);
+
+/// Builds a LogRecord and emits it via the installed sink if `level`
+/// passes the threshold. Prefer the ICROWD_LOG macro.
 void LogMessage(LogLevel level, const std::string& message);
+
+/// RAII test sink: while alive, captures every record that passes the
+/// threshold instead of printing it; restores the previous sink on
+/// destruction. Safe with concurrent loggers.
+class CaptureLogs {
+ public:
+  CaptureLogs();
+  ~CaptureLogs();
+  CaptureLogs(const CaptureLogs&) = delete;
+  CaptureLogs& operator=(const CaptureLogs&) = delete;
+
+  std::vector<LogRecord> records() const;
+  /// True if any captured message contains `substring`.
+  bool Contains(const std::string& substring) const;
+
+ private:
+  struct State {
+    mutable std::mutex mutex;
+    std::vector<LogRecord> records;
+  };
+  std::shared_ptr<State> state_;
+  LogSink previous_;
+};
 
 namespace internal {
 
 /// Stream-style collector that emits on destruction (end of statement).
+/// Only ever constructed for enabled levels — ICROWD_LOG's ternary guards
+/// construction, so the ostringstream and all operand formatting are
+/// skipped entirely below the threshold.
 class LogStream {
  public:
   explicit LogStream(LogLevel level) : level_(level) {}
@@ -38,10 +99,21 @@ class LogStream {
   std::ostringstream stream_;
 };
 
+/// Lets the guarded ternary in ICROWD_LOG type-match: `&` binds looser
+/// than `<<` (so the whole chained statement becomes the operand) and the
+/// result is void on both branches.
+struct LogVoidify {
+  void operator&(LogStream&) {}   // chained statement: << returns lvalue
+  void operator&(LogStream&&) {}  // bare ICROWD_LOG(...); no operands
+};
+
 }  // namespace internal
 }  // namespace icrowd
 
-#define ICROWD_LOG(level) \
-  ::icrowd::internal::LogStream(::icrowd::LogLevel::k##level)
+#define ICROWD_LOG(level)                                            \
+  !::icrowd::LogLevelEnabled(::icrowd::LogLevel::k##level)           \
+      ? (void)0                                                      \
+      : ::icrowd::internal::LogVoidify() &                           \
+            ::icrowd::internal::LogStream(::icrowd::LogLevel::k##level)
 
 #endif  // ICROWD_COMMON_LOGGING_H_

@@ -5,7 +5,29 @@
 #include <memory>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace icrowd {
+
+namespace {
+
+// Pool metrics are all scheduling artifacts — registered non-deterministic
+// so deterministic exports drop them (queue depth and latency depend on
+// thread count and OS timing by nature).
+const obs::Gauge& QueueDepthGauge() {
+  static const obs::Gauge g = obs::MetricsRegistry::Global().GetGauge(
+      "icrowd.pool.queue_depth",
+      {false, "tasks waiting in the shared pool queue"});
+  return g;
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) {
@@ -27,11 +49,17 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  static const obs::Counter submitted =
+      obs::MetricsRegistry::Global().GetCounter(
+          "icrowd.pool.tasks_submitted",
+          {false, "tasks handed to the shared pool"});
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push(std::move(task));
+    queue_.push({std::move(task), std::chrono::steady_clock::now()});
     ++in_flight_;
+    QueueDepthGauge().Set(static_cast<double>(queue_.size()));
   }
+  submitted.Increment();
   work_available_.notify_one();
 }
 
@@ -46,8 +74,15 @@ void ThreadPool::Wait() {
 }
 
 void ThreadPool::WorkerLoop() {
+  auto& registry = obs::MetricsRegistry::Global();
+  const obs::Histogram wait_seconds = registry.GetHistogram(
+      "icrowd.pool.task_wait_seconds", obs::ExponentialBuckets(1e-6, 4, 10),
+      {false, "queue-to-dequeue latency per task"});
+  const obs::Histogram run_seconds = registry.GetHistogram(
+      "icrowd.pool.task_run_seconds", obs::ExponentialBuckets(1e-6, 4, 10),
+      {false, "execution time per task"});
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_available_.wait(
@@ -55,13 +90,17 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;  // shutting down
       task = std::move(queue_.front());
       queue_.pop();
+      QueueDepthGauge().Set(static_cast<double>(queue_.size()));
     }
+    wait_seconds.Observe(SecondsSince(task.enqueued));
+    auto run_start = std::chrono::steady_clock::now();
     std::exception_ptr error;
     try {
-      task();
+      task.fn();
     } catch (...) {
       error = std::current_exception();
     }
+    run_seconds.Observe(SecondsSince(run_start));
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (error && !first_error_) first_error_ = error;

@@ -1,6 +1,7 @@
 #ifndef ICROWD_COMMON_THREAD_POOL_H_
 #define ICROWD_COMMON_THREAD_POOL_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <exception>
@@ -56,10 +57,17 @@ class ThreadPool {
                           const std::function<void(size_t)>& fn);
 
  private:
+  /// Queue entry carrying its enqueue instant, so the worker that dequeues
+  /// it can report scheduling latency (icrowd.pool.task_wait_seconds).
+  struct QueuedTask {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   void WorkerLoop();
 
   std::vector<std::thread> threads_;
-  std::queue<std::function<void()>> queue_;
+  std::queue<QueuedTask> queue_;
   std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable all_done_;

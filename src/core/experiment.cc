@@ -7,6 +7,7 @@
 #include "agg/probabilistic_verification.h"
 #include "common/random.h"
 #include "estimation/accuracy_estimator.h"
+#include "obs/metrics.h"
 
 namespace icrowd {
 
@@ -42,10 +43,17 @@ Result<ExperimentResult> RunExperiment(
     StrategyKind strategy_kind) {
   ICROWD_RETURN_NOT_OK(dataset.Validate());
 
+  static const obs::Counter experiments_counter =
+      obs::MetricsRegistry::Global().GetCounter(
+          "icrowd.core.experiments", {true, "full experiment runs"});
+  experiments_counter.Increment();
+  ICROWD_TRACE_SCOPE("experiment.run");
+
   ExperimentResult result;
 
   // Qualification selection (InfQF or RandomQF) over the campaign's graph.
   {
+    ICROWD_TRACE_SCOPE("experiment.qualification");
     PprOptions ppr = config.estimator.ppr;
     auto engine = PprEngine::Precompute(graph, ppr);
     if (!engine.ok()) return engine.status();
@@ -83,8 +91,13 @@ Result<ExperimentResult> RunExperiment(
   if (!sim.ok()) return sim.status();
   result.sim = sim.MoveValueOrDie();
 
-  ICROWD_ASSIGN_OR_RETURN(result.predictions,
-                          AggregatePredictions(dataset, strategy, result.sim));
+  {
+    ICROWD_TRACE_SCOPE("experiment.aggregate");
+    ICROWD_ASSIGN_OR_RETURN(
+        result.predictions,
+        AggregatePredictions(dataset, strategy, result.sim));
+  }
+  ICROWD_TRACE_SCOPE("experiment.score");
   std::set<TaskId> qualification(result.qualification.tasks.begin(),
                                  result.qualification.tasks.end());
   result.report =

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/math_util.h"
+#include "obs/metrics.h"
 
 namespace icrowd {
 
@@ -54,10 +55,19 @@ void AccuracyEstimator::Refresh(WorkerId worker, const CampaignState& state,
 void AccuracyEstimator::Refresh(WorkerId worker, const CampaignState& state,
                                 const Dataset& dataset,
                                 const AccuracyFn& coworker_accuracy) {
+  auto& registry = obs::MetricsRegistry::Global();
+  static const obs::Counter refreshes = registry.GetCounter(
+      "icrowd.estimation.refreshes",
+      {true, "per-worker Eq. (5) estimate refreshes"});
+  static const obs::Counter observed_entries = registry.GetCounter(
+      "icrowd.estimation.observed_entries",
+      {true, "graded (task, accuracy) observations consumed by refreshes"});
   EnsureRegistered(worker);
   WorkerModel& model = workers_[worker];
   model.observed = ComputeObservedAccuracies(worker, state, dataset,
                                              qualification_, coworker_accuracy);
+  refreshes.Increment();
+  observed_entries.Increment(model.observed.size());
   // Average observed accuracy, shrunk toward the warm-up measurement.
   double q_sum = 0.0;
   for (const auto& [_, q] : model.observed) q_sum += q;
@@ -108,6 +118,11 @@ double AccuracyEstimator::Accuracy(WorkerId worker, TaskId task) const {
 
 AccuracyFn AccuracyEstimator::SnapshotAccuracyFn(
     const std::vector<WorkerId>& workers) const {
+  static const obs::Counter snapshots =
+      obs::MetricsRegistry::Global().GetCounter(
+          "icrowd.estimation.snapshots",
+          {true, "pre-round model snapshots taken for parallel refreshes"});
+  snapshots.Increment();
   auto frozen =
       std::make_shared<std::unordered_map<WorkerId, WorkerModel>>();
   frozen->reserve(workers.size());

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
 
 namespace icrowd {
 
@@ -21,6 +22,7 @@ Result<PprEngine> PprEngine::Precompute(const SimilarityGraph& graph,
   }
   PprEngine engine(graph.NormalizedAdjacency(), options);
   engine.seeds_.resize(graph.num_nodes());
+  ICROWD_TRACE_SCOPE("ppr.precompute");
   ThreadPool::ParallelFor(
       graph.num_nodes(), options.num_threads,
       [&engine](size_t i) { engine.seeds_[i] = engine.SolveSeed(i); });
@@ -28,6 +30,16 @@ Result<PprEngine> PprEngine::Precompute(const SimilarityGraph& graph,
 }
 
 SparseEntries PprEngine::SolveSeed(size_t seed) const {
+  auto& registry = obs::MetricsRegistry::Global();
+  static const obs::Counter seeds_solved = registry.GetCounter(
+      "icrowd.ppr.seeds_solved",
+      {true, "Algorithm 1 seed vectors solved (one per task)"});
+  static const obs::Counter solve_iterations = registry.GetCounter(
+      "icrowd.ppr.solve_iterations",
+      {true, "power-iteration steps summed over all seeds"});
+  static const obs::Histogram seed_support = registry.GetHistogram(
+      "icrowd.ppr.seed_support", obs::ExponentialBuckets(1, 4, 8),
+      {true, "nonzero entries per converged seed vector"});
   const double c = 1.0 / (1.0 + options_.alpha);        // graph weight
   const double restart = options_.alpha / (1.0 + options_.alpha);
   const size_t n = s_prime_.n();
@@ -51,7 +63,9 @@ SparseEntries PprEngine::SolveSeed(size_t seed) const {
   const std::vector<int32_t>& cols = s_prime_.cols();
   const std::vector<double>& values = s_prime_.values();
 
+  int iterations = 0;
   for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    ++iterations;
     // c * S'p — scatter each current entry along its row (S' symmetric).
     for (int32_t u : support) {
       double scaled = c * current_values[u];
@@ -95,18 +109,32 @@ SparseEntries PprEngine::SolveSeed(size_t seed) const {
     out.emplace_back(v, current_values[v]);
     current_values[v] = 0.0;  // leave the scratch clean for the next seed
   }
+  seeds_solved.Increment();
+  solve_iterations.Increment(static_cast<uint64_t>(iterations));
+  seed_support.Observe(static_cast<double>(out.size()));
   return out;
 }
 
 std::vector<double> PprEngine::EstimateFromObserved(
     const SparseEntries& observed) const {
+  auto& registry = obs::MetricsRegistry::Global();
+  static const obs::Counter estimates = registry.GetCounter(
+      "icrowd.ppr.estimates",
+      {true, "kernel-smoothing propagations of observed accuracies"});
+  static const obs::Counter estimate_terms = registry.GetCounter(
+      "icrowd.ppr.estimate_terms",
+      {true, "seed-vector entries scattered across all propagations"});
+  estimates.Increment();
   std::vector<double> estimate(num_tasks(), 0.0);
+  uint64_t terms = 0;
   for (const auto& [task, q] : observed) {
     if (q == 0.0) continue;
+    terms += seeds_[task].size();
     for (const auto& [j, v] : seeds_[task]) {
       estimate[j] += q * v;
     }
   }
+  estimate_terms.Increment(terms);
   return estimate;
 }
 

@@ -1,0 +1,51 @@
+#include "obs/exporter.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+namespace icrowd {
+namespace obs {
+
+MetricsCliOptions ConsumeMetricsFlags(int* argc, char** argv) {
+  MetricsCliOptions options;
+  int kept = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const char* arg = argv[i];
+    const char* kOutPrefix = "--metrics-out=";
+    if (std::strncmp(arg, kOutPrefix, std::strlen(kOutPrefix)) == 0) {
+      options.out_path = arg + std::strlen(kOutPrefix);
+      continue;
+    }
+    if (std::strcmp(arg, "--deterministic") == 0) {
+      options.deterministic = true;
+      continue;
+    }
+    argv[kept++] = argv[i];
+  }
+  *argc = kept;
+  return options;
+}
+
+bool WriteMetricsIfRequested(const MetricsCliOptions& options) {
+  if (options.out_path.empty()) return true;
+  std::ofstream out(options.out_path);
+  if (!out) {
+    std::fprintf(stderr, "obs: cannot open metrics output '%s'\n",
+                 options.out_path.c_str());
+    return false;
+  }
+  ExportOptions export_options;
+  export_options.deterministic = options.deterministic;
+  MetricsRegistry::Global().ExportJsonl(out, export_options);
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "obs: write to '%s' failed\n",
+                 options.out_path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace obs
+}  // namespace icrowd

@@ -1,0 +1,595 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <ostream>
+#include <sstream>
+
+namespace icrowd {
+namespace obs {
+
+namespace {
+
+std::atomic<uint64_t> g_next_thread_index{0};
+std::atomic<uint64_t> g_next_registry_id{1};
+
+/// Open spans of the calling thread, across registries (a thread interleaves
+/// scopes on at most one registry in practice; the id field keeps a stray
+/// test registry from corrupting the global trace).
+struct OpenSpan {
+  uint64_t registry_id = 0;
+  const char* name = "";
+  uint64_t seq = 0;
+  uint32_t depth = 0;
+  int64_t start_ns = 0;
+};
+
+thread_local std::vector<OpenSpan> t_open_spans;
+thread_local uint64_t t_span_seq = 0;
+thread_local uint32_t t_span_depth = 0;
+
+/// Steady-clock nanoseconds (monotonic). Wall clock is banned outside
+/// src/obs and src/common/stopwatch.h by the clock-source lint rule, and
+/// the obs subsystem itself has no use for it either: every exported time
+/// is relative to the registry epoch.
+int64_t SteadyNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Exact decimal rendering of a fixed-point (billionths) value: fixed-point
+/// cells are precisely representable with 9 fractional digits, so this
+/// round-trips without the noise of %.17g.
+std::string FormatFixedPoint(int64_t fp) {
+  char buf[48];
+  const char* sign = fp < 0 ? "-" : "";
+  uint64_t magnitude = fp < 0 ? -static_cast<uint64_t>(fp)
+                              : static_cast<uint64_t>(fp);
+  uint64_t whole = magnitude / 1'000'000'000ull;
+  uint64_t frac = magnitude % 1'000'000'000ull;
+  if (frac == 0) {
+    std::snprintf(buf, sizeof(buf), "%s%" PRIu64, sign, whole);
+    return buf;
+  }
+  std::snprintf(buf, sizeof(buf), "%s%" PRIu64 ".%09" PRIu64, sign, whole,
+                frac);
+  std::string out = buf;
+  while (out.back() == '0') out.pop_back();
+  return out;
+}
+
+/// Shortest-ish deterministic rendering for doubles that did not come from
+/// fixed-point cells (bucket bounds, event fields): same double in, same
+/// string out.
+std::string FormatDouble(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof(hex), "\\u%04x", c);
+          out += hex;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+uint64_t ThisThreadIndex() {
+  thread_local uint64_t index =
+      g_next_thread_index.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+std::vector<double> ExponentialBuckets(double start, double factor,
+                                       size_t count) {
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double bound = start;
+  for (size_t i = 0; i < count; ++i) {
+    bounds.push_back(bound);
+    bound *= factor;
+  }
+  return bounds;
+}
+
+std::vector<double> LinearBuckets(double start, double width, size_t count) {
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    bounds.push_back(start + width * static_cast<double>(i));
+  }
+  return bounds;
+}
+
+/// Per-thread storage: one cell array indexed by the registry's cell
+/// allocator, plus this thread's closed spans. Cells are written by the
+/// owning thread only (relaxed adds) and read by snapshotting threads —
+/// atomics make that well-defined without any recording-side lock.
+struct MetricsRegistry::Shard {
+  Shard() : cells(kShardCells) {}
+  std::vector<std::atomic<int64_t>> cells;
+  mutable std::mutex span_mutex;
+  std::vector<SpanRecord> spans;  // guarded by span_mutex
+};
+
+namespace internal {
+
+/// Thread-local shard cache with an exit hook: a thread that dies releases
+/// its global-registry shard for reuse, so workloads that spawn one-shot
+/// thread batches (the static ParallelFor) do not grow shards without
+/// bound. Instance registries skip reuse — they must simply outlive their
+/// recording threads (see the class comment).
+struct TlsShardCache {
+  struct Entry {
+    uint64_t id = 0;
+    MetricsRegistry* registry = nullptr;
+    MetricsRegistry::Shard* shard = nullptr;
+  };
+  std::vector<Entry> entries;
+  ~TlsShardCache();
+};
+
+}  // namespace internal
+
+namespace {
+thread_local internal::TlsShardCache t_shard_cache;
+}  // namespace
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked on purpose: instrumented code may record from detached threads
+  // during process teardown; a destructed global registry would be a race
+  // against every one of them.
+  static auto* registry = new MetricsRegistry();
+  return *registry;
+}
+
+namespace internal {
+TlsShardCache::~TlsShardCache() {
+  for (Entry& e : entries) {
+    if (e.registry == &MetricsRegistry::Global()) {
+      e.registry->ReleaseShard(e.shard);
+    }
+  }
+}
+}  // namespace internal
+
+MetricsRegistry::MetricsRegistry()
+    : id_(g_next_registry_id.fetch_add(1, std::memory_order_relaxed)),
+      gauges_(new std::atomic<int64_t>[kMaxGauges]) {
+  for (size_t i = 0; i < kMaxGauges; ++i) {
+    gauges_[i].store(0, std::memory_order_relaxed);
+  }
+  epoch_ns_.store(SteadyNanos(), std::memory_order_relaxed);
+  dropped_spans_ = GetCounter("icrowd.obs.dropped_spans",
+                              {/*deterministic=*/false,
+                               "spans discarded past the per-shard cap"});
+}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+int64_t MetricsRegistry::NowNanos() const {
+  return SteadyNanos() - epoch_ns_.load(std::memory_order_relaxed);
+}
+
+MetricsRegistry::Shard* MetricsRegistry::LocalShard() {
+  for (const internal::TlsShardCache::Entry& e : t_shard_cache.entries) {
+    if (e.id == id_) return e.shard;
+  }
+  return LocalShardSlow();
+}
+
+MetricsRegistry::Shard* MetricsRegistry::LocalShardSlow() {
+  Shard* shard = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!free_shards_.empty()) {
+      shard = free_shards_.back();
+      free_shards_.pop_back();
+    } else {
+      shards_.push_back(std::make_unique<Shard>());
+      shard = shards_.back().get();
+    }
+  }
+  t_shard_cache.entries.push_back({id_, this, shard});
+  return shard;
+}
+
+void MetricsRegistry::ReleaseShard(Shard* shard) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  free_shards_.push_back(shard);
+}
+
+const MetricsRegistry::MetricInfo* MetricsRegistry::FindLocked(
+    const std::string& name) const {
+  for (const MetricInfo& info : metrics_) {
+    if (info.name == name) return &info;
+  }
+  return nullptr;
+}
+
+Counter MetricsRegistry::GetCounter(const std::string& name,
+                                    MetricOptions options) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (const MetricInfo* existing = FindLocked(name)) {
+    if (existing->kind != MetricKind::kCounter) {
+      std::fprintf(stderr, "obs: metric '%s' re-registered as counter\n",
+                   name.c_str());
+      return Counter();
+    }
+    return Counter(this, existing->cell);
+  }
+  if (next_cell_ + 1 > kShardCells) {
+    std::fprintf(stderr, "obs: shard cell budget exhausted at '%s'\n",
+                 name.c_str());
+    return Counter();
+  }
+  MetricInfo info;
+  info.name = name;
+  info.kind = MetricKind::kCounter;
+  info.options = options;
+  info.cell = next_cell_++;
+  metrics_.push_back(std::move(info));
+  return Counter(this, metrics_.back().cell);
+}
+
+Gauge MetricsRegistry::GetGauge(const std::string& name,
+                                MetricOptions options) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (const MetricInfo* existing = FindLocked(name)) {
+    if (existing->kind != MetricKind::kGauge) {
+      std::fprintf(stderr, "obs: metric '%s' re-registered as gauge\n",
+                   name.c_str());
+      return Gauge();
+    }
+    return Gauge(this, existing->gauge_slot);
+  }
+  if (num_gauges_ >= kMaxGauges) {
+    std::fprintf(stderr, "obs: gauge slot budget exhausted at '%s'\n",
+                 name.c_str());
+    return Gauge();
+  }
+  MetricInfo info;
+  info.name = name;
+  info.kind = MetricKind::kGauge;
+  info.options = options;
+  info.gauge_slot = static_cast<uint32_t>(num_gauges_++);
+  metrics_.push_back(std::move(info));
+  return Gauge(this, metrics_.back().gauge_slot);
+}
+
+Histogram MetricsRegistry::GetHistogram(const std::string& name,
+                                        std::vector<double> bounds,
+                                        MetricOptions options) {
+  std::sort(bounds.begin(), bounds.end());
+  bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (const MetricInfo* existing = FindLocked(name)) {
+    if (existing->kind != MetricKind::kHistogram ||
+        *existing->bounds != bounds) {
+      std::fprintf(stderr,
+                   "obs: metric '%s' re-registered with different shape\n",
+                   name.c_str());
+      return Histogram();
+    }
+    return Histogram(this, existing->cell, existing->bounds);
+  }
+  // Cells: one per bucket, one overflow, one fixed-point sum.
+  uint32_t needed = static_cast<uint32_t>(bounds.size()) + 2;
+  if (next_cell_ + needed > kShardCells) {
+    std::fprintf(stderr, "obs: shard cell budget exhausted at '%s'\n",
+                 name.c_str());
+    return Histogram();
+  }
+  MetricInfo info;
+  info.name = name;
+  info.kind = MetricKind::kHistogram;
+  info.options = options;
+  info.cell = next_cell_;
+  info.num_cells = needed;
+  info.bounds =
+      std::make_shared<const std::vector<double>>(std::move(bounds));
+  next_cell_ += needed;
+  metrics_.push_back(std::move(info));
+  const MetricInfo& stored = metrics_.back();
+  return Histogram(this, stored.cell, stored.bounds);
+}
+
+void Counter::Increment(uint64_t n) const {
+  if (registry_ == nullptr || !registry_->enabled()) return;
+  MetricsRegistry::Shard* shard = registry_->LocalShard();
+  shard->cells[cell_].fetch_add(static_cast<int64_t>(n),
+                                std::memory_order_relaxed);
+}
+
+uint64_t Counter::Value() const {
+  if (registry_ == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(registry_->mutex_);
+  return static_cast<uint64_t>(registry_->SumCell(cell_));
+}
+
+void Gauge::Set(double v) const {
+  if (registry_ == nullptr || !registry_->enabled()) return;
+  registry_->gauges_[slot_].store(ToFixedPoint(v),
+                                   std::memory_order_relaxed);
+}
+
+void Gauge::Add(double v) const {
+  if (registry_ == nullptr || !registry_->enabled()) return;
+  registry_->gauges_[slot_].fetch_add(ToFixedPoint(v),
+                                       std::memory_order_relaxed);
+}
+
+double Gauge::Value() const {
+  if (registry_ == nullptr) return 0.0;
+  return FromFixedPoint(
+      registry_->gauges_[slot_].load(std::memory_order_relaxed));
+}
+
+void Histogram::Observe(double v) const {
+  if (registry_ == nullptr || !registry_->enabled()) return;
+  MetricsRegistry::Shard* shard = registry_->LocalShard();
+  const std::vector<double>& bounds = *bounds_;
+  size_t bucket = bounds.size();  // overflow (also where NaN lands)
+  if (!std::isnan(v)) {
+    bucket = static_cast<size_t>(
+        std::lower_bound(bounds.begin(), bounds.end(), v) - bounds.begin());
+  }
+  shard->cells[cell_ + bucket].fetch_add(1, std::memory_order_relaxed);
+  shard->cells[cell_ + bounds.size() + 1].fetch_add(
+      ToFixedPoint(v), std::memory_order_relaxed);
+}
+
+int64_t MetricsRegistry::SumCell(uint32_t cell) const {
+  int64_t sum = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    sum += shard->cells[cell].load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+void MetricsRegistry::RecordEvent(
+    std::string type, std::vector<std::pair<std::string, double>> fields) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back({std::move(type), std::move(fields)});
+}
+
+void MetricsRegistry::BeginSpan(const char* name) {
+  OpenSpan span;
+  span.registry_id = id_;
+  span.name = name;
+  span.seq = t_span_seq++;
+  span.depth = t_span_depth++;
+  span.start_ns = NowNanos();
+  t_open_spans.push_back(span);
+}
+
+void MetricsRegistry::EndSpan() {
+  if (t_open_spans.empty()) return;
+  OpenSpan open = t_open_spans.back();
+  t_open_spans.pop_back();
+  if (t_span_depth > 0) --t_span_depth;
+  if (open.registry_id != id_) return;  // mismatched test registries
+  SpanRecord record;
+  record.name = open.name;
+  record.thread = static_cast<uint32_t>(ThisThreadIndex());
+  record.depth = open.depth;
+  record.seq = open.seq;
+  record.start_ns = open.start_ns;
+  record.duration_ns = NowNanos() - open.start_ns;
+  Shard* shard = LocalShard();
+  {
+    std::lock_guard<std::mutex> lock(shard->span_mutex);
+    if (shard->spans.size() < kMaxSpansPerShard) {
+      shard->spans.push_back(record);
+      return;
+    }
+  }
+  dropped_spans_.Increment();
+}
+
+uint64_t MetricsRegistry::CounterValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const MetricInfo* info = FindLocked(name);
+  if (info == nullptr || info->kind != MetricKind::kCounter) return 0;
+  return static_cast<uint64_t>(SumCell(info->cell));
+}
+
+double MetricsRegistry::GaugeValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const MetricInfo* info = FindLocked(name);
+  if (info == nullptr || info->kind != MetricKind::kGauge) return 0.0;
+  return FromFixedPoint(
+      gauges_[info->gauge_slot].load(std::memory_order_relaxed));
+}
+
+HistogramSnapshot MetricsRegistry::HistogramValue(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  HistogramSnapshot snapshot;
+  const MetricInfo* info = FindLocked(name);
+  if (info == nullptr || info->kind != MetricKind::kHistogram) {
+    return snapshot;
+  }
+  snapshot.bounds = *info->bounds;
+  snapshot.buckets.resize(snapshot.bounds.size() + 1);
+  for (size_t b = 0; b < snapshot.buckets.size(); ++b) {
+    snapshot.buckets[b] =
+        static_cast<uint64_t>(SumCell(info->cell + static_cast<uint32_t>(b)));
+    snapshot.count += snapshot.buckets[b];
+  }
+  snapshot.sum = FromFixedPoint(SumCell(
+      info->cell + static_cast<uint32_t>(snapshot.bounds.size()) + 1));
+  return snapshot;
+}
+
+std::vector<SpanRecord> MetricsRegistry::Spans() const {
+  std::vector<SpanRecord> spans;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> span_lock(shard->span_mutex);
+    spans.insert(spans.end(), shard->spans.begin(), shard->spans.end());
+  }
+  std::sort(spans.begin(), spans.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              if (a.thread != b.thread) return a.thread < b.thread;
+              return a.seq < b.seq;
+            });
+  return spans;
+}
+
+std::vector<TrajectoryEvent> MetricsRegistry::Events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+void MetricsRegistry::ExportJsonl(std::ostream& out,
+                                  const ExportOptions& options) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<const MetricInfo*> sorted;
+  sorted.reserve(metrics_.size());
+  for (const MetricInfo& info : metrics_) sorted.push_back(&info);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const MetricInfo* a, const MetricInfo* b) {
+              return a->name < b->name;
+            });
+  for (const MetricInfo* info : sorted) {
+    if (options.deterministic && !info->options.deterministic) continue;
+    switch (info->kind) {
+      case MetricKind::kCounter:
+        out << "{\"kind\":\"counter\",\"name\":\"" << EscapeJson(info->name)
+            << "\",\"type\":\"metric\",\"value\":" << SumCell(info->cell)
+            << "}\n";
+        break;
+      case MetricKind::kGauge:
+        out << "{\"kind\":\"gauge\",\"name\":\"" << EscapeJson(info->name)
+            << "\",\"type\":\"metric\",\"value\":"
+            << FormatFixedPoint(
+                   gauges_[info->gauge_slot].load(std::memory_order_relaxed))
+            << "}\n";
+        break;
+      case MetricKind::kHistogram: {
+        const std::vector<double>& bounds = *info->bounds;
+        out << "{\"buckets\":[";
+        int64_t count = 0;
+        for (size_t b = 0; b <= bounds.size(); ++b) {
+          int64_t c = SumCell(info->cell + static_cast<uint32_t>(b));
+          count += c;
+          if (b > 0) out << ",";
+          out << "[";
+          if (b < bounds.size()) {
+            out << "\"" << FormatDouble(bounds[b]) << "\"";
+          } else {
+            out << "\"+inf\"";
+          }
+          out << "," << c << "]";
+        }
+        out << "],\"count\":" << count << ",\"kind\":\"histogram\",\"name\":\""
+            << EscapeJson(info->name) << "\",\"sum\":"
+            << FormatFixedPoint(SumCell(
+                   info->cell + static_cast<uint32_t>(bounds.size()) + 1))
+            << ",\"type\":\"metric\"}\n";
+        break;
+      }
+    }
+  }
+  if (options.include_events) {
+    uint64_t seq = 0;
+    for (const TrajectoryEvent& event : events_) {
+      out << "{\"fields\":{";
+      std::vector<std::pair<std::string, double>> fields = event.fields;
+      std::sort(fields.begin(), fields.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      for (size_t f = 0; f < fields.size(); ++f) {
+        if (f > 0) out << ",";
+        out << "\"" << EscapeJson(fields[f].first)
+            << "\":" << FormatDouble(fields[f].second);
+      }
+      out << "},\"kind\":\"" << EscapeJson(event.type)
+          << "\",\"seq\":" << seq++ << ",\"type\":\"event\"}\n";
+    }
+  }
+  if (options.include_spans && !options.deterministic) {
+    std::vector<SpanRecord> spans;
+    for (const std::unique_ptr<Shard>& shard : shards_) {
+      std::lock_guard<std::mutex> span_lock(shard->span_mutex);
+      spans.insert(spans.end(), shard->spans.begin(), shard->spans.end());
+    }
+    std::sort(spans.begin(), spans.end(),
+              [](const SpanRecord& a, const SpanRecord& b) {
+                if (a.thread != b.thread) return a.thread < b.thread;
+                return a.seq < b.seq;
+              });
+    for (const SpanRecord& span : spans) {
+      out << "{\"depth\":" << span.depth
+          << ",\"duration_ns\":" << span.duration_ns << ",\"name\":\""
+          << EscapeJson(span.name) << "\",\"seq\":" << span.seq
+          << ",\"start_ns\":" << span.start_ns
+          << ",\"thread\":" << span.thread << ",\"type\":\"span\"}\n";
+    }
+  }
+}
+
+std::string MetricsRegistry::ExportJsonlString(
+    const ExportOptions& options) const {
+  std::ostringstream out;
+  ExportJsonl(out, options);
+  return out.str();
+}
+
+void MetricsRegistry::ResetForTesting() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    for (std::atomic<int64_t>& cell : shard->cells) {
+      cell.store(0, std::memory_order_relaxed);
+    }
+    std::lock_guard<std::mutex> span_lock(shard->span_mutex);
+    shard->spans.clear();
+  }
+  for (size_t i = 0; i < num_gauges_; ++i) {
+    gauges_[i].store(0, std::memory_order_relaxed);
+  }
+  events_.clear();
+  epoch_ns_.store(SteadyNanos(), std::memory_order_relaxed);
+}
+
+TraceScope::TraceScope(const char* name)
+    : active_(MetricsRegistry::Global().enabled()) {
+  if (active_) MetricsRegistry::Global().BeginSpan(name);
+}
+
+TraceScope::~TraceScope() {
+  if (active_) MetricsRegistry::Global().EndSpan();
+}
+
+}  // namespace obs
+}  // namespace icrowd

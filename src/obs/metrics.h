@@ -1,0 +1,289 @@
+#ifndef ICROWD_OBS_METRICS_H_
+#define ICROWD_OBS_METRICS_H_
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace icrowd {
+namespace obs {
+
+/// Process-wide dense thread index (0, 1, 2, ... in first-use order). Used
+/// as the shard key and as the thread id in log lines and trace spans —
+/// small and stable within a run, unlike std::thread::id.
+uint64_t ThisThreadIndex();
+
+/// Fixed-point scale for double-valued metric cells. Doubles are folded
+/// into int64 billionths before the atomic add: integer addition is
+/// associative, so merged sums are bit-identical no matter how observations
+/// were sharded across threads — the property the determinism contract
+/// (DESIGN.md §7/§9) needs and a naive double accumulation cannot give.
+inline constexpr double kFixedPointScale = 1e9;
+
+inline int64_t ToFixedPoint(double v) {
+  return static_cast<int64_t>(std::llround(v * kFixedPointScale));
+}
+inline double FromFixedPoint(int64_t v) {
+  return static_cast<double>(v) / kFixedPointScale;
+}
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+namespace internal {
+struct TlsShardCache;  // thread-exit hook returning shards for reuse
+}  // namespace internal
+
+struct MetricOptions {
+  /// Whether the metric's value is a pure function of the campaign inputs
+  /// (seed, dataset, config) — independent of thread count, scheduling, and
+  /// wall-clock. Deterministic exports drop everything marked false
+  /// (timings, queue depths, per-thread scheduling artifacts).
+  bool deterministic = true;
+  const char* help = "";
+};
+
+class MetricsRegistry;
+
+/// Cheap copyable handles. A default-constructed handle is inert (records
+/// nothing), so instrumented code never needs null checks.
+class Counter {
+ public:
+  Counter() = default;
+  void Increment(uint64_t n = 1) const;
+  /// Merged value across all shards.
+  uint64_t Value() const;
+
+ private:
+  friend class MetricsRegistry;
+  Counter(MetricsRegistry* registry, uint32_t cell)
+      : registry_(registry), cell_(cell) {}
+  MetricsRegistry* registry_ = nullptr;
+  uint32_t cell_ = 0;
+};
+
+/// Last-value-wins gauge. Stored registry-level (not sharded): gauge writes
+/// are rare and a per-shard "last value" has no meaningful merge.
+class Gauge {
+ public:
+  Gauge() = default;
+  void Set(double v) const;
+  void Add(double v) const;
+  double Value() const;
+
+ private:
+  friend class MetricsRegistry;
+  Gauge(MetricsRegistry* registry, uint32_t slot)
+      : registry_(registry), slot_(slot) {}
+  MetricsRegistry* registry_ = nullptr;
+  uint32_t slot_ = 0;
+};
+
+/// Fixed-bucket histogram: bucket upper bounds are inclusive (value <=
+/// bound), with an implicit +inf overflow bucket, plus a fixed-point sum.
+/// The handle carries an immutable pointer to its bounds so Observe() is
+/// lock-free like Counter::Increment.
+class Histogram {
+ public:
+  Histogram() = default;
+  void Observe(double v) const;
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(MetricsRegistry* registry, uint32_t cell,
+            std::shared_ptr<const std::vector<double>> bounds)
+      : registry_(registry), cell_(cell), bounds_(std::move(bounds)) {}
+  MetricsRegistry* registry_ = nullptr;
+  uint32_t cell_ = 0;
+  std::shared_ptr<const std::vector<double>> bounds_;
+};
+
+/// Merged read-back of one histogram, for tests and exporters.
+struct HistogramSnapshot {
+  std::vector<double> bounds;        // upper bounds, ascending
+  std::vector<uint64_t> buckets;     // bounds.size() + 1 (last = overflow)
+  uint64_t count = 0;
+  double sum = 0.0;
+};
+
+/// `count` buckets growing geometrically from `start` by `factor`.
+std::vector<double> ExponentialBuckets(double start, double factor,
+                                       size_t count);
+std::vector<double> LinearBuckets(double start, double width, size_t count);
+
+/// One closed ICROWD_TRACE_SCOPE. Times are steady-clock nanoseconds since
+/// the registry epoch — never wall-clock (see the clock-source lint rule).
+struct SpanRecord {
+  const char* name = "";
+  uint32_t thread = 0;  // ThisThreadIndex() of the recording thread
+  uint32_t depth = 0;   // nesting depth within that thread
+  uint64_t seq = 0;     // per-thread open order, reconstructs the tree
+  int64_t start_ns = 0;
+  int64_t duration_ns = 0;
+};
+
+/// A structured trajectory record (e.g. one simulated round): a type tag
+/// plus ordered (key, value) pairs. Exported in emission order — the
+/// machine-readable time series behind the paper's Figures 8-10.
+struct TrajectoryEvent {
+  std::string type;
+  std::vector<std::pair<std::string, double>> fields;
+};
+
+struct ExportOptions {
+  /// Deterministic mode: only metrics registered deterministic, no spans,
+  /// no shard/thread counts — the dump must be bit-identical across thread
+  /// counts for a fixed seed (asserted by determinism_test).
+  bool deterministic = false;
+  bool include_spans = true;
+  bool include_events = true;
+};
+
+/// Process-wide metrics registry with lock-free sharded-per-thread
+/// recording. Registration (cold) takes a mutex; recording (hot) is a
+/// thread-local shard lookup plus one relaxed atomic add, so instrumenting
+/// the PR-1 thread pool's fan-out paths never serializes them. Snapshots
+/// and exports merge the shards by integer summation.
+///
+/// Instances are independent (tests use private ones); instrumented
+/// production code records against Global(), which is never destroyed.
+/// An instance registry must outlive every thread that recorded into it.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Registration is idempotent per name: re-registering an existing name
+  /// returns the original handle (kind/buckets must match; mismatch aborts)
+  /// so call sites can keep `static` handles without coordination.
+  Counter GetCounter(const std::string& name, MetricOptions options = {});
+  Gauge GetGauge(const std::string& name, MetricOptions options = {});
+  Histogram GetHistogram(const std::string& name, std::vector<double> bounds,
+                         MetricOptions options = {});
+
+  /// Runtime kill switch: when disabled, every record call returns after
+  /// one relaxed load. This is the same code path a compiled-out build
+  /// takes minus that single branch, which is what the metrics-overhead
+  /// bench measures against.
+  void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Appends one trajectory event (mutex-guarded; callers are the
+  /// simulator's single driver thread, so this is never hot).
+  void RecordEvent(std::string type,
+                   std::vector<std::pair<std::string, double>> fields);
+
+  /// Opens/closes a span on the calling thread's shard. Use the
+  /// ICROWD_TRACE_SCOPE macro instead of calling these directly.
+  void BeginSpan(const char* name);
+  void EndSpan();
+
+  /// Merged counter/gauge/histogram read-back; zero/empty for unknown
+  /// names. Intended for tests and exporters, not hot paths.
+  uint64_t CounterValue(const std::string& name) const;
+  double GaugeValue(const std::string& name) const;
+  HistogramSnapshot HistogramValue(const std::string& name) const;
+  std::vector<SpanRecord> Spans() const;
+  std::vector<TrajectoryEvent> Events() const;
+
+  /// One JSON object per line: metrics sorted by name (keys sorted within
+  /// each object), then events in emission order, then spans in (thread,
+  /// seq) order. Doubles are printed with %.9g — enough to round-trip the
+  /// fixed-point cells exactly.
+  void ExportJsonl(std::ostream& out, const ExportOptions& options) const;
+  std::string ExportJsonlString(const ExportOptions& options) const;
+
+  /// Zeroes every cell and gauge and drops events/spans; registered
+  /// metrics and outstanding handles stay valid. Call only while no other
+  /// thread is recording.
+  void ResetForTesting();
+
+ private:
+  friend class Counter;
+  friend class Gauge;
+  friend class Histogram;
+  friend struct internal::TlsShardCache;
+
+  /// Shard cell budget. A counter takes one cell; a histogram takes
+  /// |bounds| + 2 (buckets, overflow, fixed-point sum). 4096 cells = 32 KiB
+  /// per recording thread.
+  static constexpr size_t kShardCells = 4096;
+  /// Span cap per shard; beyond it spans are dropped (and counted).
+  static constexpr size_t kMaxSpansPerShard = 1 << 16;
+  /// Gauge slots are a fixed array so Gauge::Set/Add stay lock-free: a
+  /// growable container would race its own reallocation against concurrent
+  /// stores. Registering more than this aborts.
+  static constexpr size_t kMaxGauges = 1024;
+
+  struct Shard;
+  struct MetricInfo {
+    std::string name;
+    MetricKind kind = MetricKind::kCounter;
+    MetricOptions options;
+    uint32_t cell = 0;       // first cell (counter/histogram)
+    uint32_t num_cells = 1;  // counter: 1; histogram: bounds.size() + 2
+    uint32_t gauge_slot = 0;
+    std::shared_ptr<const std::vector<double>> bounds;
+  };
+
+  Shard* LocalShard();
+  Shard* LocalShardSlow();
+  void ReleaseShard(Shard* shard);
+  int64_t SumCell(uint32_t cell) const;
+  const MetricInfo* FindLocked(const std::string& name) const;
+  int64_t NowNanos() const;
+
+  const uint64_t id_;  // process-unique, guards stale thread-local caches
+  std::atomic<bool> enabled_{true};
+  mutable std::mutex mutex_;
+  std::vector<MetricInfo> metrics_;          // guarded by mutex_
+  std::vector<std::unique_ptr<Shard>> shards_;  // guarded by mutex_
+  std::vector<Shard*> free_shards_;          // guarded by mutex_
+  uint32_t next_cell_ = 0;                   // guarded by mutex_
+  std::unique_ptr<std::atomic<int64_t>[]> gauges_;  // fixed-point values
+  size_t num_gauges_ = 0;                    // guarded by mutex_
+  std::vector<TrajectoryEvent> events_;      // guarded by mutex_
+  std::atomic<int64_t> epoch_ns_{0};         // steady-clock epoch
+  Counter dropped_spans_;
+};
+
+/// RAII span: opens on construction, closes on destruction. Inert when the
+/// global registry is disabled at construction time.
+class TraceScope {
+ public:
+  explicit TraceScope(const char* name);
+  ~TraceScope();
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  bool active_;
+};
+
+}  // namespace obs
+}  // namespace icrowd
+
+#define ICROWD_OBS_CONCAT_INNER(a, b) a##b
+#define ICROWD_OBS_CONCAT(a, b) ICROWD_OBS_CONCAT_INNER(a, b)
+
+/// Times the enclosing scope as one span named `name` (a string literal
+/// that must outlive the program, i.e. a literal) on the global registry.
+/// Scopes nest: a scope opened while another is live on the same thread
+/// records one level deeper, giving the per-phase trace tree of one
+/// pipeline round.
+#define ICROWD_TRACE_SCOPE(name) \
+  ::icrowd::obs::TraceScope ICROWD_OBS_CONCAT(icrowd_trace_scope_, \
+                                              __COUNTER__)(name)
+
+#endif  // ICROWD_OBS_METRICS_H_

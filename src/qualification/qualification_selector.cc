@@ -2,11 +2,32 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "qualification/influence.h"
 
 namespace icrowd {
 
 namespace {
+
+void RecordSelection(const char* kind, const QualificationSelection& s) {
+  auto& registry = obs::MetricsRegistry::Global();
+  static const obs::Counter selections = registry.GetCounter(
+      "icrowd.qualification.selections",
+      {true, "qualification-set selections performed"});
+  static const obs::Counter selected_tasks = registry.GetCounter(
+      "icrowd.qualification.selected_tasks",
+      {true, "gold tasks chosen across all selections"});
+  static const obs::Gauge influence = registry.GetGauge(
+      "icrowd.qualification.influence",
+      {true, "influence I(T_q) of the most recent selection"});
+  selections.Increment();
+  selected_tasks.Increment(s.tasks.size());
+  influence.Set(static_cast<double>(s.influence));
+  obs::MetricsRegistry::Global().RecordEvent(
+      std::string("qualification.") + kind,
+      {{"tasks", static_cast<double>(s.tasks.size())},
+       {"influence", static_cast<double>(s.influence)}});
+}
 
 Status CheckQuota(const PprEngine& engine, size_t quota) {
   if (quota == 0) {
@@ -24,6 +45,7 @@ Status CheckQuota(const PprEngine& engine, size_t quota) {
 Result<QualificationSelection> SelectQualificationGreedy(
     const PprEngine& engine, size_t quota, double epsilon) {
   ICROWD_RETURN_NOT_OK(CheckQuota(engine, quota));
+  ICROWD_TRACE_SCOPE("qualification.select_greedy");
   QualificationSelection selection;
   std::vector<bool> covered(engine.num_tasks(), false);
   std::vector<bool> chosen(engine.num_tasks(), false);
@@ -63,6 +85,7 @@ Result<QualificationSelection> SelectQualificationGreedy(
     }
   }
   selection.influence = ComputeInfluence(engine, selection.tasks, epsilon);
+  RecordSelection("greedy", selection);
   return selection;
 }
 
@@ -78,6 +101,7 @@ Result<QualificationSelection> SelectQualificationRandom(
   }
   std::sort(selection.tasks.begin(), selection.tasks.end());
   selection.influence = ComputeInfluence(engine, selection.tasks, epsilon);
+  RecordSelection("random", selection);
   return selection;
 }
 

@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "common/random.h"
 #include "common/stopwatch.h"
+#include "obs/metrics.h"
 
 namespace icrowd {
 
@@ -27,6 +28,39 @@ struct Event {
   bool operator>(const Event& other) const {
     if (time != other.time) return time > other.time;
     return seq > other.seq;
+  }
+};
+
+/// Incremental campaign scoreboard: folds each completed task's consensus
+/// into running accuracy and (binary) F1 so the simulator can emit one
+/// trajectory event per completion without rescoring the whole dataset.
+/// The driver loop is single-threaded, so emission order — and therefore
+/// the exported event stream — is deterministic at any pool size.
+struct Scoreboard {
+  size_t completed = 0;
+  size_t correct = 0;
+  size_t true_pos = 0;
+  size_t false_pos = 0;
+  size_t false_neg = 0;
+
+  void Fold(Label consensus, Label truth) {
+    ++completed;
+    if (consensus == truth) ++correct;
+    if (consensus == kYes && truth == kYes) ++true_pos;
+    if (consensus == kYes && truth != kYes) ++false_pos;
+    if (consensus != kYes && truth == kYes) ++false_neg;
+  }
+
+  double Accuracy() const {
+    return completed == 0
+               ? 0.0
+               : static_cast<double>(correct) / static_cast<double>(completed);
+  }
+
+  double F1() const {
+    double denom = static_cast<double>(2 * true_pos + false_pos + false_neg);
+    if (denom == 0.0) return 0.0;
+    return 2.0 * static_cast<double>(true_pos) / denom;
   }
 };
 
@@ -76,7 +110,29 @@ Result<SimulationResult> CrowdSimulator::Run(Assigner* assigner) {
     if (!warmup.ok()) return warmup.status();
   }
 
+  auto& registry = obs::MetricsRegistry::Global();
+  static const obs::Counter requests_counter = registry.GetCounter(
+      "icrowd.sim.requests", {true, "task requests served by the assigner"});
+  static const obs::Counter answers_counter = registry.GetCounter(
+      "icrowd.sim.answers", {true, "work answers recorded"});
+  static const obs::Counter qualification_answers_counter =
+      registry.GetCounter("icrowd.sim.qualification_answers",
+                          {true, "warm-up answers recorded"});
+  static const obs::Counter spawned_counter = registry.GetCounter(
+      "icrowd.sim.workers_spawned", {true, "simulated workers spawned"});
+  static const obs::Counter rejected_counter = registry.GetCounter(
+      "icrowd.sim.workers_rejected",
+      {true, "workers eliminated by warm-up grading"});
+  static const obs::Counter respawn_counter = registry.GetCounter(
+      "icrowd.sim.pool_respawns",
+      {true, "times the worker pool was recycled"});
+  static const obs::Histogram request_seconds = registry.GetHistogram(
+      "icrowd.sim.request_seconds", obs::ExponentialBuckets(1e-6, 4, 10),
+      {false, "wall-clock per Assigner::RequestTask call"});
+  ICROWD_TRACE_SCOPE("sim.run");
+
   Rng rng(options_.seed);
+  Scoreboard scoreboard;
   std::vector<WorkerRuntime> runtimes;
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue;
   uint64_t seq = 0;
@@ -90,6 +146,7 @@ Result<SimulationResult> CrowdSimulator::Run(Assigner* assigner) {
       rt.remaining = std::max<int64_t>(1, (*profiles_)[p].willingness);
       result.worker_profile.push_back(p);
       ++result.workers_spawned;
+      spawned_counter.Increment();
       queue.push({now + (*profiles_)[p].arrival_time, seq++,
                   runtimes.size()});
       runtimes.push_back(rt);
@@ -122,6 +179,7 @@ Result<SimulationResult> CrowdSimulator::Run(Assigner* assigner) {
     if (queue.empty()) {
       if (respawns >= options_.max_pool_respawns) break;
       ++respawns;
+      respawn_counter.Increment();
       spawn_pool();
       continue;
     }
@@ -149,6 +207,7 @@ Result<SimulationResult> CrowdSimulator::Run(Assigner* assigner) {
         result.answers.push_back({*qual, rt.id, answer, now});
         result.total_cost += options_.price_per_assignment;
         result.qualification_cost += options_.price_per_assignment;
+        qualification_answers_counter.Increment();
         ICROWD_RETURN_NOT_OK(warmup->RecordAnswer(rt.id, *qual, answer));
         queue.push({now + profile.mean_dwell, seq++, event.runtime_index});
         continue;
@@ -158,6 +217,10 @@ Result<SimulationResult> CrowdSimulator::Run(Assigner* assigner) {
       if (!verdict->accepted) {
         rt.left = true;
         ++result.workers_rejected;
+        rejected_counter.Increment();
+        registry.RecordEvent("sim.worker_rejected",
+                             {{"worker", static_cast<double>(rt.id)},
+                              {"accuracy", verdict->average_accuracy}});
         continue;
       }
       rt.registered = true;
@@ -169,10 +232,12 @@ Result<SimulationResult> CrowdSimulator::Run(Assigner* assigner) {
     }
 
     ++result.num_requests;
+    requests_counter.Increment();
     std::vector<WorkerId> active = active_workers();
     Stopwatch timer;
     std::optional<TaskId> task = assigner->RequestTask(rt.id, state, active);
     double elapsed = timer.ElapsedSeconds();
+    request_seconds.Observe(elapsed);
     result.assignment_seconds += elapsed;
     result.max_assignment_seconds =
         std::max(result.max_assignment_seconds, elapsed);
@@ -192,6 +257,23 @@ Result<SimulationResult> CrowdSimulator::Run(Assigner* assigner) {
     result.answers.push_back(record);
     result.work_answers.push_back(record);
     result.total_cost += options_.price_per_assignment;
+    answers_counter.Increment();
+    if (state.IsCompleted(*task)) {
+      // One trajectory tick per completed task — the machine-readable
+      // time series behind Figures 8-10 (accuracy/F1 vs budget spent).
+      auto consensus = state.Consensus(*task);
+      scoreboard.Fold(consensus.value_or(kNoLabel),
+                      *dataset_->task(*task).ground_truth);
+      registry.RecordEvent(
+          "sim.task_completed",
+          {{"task", static_cast<double>(*task)},
+           {"completed", static_cast<double>(scoreboard.completed)},
+           {"accuracy", scoreboard.Accuracy()},
+           {"f1", scoreboard.F1()},
+           {"budget", result.total_cost},
+           {"workers_rejected",
+            static_cast<double>(result.workers_rejected)}});
+    }
     assigner->OnAnswer(record, state);
 
     if (--rt.remaining <= 0) {

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
+#include <thread>
 
 #include "assign/adaptive_assigner.h"
 #include "assign/avgacc_assigner.h"
@@ -486,6 +488,49 @@ TEST(AdaptiveAssignerTest, PerformanceTestingCanBeDisabled) {
   }
   EXPECT_EQ(assigner.test_assignments(), 0u);
   EXPECT_GT(assigned, 0);
+}
+
+TEST(AdaptiveAssignerTest, StatsIsSafeToPollConcurrently) {
+  // Regression test for the dashboard use case: Stats() used to copy plain
+  // size_t/double fields while the serving thread mutated them — a data
+  // race TSan flags. The fields are atomics now; this test races a poller
+  // against the serving loop so a TSan build proves the fix.
+  Dataset ds = TwoDomainDataset();
+  SimilarityGraph graph = TwoCliqueGraph();
+  AdaptiveAssignerOptions options;
+  options.num_threads = 2;
+  AdaptiveAssigner assigner(&ds, MakeEstimator(graph), options);
+  CampaignState state(ds.size(), 1);
+  std::vector<WorkerId> workers;
+  for (int i = 0; i < 4; ++i) workers.push_back(state.RegisterWorker());
+  for (size_t i = 0; i < workers.size(); ++i) {
+    SeedGold(&state, workers[i], i % 2 == 0, i % 2 == 1);
+  }
+
+  std::atomic<bool> stop{false};
+  std::thread poller([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      AssignerStats stats = assigner.Stats();
+      // Counters only grow and seconds never go negative.
+      EXPECT_GE(stats.scheme_recompute_seconds, 0.0);
+      EXPECT_GE(stats.refresh_seconds, 0.0);
+    }
+  });
+
+  for (WorkerId w : workers) assigner.OnWorkerRegistered(w, 0.7, state);
+  for (int round = 0; round < 20; ++round) {
+    for (WorkerId w : workers) {
+      auto task = assigner.RequestTask(w, state, workers);
+      if (!task.has_value()) continue;
+      ASSERT_TRUE(state.MarkAssigned(*task, w).ok());
+      AnswerRecord record{*task, w, kYes, 0.0};
+      ASSERT_TRUE(state.RecordAnswer(record).ok());
+      assigner.OnAnswer(record, state);
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  poller.join();
+  EXPECT_GE(assigner.scheme_recomputations(), 1u);
 }
 
 }  // namespace

@@ -350,6 +350,32 @@ TEST(StopwatchTest, MeasuresNonNegativeMonotoneTime) {
   EXPECT_NEAR(sw.ElapsedMillis(), sw.ElapsedSeconds() * 1e3, 1.0);
 }
 
+TEST(StopwatchTest, ElapsedGrowsAcrossRealWork) {
+  Stopwatch sw;
+  double before = sw.ElapsedSeconds();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  double after = sw.ElapsedSeconds();
+  EXPECT_GE(after - before, 0.004)
+      << "steady clock must advance at least the slept duration";
+}
+
+TEST(StopwatchTest, RestartResetsTheOrigin) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  double before_restart = sw.ElapsedSeconds();
+  sw.Restart();
+  double after_restart = sw.ElapsedSeconds();
+  EXPECT_LT(after_restart, before_restart);
+  EXPECT_GE(after_restart, 0.0);
+}
+
+TEST(StopwatchTest, UnitConversionsAgree) {
+  Stopwatch sw;
+  double seconds = sw.ElapsedSeconds();
+  EXPECT_GE(sw.ElapsedMicros(), seconds * 1e6);
+  EXPECT_GE(sw.ElapsedMillis(), seconds * 1e3);
+}
+
 // ----------------------------------------------------------- ThreadPool --
 
 TEST(ThreadPoolTest, ExecutesAllSubmittedTasks) {

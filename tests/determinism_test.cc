@@ -6,10 +6,12 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "core/experiment.h"
 #include "datagen/itemcompare.h"
+#include "obs/metrics.h"
 
 namespace icrowd {
 namespace {
@@ -86,6 +88,35 @@ TEST_P(DeterminismTest, ThreadCountNeverChangesCampaignResults) {
                        threads == 2 ? "2 threads vs serial"
                                     : "8 threads vs serial");
   }
+}
+
+TEST_P(DeterminismTest, MetricDumpsAreBitIdenticalAcrossThreadCounts) {
+  // The observability layer must honor the same contract as the pipeline:
+  // a deterministic metric dump (counters, histograms, trajectory events —
+  // everything registered deterministic) is the same bytes whether the
+  // campaign ran on 1 thread or 8. Doubles are accumulated fixed-point, so
+  // shard merges are integer sums; spans and timing metrics are excluded
+  // from the deterministic export.
+  Fixture fx = SmallItemCompare();
+  ICrowdConfig config;
+  config.seed = GetParam();
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+
+  auto run_and_dump = [&](size_t threads) {
+    registry.ResetForTesting();
+    config.num_threads = threads;
+    auto result = RunExperiment(fx.dataset, fx.workers, fx.graph, config,
+                                StrategyKind::kAdapt);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return registry.ExportJsonlString({/*deterministic=*/true});
+  };
+
+  std::string serial = run_and_dump(1);
+  std::string parallel = run_and_dump(8);
+  registry.ResetForTesting();
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel)
+      << "deterministic metric export depends on thread count";
 }
 
 TEST_P(DeterminismTest, SharedPoolMatchesPerAssignerPool) {

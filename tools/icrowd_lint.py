@@ -24,6 +24,14 @@ Rules (see DESIGN.md "Static-analysis layer"):
   cc-include      #include of a .cc/.cpp file is never correct here; it hides
                   ODR violations and breaks the per-target build graph.
 
+  clock-source    std::chrono::system_clock reads wall time, which varies run
+                  to run and breaks the deterministic-export contract (see
+                  DESIGN.md "Observability"). Durations come from
+                  steady_clock via Stopwatch or the obs layer; system_clock
+                  is allowed only in src/obs/ and src/common/stopwatch.h, or
+                  with an explicit waiver on the use line or the line above:
+                      // lint: clock-ok(<reason>)
+
 Exit status: 0 when clean, 1 when any violation is found, 2 on usage error.
 Run directly or via `cmake --build build --target lint`.
 """
@@ -37,6 +45,8 @@ from pathlib import Path
 SOURCE_DIRS = ("src", "tests", "bench", "examples", "tools")
 HOT_PATH_DIRS = ("src/assign", "src/estimation")
 RNG_ALLOWED = {"src/common/random.h", "src/common/random.cc"}
+CLOCK_ALLOWED_PREFIXES = ("src/obs/",)
+CLOCK_ALLOWED_FILES = {"src/common/stopwatch.h"}
 
 SOURCE_SUFFIXES = {".h", ".hpp", ".cc", ".cpp"}
 
@@ -50,6 +60,8 @@ UNORDERED_DECL_PATTERN = re.compile(
 )
 RANGE_FOR_PATTERN = re.compile(r"\bfor\s*\(([^;)]*?)\s*:\s*([^)]+)\)")
 WAIVER_PATTERN = re.compile(r"//\s*lint:\s*unordered-ok\([^)]+\)")
+CLOCK_PATTERN = re.compile(r"\bsystem_clock\b")
+CLOCK_WAIVER_PATTERN = re.compile(r"//\s*lint:\s*clock-ok\([^)]+\)")
 # Appends to an output container or accumulates state in place; on an
 # unordered range these make the result depend on hash iteration order.
 ORDER_SENSITIVE_BODY_PATTERN = re.compile(
@@ -180,6 +192,30 @@ def check_include_guard(rel, text, stripped):
     return []
 
 
+def check_clock_source(rel, text, stripped):
+    p = rel.replace("\\", "/")
+    if p in CLOCK_ALLOWED_FILES or \
+            any(p.startswith(pre) for pre in CLOCK_ALLOWED_PREFIXES):
+        return []
+    lines = text.splitlines()
+    violations = []
+    for m in CLOCK_PATTERN.finditer(stripped):
+        line = line_of(stripped, m.start())
+        context = "\n".join(lines[max(0, line - 2):line])
+        if CLOCK_WAIVER_PATTERN.search(context):
+            continue
+        violations.append(
+            Violation(
+                rel, line, "clock-source",
+                "system_clock outside src/obs/ and src/common/stopwatch.h; "
+                "wall time varies run to run — use Stopwatch/steady_clock, "
+                "or add '// lint: clock-ok(<reason>)' if wall time is the "
+                "point",
+            )
+        )
+    return violations
+
+
 def unordered_names(stripped_texts):
     """Names declared as std::unordered_{map,set} in any given text."""
     names = set()
@@ -264,6 +300,7 @@ def lint_file(root, path):
     violations = []
     violations += check_rng(rel, text, stripped)
     violations += check_cc_include(rel, text, stripped)
+    violations += check_clock_source(rel, text, stripped)
     violations += check_include_guard(rel, text, stripped)
     violations += check_unordered_iter(rel, text, stripped, sibling_stripped)
     return violations
@@ -341,6 +378,56 @@ SELF_TEST_CASES = [
         "src/agg/thing.h",
         "#ifndef ICROWD_AGG_THING_H_\n#define ICROWD_AGG_THING_H_\n"
         "#endif  // ICROWD_AGG_THING_H_\n",
+        None,
+        set(),
+    ),
+    (
+        "system_clock outside obs",
+        "src/sim/bad_clock.cc",
+        "#include <chrono>\nauto now() {\n"
+        "  return std::chrono::system_clock::now();\n}\n",
+        None,
+        {"clock-source"},
+    ),
+    (
+        "system_clock with waiver",
+        "src/sim/ok_clock.cc",
+        "#include <chrono>\nauto now() {\n"
+        "  // lint: clock-ok(report header stamps the run's wall time)\n"
+        "  return std::chrono::system_clock::now();\n}\n",
+        None,
+        set(),
+    ),
+    (
+        "system_clock allowed in obs",
+        "src/obs/clock_user.cc",
+        "#include <chrono>\n"
+        "auto now() { return std::chrono::system_clock::now(); }\n",
+        None,
+        set(),
+    ),
+    (
+        "system_clock allowed in stopwatch header",
+        "src/common/stopwatch.h",
+        "#ifndef ICROWD_COMMON_STOPWATCH_H_\n"
+        "#define ICROWD_COMMON_STOPWATCH_H_\n#include <chrono>\n"
+        "using WallClock = std::chrono::system_clock;\n"
+        "#endif  // ICROWD_COMMON_STOPWATCH_H_\n",
+        None,
+        set(),
+    ),
+    (
+        "system_clock mention in comment is fine",
+        "src/core/ok_clock2.cc",
+        "// system_clock is banned outside obs\nint f() { return 1; }\n",
+        None,
+        set(),
+    ),
+    (
+        "steady_clock is fine anywhere",
+        "src/common/thread_pool_x.cc",
+        "#include <chrono>\n"
+        "auto now() { return std::chrono::steady_clock::now(); }\n",
         None,
         set(),
     ),
