@@ -59,15 +59,16 @@ std::unique_ptr<AccuracyEstimator> MakeEstimator(
 
 }  // namespace
 
-int main() {
+ICROWD_BENCH("ablation_assignment") {
   std::printf("=== Ablation: assignment design choices (ItemCompare) "
               "===\n\n");
   BenchDataset bd = LoadItemCompare();
   ICrowdConfig config;
-  const int kSeeds = 6;
+  const int kSeeds = ctx.smoke() ? 2 : 6;
 
   struct Variant {
     const char* name;
+    const char* metric_key;
     AdaptiveAssignerOptions options;
   };
   AdaptiveAssignerOptions single_round;
@@ -75,9 +76,9 @@ int main() {
   AdaptiveAssignerOptions no_perf_testing;
   no_perf_testing.performance_testing = false;
   const Variant kVariants[] = {
-      {"Adapt (full)", {}},
-      {"single-round scheme", single_round},
-      {"no performance testing", no_perf_testing},
+      {"Adapt (full)", "adapt_full", {}},
+      {"single-round scheme", "single_round", single_round},
+      {"no performance testing", "no_perf_testing", no_perf_testing},
   };
   for (const Variant& variant : kVariants) {
     double acc = RunCampaigns(
@@ -90,6 +91,8 @@ int main() {
     std::printf("  %-24s overall %s\n", variant.name,
                 FormatDouble(acc, 3).c_str());
     std::fflush(stdout);
+    ctx.ReportMetric(std::string("accuracy.") + variant.metric_key, acc);
+    ctx.AddIterations(bd.dataset.size() * static_cast<size_t>(kSeeds));
   }
 
   double hungarian = RunCampaigns(
@@ -101,11 +104,12 @@ int main() {
       kSeeds);
   std::printf("  %-24s overall %s\n", "Hungarian matching",
               FormatDouble(hungarian, 3).c_str());
+  ctx.ReportMetric("accuracy.hungarian", hungarian);
+  ctx.AddIterations(bd.dataset.size() * static_cast<size_t>(kSeeds));
 
   std::printf(
       "\nThe single-round variant routes most workers through step-3 "
       "testing (exploration\nheavy); Hungarian matches each worker optimally "
       "one-to-one but ignores the\nk-worker-set structure majority voting "
       "depends on.\n");
-  return 0;
 }

@@ -10,13 +10,14 @@
 using namespace icrowd;         // NOLINT
 using namespace icrowd::bench;  // NOLINT
 
-int main() {
+ICROWD_BENCH("ablation_estimator") {
   std::printf("=== Ablation: accuracy-estimator design choices "
               "(ItemCompare, Adapt) ===\n\n");
   BenchDataset bd = LoadItemCompare();
 
   {
     std::printf("--- (a) confidence weighting of Eq. (5) grades ---\n");
+    icrowd::bench::Series& series = ctx.AddSeries("confidence_weighting");
     for (bool weighting : {false, true}) {
       ICrowdConfig config;
       config.estimator.confidence_weighting = weighting;
@@ -25,12 +26,19 @@ int main() {
                   weighting ? "on" : "off",
                   FormatDouble(report.overall, 3).c_str());
       std::fflush(stdout);
+      series.points.push_back({{{"enabled", weighting ? 1.0 : 0.0},
+                                {"accuracy", report.overall}}});
+      if (weighting) ctx.ReportMetric("accuracy.weighting_on", report.overall);
+      ctx.AddIterations(bd.dataset.size());
     }
   }
 
   {
     std::printf("\n--- (b) shrinkage prior strength (default 0.02) ---\n");
-    for (double prior : {0.0, 0.02, 0.2, 1.0, 5.0}) {
+    std::vector<double> priors = {0.0, 0.02, 0.2, 1.0, 5.0};
+    if (ctx.smoke()) priors = {0.02, 1.0};
+    icrowd::bench::Series& series = ctx.AddSeries("prior_strength");
+    for (double prior : priors) {
       ICrowdConfig config;
       config.estimator.prior_strength = prior;
       AveragedReport report = RunAveraged(bd, config, StrategyKind::kAdapt);
@@ -38,6 +46,9 @@ int main() {
                   FormatDouble(prior, 2).c_str(),
                   FormatDouble(report.overall, 3).c_str());
       std::fflush(stdout);
+      series.points.push_back(
+          {{{"prior", prior}, {"accuracy", report.overall}}});
+      ctx.AddIterations(bd.dataset.size());
     }
     std::printf("  (large priors collapse estimates to each worker's "
                 "average -> AvgAcc-like behavior)\n");
@@ -45,14 +56,20 @@ int main() {
 
   {
     std::printf("\n--- (c) warm-up gold tasks per worker ---\n");
-    for (int per_worker : {3, 5, 10}) {
+    std::vector<int> per_worker_options = {3, 5, 10};
+    if (ctx.smoke()) per_worker_options = {5};
+    icrowd::bench::Series& series = ctx.AddSeries("warmup_tasks");
+    for (int per_worker : per_worker_options) {
       ICrowdConfig config;
       config.warmup.tasks_per_worker = per_worker;
       AveragedReport report = RunAveraged(bd, config, StrategyKind::kAdapt);
       std::printf("  tasks_per_worker=%-3d  overall %s\n", per_worker,
                   FormatDouble(report.overall, 3).c_str());
       std::fflush(stdout);
+      series.points.push_back({{{"tasks_per_worker",
+                                 static_cast<double>(per_worker)},
+                                {"accuracy", report.overall}}});
+      ctx.AddIterations(bd.dataset.size());
     }
   }
-  return 0;
 }

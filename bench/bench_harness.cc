@@ -1,0 +1,238 @@
+// lint: bench-main-ok(this is the shared harness entry point itself)
+//
+// The one main() under bench/: parses the shared flags, times the bench
+// body across repeats, and writes the BENCH_<name>.json artifact. See
+// bench_harness.h for the contract and DESIGN.md §10 for the schema.
+
+#include "bench_harness.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+
+#include "common/stopwatch.h"
+#include "obs/exporter.h"
+
+// Stamped by CMake; the fallbacks keep non-CMake builds compiling.
+#ifndef ICROWD_GIT_SHA
+#define ICROWD_GIT_SHA "unknown"
+#endif
+#ifndef ICROWD_BUILD_TYPE
+#define ICROWD_BUILD_TYPE "unknown"
+#endif
+
+namespace icrowd {
+namespace bench {
+namespace {
+
+bool g_smoke_active = false;
+
+struct RepeatStats {
+  double min = 0.0;
+  double median = 0.0;
+  double stddev = 0.0;
+  std::vector<double> runs;
+};
+
+RepeatStats Summarize(std::vector<double> runs) {
+  RepeatStats stats;
+  stats.runs = runs;
+  if (runs.empty()) return stats;
+  std::vector<double> sorted = runs;
+  std::sort(sorted.begin(), sorted.end());
+  stats.min = sorted.front();
+  const size_t n = sorted.size();
+  stats.median = n % 2 == 1 ? sorted[n / 2]
+                            : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+  double mean = 0.0;
+  for (double v : sorted) mean += v;
+  mean /= static_cast<double>(n);
+  double variance = 0.0;
+  for (double v : sorted) variance += (v - mean) * (v - mean);
+  variance /= static_cast<double>(n);  // population: n=1 -> stddev 0
+  stats.stddev = std::sqrt(variance);
+  return stats;
+}
+
+std::string FormatDouble(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof(hex), "\\u%04x", c);
+          out += hex;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void WriteStats(std::ostream& out, const RepeatStats& stats) {
+  out << "{\"median\":" << FormatDouble(stats.median)
+      << ",\"min\":" << FormatDouble(stats.min) << ",\"runs\":[";
+  for (size_t i = 0; i < stats.runs.size(); ++i) {
+    if (i > 0) out << ",";
+    out << FormatDouble(stats.runs[i]);
+  }
+  out << "],\"stddev\":" << FormatDouble(stats.stddev) << "}";
+}
+
+/// The BENCH_<name>.json schema (documented in DESIGN.md §10): top-level
+/// keys sorted, every timing and metric an object with min/median/stddev
+/// across repeats plus the raw runs.
+bool WriteBenchJson(const BenchContext& ctx, const RepeatStats& wall,
+                    const RepeatStats& cpu) {
+  const HarnessOptions& options = ctx.options();
+  std::error_code ec;
+  std::filesystem::create_directories(options.bench_out, ec);
+  const std::string path =
+      options.bench_out + "/BENCH_" + BenchBinaryName() + ".json";
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "bench_harness: cannot open '%s'\n", path.c_str());
+    return false;
+  }
+  out << "{\"build_type\":\"" << EscapeJson(ICROWD_BUILD_TYPE)
+      << "\",\"cpu_ms\":";
+  WriteStats(out, cpu);
+  out << ",\"git_sha\":\"" << EscapeJson(ICROWD_GIT_SHA)
+      << "\",\"iterations\":" << ctx.iterations() << ",\"metrics\":{";
+  bool first = true;
+  for (const auto& [name, values] : ctx.metrics()) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << EscapeJson(name) << "\":";
+    WriteStats(out, Summarize(values));
+  }
+  out << "},\"name\":\"" << EscapeJson(BenchBinaryName())
+      << "\",\"repeats\":" << options.repeats << ",\"schema\":1,\"series\":[";
+  for (size_t s = 0; s < ctx.series().size(); ++s) {
+    const Series& series = ctx.series()[s];
+    if (s > 0) out << ",";
+    out << "{\"label\":\"" << EscapeJson(series.label) << "\",\"points\":[";
+    for (size_t p = 0; p < series.points.size(); ++p) {
+      const SeriesPoint& point = series.points[p];
+      if (p > 0) out << ",";
+      out << "{";
+      for (size_t f = 0; f < point.fields.size(); ++f) {
+        if (f > 0) out << ",";
+        out << "\"" << EscapeJson(point.fields[f].first)
+            << "\":" << FormatDouble(point.fields[f].second);
+      }
+      out << "}";
+    }
+    out << "]}";
+  }
+  out << "],\"smoke\":" << (options.smoke ? "true" : "false")
+      << ",\"threads\":" << options.threads << ",\"wall_ms\":";
+  WriteStats(out, wall);
+  out << "}\n";
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "bench_harness: write to '%s' failed\n",
+                 path.c_str());
+    return false;
+  }
+  std::printf("bench_harness: wrote %s\n", path.c_str());
+  return true;
+}
+
+HarnessOptions ParseHarnessFlags(int argc, char** argv) {
+  HarnessOptions options;
+  const char* smoke_env = std::getenv("ICROWD_BENCH_SMOKE");
+  options.smoke = smoke_env != nullptr && std::strcmp(smoke_env, "0") != 0;
+  options.passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto prefixed = [arg](const char* prefix) -> const char* {
+      size_t len = std::strlen(prefix);
+      return std::strncmp(arg, prefix, len) == 0 ? arg + len : nullptr;
+    };
+    if (const char* v = prefixed("--bench-out=")) {
+      options.bench_out = v;
+    } else if (const char* v2 = prefixed("--metrics-out=")) {
+      options.metrics_out = v2;
+    } else if (const char* v3 = prefixed("--repeats=")) {
+      options.repeats = std::max(1, std::atoi(v3));
+    } else if (const char* v4 = prefixed("--threads=")) {
+      options.threads = static_cast<size_t>(std::strtoull(v4, nullptr, 10));
+    } else if (std::strcmp(arg, "--smoke") == 0) {
+      options.smoke = true;
+    } else if (std::strcmp(arg, "--deterministic") == 0) {
+      options.deterministic = true;
+    } else {
+      options.passthrough.push_back(argv[i]);
+    }
+  }
+  return options;
+}
+
+}  // namespace
+
+bool SmokeActive() { return g_smoke_active; }
+
+}  // namespace bench
+}  // namespace icrowd
+
+int main(int argc, char** argv) {
+  using icrowd::bench::BenchContext;
+  using icrowd::bench::RepeatStats;
+
+  icrowd::bench::HarnessOptions options =
+      icrowd::bench::ParseHarnessFlags(argc, argv);
+  icrowd::bench::g_smoke_active = options.smoke;
+
+  BenchContext ctx(std::move(options));
+  std::vector<double> wall_runs;
+  std::vector<double> cpu_runs;
+  for (int repeat = 0; repeat < ctx.options().repeats; ++repeat) {
+    ctx.BeginRepeat(repeat);
+    const std::clock_t cpu_start = std::clock();
+    icrowd::Stopwatch wall;
+    icrowd::bench::BenchBinaryBody(ctx);
+    wall_runs.push_back(wall.ElapsedMillis());
+    cpu_runs.push_back(1e3 * static_cast<double>(std::clock() - cpu_start) /
+                       CLOCKS_PER_SEC);
+  }
+
+  bool ok = true;
+  if (!ctx.options().bench_out.empty()) {
+    ok = icrowd::bench::WriteBenchJson(
+             ctx, icrowd::bench::Summarize(wall_runs),
+             icrowd::bench::Summarize(cpu_runs)) &&
+         ok;
+  }
+  icrowd::obs::MetricsCliOptions metrics_options;
+  metrics_options.out_path = ctx.options().metrics_out;
+  metrics_options.deterministic = ctx.options().deterministic;
+  ok = icrowd::obs::WriteMetricsIfRequested(metrics_options) && ok;
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,145 @@
+#ifndef ICROWD_BENCH_BENCH_HARNESS_H_
+#define ICROWD_BENCH_BENCH_HARNESS_H_
+
+// Unified entry point for every bench binary (see DESIGN.md §10). The
+// harness owns main(): it parses the shared flags, runs the bench body
+// `--repeats` times with wall/CPU timing around each run, and writes one
+// standardized BENCH_<name>.json artifact per binary so runs are durable,
+// diffable, and gate-able by tools/bench_compare.py.
+//
+// Shared flags (every bench binary accepts all of them):
+//   --bench-out=DIR     write BENCH_<name>.json into DIR (created if absent)
+//   --repeats=N         run the bench body N times (default 1); wall/CPU
+//                       times and every reported metric get min/median/
+//                       stddev across repeats, which is what makes the
+//                       downstream comparison noise-aware
+//   --threads=N         recorded in the artifact; benches that honor a
+//                       thread count read it via ctx.threads()
+//   --smoke             shrink the workload for CI smoke runs (also enabled
+//                       by the ICROWD_BENCH_SMOKE=1 environment variable)
+//   --metrics-out=PATH  dump the global metrics registry JSONL after the
+//                       last repeat (previously only micro_online_pipeline
+//                       accepted this)
+//   --deterministic     restrict that dump to deterministic metrics
+//
+// Unrecognized flags are passed through to the bench body (google-benchmark
+// binaries forward them to benchmark::Initialize).
+//
+// A bench binary defines its body with the ICROWD_BENCH macro instead of
+// main() (enforced by the icrowd_lint bench-main rule):
+//
+//   ICROWD_BENCH("fig6_diversity") {
+//     ...
+//     ctx.ReportMetric("overall_accuracy", report.overall);
+//   }
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace icrowd {
+namespace bench {
+
+/// One point of a series: ordered (key, value) pairs, e.g. {k, accuracy}.
+/// Emission order is preserved — it is the curve's x-then-y convention.
+struct SeriesPoint {
+  std::vector<std::pair<std::string, double>> fields;
+};
+
+/// A named curve (one line of a figure): the durable form of the paper's
+/// cost/quality plots.
+struct Series {
+  std::string label;
+  std::vector<SeriesPoint> points;
+};
+
+struct HarnessOptions {
+  std::string bench_out;    // empty: no BENCH json requested
+  std::string metrics_out;  // empty: no registry dump requested
+  bool deterministic = false;
+  int repeats = 1;
+  size_t threads = 0;  // 0 = not pinned
+  bool smoke = false;
+  std::vector<char*> passthrough;  // argv[0] + unconsumed flags
+};
+
+/// Handed to the bench body. Metrics accumulate one value per repeat (the
+/// artifact stores min/median/stddev per metric); series are cleared at
+/// the start of each repeat so the artifact keeps the last repeat's curves.
+class BenchContext {
+ public:
+  explicit BenchContext(HarnessOptions options)
+      : options_(std::move(options)) {}
+
+  const HarnessOptions& options() const { return options_; }
+  bool smoke() const { return options_.smoke; }
+  size_t threads() const { return options_.threads; }
+  int repeat() const { return repeat_; }
+
+  /// Leftover argv for body-level flag parsers (google-benchmark).
+  std::vector<char*>& passthrough() { return options_.passthrough; }
+
+  /// Logical work units of one repeat (rows, tasks, gbench iterations).
+  void SetIterations(uint64_t n) { iterations_ = n; }
+  void AddIterations(uint64_t n) { iterations_ += n; }
+  uint64_t iterations() const { return iterations_; }
+
+  /// Records one observation of `name` for the current repeat.
+  void ReportMetric(const std::string& name, double value) {
+    metrics_[name].push_back(value);
+  }
+
+  /// Appends (or reopens) a named series; fill `points` directly.
+  Series& AddSeries(const std::string& label) {
+    for (Series& s : series_) {
+      if (s.label == label) return s;
+    }
+    series_.push_back({label, {}});
+    return series_.back();
+  }
+
+  // Harness internals (called by the harness main).
+  void BeginRepeat(int repeat) {
+    repeat_ = repeat;
+    series_.clear();
+    iterations_ = 0;
+  }
+  const std::map<std::string, std::vector<double>>& metrics() const {
+    return metrics_;
+  }
+  const std::vector<Series>& series() const { return series_; }
+
+ private:
+  HarnessOptions options_;
+  int repeat_ = 0;
+  uint64_t iterations_ = 0;
+  std::map<std::string, std::vector<double>> metrics_;  // name -> per-repeat
+  std::vector<Series> series_;
+};
+
+/// True while a smoke run is active (set by the harness before the body
+/// runs). Shared helpers (RunAveraged) consult it to shrink workloads
+/// without every call site threading the context through.
+bool SmokeActive();
+
+/// Defined by each bench binary via ICROWD_BENCH.
+const char* BenchBinaryName();
+void BenchBinaryBody(BenchContext& ctx);
+
+}  // namespace bench
+}  // namespace icrowd
+
+/// Declares the bench body; the harness library supplies main().
+#define ICROWD_BENCH(name)                                           \
+  static void IcrowdBenchBody(::icrowd::bench::BenchContext& ctx);   \
+  namespace icrowd {                                                 \
+  namespace bench {                                                  \
+  const char* BenchBinaryName() { return name; }                     \
+  void BenchBinaryBody(BenchContext& ctx) { IcrowdBenchBody(ctx); }  \
+  }                                                                  \
+  }                                                                  \
+  static void IcrowdBenchBody(::icrowd::bench::BenchContext& ctx)
+
+#endif  // ICROWD_BENCH_BENCH_HARNESS_H_

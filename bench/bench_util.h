@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_harness.h"
 #include "common/string_util.h"
 #include "core/experiment.h"
 #include "datagen/itemcompare.h"
@@ -75,8 +76,11 @@ inline AveragedReport RunAveraged(const BenchDataset& bd, ICrowdConfig config,
                                   StrategyKind kind, int seeds = 0,
                                   uint64_t seed_base = 1000) {
   // Small campaigns (YahooQA: 110 tasks) have high per-run variance; scale
-  // the averaging with the inverse dataset size.
+  // the averaging with the inverse dataset size. Smoke runs (CI's
+  // bench-smoke job, ICROWD_BENCH_SMOKE=1) collapse to one seed: they gate
+  // plumbing and perf, not accuracy.
   if (seeds == 0) seeds = bd.dataset.size() < 200 ? 16 : 6;
+  if (SmokeActive()) seeds = 1;
   AveragedReport out;
   out.strategy = StrategyName(kind);
   out.per_domain.assign(bd.dataset.domains().size(), 0.0);
@@ -97,6 +101,22 @@ inline AveragedReport RunAveraged(const BenchDataset& bd, ICrowdConfig config,
   for (double& v : out.per_domain) v /= seeds;
   out.overall /= seeds;
   return out;
+}
+
+/// Records one averaged report into the BENCH artifact: the overall
+/// accuracy as a metric `<dataset>.<strategy>.overall` plus a per-domain
+/// series — the durable form of the paper's accuracy tables.
+inline void ReportAveraged(BenchContext& ctx, const BenchDataset& bd,
+                           const AveragedReport& report) {
+  const std::string prefix = bd.name + "." + report.strategy;
+  ctx.ReportMetric(prefix + ".overall", report.overall);
+  Series& series = ctx.AddSeries(prefix + ".per_domain");
+  series.points.clear();
+  for (size_t d = 0; d < report.per_domain.size(); ++d) {
+    series.points.push_back(
+        {{{"domain", static_cast<double>(d)},
+          {"accuracy", report.per_domain[d]}}});
+  }
 }
 
 /// Prints a per-domain accuracy table: one column per report, one row per

@@ -9,23 +9,26 @@
 using namespace icrowd;         // NOLINT
 using namespace icrowd::bench;  // NOLINT
 
-int main() {
+ICROWD_BENCH("fig12_similarity") {
   std::printf("=== Figure 12: Similarity Measures and Thresholds "
               "(ItemCompare) ===\n\n");
   const SimilarityMeasure kMeasures[] = {SimilarityMeasure::kJaccard,
                                          SimilarityMeasure::kCosineTfIdf,
                                          SimilarityMeasure::kCosineTopic};
-  const double kThresholds[] = {0.2, 0.4, 0.6, 0.8, 0.95};
+  std::vector<double> thresholds = {0.2, 0.4, 0.6, 0.8, 0.95};
+  if (ctx.smoke()) thresholds = {0.4, 0.8};
 
   std::printf("%-14s", "Measure");
-  for (double thr : kThresholds) {
+  for (double thr : thresholds) {
     std::printf("   thr=%-5s", FormatDouble(thr, 2).c_str());
   }
   std::printf("\n");
 
   for (SimilarityMeasure measure : kMeasures) {
     std::printf("%-14s", SimilarityMeasureName(measure));
-    for (double thr : kThresholds) {
+    icrowd::bench::Series& series = ctx.AddSeries(
+        SimilarityMeasureName(measure));
+    for (double thr : thresholds) {
       ICrowdConfig config;
       config.graph.measure = measure;
       config.graph.threshold = thr;
@@ -34,6 +37,9 @@ int main() {
           RunAveraged(bd, config, StrategyKind::kAdapt, /*seeds=*/3);
       std::printf("   %-9s", FormatDouble(report.overall, 3).c_str());
       std::fflush(stdout);
+      series.points.push_back(
+          {{{"threshold", thr}, {"accuracy", report.overall}}});
+      ctx.AddIterations(bd.dataset.size());
     }
     std::printf("\n");
   }
@@ -42,5 +48,4 @@ int main() {
       "extreme thresholds\nhurt (too-low adds weak cross-domain edges, "
       "too-high deletes strong ones);\nCos(topic) does best and 0.8 is the "
       "paper's default.\n");
-  return 0;
 }

@@ -10,7 +10,7 @@
 using namespace icrowd;         // NOLINT
 using namespace icrowd::bench;  // NOLINT
 
-int main() {
+ICROWD_BENCH("fig15_distribution") {
   std::printf("=== Figure 15: Distribution of Microtask Completions for Top "
               "Workers (ItemCompare) ===\n\n");
   BenchDataset bd = LoadItemCompare();
@@ -20,7 +20,7 @@ int main() {
   if (!result.ok()) {
     std::fprintf(stderr, "campaign failed: %s\n",
                  result.status().ToString().c_str());
-    return 1;
+    std::abort();
   }
   auto distribution = AssignmentDistribution(result->sim.work_answers);
   size_t total = result->sim.work_answers.size();
@@ -30,6 +30,7 @@ int main() {
               "share", "cumulative");
   size_t cumulative = 0;
   double top15_share = 0.0;
+  icrowd::bench::Series& series = ctx.AddSeries("completion_share");
   for (size_t i = 0; i < distribution.size() && i < 15; ++i) {
     cumulative += distribution[i].second;
     double share =
@@ -42,10 +43,14 @@ int main() {
     std::printf("%-6zu %-12s %12zu %9.1f%% %11.1f%%\n", i + 1,
                 profile.external_id.c_str(), distribution[i].second, share,
                 cum_share);
+    series.points.push_back({{{"rank", static_cast<double>(i + 1)},
+                              {"share", share},
+                              {"cumulative", cum_share}}});
     top15_share = cum_share;
   }
   std::printf("\ntop-15 workers completed %.1f%% of all assignments "
               "(paper: 84%%, top worker > 13%%).\n",
               top15_share);
-  return 0;
+  ctx.ReportMetric("top15_share", top15_share);
+  ctx.AddIterations(total);
 }

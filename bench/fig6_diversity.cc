@@ -13,7 +13,8 @@ using namespace icrowd::bench;  // NOLINT
 
 namespace {
 
-void Report(const BenchDataset& bd, const char* figure_tag) {
+void Report(BenchContext& ctx, const BenchDataset& bd,
+            const char* figure_tag) {
   ICrowdConfig config;
   // Random assignment with no elimination spreads answers across the whole
   // pool, as the paper's collection phase did.
@@ -55,17 +56,20 @@ void Report(const BenchDataset& bd, const char* figure_tag) {
   }
   std::printf("max per-worker accuracy spread across domains: %s\n\n",
               FormatDouble(max_spread, 3).c_str());
+  ctx.ReportMetric(bd.name + ".max_spread", max_spread);
+  ctx.ReportMetric(bd.name + ".listed_workers",
+                   static_cast<double>(stats.size()));
+  ctx.AddIterations(result->sim.work_answers.size());
 }
 
 }  // namespace
 
-int main() {
+ICROWD_BENCH("fig6_diversity") {
   std::printf("=== Figure 6: Diverse Workers' Accuracies Across Domains "
               "===\n\n");
-  Report(LoadYahooQa(), "a");
-  Report(LoadItemCompare(), "b");
+  Report(ctx, LoadYahooQa(), "a");
+  Report(ctx, LoadItemCompare(), "b");
   std::printf("Paper shape: individual workers are strong in some domains "
               "and weak in others\n(e.g. 0.875 in Books&Authors vs 0.176 in "
               "FIFA), and the top worker differs by domain.\n");
-  return 0;
 }

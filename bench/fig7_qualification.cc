@@ -11,7 +11,7 @@ using namespace icrowd::bench;  // NOLINT
 
 namespace {
 
-void Report(const BenchDataset& bd, const char* tag) {
+void Report(BenchContext& ctx, const BenchDataset& bd, const char* tag) {
   ICrowdConfig random_qf;
   random_qf.qualification_greedy = false;
   ICrowdConfig inf_qf;
@@ -27,17 +27,19 @@ void Report(const BenchDataset& bd, const char* tag) {
               bd.name.c_str());
   PrintAccuracyTable(bd, {random_report, inf_report});
   std::printf("\n");
+  ReportAveraged(ctx, bd, random_report);
+  ReportAveraged(ctx, bd, inf_report);
+  ctx.AddIterations(bd.dataset.size());
 }
 
 }  // namespace
 
-int main() {
+ICROWD_BENCH("fig7_qualification") {
   std::printf("=== Figure 7: Effect of Qualification (RandomQF vs InfQF) "
               "===\n\n");
-  Report(LoadYahooQa(), "a");
-  Report(LoadItemCompare(), "b");
+  Report(ctx, LoadYahooQa(), "a");
+  Report(ctx, LoadItemCompare(), "b");
   std::printf("Paper shape: InfQF beats RandomQF overall (about 8%% on "
               "YahooQA) because its\ninfluence-maximizing gold tasks cover "
               "every domain instead of scattering.\n");
-  return 0;
 }

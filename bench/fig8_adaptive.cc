@@ -6,14 +6,13 @@
 #include <cstdio>
 
 #include "bench_util.h"
-#include "obs/exporter.h"
 
 using namespace icrowd;         // NOLINT
 using namespace icrowd::bench;  // NOLINT
 
 namespace {
 
-void Report(const BenchDataset& bd, const char* tag) {
+void Report(BenchContext& ctx, const BenchDataset& bd, const char* tag) {
   ICrowdConfig config;
   AveragedReport qf = RunAveraged(bd, config, StrategyKind::kQfOnly);
   AveragedReport best_effort =
@@ -23,20 +22,22 @@ void Report(const BenchDataset& bd, const char* tag) {
   std::printf("--- Figure 8(%s): %s ---\n", tag, bd.name.c_str());
   PrintAccuracyTable(bd, {qf, best_effort, adapt});
   std::printf("\n");
+  ReportAveraged(ctx, bd, qf);
+  ReportAveraged(ctx, bd, best_effort);
+  ReportAveraged(ctx, bd, adapt);
+  ctx.AddIterations(bd.dataset.size());
 }
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  obs::MetricsCliOptions metrics_options =
-      obs::ConsumeMetricsFlags(&argc, argv);
+// --metrics-out/--deterministic now come with the harness; the ad-hoc
+// ConsumeMetricsFlags main this binary used to carry is gone.
+ICROWD_BENCH("fig8_adaptive") {
   std::printf("=== Figure 8: Effect of Adaptive Assignment ===\n\n");
-  Report(LoadYahooQa(), "a");
-  Report(LoadItemCompare(), "b");
+  Report(ctx, LoadYahooQa(), "a");
+  Report(ctx, LoadItemCompare(), "b");
   std::printf(
       "Paper shape: QF-Only worst (qualification-only estimates are noisy); "
       "BestEffort\nimproves by updating estimates; Adapt best thanks to "
       "optimal assignment + testing.\n");
-  if (!obs::WriteMetricsIfRequested(metrics_options)) return 1;
-  return 0;
 }

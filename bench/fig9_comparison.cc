@@ -12,7 +12,7 @@ using namespace icrowd::bench;  // NOLINT
 
 namespace {
 
-void Report(const BenchDataset& bd, const char* tag) {
+void Report(BenchContext& ctx, const BenchDataset& bd, const char* tag) {
   ICrowdConfig config;
   std::vector<AveragedReport> reports;
   for (StrategyKind kind : {StrategyKind::kRandomMV, StrategyKind::kRandomEM,
@@ -27,18 +27,21 @@ void Report(const BenchDataset& bd, const char* tag) {
   }
   std::printf("iCrowd improvement over best baseline: %+.1f%%\n\n",
               100.0 * (reports.back().overall - best_baseline));
+  for (const AveragedReport& r : reports) ReportAveraged(ctx, bd, r);
+  ctx.ReportMetric(bd.name + ".improvement_over_best_baseline",
+                   reports.back().overall - best_baseline);
+  ctx.AddIterations(bd.dataset.size());
 }
 
 }  // namespace
 
-int main() {
+ICROWD_BENCH("fig9_comparison") {
   std::printf("=== Figure 9: Comparison with Existing Approaches ===\n\n");
-  Report(LoadYahooQa(), "a");
-  Report(LoadItemCompare(), "b");
+  Report(ctx, LoadYahooQa(), "a");
+  Report(ctx, LoadItemCompare(), "b");
   std::printf(
       "Paper shape: iCrowd gains ~10%% overall (more in domains with diverse "
       "workers);\nEM can underperform MV where it overestimates "
       "domain-limited workers; the Auto\ndomain improves least because no "
       "very good workers exist there.\n");
-  return 0;
 }

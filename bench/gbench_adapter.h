@@ -1,0 +1,88 @@
+#ifndef ICROWD_BENCH_GBENCH_ADAPTER_H_
+#define ICROWD_BENCH_GBENCH_ADAPTER_H_
+
+// Bridges google-benchmark binaries onto the shared harness: the ICROWD_BENCH
+// body calls RunGoogleBenchmarks(ctx), which forwards the passthrough flags
+// to benchmark::Initialize, keeps the familiar console output, and mirrors
+// every per-benchmark timing and counter into the BENCH_<name>.json metrics
+// map (keys like "BM_GreedyAssign/360.real_ms"). Harness-level --repeats
+// re-runs the whole suite, so those metrics get min/median/stddev across
+// repeats. Smoke mode caps --benchmark_min_time unless the caller pinned it.
+//
+// Header-only on purpose: bench_harness.cc must not depend on
+// google-benchmark — only the micro_* binaries link it.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_harness.h"
+
+namespace icrowd {
+namespace bench {
+
+class ContextReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit ContextReporter(BenchContext* ctx) : ctx_(ctx) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      const std::string base = run.benchmark_name();
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      ctx_->ReportMetric(base + ".real_ms",
+                         1e3 * run.real_accumulated_time / iters);
+      ctx_->ReportMetric(base + ".cpu_ms",
+                         1e3 * run.cpu_accumulated_time / iters);
+      for (const auto& [name, counter] : run.counters) {
+        ctx_->ReportMetric(base + "." + name,
+                           static_cast<double>(counter.value));
+      }
+      ctx_->AddIterations(static_cast<uint64_t>(run.iterations));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  BenchContext* ctx_;
+};
+
+/// Runs the registered google-benchmarks once, recording results into `ctx`.
+/// Safe to call once per harness repeat (Initialize happens only the first
+/// time).
+inline void RunGoogleBenchmarks(BenchContext& ctx) {
+  static bool initialized = false;
+  if (!initialized) {
+    // Stable storage: benchmark::Initialize keeps pointers into argv.
+    static std::vector<std::string> arg_storage;
+    bool min_time_pinned = false;
+    for (char* arg : ctx.passthrough()) {
+      arg_storage.emplace_back(arg);
+      if (std::strncmp(arg, "--benchmark_min_time", 20) == 0) {
+        min_time_pinned = true;
+      }
+    }
+    if (ctx.smoke() && !min_time_pinned) {
+      arg_storage.emplace_back("--benchmark_min_time=0.01");
+    }
+    static std::vector<char*> argv;
+    for (std::string& arg : arg_storage) argv.push_back(arg.data());
+    int argc = static_cast<int>(argv.size());
+    benchmark::Initialize(&argc, argv.data());
+    if (benchmark::ReportUnrecognizedArguments(argc, argv.data())) {
+      std::exit(1);
+    }
+    initialized = true;
+  }
+  ContextReporter reporter(&ctx);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+}
+
+}  // namespace bench
+}  // namespace icrowd
+
+#endif  // ICROWD_BENCH_GBENCH_ADAPTER_H_

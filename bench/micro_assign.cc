@@ -8,6 +8,7 @@
 #include "assign/scalable_assign.h"
 #include "assign/top_workers.h"
 #include "common/random.h"
+#include "gbench_adapter.h"
 
 namespace icrowd {
 namespace {
@@ -87,4 +88,4 @@ BENCHMARK(BM_ScalableAssign)->Arg(100'000)->Arg(400'000)
 }  // namespace
 }  // namespace icrowd
 
-BENCHMARK_MAIN();
+ICROWD_BENCH("micro_assign") { icrowd::bench::RunGoogleBenchmarks(ctx); }

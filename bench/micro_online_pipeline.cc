@@ -18,8 +18,8 @@
 #include "common/thread_pool.h"
 #include "core/experiment.h"
 #include "datagen/itemcompare.h"
+#include "gbench_adapter.h"
 #include "model/campaign_state.h"
-#include "obs/exporter.h"
 #include "obs/metrics.h"
 
 namespace icrowd {
@@ -179,17 +179,9 @@ BENCHMARK(BM_MetricsOverhead)
 }  // namespace
 }  // namespace icrowd
 
-// Custom main instead of BENCHMARK_MAIN(): the shared metrics flags
-// (--metrics-out=PATH, --deterministic) are stripped before
-// google-benchmark sees argv, and the global registry is dumped after the
-// benchmarks ran — CI uploads that JSONL as the run's artifact.
-int main(int argc, char** argv) {
-  icrowd::obs::MetricsCliOptions metrics_options =
-      icrowd::obs::ConsumeMetricsFlags(&argc, argv);
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  if (!icrowd::obs::WriteMetricsIfRequested(metrics_options)) return 1;
-  return 0;
+// The shared harness owns main() now: it strips --metrics-out/--deterministic
+// itself and dumps the global registry after the body returns, so the
+// custom main this binary used to carry is gone.
+ICROWD_BENCH("micro_online_pipeline") {
+  icrowd::bench::RunGoogleBenchmarks(ctx);
 }

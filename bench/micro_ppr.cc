@@ -8,6 +8,7 @@
 
 #include "common/random.h"
 #include "datagen/scalability.h"
+#include "gbench_adapter.h"
 #include "graph/ppr.h"
 
 namespace icrowd {
@@ -96,4 +97,4 @@ BENCHMARK(BM_PprSparseEstimate)->Unit(benchmark::kMicrosecond);
 }  // namespace
 }  // namespace icrowd
 
-BENCHMARK_MAIN();
+ICROWD_BENCH("micro_ppr") { icrowd::bench::RunGoogleBenchmarks(ctx); }

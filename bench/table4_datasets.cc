@@ -7,12 +7,23 @@
 using namespace icrowd;         // NOLINT
 using namespace icrowd::bench;  // NOLINT
 
-int main() {
+ICROWD_BENCH("table4_datasets") {
   std::printf("=== Table 4: Dataset Statistics ===\n\n");
   BenchDataset yq = LoadYahooQa();
   BenchDataset ic = LoadItemCompare();
   DatasetStats ys = yq.dataset.Stats();
   DatasetStats is = ic.dataset.Stats();
+  ctx.ReportMetric("yahoo_qa.microtasks",
+                   static_cast<double>(ys.num_microtasks));
+  ctx.ReportMetric("yahoo_qa.domains", static_cast<double>(ys.num_domains));
+  ctx.ReportMetric("yahoo_qa.workers", static_cast<double>(yq.workers.size()));
+  ctx.ReportMetric("item_compare.microtasks",
+                   static_cast<double>(is.num_microtasks));
+  ctx.ReportMetric("item_compare.domains",
+                   static_cast<double>(is.num_domains));
+  ctx.ReportMetric("item_compare.workers",
+                   static_cast<double>(ic.workers.size()));
+  ctx.AddIterations(ys.num_microtasks + is.num_microtasks);
   std::printf("%-22s %12s %14s\n", "Dataset", "YahooQA", "ItemCompare");
   std::printf("%-22s %12zu %14zu\n", "# of microtasks", ys.num_microtasks,
               is.num_microtasks);
@@ -32,5 +43,4 @@ int main() {
   }
   std::printf("\nPaper reference: 110 tasks / 6 domains / 25 workers and "
               "360 tasks / 4 domains / 53 workers.\n");
-  return 0;
 }

@@ -130,6 +130,36 @@ std::vector<double> LinearBuckets(double start, double width, size_t count) {
   return bounds;
 }
 
+double HistogramSnapshot::Percentile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::min(100.0, std::max(0.0, q));
+  const double target = q / 100.0 * static_cast<double>(count);
+  double cumulative = 0.0;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b] == 0) continue;
+    const double next = cumulative + static_cast<double>(buckets[b]);
+    if (next >= target) {
+      if (b == bounds.size()) {
+        // Overflow bucket: clamp to the largest finite bound (or the sample
+        // mean when there are no finite buckets at all).
+        return bounds.empty() ? Mean() : bounds.back();
+      }
+      const double upper = bounds[b];
+      double lower;
+      if (b == 0) {
+        lower = upper > 0.0 ? 0.0 : upper;
+      } else {
+        lower = bounds[b - 1];
+      }
+      const double fraction =
+          (target - cumulative) / static_cast<double>(buckets[b]);
+      return lower + fraction * (upper - lower);
+    }
+    cumulative = next;
+  }
+  return bounds.empty() ? Mean() : bounds.back();
+}
+
 /// Per-thread storage: one cell array indexed by the registry's cell
 /// allocator, plus this thread's closed spans. Cells are written by the
 /// owning thread only (relaxed adds) and read by snapshotting threads —

@@ -109,6 +109,20 @@ struct HistogramSnapshot {
   std::vector<uint64_t> buckets;     // bounds.size() + 1 (last = overflow)
   uint64_t count = 0;
   double sum = 0.0;
+
+  uint64_t Count() const { return count; }
+  double Sum() const { return sum; }
+  /// 0.0 for an empty histogram.
+  double Mean() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+  /// Estimated value at quantile `q` in [0, 100] (50 = median) by linear
+  /// interpolation inside the covering bucket, Prometheus-style: the first
+  /// bucket's lower edge is 0 when its upper bound is positive (the bound
+  /// itself otherwise), and mass in the +inf overflow bucket clamps to the
+  /// largest finite bound — a histogram cannot resolve beyond its buckets.
+  /// Returns 0.0 for an empty histogram; q is clamped to [0, 100].
+  double Percentile(double q) const;
 };
 
 /// `count` buckets growing geometrically from `start` by `factor`.

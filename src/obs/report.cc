@@ -1,0 +1,559 @@
+#include "obs/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+namespace icrowd {
+namespace obs {
+
+namespace {
+
+// ------------------------------------------------------------------ JSON --
+// Minimal recursive-descent parser for the subset ExportJsonl emits (plus
+// bools/null for robustness). Numbers are doubles: counters up to 2^53
+// round-trip exactly, which covers every value the registry can emit in
+// practice.
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+  double NumberOr(const std::string& key, double fallback) const {
+    const JsonValue* v = Find(key);
+    return v != nullptr && v->type == Type::kNumber ? v->number : fallback;
+  }
+  std::string StringOr(const std::string& key,
+                       const std::string& fallback) const {
+    const JsonValue* v = Find(key);
+    return v != nullptr && v->type == Type::kString ? v->string : fallback;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue* out) {
+    bool ok = ParseValue(out);
+    SkipSpace();
+    return ok && pos_ == text_.size();
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return false;
+    char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"':
+        out->type = JsonValue::Type::kString;
+        return ParseString(&out->string);
+      case 't':
+      case 'f':
+        out->type = JsonValue::Type::kBool;
+        out->boolean = c == 't';
+        return ConsumeWord(c == 't' ? "true" : "false");
+      case 'n':
+        out->type = JsonValue::Type::kNull;
+        return ConsumeWord("null");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ConsumeWord(const char* word) {
+    size_t len = std::char_traits<char>::length(word);
+    if (text_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    double v = std::strtod(start, &end);
+    if (end == start) return false;
+    out->type = JsonValue::Type::kNumber;
+    out->number = v;
+    pos_ += static_cast<size_t>(end - start);
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return false;
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          out->push_back(esc);
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return false;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return false;
+            }
+          }
+          // The exporter only escapes control characters; encode the BMP
+          // code point as UTF-8 without surrogate handling.
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return false;
+  }
+
+  bool ParseArray(JsonValue* out) {
+    if (!Consume('[')) return false;
+    out->type = JsonValue::Type::kArray;
+    if (Consume(']')) return true;
+    while (true) {
+      JsonValue element;
+      if (!ParseValue(&element)) return false;
+      out->array.push_back(std::move(element));
+      if (Consume(']')) return true;
+      if (!Consume(',')) return false;
+    }
+  }
+
+  bool ParseObject(JsonValue* out) {
+    if (!Consume('{')) return false;
+    out->type = JsonValue::Type::kObject;
+    if (Consume('}')) return true;
+    while (true) {
+      SkipSpace();
+      std::string key;
+      if (!ParseString(&key)) return false;
+      if (!Consume(':')) return false;
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->object.emplace_back(std::move(key), std::move(value));
+      if (Consume('}')) return true;
+      if (!Consume(',')) return false;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+std::string FormatDouble(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof(hex), "\\u%04x", c);
+          out += hex;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+struct ParsedSpan {
+  std::string name;
+  uint32_t thread = 0;
+  uint32_t depth = 0;
+  uint64_t seq = 0;
+  int64_t duration_ns = 0;
+};
+
+/// Folds the flat span stream into path-keyed aggregates. Spans are
+/// processed per thread in seq (open) order, replaying each thread's scope
+/// stack: a span at depth d is a child of the depth-d prefix of the stack.
+/// Self time is total minus the direct children's totals.
+std::vector<PhaseStat> FoldSpans(std::vector<ParsedSpan> spans) {
+  std::stable_sort(spans.begin(), spans.end(),
+                   [](const ParsedSpan& a, const ParsedSpan& b) {
+                     if (a.thread != b.thread) return a.thread < b.thread;
+                     return a.seq < b.seq;
+                   });
+  struct Node {
+    uint64_t count = 0;
+    int64_t total_ns = 0;
+    int64_t child_ns = 0;
+    uint32_t depth = 0;
+  };
+  std::map<std::string, Node> nodes;  // path -> aggregate, sorted
+  std::vector<std::string> stack;     // current thread's open paths
+  uint32_t current_thread = 0;
+  bool first = true;
+  for (const ParsedSpan& span : spans) {
+    if (first || span.thread != current_thread) {
+      stack.clear();
+      current_thread = span.thread;
+      first = false;
+    }
+    // Clamp against gaps (dropped spans past the per-shard cap).
+    uint32_t depth = span.depth;
+    if (depth > stack.size()) depth = static_cast<uint32_t>(stack.size());
+    stack.resize(depth);
+    std::string path =
+        stack.empty() ? span.name : stack.back() + "/" + span.name;
+    Node& node = nodes[path];
+    node.count += 1;
+    node.total_ns += span.duration_ns;
+    node.depth = depth;
+    if (!stack.empty()) nodes[stack.back()].child_ns += span.duration_ns;
+    stack.push_back(std::move(path));
+  }
+  std::vector<PhaseStat> out;
+  out.reserve(nodes.size());
+  for (const auto& [path, node] : nodes) {
+    PhaseStat stat;
+    stat.path = path;
+    stat.depth = node.depth;
+    stat.count = node.count;
+    stat.total_ns = node.total_ns;
+    stat.self_ns = node.total_ns - node.child_ns;
+    out.push_back(std::move(stat));
+  }
+  return out;
+}
+
+HistogramStat SummarizeHistogram(const std::string& name,
+                                 const JsonValue& line) {
+  HistogramSnapshot snapshot;
+  const JsonValue* buckets = line.Find("buckets");
+  if (buckets != nullptr && buckets->type == JsonValue::Type::kArray) {
+    for (const JsonValue& entry : buckets->array) {
+      if (entry.type != JsonValue::Type::kArray || entry.array.size() != 2) {
+        continue;
+      }
+      const JsonValue& bound = entry.array[0];
+      const JsonValue& count = entry.array[1];
+      if (bound.type == JsonValue::Type::kString && bound.string != "+inf") {
+        snapshot.bounds.push_back(std::strtod(bound.string.c_str(), nullptr));
+      }
+      snapshot.buckets.push_back(static_cast<uint64_t>(count.number));
+    }
+  }
+  snapshot.count = static_cast<uint64_t>(line.NumberOr("count", 0.0));
+  snapshot.sum = line.NumberOr("sum", 0.0);
+  HistogramStat stat;
+  stat.name = name;
+  stat.count = snapshot.count;
+  stat.sum = snapshot.sum;
+  stat.mean = snapshot.Mean();
+  stat.p50 = snapshot.Percentile(50);
+  stat.p95 = snapshot.Percentile(95);
+  stat.p99 = snapshot.Percentile(99);
+  return stat;
+}
+
+std::string FormatMs(int64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(ns) / 1e6);
+  return buf;
+}
+
+}  // namespace
+
+Result<RunReport> BuildRunReport(const std::string& jsonl) {
+  RunReport report;
+  std::vector<ParsedSpan> spans;
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramStat> histograms;
+  std::map<std::string, uint64_t> event_counts;
+
+  std::istringstream lines(jsonl);
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(lines, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    JsonValue value;
+    JsonParser parser(line);
+    if (!parser.Parse(&value) || value.type != JsonValue::Type::kObject) {
+      return Status::InvalidArgument("trace line " +
+                                     std::to_string(line_number) +
+                                     " is not a JSON object");
+    }
+    const std::string type = value.StringOr("type", "");
+    if (type == "metric") {
+      const std::string kind = value.StringOr("kind", "");
+      const std::string name = value.StringOr("name", "");
+      if (kind == "counter") {
+        counters[name] = static_cast<uint64_t>(value.NumberOr("value", 0.0));
+      } else if (kind == "gauge") {
+        gauges[name] = value.NumberOr("value", 0.0);
+      } else if (kind == "histogram") {
+        histograms[name] = SummarizeHistogram(name, value);
+      }
+    } else if (type == "event") {
+      event_counts[value.StringOr("kind", "")] += 1;
+      report.num_events += 1;
+    } else if (type == "span") {
+      ParsedSpan span;
+      span.name = value.StringOr("name", "");
+      span.thread = static_cast<uint32_t>(value.NumberOr("thread", 0.0));
+      span.depth = static_cast<uint32_t>(value.NumberOr("depth", 0.0));
+      span.seq = static_cast<uint64_t>(value.NumberOr("seq", 0.0));
+      span.duration_ns =
+          static_cast<int64_t>(value.NumberOr("duration_ns", 0.0));
+      spans.push_back(std::move(span));
+      report.num_spans += 1;
+    }
+    // Unknown types are skipped: newer dumps stay readable by older
+    // reports.
+  }
+
+  report.phases = FoldSpans(std::move(spans));
+  report.counters.assign(counters.begin(), counters.end());
+  report.gauges.assign(gauges.begin(), gauges.end());
+  for (auto& [name, stat] : histograms) report.histograms.push_back(stat);
+  report.event_counts.assign(event_counts.begin(), event_counts.end());
+  return report;
+}
+
+Result<RunReport> BuildRunReportFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open trace file '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return BuildRunReport(buffer.str());
+}
+
+void RenderReportText(const RunReport& report, std::ostream& out) {
+  char buf[256];
+  out << "== Run report ==\n";
+  std::snprintf(buf, sizeof(buf), "spans: %llu  events: %llu\n",
+                static_cast<unsigned long long>(report.num_spans),
+                static_cast<unsigned long long>(report.num_events));
+  out << buf;
+
+  if (!report.phases.empty()) {
+    // Self% is against the sum of root (depth-0) totals, i.e. the traced
+    // portion of the run.
+    int64_t root_total = 0;
+    for (const PhaseStat& phase : report.phases) {
+      if (phase.depth == 0) root_total += phase.total_ns;
+    }
+    out << "\n-- Span attribution --\n";
+    std::snprintf(buf, sizeof(buf), "%-56s %8s %12s %12s %7s\n", "phase",
+                  "count", "total_ms", "self_ms", "self%");
+    out << buf;
+    for (const PhaseStat& phase : report.phases) {
+      std::string label(2 * static_cast<size_t>(phase.depth), ' ');
+      size_t slash = phase.path.rfind('/');
+      label += slash == std::string::npos ? phase.path
+                                          : phase.path.substr(slash + 1);
+      double share = root_total > 0 ? 100.0 * static_cast<double>(phase.self_ns)
+                                          / static_cast<double>(root_total)
+                                    : 0.0;
+      std::snprintf(buf, sizeof(buf), "%-56s %8llu %12s %12s %6.1f%%\n",
+                    label.c_str(),
+                    static_cast<unsigned long long>(phase.count),
+                    FormatMs(phase.total_ns).c_str(),
+                    FormatMs(phase.self_ns).c_str(), share);
+      out << buf;
+    }
+  }
+
+  if (!report.histograms.empty()) {
+    out << "\n-- Histograms --\n";
+    std::snprintf(buf, sizeof(buf), "%-44s %10s %12s %12s %12s %12s\n",
+                  "name", "count", "mean", "p50", "p95", "p99");
+    out << buf;
+    for (const HistogramStat& h : report.histograms) {
+      std::snprintf(buf, sizeof(buf), "%-44s %10llu %12s %12s %12s %12s\n",
+                    h.name.c_str(), static_cast<unsigned long long>(h.count),
+                    FormatDouble(h.mean).c_str(), FormatDouble(h.p50).c_str(),
+                    FormatDouble(h.p95).c_str(), FormatDouble(h.p99).c_str());
+      out << buf;
+    }
+  }
+
+  if (!report.counters.empty()) {
+    out << "\n-- Counters --\n";
+    for (const auto& [name, v] : report.counters) {
+      std::snprintf(buf, sizeof(buf), "%-56s %16llu\n", name.c_str(),
+                    static_cast<unsigned long long>(v));
+      out << buf;
+    }
+  }
+
+  if (!report.gauges.empty()) {
+    out << "\n-- Gauges --\n";
+    for (const auto& [name, v] : report.gauges) {
+      std::snprintf(buf, sizeof(buf), "%-56s %16s\n", name.c_str(),
+                    FormatDouble(v).c_str());
+      out << buf;
+    }
+  }
+
+  if (!report.event_counts.empty()) {
+    out << "\n-- Events --\n";
+    for (const auto& [kind, v] : report.event_counts) {
+      std::snprintf(buf, sizeof(buf), "%-56s %16llu\n", kind.c_str(),
+                    static_cast<unsigned long long>(v));
+      out << buf;
+    }
+  }
+}
+
+void RenderReportJson(const RunReport& report, std::ostream& out) {
+  out << "{\"counters\":{";
+  for (size_t i = 0; i < report.counters.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "\"" << EscapeJson(report.counters[i].first)
+        << "\":" << report.counters[i].second;
+  }
+  out << "},\"event_counts\":{";
+  for (size_t i = 0; i < report.event_counts.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "\"" << EscapeJson(report.event_counts[i].first)
+        << "\":" << report.event_counts[i].second;
+  }
+  out << "},\"events\":" << report.num_events << ",\"gauges\":{";
+  for (size_t i = 0; i < report.gauges.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "\"" << EscapeJson(report.gauges[i].first)
+        << "\":" << FormatDouble(report.gauges[i].second);
+  }
+  out << "},\"histograms\":[";
+  for (size_t i = 0; i < report.histograms.size(); ++i) {
+    const HistogramStat& h = report.histograms[i];
+    if (i > 0) out << ",";
+    out << "{\"count\":" << h.count << ",\"mean\":" << FormatDouble(h.mean)
+        << ",\"name\":\"" << EscapeJson(h.name)
+        << "\",\"p50\":" << FormatDouble(h.p50)
+        << ",\"p95\":" << FormatDouble(h.p95)
+        << ",\"p99\":" << FormatDouble(h.p99)
+        << ",\"sum\":" << FormatDouble(h.sum) << "}";
+  }
+  out << "],\"phases\":[";
+  for (size_t i = 0; i < report.phases.size(); ++i) {
+    const PhaseStat& p = report.phases[i];
+    if (i > 0) out << ",";
+    out << "{\"count\":" << p.count << ",\"depth\":" << p.depth
+        << ",\"path\":\"" << EscapeJson(p.path)
+        << "\",\"self_ns\":" << p.self_ns << ",\"total_ns\":" << p.total_ns
+        << "}";
+  }
+  out << "],\"spans\":" << report.num_spans << "}\n";
+}
+
+std::string RenderReportTextString(const RunReport& report) {
+  std::ostringstream out;
+  RenderReportText(report, out);
+  return out.str();
+}
+
+std::string RenderReportJsonString(const RunReport& report) {
+  std::ostringstream out;
+  RenderReportJson(report, out);
+  return out.str();
+}
+
+}  // namespace obs
+}  // namespace icrowd

@@ -1,0 +1,76 @@
+#ifndef ICROWD_OBS_REPORT_H_
+#define ICROWD_OBS_REPORT_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "obs/metrics.h"
+
+namespace icrowd {
+namespace obs {
+
+/// Run-report generator: the consumption side of the JSONL trace dump
+/// (`--metrics-out`). It folds the flat span stream back into the phase
+/// tree, attributes self vs total time per phase path, summarizes
+/// histograms with percentiles, and renders everything as either a
+/// human-readable table or stable JSON. The report is a pure function of
+/// the input bytes — no wall-clock reads, no environment — so a fixed
+/// trace renders byte-identically forever (the golden test relies on it).
+
+/// One aggregated phase: all spans sharing the same root-to-leaf name path
+/// (e.g. "experiment.run/sim.run/assign.refresh"), merged across threads.
+struct PhaseStat {
+  std::string path;       // "/"-joined span names from the root
+  uint32_t depth = 0;     // path components - 1
+  uint64_t count = 0;     // spans folded into this node
+  int64_t total_ns = 0;   // sum of span durations
+  int64_t self_ns = 0;    // total minus direct children's totals
+};
+
+/// One histogram with derived stats (percentiles via
+/// HistogramSnapshot::Percentile, so report and registry agree).
+struct HistogramStat {
+  std::string name;
+  uint64_t count = 0;
+  double sum = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+struct RunReport {
+  std::vector<PhaseStat> phases;         // pre-order over the span tree
+  std::vector<std::pair<std::string, uint64_t>> counters;  // name-sorted
+  std::vector<std::pair<std::string, double>> gauges;      // name-sorted
+  std::vector<HistogramStat> histograms;                   // name-sorted
+  std::vector<std::pair<std::string, uint64_t>> event_counts;  // by kind
+  uint64_t num_spans = 0;
+  uint64_t num_events = 0;
+};
+
+/// Parses one JSONL trace dump (the ExportJsonl format) and aggregates it.
+/// Unknown line types are skipped; a syntactically broken line is an
+/// InvalidArgument error naming the line number.
+Result<RunReport> BuildRunReport(const std::string& jsonl);
+Result<RunReport> BuildRunReportFromFile(const std::string& path);
+
+/// Human-readable tables: span attribution (count/total/self/self%),
+/// histogram percentiles, counters, gauges, event counts.
+void RenderReportText(const RunReport& report, std::ostream& out);
+
+/// The same data as one stable JSON object (sorted keys, arrays in the
+/// report's deterministic order, %.9g-style doubles).
+void RenderReportJson(const RunReport& report, std::ostream& out);
+
+std::string RenderReportTextString(const RunReport& report);
+std::string RenderReportJsonString(const RunReport& report);
+
+}  // namespace obs
+}  // namespace icrowd
+
+#endif  // ICROWD_OBS_REPORT_H_

@@ -1,0 +1,338 @@
+#!/usr/bin/env python3
+"""Noise-aware comparison of BENCH_*.json artifact sets.
+
+Usage:
+  bench_compare.py --baseline DIR --candidate DIR [options]
+  bench_compare.py --validate DIR
+  bench_compare.py --self-test
+
+Compares every BENCH_<name>.json present in both directories (schema
+documented in DESIGN.md §10 and written by bench/bench_harness.cc). Only
+time-like quantities gate the run: wall_ms, cpu_ms, and metrics whose name
+ends in one of the TIME_SUFFIXES. Other metrics (accuracies, counts) are
+reported as informational drift but never fail the comparison — accuracy
+regressions are the unit tests' job, not the perf gate's.
+
+A time-like metric regresses when BOTH hold:
+  1. candidate_min > baseline_min * (1 + threshold)   (relative guard)
+  2. candidate_min > baseline_min + 2 * baseline_stddev + absolute_floor
+     (noise guard: the change must clear the baseline's own repeat noise)
+Using min-of-repeats on both sides keeps one slow outlier repeat from
+failing (or masking) a gate.
+
+Exit codes: 0 ok, 1 regression (or validation failure), 2 usage/IO error.
+"""
+
+import argparse
+import json
+import math
+import os
+import sys
+
+TIME_SUFFIXES = ("_ms", "_ns", "_us", "_seconds", ".real_ms", ".cpu_ms")
+
+REQUIRED_TOP_KEYS = (
+    "build_type",
+    "cpu_ms",
+    "git_sha",
+    "iterations",
+    "metrics",
+    "name",
+    "repeats",
+    "schema",
+    "series",
+    "smoke",
+    "threads",
+    "wall_ms",
+)
+REQUIRED_STAT_KEYS = ("median", "min", "runs", "stddev")
+
+
+def is_time_like(name):
+    return any(name.endswith(suffix) for suffix in TIME_SUFFIXES)
+
+
+def validate_artifact(doc, path):
+    """Returns a list of schema-violation strings (empty when valid)."""
+    errors = []
+    if not isinstance(doc, dict):
+        return ["%s: top level is not an object" % path]
+    for key in REQUIRED_TOP_KEYS:
+        if key not in doc:
+            errors.append("%s: missing top-level key '%s'" % (path, key))
+    if doc.get("schema") != 1:
+        errors.append("%s: schema version %r != 1" % (path, doc.get("schema")))
+
+    def check_stats(label, stats):
+        if not isinstance(stats, dict):
+            errors.append("%s: %s is not a stats object" % (path, label))
+            return
+        for key in REQUIRED_STAT_KEYS:
+            if key not in stats:
+                errors.append("%s: %s missing '%s'" % (path, label, key))
+        runs = stats.get("runs")
+        if not isinstance(runs, list) or not runs:
+            errors.append("%s: %s has no runs" % (path, label))
+
+    for label in ("wall_ms", "cpu_ms"):
+        if label in doc:
+            check_stats(label, doc[label])
+    metrics = doc.get("metrics")
+    if isinstance(metrics, dict):
+        for name, stats in metrics.items():
+            check_stats("metrics[%s]" % name, stats)
+    else:
+        errors.append("%s: 'metrics' is not an object" % path)
+    if not isinstance(doc.get("series"), list):
+        errors.append("%s: 'series' is not an array" % path)
+    return errors
+
+
+def load_dir(directory):
+    """Returns {bench_name: artifact} for every BENCH_*.json in directory."""
+    artifacts = {}
+    try:
+        entries = sorted(os.listdir(directory))
+    except OSError as e:
+        raise SystemExit("bench_compare: cannot list %s: %s" % (directory, e))
+    for entry in entries:
+        if not (entry.startswith("BENCH_") and entry.endswith(".json")):
+            continue
+        path = os.path.join(directory, entry)
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, ValueError) as e:
+            raise SystemExit("bench_compare: cannot read %s: %s" % (path, e))
+        artifacts[entry[len("BENCH_"):-len(".json")]] = (path, doc)
+    return artifacts
+
+
+class Row:
+    def __init__(self, bench, metric, base, cand, regressed, gated):
+        self.bench = bench
+        self.metric = metric
+        self.base = base
+        self.cand = cand
+        self.regressed = regressed
+        self.gated = gated
+
+    @property
+    def delta_pct(self):
+        if self.base == 0:
+            return math.inf if self.cand > 0 else 0.0
+        return 100.0 * (self.cand - self.base) / self.base
+
+
+def compare_metric(base_stats, cand_stats, threshold, absolute_floor):
+    """Returns (base_min, cand_min, regressed) under the two-guard rule."""
+    base_min = float(base_stats["min"])
+    cand_min = float(cand_stats["min"])
+    base_stddev = float(base_stats.get("stddev", 0.0))
+    relative_bad = cand_min > base_min * (1.0 + threshold)
+    noise_bad = cand_min > base_min + 2.0 * base_stddev + absolute_floor
+    return base_min, cand_min, relative_bad and noise_bad
+
+
+def compare(args):
+    baseline = load_dir(args.baseline)
+    candidate = load_dir(args.candidate)
+    rows = []
+    notes = []
+
+    for name in sorted(set(baseline) - set(candidate)):
+        notes.append("baseline-only bench (skipped): %s" % name)
+    for name in sorted(set(candidate) - set(baseline)):
+        notes.append("new bench (no baseline, skipped): %s" % name)
+
+    for name in sorted(set(baseline) & set(candidate)):
+        base_path, base = baseline[name]
+        cand_path, cand = candidate[name]
+        schema_errors = validate_artifact(base, base_path) + validate_artifact(
+            cand, cand_path)
+        if schema_errors:
+            for err in schema_errors:
+                print("schema error: %s" % err, file=sys.stderr)
+            return 2
+        pairs = [("wall_ms", base["wall_ms"], cand["wall_ms"]),
+                 ("cpu_ms", base["cpu_ms"], cand["cpu_ms"])]
+        for metric in sorted(set(base["metrics"]) & set(cand["metrics"])):
+            pairs.append((metric, base["metrics"][metric],
+                          cand["metrics"][metric]))
+        for metric in sorted(set(base["metrics"]) - set(cand["metrics"])):
+            notes.append("%s: metric disappeared: %s" % (name, metric))
+        for metric in sorted(set(cand["metrics"]) - set(base["metrics"])):
+            notes.append("%s: new metric (no baseline): %s" % (name, metric))
+        for metric, base_stats, cand_stats in pairs:
+            gated = is_time_like(metric)
+            base_min, cand_min, regressed = compare_metric(
+                base_stats, cand_stats, args.threshold, args.absolute_floor_ms)
+            rows.append(
+                Row(name, metric, base_min, cand_min, regressed and gated,
+                    gated))
+
+    regressions = [r for r in rows if r.regressed]
+    print_markdown(rows, notes, regressions, args)
+    return 1 if regressions else 0
+
+
+def print_markdown(rows, notes, regressions, args):
+    print("## Bench comparison: `%s` vs `%s`" % (args.baseline,
+                                                 args.candidate))
+    print()
+    print("threshold: +%.0f%% relative AND min > baseline_min + 2*stddev "
+          "+ %.3g ms (time-like metrics only)" %
+          (100.0 * args.threshold, args.absolute_floor_ms))
+    print()
+    if not rows:
+        print("_no common benches to compare_")
+    else:
+        print("| bench | metric | baseline min | candidate min | delta "
+              "| gate |")
+        print("|---|---|---:|---:|---:|---|")
+        for r in rows:
+            if not (r.gated or args.verbose):
+                continue
+            if r.regressed:
+                status = "**REGRESSED**"
+            elif r.gated:
+                status = "ok"
+            else:
+                status = "drift-only"
+            print("| %s | %s | %.6g | %.6g | %+.1f%% | %s |" %
+                  (r.bench, r.metric, r.base, r.cand, r.delta_pct, status))
+    for note in notes:
+        print("- %s" % note)
+    print()
+    if regressions:
+        print("**%d regression(s) detected.**" % len(regressions))
+    else:
+        print("No regressions.")
+
+
+def validate(directory):
+    artifacts = load_dir(directory)
+    if not artifacts:
+        print("bench_compare: no BENCH_*.json in %s" % directory,
+              file=sys.stderr)
+        return 1
+    errors = []
+    for _, (path, doc) in sorted(artifacts.items()):
+        errors.extend(validate_artifact(doc, path))
+    for err in errors:
+        print("schema error: %s" % err, file=sys.stderr)
+    if not errors:
+        print("%d artifact(s) valid." % len(artifacts))
+    return 1 if errors else 0
+
+
+# ---------------------------------------------------------------------------
+# Self-test: synthetic artifacts exercising the gate logic in-process.
+
+def _artifact(wall_runs, metrics=None):
+    def stats(runs):
+        runs = [float(v) for v in runs]
+        sorted_runs = sorted(runs)
+        n = len(sorted_runs)
+        median = (sorted_runs[n // 2] if n % 2 else
+                  0.5 * (sorted_runs[n // 2 - 1] + sorted_runs[n // 2]))
+        mean = sum(runs) / n
+        stddev = math.sqrt(sum((v - mean) ** 2 for v in runs) / n)
+        return {"median": median, "min": min(runs), "runs": runs,
+                "stddev": stddev}
+
+    doc = {
+        "build_type": "Release", "git_sha": "selftest", "iterations": 100,
+        "name": "demo", "repeats": len(wall_runs), "schema": 1, "series": [],
+        "smoke": True, "threads": 1,
+        "wall_ms": stats(wall_runs), "cpu_ms": stats(wall_runs),
+        "metrics": {k: stats(v) for k, v in (metrics or {}).items()},
+    }
+    return doc
+
+
+def self_test():
+    failures = []
+
+    def check(name, cond):
+        if not cond:
+            failures.append(name)
+
+    base = _artifact([100.0, 101.0, 99.0])
+    # 2x slowdown must regress.
+    _, _, bad = compare_metric(base["wall_ms"],
+                               _artifact([200.0, 201.0, 199.0])["wall_ms"],
+                               threshold=0.10, absolute_floor=0.5)
+    check("2x slowdown regresses", bad)
+    # Self-compare must pass.
+    _, _, bad = compare_metric(base["wall_ms"], base["wall_ms"],
+                               threshold=0.10, absolute_floor=0.5)
+    check("self-compare passes", not bad)
+    # Within-threshold change must pass.
+    _, _, bad = compare_metric(base["wall_ms"],
+                               _artifact([104.0, 105.0, 103.0])["wall_ms"],
+                               threshold=0.10, absolute_floor=0.5)
+    check("+5% within 10% threshold passes", not bad)
+    # Over-threshold but inside baseline noise must pass (stddev guard).
+    noisy = _artifact([100.0, 150.0, 50.0])  # stddev ~ 40.8
+    _, _, bad = compare_metric(noisy["wall_ms"],
+                               _artifact([90.0, 91.0, 89.0])["wall_ms"],
+                               threshold=0.10, absolute_floor=0.5)
+    check("faster candidate passes", not bad)
+    _, _, bad = compare_metric(noisy["wall_ms"],
+                               _artifact([60.0, 61.0, 59.0])["wall_ms"],
+                               threshold=0.10, absolute_floor=0.5)
+    check("noisy baseline: +20% of min inside 2*stddev passes", not bad)
+    # Non-time metrics never gate.
+    check("accuracy is not time-like", not is_time_like("YahooQA.Adapt.overall"))
+    check("wall_ms is time-like", is_time_like("wall_ms"))
+    check("gbench real_ms is time-like",
+          is_time_like("BM_GreedyAssign/360.real_ms"))
+    # Schema validation catches missing keys.
+    broken = _artifact([1.0])
+    del broken["git_sha"]
+    check("validation flags missing git_sha",
+          any("git_sha" in e for e in validate_artifact(broken, "x")))
+    check("valid artifact validates clean",
+          not validate_artifact(_artifact([1.0]), "x"))
+
+    for name in failures:
+        print("SELF-TEST FAILED: %s" % name, file=sys.stderr)
+    if not failures:
+        print("bench_compare self-test: all checks passed.")
+    return 1 if failures else 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Compare BENCH_*.json artifact sets (see DESIGN.md §10).")
+    parser.add_argument("--baseline", help="directory with baseline artifacts")
+    parser.add_argument("--candidate",
+                        help="directory with candidate artifacts")
+    parser.add_argument("--validate", metavar="DIR",
+                        help="only schema-validate the artifacts in DIR")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="relative slowdown tolerance (default 0.10)")
+    parser.add_argument("--absolute-floor-ms", type=float, default=0.5,
+                        help="ignore absolute deltas below this many ms "
+                             "(default 0.5)")
+    parser.add_argument("--verbose", action="store_true",
+                        help="also list drift-only (non-gated) metrics")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in logic checks and exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if args.validate:
+        return validate(args.validate)
+    if not args.baseline or not args.candidate:
+        parser.print_usage(sys.stderr)
+        print("bench_compare: need --baseline and --candidate (or "
+              "--validate / --self-test)", file=sys.stderr)
+        return 2
+    return compare(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

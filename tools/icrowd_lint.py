@@ -32,6 +32,14 @@ Rules (see DESIGN.md "Static-analysis layer"):
                   with an explicit waiver on the use line or the line above:
                       // lint: clock-ok(<reason>)
 
+  bench-main      Files under bench/ must not define their own main(): the
+                  shared harness (bench/bench_harness.cc) owns main() so
+                  every bench binary accepts the common flags and emits a
+                  BENCH_<name>.json artifact. Define the body with
+                  ICROWD_BENCH("<name>") instead (see DESIGN.md §10). The
+                  harness itself carries the file-level waiver:
+                      // lint: bench-main-ok(<reason>)
+
 Exit status: 0 when clean, 1 when any violation is found, 2 on usage error.
 Run directly or via `cmake --build build --target lint`.
 """
@@ -62,6 +70,9 @@ RANGE_FOR_PATTERN = re.compile(r"\bfor\s*\(([^;)]*?)\s*:\s*([^)]+)\)")
 WAIVER_PATTERN = re.compile(r"//\s*lint:\s*unordered-ok\([^)]+\)")
 CLOCK_PATTERN = re.compile(r"\bsystem_clock\b")
 CLOCK_WAIVER_PATTERN = re.compile(r"//\s*lint:\s*clock-ok\([^)]+\)")
+MAIN_DEF_PATTERN = re.compile(r"^\s*int\s+main\s*\(", re.MULTILINE)
+# File-scope waiver (the rule is per-file: only the harness owns a main).
+BENCH_MAIN_WAIVER_PATTERN = re.compile(r"//\s*lint:\s*bench-main-ok\([^)]*\)")
 # Appends to an output container or accumulates state in place; on an
 # unordered range these make the result depend on hash iteration order.
 ORDER_SENSITIVE_BODY_PATTERN = re.compile(
@@ -216,6 +227,26 @@ def check_clock_source(rel, text, stripped):
     return violations
 
 
+def check_bench_main(rel, text, stripped):
+    p = rel.replace("\\", "/")
+    if not p.startswith("bench/") or Path(rel).suffix not in (".cc", ".cpp"):
+        return []
+    if BENCH_MAIN_WAIVER_PATTERN.search(text):
+        return []
+    violations = []
+    for m in MAIN_DEF_PATTERN.finditer(stripped):
+        violations.append(
+            Violation(
+                rel, line_of(stripped, m.start()), "bench-main",
+                "bench binary defines its own main(); use "
+                'ICROWD_BENCH("<name>") so the shared harness supplies '
+                "main() and the BENCH_<name>.json artifact, or add "
+                "'// lint: bench-main-ok(<reason>)'",
+            )
+        )
+    return violations
+
+
 def unordered_names(stripped_texts):
     """Names declared as std::unordered_{map,set} in any given text."""
     names = set()
@@ -302,6 +333,7 @@ def lint_file(root, path):
     violations += check_cc_include(rel, text, stripped)
     violations += check_clock_source(rel, text, stripped)
     violations += check_include_guard(rel, text, stripped)
+    violations += check_bench_main(rel, text, stripped)
     violations += check_unordered_iter(rel, text, stripped, sibling_stripped)
     return violations
 
@@ -489,6 +521,61 @@ SELF_TEST_CASES = [
         "#include <unordered_map>\nvoid f() {\n"
         "  std::unordered_map<int, int> votes;\n  int total = 0;\n"
         "  for (const auto& [k, v] : votes) total += v;\n}\n",
+        None,
+        set(),
+    ),
+    (
+        "bench binary with its own main",
+        "bench/bad_bench.cc",
+        "int main() { return 0; }\n",
+        None,
+        {"bench-main"},
+    ),
+    (
+        "bench binary with argc/argv main",
+        "bench/bad_bench2.cc",
+        "#include <benchmark/benchmark.h>\n"
+        "int main(int argc, char** argv) {\n"
+        "  benchmark::Initialize(&argc, argv);\n  return 0;\n}\n",
+        None,
+        {"bench-main"},
+    ),
+    (
+        "bench main with file-level waiver",
+        "bench/harness_like.cc",
+        "// lint: bench-main-ok(shared harness entry point)\n"
+        "int main(int argc, char** argv) { return 0; }\n",
+        None,
+        set(),
+    ),
+    (
+        "bench main with empty-reason waiver",
+        "bench/harness_like2.cc",
+        "// lint: bench-main-ok()\nint main() { return 0; }\n",
+        None,
+        set(),
+    ),
+    (
+        "ICROWD_BENCH body is fine",
+        "bench/good_bench.cc",
+        '#include "bench_harness.h"\n'
+        'ICROWD_BENCH("good_bench") { ctx.ReportMetric("m", 1.0); }\n',
+        None,
+        set(),
+    ),
+    (
+        "main mention in bench comment is fine",
+        "bench/ok_comment.cc",
+        "// the harness owns int main(...)\n"
+        '#include "bench_harness.h"\n'
+        'ICROWD_BENCH("ok_comment") {}\n',
+        None,
+        set(),
+    ),
+    (
+        "main outside bench/ is fine",
+        "examples/demo.cc",
+        "int main() { return 0; }\n",
         None,
         set(),
     ),
