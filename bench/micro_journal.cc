@@ -1,0 +1,104 @@
+// Journal-overhead microbench (DESIGN.md §11): the same campaign driven
+// through the ICrowd facade unjournaled, journaled into memory, and
+// journaled into a file — the write-ahead append + flush cost on the
+// platform hot path. The durability bar is overhead_pct (journaled-to-file
+// vs unjournaled wall time) staying under 10%. Results are checked
+// identical across variants before timing: journaling must never change a
+// decision.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_harness.h"
+#include "common/stopwatch.h"
+#include "core/icrowd.h"
+#include "datagen/entity_resolution.h"
+#include "journal/journal.h"
+#include "sim/campaign_driver.h"
+
+using namespace icrowd;         // NOLINT: bench brevity
+using namespace icrowd::bench;  // NOLINT: bench brevity
+
+namespace {
+
+struct CampaignRun {
+  double wall_ms = 0.0;
+  size_t answers = 0;
+  std::vector<Label> results;
+};
+
+CampaignRun DriveOnce(const Dataset& dataset,
+                      const std::vector<WorkerProfile>& profiles,
+                      std::shared_ptr<JournalSink> sink) {
+  ICrowdConfig config;
+  config.num_qualification = 4;
+  config.warmup.tasks_per_worker = 3;
+  config.graph.measure = SimilarityMeasure::kJaccard;
+  config.graph.threshold = 0.2;
+  config.journal_sink = std::move(sink);
+  CampaignRun run;
+  Stopwatch watch;
+  auto system = ICrowd::Create(dataset, config).MoveValueOrDie();
+  CampaignDriverOptions options;
+  options.seed = 7;
+  auto outcome =
+      DriveCampaign(system.get(), profiles, profiles.size(), options);
+  run.wall_ms = watch.ElapsedSeconds() * 1e3;
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "drive failed: %s\n",
+                 outcome.status().ToString().c_str());
+    return run;
+  }
+  run.answers = outcome->answers;
+  run.results = system->Results();
+  return run;
+}
+
+}  // namespace
+
+ICROWD_BENCH("micro_journal") {
+  EntityResolutionOptions data_options;
+  data_options.tasks_per_family = ctx.smoke() ? 5 : 25;
+  Dataset dataset =
+      GenerateEntityResolution(data_options).MoveValueOrDie();
+  std::vector<WorkerProfile> profiles = GenerateEntityResolutionWorkers(
+      dataset, ctx.smoke() ? 8 : 16);
+
+  CampaignRun plain = DriveOnce(dataset, profiles, nullptr);
+  auto vector_sink = std::make_shared<VectorSink>();
+  CampaignRun in_memory = DriveOnce(dataset, profiles, vector_sink);
+  std::string path = "micro_journal.tmp.journal";
+  CampaignRun on_file;
+  {
+    auto file_sink = FileSink::Open(path, /*truncate=*/true);
+    if (!file_sink.ok()) {
+      std::fprintf(stderr, "cannot open %s: %s\n", path.c_str(),
+                   file_sink.status().ToString().c_str());
+      return;
+    }
+    on_file = DriveOnce(dataset, profiles, file_sink.MoveValueOrDie());
+  }
+  std::remove(path.c_str());
+
+  // Journaling must be invisible to the campaign's decisions.
+  if (in_memory.results != plain.results ||
+      on_file.results != plain.results) {
+    std::fprintf(stderr,
+                 "FATAL: journaled campaign diverged from unjournaled\n");
+    return;
+  }
+
+  ctx.AddIterations(plain.answers + in_memory.answers + on_file.answers);
+  ctx.ReportMetric("unjournaled_ms", plain.wall_ms);
+  ctx.ReportMetric("vector_sink_ms", in_memory.wall_ms);
+  ctx.ReportMetric("file_sink_ms", on_file.wall_ms);
+  ctx.ReportMetric("journal_bytes",
+                   static_cast<double>(vector_sink->bytes().size()));
+  ctx.ReportMetric(
+      "overhead_pct",
+      plain.wall_ms > 0.0
+          ? 100.0 * (on_file.wall_ms - plain.wall_ms) / plain.wall_ms
+          : 0.0);
+}

@@ -7,11 +7,7 @@
 #include <cstdio>
 #include <set>
 
-#include "common/random.h"
-#include "common/string_util.h"
-#include "core/icrowd.h"
-#include "datagen/entity_resolution.h"
-#include "sim/metrics.h"
+#include "icrowd_api.h"
 
 using namespace icrowd;  // NOLINT: example brevity
 
@@ -54,7 +50,13 @@ int main() {
   for (size_t round = 0; round < 8 && !system.Finished(); ++round) {
     for (const WorkerProfile& profile : crowd) {
       if (system.Finished()) break;
-      WorkerId w = system.OnWorkerArrived();
+      auto arrived = system.OnWorkerArrived();
+      if (!arrived.ok()) {
+        std::fprintf(stderr, "OnWorkerArrived failed: %s\n",
+                     arrived.status().ToString().c_str());
+        return 1;
+      }
+      WorkerId w = *arrived;
       int64_t budget = profile.willingness;
       while (budget-- > 0 && !system.Finished()) {
         auto task = system.RequestTask(w);
@@ -79,7 +81,12 @@ int main() {
       if (system.worker_status(w) == ICrowd::WorkerStatus::kRejected) {
         ++rejected;
       }
-      system.OnWorkerLeft(w);
+      Status left = system.OnWorkerLeft(w);
+      if (!left.ok()) {
+        std::fprintf(stderr, "OnWorkerLeft failed: %s\n",
+                     left.ToString().c_str());
+        return 1;
+      }
     }
   }
 

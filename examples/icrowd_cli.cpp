@@ -8,23 +8,25 @@
 //              [--random-qualification] [--per-domain]
 //              [--export-dataset=FILE] [--export-answers=FILE]
 //              [--metrics-out=FILE.jsonl] [--deterministic]
+//              [--journal=FILE] [--resume] [--snapshot=FILE]
+//              [--journal-dump=FILE.jsonl]
 //
 // Prints overall (and optionally per-domain) accuracy averaged over seeds;
 // optionally exports the dataset and the last run's answer log as CSV.
+//
+// With --journal=FILE the driver instead runs one durable campaign through
+// the journaled platform API: every callback is written ahead to FILE, so a
+// killed run can be continued with --resume (crash recovery replays the
+// journal — plus --snapshot=FILE if one was saved — and picks up where the
+// campaign stopped). --journal-dump renders a journal as JSONL for humans.
 
 #include <cstdio>
 #include <cstring>
+#include <memory>
+#include <set>
 #include <string>
 
-#include "common/string_util.h"
-#include "core/experiment.h"
-#include "datagen/entity_resolution.h"
-#include "datagen/poi.h"
-#include "io/dataset_io.h"
-#include "datagen/itemcompare.h"
-#include "datagen/worker_pool.h"
-#include "datagen/yahooqa.h"
-#include "obs/exporter.h"
+#include "icrowd_api.h"
 
 using namespace icrowd;  // NOLINT: example brevity
 
@@ -39,6 +41,10 @@ struct CliOptions {
   bool per_domain = false;
   std::string export_dataset;  // write the dataset CSV here
   std::string export_answers;  // write the last run's answer log here
+  std::string journal;         // durable mode: write-ahead journal file
+  bool resume = false;         // recover from an existing journal
+  std::string snapshot;        // snapshot file to save (and load on resume)
+  std::string journal_dump;    // dump --journal as JSONL and exit
 };
 
 bool ParseFlag(const std::string& arg, const std::string& name,
@@ -61,8 +67,132 @@ int Usage() {
       "                  [--seed-base=1000] [--random-qualification]\n"
       "                  [--per-domain] [--export-dataset=FILE]\n"
       "                  [--export-answers=FILE]\n"
-      "                  [--metrics-out=FILE.jsonl] [--deterministic]\n");
+      "                  [--metrics-out=FILE.jsonl] [--deterministic]\n"
+      "                  [--journal=FILE] [--resume] [--snapshot=FILE]\n"
+      "                  [--journal-dump=FILE.jsonl]\n");
   return 2;
+}
+
+/// Durable-campaign mode: one journaled run of the full platform pipeline.
+/// Fresh runs start a new journal; --resume recovers the campaign from the
+/// journal (and snapshot, if given) and continues appending to it.
+int RunDurableCampaign(const CliOptions& options, const Dataset& dataset,
+                       const std::vector<WorkerProfile>& workers) {
+  ICrowdConfig config = options.config;
+  config.seed = options.seed_base;
+
+  Result<std::unique_ptr<ICrowd>> system =
+      Status::Internal("durable campaign not initialized");
+  if (options.resume) {
+    auto bytes = ReadFileBytes(options.journal);
+    if (!bytes.ok()) {
+      std::fprintf(stderr, "cannot read journal: %s\n",
+                   bytes.status().ToString().c_str());
+      return 1;
+    }
+    // A torn tail (mid-append crash) is recoverable, but the garbage bytes
+    // must not stay on disk ahead of the append position — truncate the
+    // file to its intact prefix before reattaching.
+    auto parsed = ReadJournal(*bytes);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "journal unreadable: %s\n",
+                   parsed.status().ToString().c_str());
+      return 1;
+    }
+    if (parsed->dropped_bytes > 0) {
+      std::fprintf(stderr,
+                   "note: dropping %zu torn bytes from journal tail\n",
+                   parsed->dropped_bytes);
+      bytes->resize(parsed->valid_bytes);
+      Status truncated = WriteFileBytes(options.journal, *bytes);
+      if (!truncated.ok()) {
+        std::fprintf(stderr, "cannot truncate torn journal: %s\n",
+                     truncated.ToString().c_str());
+        return 1;
+      }
+    }
+    std::vector<uint8_t> snapshot_bytes;
+    if (!options.snapshot.empty()) {
+      auto snap = ReadFileBytes(options.snapshot);
+      // A missing snapshot file just means full-journal replay.
+      if (snap.ok()) snapshot_bytes = snap.MoveValueOrDie();
+    }
+    auto sink = FileSink::Open(options.journal, /*truncate=*/false);
+    if (!sink.ok()) {
+      std::fprintf(stderr, "cannot reopen journal: %s\n",
+                   sink.status().ToString().c_str());
+      return 1;
+    }
+    config.journal_sink = sink.MoveValueOrDie();
+    system = ICrowd::Restore(dataset, config, snapshot_bytes, *bytes);
+  } else {
+    auto sink = FileSink::Open(options.journal, /*truncate=*/true);
+    if (!sink.ok()) {
+      std::fprintf(stderr, "cannot open journal: %s\n",
+                   sink.status().ToString().c_str());
+      return 1;
+    }
+    config.journal_sink = sink.MoveValueOrDie();
+    system = ICrowd::Create(dataset, config);
+  }
+  if (!system.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n",
+                 options.resume ? "recovery" : "campaign start",
+                 system.status().ToString().c_str());
+    return 1;
+  }
+  ICrowd& campaign = **system;
+  if (options.resume) {
+    std::printf("resumed campaign at journal position %llu "
+                "(%zu answers already in)\n",
+                static_cast<unsigned long long>(campaign.events_applied()),
+                campaign.state().AllAnswers().size());
+  }
+
+  CampaignDriverOptions driver_options;
+  driver_options.seed = options.seed_base;
+  auto outcome =
+      DriveCampaign(&campaign, workers, workers.size(), driver_options);
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "campaign drive failed: %s\n",
+                 outcome.status().ToString().c_str());
+    return 1;
+  }
+
+  if (!options.snapshot.empty()) {
+    auto snap = campaign.Snapshot();
+    if (!snap.ok()) {
+      std::fprintf(stderr, "snapshot failed: %s\n",
+                   snap.status().ToString().c_str());
+      return 1;
+    }
+    Status written = WriteFileBytes(options.snapshot, *snap);
+    if (!written.ok()) {
+      std::fprintf(stderr, "snapshot write failed: %s\n",
+                   written.ToString().c_str());
+      return 1;
+    }
+  }
+
+  std::set<TaskId> qual(campaign.qualification_tasks().begin(),
+                        campaign.qualification_tasks().end());
+  AccuracyReport report =
+      EvaluateAccuracy(dataset, campaign.Results(), qual);
+  std::printf("dataset=%s journal=%s %s after %d rounds, %zu answers "
+              "(journal position %llu)\n",
+              options.dataset.c_str(), options.journal.c_str(),
+              outcome->finished ? "completed" : "stopped",
+              outcome->rounds, outcome->answers,
+              static_cast<unsigned long long>(campaign.events_applied()));
+  if (options.per_domain) {
+    for (const DomainAccuracy& d : report.per_domain) {
+      std::printf("  %-18s %s\n", d.domain.c_str(),
+                  FormatDouble(d.accuracy, 3).c_str());
+    }
+  }
+  std::printf("overall accuracy: %s\n",
+              FormatDouble(report.overall, 3).c_str());
+  return 0;
 }
 
 }  // namespace
@@ -112,9 +242,34 @@ int main(int argc, char** argv) {
       options.export_dataset = value;
     } else if (ParseFlag(arg, "export-answers", &value)) {
       options.export_answers = value;
+    } else if (ParseFlag(arg, "journal", &value)) {
+      options.journal = value;
+    } else if (arg == "--resume") {
+      options.resume = true;
+    } else if (ParseFlag(arg, "snapshot", &value)) {
+      options.snapshot = value;
+    } else if (ParseFlag(arg, "journal-dump", &value)) {
+      options.journal_dump = value;
     } else {
       return Usage();
     }
+  }
+  if ((options.resume || !options.journal_dump.empty()) &&
+      options.journal.empty()) {
+    std::fprintf(stderr, "--resume/--journal-dump need --journal=FILE\n");
+    return Usage();
+  }
+
+  if (!options.journal_dump.empty()) {
+    Status dumped = DumpJournalJsonl(options.journal, options.journal_dump);
+    if (!dumped.ok()) {
+      std::fprintf(stderr, "journal dump failed: %s\n",
+                   dumped.ToString().c_str());
+      return 1;
+    }
+    std::printf("journal %s dumped to %s\n", options.journal.c_str(),
+                options.journal_dump.c_str());
+    return 0;
   }
 
   StrategyKind kind;
@@ -175,6 +330,14 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "export failed: %s\n", st.ToString().c_str());
       return 1;
     }
+  }
+
+  if (!options.journal.empty()) {
+    // Durable mode always runs the full iCrowd pipeline (the facade is the
+    // journaled surface); --strategy applies to experiment mode only.
+    int rc = RunDurableCampaign(options, *dataset, workers);
+    if (rc == 0 && !obs::WriteMetricsIfRequested(metrics_options)) return 1;
+    return rc;
   }
 
   std::vector<double> per_domain(dataset->domains().size(), 0.0);

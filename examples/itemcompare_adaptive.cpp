@@ -4,10 +4,7 @@
 
 #include <cstdio>
 
-#include "common/string_util.h"
-#include "core/experiment.h"
-#include "datagen/itemcompare.h"
-#include "sim/metrics.h"
+#include "icrowd_api.h"
 
 using namespace icrowd;  // NOLINT: example brevity
 

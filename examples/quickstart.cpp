@@ -6,13 +6,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "assign/greedy_assign.h"
-#include "assign/top_workers.h"
-#include "common/string_util.h"
-#include "datagen/entity_resolution.h"
-#include "estimation/accuracy_estimator.h"
-#include "graph/similarity_graph.h"
-#include "qualification/qualification_selector.h"
+#include "icrowd_api.h"
 
 using namespace icrowd;  // NOLINT: example brevity
 

@@ -5,9 +5,7 @@
 
 #include <cstdio>
 
-#include "common/string_util.h"
-#include "core/experiment.h"
-#include "datagen/yahooqa.h"
+#include "icrowd_api.h"
 
 using namespace icrowd;  // NOLINT: example brevity
 

@@ -189,4 +189,46 @@ std::optional<TaskId> AdaptiveAssigner::RequestTask(
   return test;
 }
 
+void AdaptiveAssigner::SerializeState(BinaryWriter* writer) const {
+  estimator_->SerializeState(writer);
+  std::vector<WorkerId> dirty(dirty_workers_.begin(), dirty_workers_.end());
+  std::sort(dirty.begin(), dirty.end());
+  writer->U64(dirty.size());
+  for (WorkerId w : dirty) writer->I32(w);
+  std::vector<std::pair<WorkerId, TaskId>> planned(planned_.begin(),
+                                                   planned_.end());
+  std::sort(planned.begin(), planned.end());
+  writer->U64(planned.size());
+  for (const auto& [w, t] : planned) {
+    writer->I32(w);
+    writer->I32(t);
+  }
+  writer->U8(scheme_dirty_ ? 1 : 0);
+  writer->U64(scheme_recomputations_.load(std::memory_order_relaxed));
+  writer->U64(test_assignments_.load(std::memory_order_relaxed));
+}
+
+Status AdaptiveAssigner::RestoreState(BinaryReader* reader) {
+  ICROWD_RETURN_NOT_OK(estimator_->RestoreState(reader));
+  dirty_workers_.clear();
+  uint64_t dirty = reader->U64();
+  for (uint64_t i = 0; i < dirty && reader->ok(); ++i) {
+    dirty_workers_.insert(reader->I32());
+  }
+  planned_.clear();
+  uint64_t planned = reader->U64();
+  for (uint64_t i = 0; i < planned && reader->ok(); ++i) {
+    WorkerId w = reader->I32();
+    planned_[w] = reader->I32();
+  }
+  scheme_dirty_ = reader->U8() != 0;
+  scheme_recomputations_.store(static_cast<size_t>(reader->U64()),
+                               std::memory_order_relaxed);
+  test_assignments_.store(static_cast<size_t>(reader->U64()),
+                          std::memory_order_relaxed);
+  scheme_recompute_fp_.store(0, std::memory_order_relaxed);
+  refresh_fp_.store(0, std::memory_order_relaxed);
+  return reader->status();
+}
+
 }  // namespace icrowd

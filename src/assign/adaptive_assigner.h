@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "assign/assigner.h"
+#include "common/binary_io.h"
 #include "common/thread_pool.h"
 #include "estimation/accuracy_estimator.h"
 #include "obs/metrics.h"
@@ -99,6 +100,13 @@ class AdaptiveAssigner : public Assigner {
             obs::FromFixedPoint(
                 refresh_fp_.load(std::memory_order_relaxed))};
   }
+
+  /// Serializes the estimator models plus this assigner's scheduling state
+  /// (dirty set, partially-consumed plan cache, counters) for
+  /// ICrowd::Snapshot(). Wall-clock timer accumulators are not serialized
+  /// and restart from zero on restore.
+  void SerializeState(BinaryWriter* writer) const;
+  Status RestoreState(BinaryReader* reader);
 
  private:
   ThreadPool* pool() const { return options_.pool.get(); }

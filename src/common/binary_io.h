@@ -1,0 +1,140 @@
+#ifndef ICROWD_COMMON_BINARY_IO_H_
+#define ICROWD_COMMON_BINARY_IO_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace icrowd {
+
+/// Little-endian binary encoder for snapshots and journal payloads. Every
+/// multi-byte integer is written LSB-first regardless of host order and
+/// doubles go out as their raw IEEE-754 bit pattern, so serialized bytes are
+/// reproducible across platforms — the property the bit-identical recovery
+/// contract (DESIGN.md §11) depends on.
+class BinaryWriter {
+ public:
+  void U8(uint8_t v) { buf_.push_back(v); }
+
+  void U32(uint32_t v) {
+    buf_.push_back(static_cast<uint8_t>(v & 0xffu));
+    buf_.push_back(static_cast<uint8_t>((v >> 8) & 0xffu));
+    buf_.push_back(static_cast<uint8_t>((v >> 16) & 0xffu));
+    buf_.push_back(static_cast<uint8_t>((v >> 24) & 0xffu));
+  }
+
+  void U64(uint64_t v) {
+    U32(static_cast<uint32_t>(v & 0xffffffffull));
+    U32(static_cast<uint32_t>(v >> 32));
+  }
+
+  void I32(int32_t v) { U32(static_cast<uint32_t>(v)); }
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+
+  void F64(double v) {
+    static_assert(sizeof(uint64_t) == sizeof(double));
+    uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    U64(bits);
+  }
+
+  void Bytes(const void* data, size_t n) {
+    const uint8_t* p = static_cast<const uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+
+  void Str(const std::string& s) {
+    U64(s.size());
+    Bytes(s.data(), s.size());
+  }
+
+  size_t size() const { return buf_.size(); }
+  const std::vector<uint8_t>& data() const { return buf_; }
+  std::vector<uint8_t> Release() { return std::move(buf_); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+/// Checked decoder for BinaryWriter output: every read validates bounds
+/// first; after an overrun the reader is poisoned (ok() == false) and all
+/// further reads return zero values. Callers decode a whole structure and
+/// check status() once at the end.
+class BinaryReader {
+ public:
+  BinaryReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit BinaryReader(const std::vector<uint8_t>& bytes)
+      : BinaryReader(bytes.data(), bytes.size()) {}
+
+  uint8_t U8() {
+    if (!Require(1)) return 0;
+    return data_[pos_++];
+  }
+
+  uint32_t U32() {
+    if (!Require(4)) return 0;
+    uint32_t v = static_cast<uint32_t>(data_[pos_]) |
+                 (static_cast<uint32_t>(data_[pos_ + 1]) << 8) |
+                 (static_cast<uint32_t>(data_[pos_ + 2]) << 16) |
+                 (static_cast<uint32_t>(data_[pos_ + 3]) << 24);
+    pos_ += 4;
+    return v;
+  }
+
+  uint64_t U64() {
+    uint64_t lo = U32();
+    uint64_t hi = U32();
+    return lo | (hi << 32);
+  }
+
+  int32_t I32() { return static_cast<int32_t>(U32()); }
+  int64_t I64() { return static_cast<int64_t>(U64()); }
+
+  double F64() {
+    uint64_t bits = U64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  std::string Str() {
+    uint64_t n = U64();
+    if (!Require(n)) return std::string();
+    std::string s(reinterpret_cast<const char*>(data_ + pos_),
+                  static_cast<size_t>(n));
+    pos_ += static_cast<size_t>(n);
+    return s;
+  }
+
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return pos_ == size_; }
+  size_t position() const { return pos_; }
+  size_t remaining() const { return size_ - pos_; }
+
+  /// OK while every read so far stayed in bounds.
+  Status status() const {
+    if (ok_) return Status::OK();
+    return Status::InvalidArgument("binary decode ran past end of buffer");
+  }
+
+ private:
+  bool Require(uint64_t n) {
+    if (!ok_ || n > size_ - pos_) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace icrowd
+
+#endif  // ICROWD_COMMON_BINARY_IO_H_

@@ -1,0 +1,45 @@
+#ifndef ICROWD_CORE_CLOCK_H_
+#define ICROWD_CORE_CLOCK_H_
+
+#include "common/stopwatch.h"
+
+namespace icrowd {
+
+/// Time source for §4.1 activity tracking, injected through ICrowdConfig.
+/// When no clock is configured the facade runs a deterministic logical
+/// clock (one second per task request). During journal replay the recorded
+/// tick times are substituted, so the configured clock is never consulted
+/// and recovery is independent of wall time.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Current time in seconds on any monotone scale.
+  virtual double Now() = 0;
+};
+
+/// Test/simulation clock advanced explicitly by the caller.
+class ManualClock : public Clock {
+ public:
+  explicit ManualClock(double start = 0.0) : now_(start) {}
+
+  double Now() override { return now_; }
+  void Set(double now) { now_ = now; }
+  void Advance(double seconds) { now_ += seconds; }
+
+ private:
+  double now_;
+};
+
+/// Monotonic wall-clock seconds since construction, for real platform
+/// integrations (workers time out on actual elapsed time).
+class SteadyClock : public Clock {
+ public:
+  double Now() override { return since_start_.ElapsedSeconds(); }
+
+ private:
+  Stopwatch since_start_;
+};
+
+}  // namespace icrowd
+
+#endif  // ICROWD_CORE_CLOCK_H_

@@ -5,8 +5,10 @@
 #include <memory>
 
 #include "common/thread_pool.h"
+#include "core/clock.h"
 #include "estimation/accuracy_estimator.h"
 #include "graph/similarity_graph.h"
+#include "journal/journal.h"
 #include "qualification/warmup.h"
 
 namespace icrowd {
@@ -48,6 +50,15 @@ struct ICrowdConfig {
   /// threads are spawned once per process, not per campaign. When null and
   /// num_threads != 1 each adaptive assigner creates its own.
   std::shared_ptr<ThreadPool> pool;
+  /// Time source for §4.1 activity tracking. Null (the default) runs a
+  /// deterministic logical clock advancing one second per RequestTask;
+  /// platform integrations inject a SteadyClock (or ManualClock in tests).
+  /// All configuration is fixed at construction — there is no setter.
+  std::shared_ptr<Clock> clock;
+  /// Write-ahead journal destination. When set, every mutating platform
+  /// callback is journaled before state changes and the campaign can be
+  /// recovered with ICrowd::Restore(); null runs unjournaled.
+  std::shared_ptr<JournalSink> journal_sink;
   uint64_t seed = 123;
 };
 

@@ -1,16 +1,91 @@
 #include "core/icrowd.h"
 
+#include <algorithm>
+#include <cstring>
 #include <string>
+#include <utility>
 
 #include "common/random.h"
+#include "obs/metrics.h"
 
 namespace icrowd {
+
+namespace {
+
+/// Snapshot header magic ("ICRS" in little-endian byte order).
+constexpr uint32_t kSnapshotMagic = 0x53524349;
+
+Status PoisonedStatus() {
+  return Status::FailedPrecondition(
+      "campaign is poisoned after a journal/apply failure; recover with "
+      "ICrowd::Restore() from the persisted journal");
+}
+
+uint64_t Fnv1a(uint64_t hash, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (value >> (8 * i)) & 0xffu;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+uint64_t Fnv1aStr(uint64_t hash, const std::string& s) {
+  hash = Fnv1a(hash, s.size());
+  for (char c : s) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+uint64_t Fnv1aF64(uint64_t hash, double value) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return Fnv1a(hash, bits);
+}
+
+/// Hash binding journals/snapshots to the campaign they came from: the
+/// dataset contents plus every decision-relevant configuration scalar.
+/// Execution knobs (num_threads, pool, clock, journal_sink) are excluded —
+/// recovery at a different thread count is bit-identical by contract.
+uint64_t CampaignFingerprint(const Dataset& dataset,
+                             const ICrowdConfig& config) {
+  uint64_t h = 14695981039346656037ull;
+  h = Fnv1aStr(h, dataset.name());
+  h = Fnv1a(h, dataset.size());
+  for (const Microtask& task : dataset.tasks()) {
+    h = Fnv1aStr(h, task.text);
+    h = Fnv1aStr(h, task.domain);
+    h = Fnv1a(h, static_cast<uint64_t>(task.num_choices));
+    h = Fnv1a(h, task.ground_truth.has_value() ? 1u : 0u);
+    h = Fnv1a(h, static_cast<uint64_t>(
+                     static_cast<int64_t>(task.ground_truth.value_or(
+                         kNoLabel))));
+  }
+  h = Fnv1a(h, static_cast<uint64_t>(config.assignment_size));
+  h = Fnv1a(h, config.num_qualification);
+  h = Fnv1a(h, config.qualification_greedy ? 1u : 0u);
+  h = Fnv1aF64(h, config.influence_epsilon);
+  h = Fnv1aF64(h, config.estimator.default_accuracy);
+  h = Fnv1aF64(h, config.estimator.prior_strength);
+  h = Fnv1aF64(h, config.estimator.min_mass);
+  h = Fnv1a(h, config.estimator.confidence_weighting ? 1u : 0u);
+  h = Fnv1aF64(h, config.estimator.ppr.alpha);
+  h = Fnv1a(h, static_cast<uint64_t>(config.warmup.tasks_per_worker));
+  h = Fnv1aF64(h, config.warmup.rejection_threshold);
+  h = Fnv1a(h, config.warmup.eliminate_bad_workers ? 1u : 0u);
+  h = Fnv1aF64(h, config.activity_window_seconds);
+  h = Fnv1a(h, config.seed);
+  return h;
+}
+
+}  // namespace
 
 ICrowd::ICrowd(Dataset dataset, ICrowdConfig config, SimilarityGraph graph,
                QualificationSelection qualification, WarmupComponent warmup,
                std::unique_ptr<AdaptiveAssigner> assigner)
     : dataset_(std::move(dataset)),
-      config_(config),
+      config_(std::move(config)),
       graph_(std::move(graph)),
       qualification_(std::move(qualification)),
       warmup_(std::move(warmup)),
@@ -23,8 +98,8 @@ ICrowd::ICrowd(Dataset dataset, ICrowdConfig config, SimilarityGraph graph,
   }
 }
 
-Result<std::unique_ptr<ICrowd>> ICrowd::Create(Dataset dataset,
-                                               ICrowdConfig config) {
+Result<std::unique_ptr<ICrowd>> ICrowd::Build(Dataset dataset,
+                                              ICrowdConfig config) {
   ICROWD_RETURN_NOT_OK(dataset.Validate());
   if (config.assignment_size < 1 || config.assignment_size % 2 == 0) {
     return Status::InvalidArgument("assignment_size k must be odd and >= 1");
@@ -71,58 +146,157 @@ Result<std::unique_ptr<ICrowd>> ICrowd::Create(Dataset dataset,
       WarmupComponent::Create(&dataset, qualification.tasks, config.warmup);
   if (!warmup_check.ok()) return warmup_check.status();
 
+  uint64_t fingerprint = CampaignFingerprint(dataset, config);
+
   // Construct with a placeholder assigner target; the dataset pointer given
   // to components must be the member's address, so build the object first.
   auto icrowd = std::unique_ptr<ICrowd>(new ICrowd(
-      std::move(dataset), config, graph.MoveValueOrDie(),
+      std::move(dataset), std::move(config), graph.MoveValueOrDie(),
       std::move(qualification), warmup_check.MoveValueOrDie(), nullptr));
+  AdaptiveAssignerOptions assigner_options;
+  assigner_options.num_threads = icrowd->config_.num_threads;
+  assigner_options.pool = icrowd->config_.pool;
   icrowd->assigner_ = std::make_unique<AdaptiveAssigner>(
-      &icrowd->dataset_, std::move(owned_estimator));
+      &icrowd->dataset_, std::move(owned_estimator),
+      std::move(assigner_options));
   // Rebuild warm-up against the member dataset (cheap; holds pointers).
   auto warmup = WarmupComponent::Create(
-      &icrowd->dataset_, icrowd->qualification_.tasks, config.warmup);
+      &icrowd->dataset_, icrowd->qualification_.tasks,
+      icrowd->config_.warmup);
   if (!warmup.ok()) return warmup.status();
   icrowd->warmup_ = warmup.MoveValueOrDie();
+  icrowd->fingerprint_ = fingerprint;
   return icrowd;
 }
 
-WorkerId ICrowd::OnWorkerArrived() {
+Result<std::unique_ptr<ICrowd>> ICrowd::Create(Dataset dataset,
+                                               ICrowdConfig config) {
+  auto built = Build(std::move(dataset), std::move(config));
+  if (!built.ok()) return built.status();
+  std::unique_ptr<ICrowd> icrowd = built.MoveValueOrDie();
+  if (icrowd->config_.journal_sink != nullptr) {
+    icrowd->writer_ =
+        std::make_unique<JournalWriter>(icrowd->config_.journal_sink);
+  }
+  JournalEvent begin;
+  begin.type = JournalEventType::kCampaignBegin;
+  begin.format_version = kJournalFormatVersion;
+  begin.fingerprint = icrowd->fingerprint_;
+  ICROWD_RETURN_NOT_OK(icrowd->AppendEvent(begin));
+  if (icrowd->writer_ != nullptr) {
+    ICROWD_RETURN_NOT_OK(icrowd->writer_->Flush());
+  }
+  return icrowd;
+}
+
+Result<std::unique_ptr<ICrowd>> ICrowd::Restore(
+    Dataset dataset, ICrowdConfig config,
+    const std::vector<uint8_t>& snapshot,
+    const std::vector<uint8_t>& journal_bytes) {
+  ICROWD_TRACE_SCOPE("journal.restore");
+  if (snapshot.empty() && journal_bytes.empty()) {
+    return Status::InvalidArgument(
+        "nothing to restore: both snapshot and journal are empty");
+  }
+  auto built = Build(std::move(dataset), std::move(config));
+  if (!built.ok()) return built.status();
+  std::unique_ptr<ICrowd> icrowd = built.MoveValueOrDie();
+  auto parsed = ReadJournal(journal_bytes);
+  if (!parsed.ok()) return parsed.status();
+  JournalParse journal = parsed.MoveValueOrDie();
+  if (!journal.events.empty()) {
+    const JournalEvent& begin = journal.events.front();
+    if (begin.type != JournalEventType::kCampaignBegin) {
+      return Status::InvalidArgument(
+          "journal does not start with a campaign-begin record");
+    }
+    if (begin.format_version != kJournalFormatVersion) {
+      return Status::FailedPrecondition(
+          "journal format version " + std::to_string(begin.format_version) +
+          " is not supported");
+    }
+    if (begin.fingerprint != icrowd->fingerprint_) {
+      return Status::FailedPrecondition(
+          "journal belongs to a different campaign (fingerprint mismatch)");
+    }
+  }
+  if (!snapshot.empty()) {
+    BinaryReader reader(snapshot);
+    ICROWD_RETURN_NOT_OK(icrowd->ApplySnapshot(&reader));
+  } else if (journal.events.empty()) {
+    return Status::InvalidArgument("journal contains no intact records");
+  }
+  ICROWD_RETURN_NOT_OK(icrowd->ReplayTail(journal.events));
+  if (icrowd->config_.journal_sink != nullptr) {
+    icrowd->writer_ =
+        std::make_unique<JournalWriter>(icrowd->config_.journal_sink);
+  }
+  return icrowd;
+}
+
+Status ICrowd::AppendEvent(const JournalEvent& event) {
+  if (replaying_) return Status::OK();
+  ++events_applied_;
+  if (writer_ == nullptr) return Status::OK();
+  Status appended = writer_->Append(event);
+  if (!appended.ok()) failed_ = true;
+  return appended;
+}
+
+double ICrowd::NextTime() const {
+  if (config_.clock != nullptr) return config_.clock->Now();
+  return now_ + 1.0;
+}
+
+WorkerId ICrowd::ApplyArrive() {
+  static const obs::Counter arrivals =
+      obs::MetricsRegistry::Global().GetCounter(
+          "icrowd.core.arrivals", {true, "workers registered (live + replay)"});
+  arrivals.Increment();
   WorkerId id = state_.RegisterWorker();
-  if (static_cast<size_t>(id) >= status_.size()) status_.resize(id + 1);
-  status_[id] = WorkerStatus::kWarmup;
+  if (static_cast<size_t>(id) >= status_.size()) {
+    status_.resize(static_cast<size_t>(id) + 1);
+  }
+  status_[static_cast<size_t>(id)] = WorkerStatus::kWarmup;
   return id;
 }
 
-double ICrowd::Now() {
-  if (clock_) return clock_();
-  logical_time_ += 1.0;
-  return logical_time_;
+Result<WorkerId> ICrowd::OnWorkerArrived() {
+  if (failed_) return PoisonedStatus();
+  JournalEvent event;
+  event.type = JournalEventType::kWorkerArrived;
+  event.worker = static_cast<WorkerId>(state_.num_workers());
+  ICROWD_RETURN_NOT_OK(AppendEvent(event));
+  return ApplyArrive();
+}
+
+std::optional<TaskId> ICrowd::HeldTask(WorkerId worker) const {
+  auto it = holding_.find(worker);
+  if (it == holding_.end()) return std::nullopt;
+  return it->second;
 }
 
 std::vector<WorkerId> ICrowd::ActiveWorkers() const {
   // Active = accepted by warm-up, not left, and within the §4.1 request
-  // window tracked by activity_.
-  double now = clock_ ? clock_() : logical_time_;
+  // window ending at the last observed campaign time. Evaluating at now_
+  // (not a live clock peek) keeps the decision a pure function of the
+  // journaled event stream.
   std::vector<WorkerId> active;
   for (size_t w = 0; w < status_.size(); ++w) {
     WorkerId id = static_cast<WorkerId>(w);
-    if (status_[w] == WorkerStatus::kActive && activity_.IsActive(id, now)) {
+    if (status_[w] == WorkerStatus::kActive && activity_.IsActive(id, now_)) {
       active.push_back(id);
     }
   }
   return active;
 }
 
-Result<std::optional<TaskId>> ICrowd::RequestTask(WorkerId worker) {
-  if (worker < 0 || static_cast<size_t>(worker) >= status_.size()) {
-    return Status::NotFound("unknown worker " + std::to_string(worker));
-  }
-  if (holding_.count(worker)) {
-    return Status::FailedPrecondition(
-        "worker " + std::to_string(worker) +
-        " must submit its held task before requesting another");
-  }
-  activity_.RecordRequest(worker, Now());
+Result<std::optional<TaskId>> ICrowd::DecideTask(WorkerId worker) {
+  static const obs::Counter requests =
+      obs::MetricsRegistry::Global().GetCounter(
+          "icrowd.core.requests",
+          {true, "task-request decisions (live + replay)"});
+  requests.Increment();
   switch (status_[worker]) {
     case WorkerStatus::kRejected:
     case WorkerStatus::kLeft:
@@ -131,11 +305,7 @@ Result<std::optional<TaskId>> ICrowd::RequestTask(WorkerId worker) {
       return Status::NotFound("worker never arrived");
     case WorkerStatus::kWarmup: {
       std::optional<TaskId> qual = warmup_.NextTask(worker);
-      if (qual.has_value()) {
-        ICROWD_RETURN_NOT_OK(state_.MarkAssigned(*qual, worker));
-        holding_[worker] = *qual;
-        return qual;
-      }
+      if (qual.has_value()) return qual;
       auto verdict = warmup_.Evaluate(worker);
       if (!verdict.ok()) return verdict.status();
       if (!verdict->accepted) {
@@ -147,27 +317,70 @@ Result<std::optional<TaskId>> ICrowd::RequestTask(WorkerId worker) {
                                     state_);
       [[fallthrough]];
     }
-    case WorkerStatus::kActive: {
-      std::optional<TaskId> task =
-          assigner_->RequestTask(worker, state_, ActiveWorkers());
-      if (!task.has_value()) return std::optional<TaskId>();
-      ICROWD_RETURN_NOT_OK(state_.MarkAssigned(*task, worker));
-      holding_[worker] = *task;
-      return task;
-    }
+    case WorkerStatus::kActive:
+      return assigner_->RequestTask(worker, state_, ActiveWorkers());
   }
   return Status::Internal("unreachable");
 }
 
-Status ICrowd::SubmitAnswer(WorkerId worker, TaskId task, Label answer) {
-  auto it = holding_.find(worker);
-  if (it == holding_.end() || it->second != task) {
-    return Status::FailedPrecondition(
-        "worker " + std::to_string(worker) + " does not hold task " +
-        std::to_string(task));
+Status ICrowd::CommitServe(WorkerId worker, TaskId task) {
+  ICROWD_RETURN_NOT_OK(state_.MarkAssigned(task, worker));
+  holding_[worker] = task;
+  return Status::OK();
+}
+
+Result<std::optional<TaskId>> ICrowd::RequestTask(WorkerId worker) {
+  if (failed_) return PoisonedStatus();
+  if (worker < 0 || static_cast<size_t>(worker) >= status_.size()) {
+    return Status::NotFound("unknown worker " + std::to_string(worker));
   }
-  holding_.erase(it);
-  AnswerRecord record{task, worker, answer, 0.0};
+  if (holding_.count(worker)) {
+    return Status::FailedPrecondition(
+        "worker " + std::to_string(worker) +
+        " must submit its held task before requesting another");
+  }
+  // Write-ahead: the request's activity tick reaches the journal before any
+  // state moves. A tick with no following request record (crash window) is
+  // dropped on replay — the request never happened.
+  double time = NextTime();
+  JournalEvent tick;
+  tick.type = JournalEventType::kClockTick;
+  tick.time = time;
+  ICROWD_RETURN_NOT_OK(AppendEvent(tick));
+  now_ = time;
+  activity_.RecordRequest(worker, now_);
+  auto decided = DecideTask(worker);
+  if (!decided.ok()) {
+    failed_ = true;
+    return decided.status();
+  }
+  JournalEvent request;
+  request.type = JournalEventType::kTaskRequested;
+  request.worker = worker;
+  request.task = decided->has_value() ? decided->value() : kNoTaskServed;
+  ICROWD_RETURN_NOT_OK(AppendEvent(request));
+  if (decided->has_value()) {
+    Status committed = CommitServe(worker, decided->value());
+    if (!committed.ok()) {
+      failed_ = true;
+      return committed;
+    }
+  }
+  return *decided;
+}
+
+Status ICrowd::ApplySubmit(WorkerId worker, TaskId task, Label answer,
+                           double time) {
+  static const obs::Counter answers =
+      obs::MetricsRegistry::Global().GetCounter(
+          "icrowd.core.answers", {true, "answers accepted (live + replay)"});
+  answers.Increment();
+  if (worker < 0 || static_cast<size_t>(worker) >= status_.size()) {
+    return Status::InvalidArgument("answer from unknown worker " +
+                                   std::to_string(worker));
+  }
+  holding_.erase(worker);
+  AnswerRecord record{task, worker, answer, time};
   ICROWD_RETURN_NOT_OK(state_.RecordAnswer(record));
   if (status_[worker] == WorkerStatus::kWarmup) {
     return warmup_.RecordAnswer(worker, task, answer);
@@ -176,14 +389,253 @@ Status ICrowd::SubmitAnswer(WorkerId worker, TaskId task, Label answer) {
   return Status::OK();
 }
 
-void ICrowd::OnWorkerLeft(WorkerId worker) {
-  if (worker < 0 || static_cast<size_t>(worker) >= status_.size()) return;
+Status ICrowd::SubmitAnswer(WorkerId worker, TaskId task, Label answer) {
+  if (failed_) return PoisonedStatus();
+  auto it = holding_.find(worker);
+  if (it == holding_.end() || it->second != task) {
+    return Status::FailedPrecondition(
+        "worker " + std::to_string(worker) + " does not hold task " +
+        std::to_string(task));
+  }
+  JournalEvent event;
+  event.type = JournalEventType::kAnswerSubmitted;
+  event.worker = worker;
+  event.task = task;
+  event.answer = answer;
+  event.time = now_;
+  ICROWD_RETURN_NOT_OK(AppendEvent(event));
+  // Durability/ack point: the answer is on stable storage before the
+  // pipeline consumes it.
+  if (writer_ != nullptr) {
+    Status flushed = writer_->Flush();
+    if (!flushed.ok()) {
+      failed_ = true;
+      return flushed;
+    }
+  }
+  Status applied = ApplySubmit(worker, task, answer, now_);
+  if (!applied.ok()) failed_ = true;
+  return applied;
+}
+
+void ICrowd::ApplyLeft(WorkerId worker) {
+  static const obs::Counter departures =
+      obs::MetricsRegistry::Global().GetCounter(
+          "icrowd.core.departures",
+          {true, "workers marked left (live + replay)"});
+  departures.Increment();
   holding_.erase(worker);
   activity_.MarkLeft(worker);
   if (status_[worker] == WorkerStatus::kWarmup ||
       status_[worker] == WorkerStatus::kActive) {
     status_[worker] = WorkerStatus::kLeft;
   }
+}
+
+Status ICrowd::OnWorkerLeft(WorkerId worker) {
+  if (failed_) return PoisonedStatus();
+  if (worker < 0 || static_cast<size_t>(worker) >= status_.size()) {
+    return Status::NotFound("unknown worker " + std::to_string(worker));
+  }
+  JournalEvent event;
+  event.type = JournalEventType::kWorkerLeft;
+  event.worker = worker;
+  ICROWD_RETURN_NOT_OK(AppendEvent(event));
+  ApplyLeft(worker);
+  return Status::OK();
+}
+
+Status ICrowd::ReplayTail(const std::vector<JournalEvent>& events) {
+  static const obs::Counter replayed =
+      obs::MetricsRegistry::Global().GetCounter(
+          "icrowd.journal.replayed_events",
+          {false, "journal events re-applied during Restore()"});
+  if (events_applied_ >= events.size()) return Status::OK();
+  replaying_ = true;
+  Status status = Status::OK();
+  bool pending_tick = false;
+  double tick_time = 0.0;
+  for (size_t i = static_cast<size_t>(events_applied_); i < events.size();
+       ++i) {
+    const JournalEvent& event = events[i];
+    if (pending_tick && event.type != JournalEventType::kTaskRequested) {
+      // A tick not followed by its request record is an un-acked request:
+      // the writer died (or resumed from an earlier snapshot) before
+      // serving it. Dropping it reproduces the state of a process that
+      // never saw the request.
+      pending_tick = false;
+    }
+    switch (event.type) {
+      case JournalEventType::kCampaignBegin:
+        // Validated by Restore() for index 0; anywhere else the journal
+        // was concatenated or corrupted.
+        if (i != 0) {
+          status = Status::InvalidArgument(
+              "campaign-begin record in mid-journal");
+        }
+        break;
+      case JournalEventType::kClockTick:
+        pending_tick = true;
+        tick_time = event.time;
+        break;
+      case JournalEventType::kWorkerArrived:
+        if (event.worker != static_cast<WorkerId>(state_.num_workers())) {
+          status = Status::Internal(
+              "replay diverged: journal registered worker " +
+              std::to_string(event.worker) + ", replay expected " +
+              std::to_string(state_.num_workers()));
+          break;
+        }
+        ApplyArrive();
+        break;
+      case JournalEventType::kTaskRequested: {
+        if (!pending_tick) {
+          status = Status::InvalidArgument(
+              "journal request without a preceding clock tick");
+          break;
+        }
+        pending_tick = false;
+        if (event.worker < 0 ||
+            static_cast<size_t>(event.worker) >= status_.size()) {
+          status = Status::InvalidArgument(
+              "journal request from unknown worker " +
+              std::to_string(event.worker));
+          break;
+        }
+        if (holding_.count(event.worker) != 0) {
+          status = Status::InvalidArgument(
+              "journal request from a worker already holding a task");
+          break;
+        }
+        now_ = tick_time;
+        activity_.RecordRequest(event.worker, now_);
+        auto decided = DecideTask(event.worker);
+        if (!decided.ok()) {
+          status = decided.status();
+          break;
+        }
+        TaskId outcome =
+            decided->has_value() ? decided->value() : kNoTaskServed;
+        if (outcome != event.task) {
+          status = Status::Internal(
+              "replay diverged on task request: journal served " +
+              std::to_string(event.task) + ", replay decided " +
+              std::to_string(outcome));
+          break;
+        }
+        if (decided->has_value()) {
+          status = CommitServe(event.worker, decided->value());
+        }
+        break;
+      }
+      case JournalEventType::kAnswerSubmitted:
+        status = ApplySubmit(event.worker, event.task, event.answer,
+                             event.time);
+        break;
+      case JournalEventType::kWorkerLeft:
+        if (event.worker < 0 ||
+            static_cast<size_t>(event.worker) >= status_.size()) {
+          status = Status::InvalidArgument(
+              "journal departure of unknown worker " +
+              std::to_string(event.worker));
+          break;
+        }
+        ApplyLeft(event.worker);
+        break;
+    }
+    if (!status.ok()) break;
+    replayed.Increment();
+    events_applied_ = i + 1;
+  }
+  if (status.ok() && pending_tick) {
+    // The journal ends on a tick whose request record never made it out (a
+    // crash inside RequestTask). The request was never acknowledged, so the
+    // tick stays un-applied: a continuation re-derives it — and its journal
+    // append — when the request is actually made.
+    --events_applied_;
+  }
+  replaying_ = false;
+  return status;
+}
+
+Result<std::vector<uint8_t>> ICrowd::SerializeSnapshot() const {
+  BinaryWriter writer;
+  writer.U32(kSnapshotMagic);
+  writer.U32(kJournalFormatVersion);
+  writer.U64(fingerprint_);
+  writer.U64(events_applied_);
+  writer.F64(now_);
+  state_.SerializeState(&writer);
+  writer.U64(status_.size());
+  for (WorkerStatus s : status_) writer.U8(static_cast<uint8_t>(s));
+  std::vector<std::pair<WorkerId, TaskId>> holding(holding_.begin(),
+                                                   holding_.end());
+  std::sort(holding.begin(), holding.end());
+  writer.U64(holding.size());
+  for (const auto& [w, t] : holding) {
+    writer.I32(w);
+    writer.I32(t);
+  }
+  activity_.SerializeState(&writer);
+  warmup_.SerializeState(&writer);
+  assigner_->SerializeState(&writer);
+  return writer.Release();
+}
+
+Result<std::vector<uint8_t>> ICrowd::Snapshot() const {
+  static const obs::Counter snapshots =
+      obs::MetricsRegistry::Global().GetCounter(
+          "icrowd.journal.snapshots",
+          {false, "campaign snapshots serialized"});
+  if (failed_) return PoisonedStatus();
+  snapshots.Increment();
+  return SerializeSnapshot();
+}
+
+Status ICrowd::ApplySnapshot(BinaryReader* reader) {
+  if (reader->U32() != kSnapshotMagic) {
+    return Status::InvalidArgument("not an icrowd campaign snapshot");
+  }
+  uint32_t version = reader->U32();
+  if (version != kJournalFormatVersion) {
+    return Status::FailedPrecondition(
+        "snapshot format version " + std::to_string(version) +
+        " is not supported");
+  }
+  if (reader->U64() != fingerprint_) {
+    return Status::FailedPrecondition(
+        "snapshot belongs to a different campaign (fingerprint mismatch)");
+  }
+  events_applied_ = reader->U64();
+  now_ = reader->F64();
+  ICROWD_RETURN_NOT_OK(state_.RestoreState(reader));
+  uint64_t statuses = reader->U64();
+  status_.clear();
+  for (uint64_t i = 0; i < statuses && reader->ok(); ++i) {
+    uint8_t raw = reader->U8();
+    if (raw > static_cast<uint8_t>(WorkerStatus::kLeft)) {
+      return Status::InvalidArgument("snapshot has an invalid worker status");
+    }
+    status_.push_back(static_cast<WorkerStatus>(raw));
+  }
+  holding_.clear();
+  uint64_t holding = reader->U64();
+  for (uint64_t i = 0; i < holding && reader->ok(); ++i) {
+    WorkerId w = reader->I32();
+    holding_[w] = reader->I32();
+  }
+  ICROWD_RETURN_NOT_OK(activity_.RestoreState(reader));
+  ICROWD_RETURN_NOT_OK(warmup_.RestoreState(reader));
+  ICROWD_RETURN_NOT_OK(assigner_->RestoreState(reader));
+  ICROWD_RETURN_NOT_OK(reader->status());
+  if (!reader->AtEnd()) {
+    return Status::InvalidArgument("snapshot has trailing bytes");
+  }
+  if (status_.size() != state_.num_workers()) {
+    return Status::InvalidArgument(
+        "snapshot worker-status table does not match campaign state");
+  }
+  return Status::OK();
 }
 
 ICrowd::WorkerStatus ICrowd::worker_status(WorkerId worker) const {

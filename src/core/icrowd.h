@@ -1,16 +1,17 @@
 #ifndef ICROWD_CORE_ICROWD_H_
 #define ICROWD_CORE_ICROWD_H_
 
-#include <functional>
 #include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "assign/adaptive_assigner.h"
+#include "common/binary_io.h"
 #include "common/result.h"
 #include "core/config.h"
 #include "graph/similarity_graph.h"
+#include "journal/journal.h"
 #include "model/campaign_state.h"
 #include "model/dataset.h"
 #include "qualification/qualification_selector.h"
@@ -29,6 +30,14 @@ namespace icrowd {
 /// each new worker, estimates accuracies on the similarity graph
 /// (Algorithm 1) and serves assignments through the adaptive assigner
 /// (Algorithms 2-3). Workers never see which tasks are qualifications.
+///
+/// Durability (DESIGN.md §11): with config.journal_sink set, every mutating
+/// callback appends a journal record *before* touching canonical state.
+/// Snapshot() serializes the full campaign; Restore() rebuilds the pipeline
+/// deterministically, applies the snapshot, and replays the journal tail
+/// through the same decision code — producing a campaign bit-identical to
+/// the uninterrupted run. All configuration is fixed at Create()/Restore();
+/// the facade has no setters.
 class ICrowd {
  public:
   enum class WorkerStatus { kUnknown, kWarmup, kActive, kRejected, kLeft };
@@ -36,8 +45,25 @@ class ICrowd {
   /// Builds the pipeline: similarity graph over `dataset`, PPR precompute,
   /// greedy/random qualification selection, warm-up. Fails if the dataset
   /// is empty or configured tasks lack ground truth for qualification.
+  /// When config.journal_sink is set the campaign-begin record is appended
+  /// (and flushed) before this returns.
   static Result<std::unique_ptr<ICrowd>> Create(Dataset dataset,
                                                 ICrowdConfig config = {});
+
+  /// Recovers a campaign from a Snapshot() image and/or a journal byte
+  /// stream (either may be empty, not both): rebuilds the pipeline from
+  /// (dataset, config) exactly as Create() would, verifies the campaign
+  /// fingerprint, applies the snapshot, then replays every journal event
+  /// past the snapshot point through the normal decision code, verifying
+  /// each journaled assignment outcome against the re-derived one. A torn
+  /// final record (mid-append crash) is expected and dropped; a snapshot
+  /// newer than the journal tail replays nothing. config.journal_sink, when
+  /// set, starts receiving *new* events only after replay completes — pass
+  /// a sink positioned at the journal's end (e.g. an append-mode FileSink).
+  static Result<std::unique_ptr<ICrowd>> Restore(
+      Dataset dataset, ICrowdConfig config,
+      const std::vector<uint8_t>& snapshot,
+      const std::vector<uint8_t>& journal_bytes);
 
   const Dataset& dataset() const { return dataset_; }
   const SimilarityGraph& graph() const { return graph_; }
@@ -50,8 +76,9 @@ class ICrowd {
     return assigner_->estimator();
   }
 
-  /// Registers a newly arrived worker and returns its id.
-  WorkerId OnWorkerArrived();
+  /// Registers a newly arrived worker and returns its id. Fails only when
+  /// the campaign is poisoned (see failed()) or the journal append fails.
+  Result<WorkerId> OnWorkerArrived();
 
   /// Serves the next task for `worker` (a qualification task during
   /// warm-up, an adaptive assignment afterwards) and marks it assigned.
@@ -59,21 +86,28 @@ class ICrowd {
   /// assignable; the integration should then release the worker's HIT.
   Result<std::optional<TaskId>> RequestTask(WorkerId worker);
 
-  /// Accepts the worker's answer for the task it currently holds.
+  /// Accepts the worker's answer for the task it currently holds. The
+  /// journal is flushed before the answer is applied — a crash after OK
+  /// never loses an acknowledged answer.
   Status SubmitAnswer(WorkerId worker, TaskId task, Label answer);
 
   /// Marks the worker inactive (returned/abandoned the HIT).
-  void OnWorkerLeft(WorkerId worker);
+  Status OnWorkerLeft(WorkerId worker);
 
-  /// Injects a time source (seconds, monotone) used for §4.1's
-  /// activity-window tracking. By default a logical clock advances one
-  /// second per RequestTask, which keeps library behavior deterministic;
-  /// platform integrations should inject wall-clock time.
-  void SetClock(std::function<double()> clock) { clock_ = std::move(clock); }
+  /// Serializes the complete campaign state (bookkeeping, warm-up
+  /// progress, estimator observations, assigner plan, activity windows and
+  /// the journal position) so a later Restore() needs only the journal
+  /// tail past this point. Fails on a poisoned campaign.
+  Result<std::vector<uint8_t>> Snapshot() const;
 
   /// Workers currently counted active (accepted by warm-up, not left, and
-  /// requested within the activity window).
+  /// requested within the activity window ending at now()).
   std::vector<WorkerId> ActiveWorkers() const;
+
+  /// The task `worker` was served but has not answered yet, if any. A
+  /// campaign restored from a crash can carry such in-flight assignments;
+  /// the worker must submit (or leave) before requesting again.
+  std::optional<TaskId> HeldTask(WorkerId worker) const;
 
   WorkerStatus worker_status(WorkerId worker) const;
 
@@ -84,12 +118,58 @@ class ICrowd {
   /// qualification tasks, kNoLabel otherwise.
   std::vector<Label> Results() const;
 
+  /// Journal stream position: events applied so far, counting the
+  /// campaign-begin record. A snapshot taken now replays from this index.
+  uint64_t events_applied() const { return events_applied_; }
+
+  /// Last observed campaign time (the timestamp of the latest request).
+  double now() const { return now_; }
+
+  /// Hash binding journals and snapshots to this (dataset, config) pair.
+  uint64_t fingerprint() const { return fingerprint_; }
+
+  /// True after a journal append or post-append apply failed: campaign
+  /// state and journal may disagree, so every further mutating call is
+  /// refused and the caller must Restore() from the persisted journal.
+  bool failed() const { return failed_; }
+
  private:
   ICrowd(Dataset dataset, ICrowdConfig config, SimilarityGraph graph,
          QualificationSelection qualification, WarmupComponent warmup,
          std::unique_ptr<AdaptiveAssigner> assigner);
 
-  double Now();
+  /// Deterministic pipeline construction shared by Create and Restore
+  /// (everything except journal attachment / begin record).
+  static Result<std::unique_ptr<ICrowd>> Build(Dataset dataset,
+                                               ICrowdConfig config);
+
+  /// Appends one record to the journal (no-op during replay or when
+  /// unjournaled) and advances the stream position. Append failures poison
+  /// the campaign.
+  Status AppendEvent(const JournalEvent& event);
+
+  /// Next activity timestamp: configured clock, or logical now_ + 1.
+  double NextTime() const;
+
+  /// The assignment decision for one request at now_ — status transitions,
+  /// warm-up evaluation and the adaptive assigner — without committing the
+  /// served task. Shared verbatim by the live path and replay.
+  Result<std::optional<TaskId>> DecideTask(WorkerId worker);
+
+  /// Commits a decided assignment: slot consumption + in-flight holding.
+  Status CommitServe(WorkerId worker, TaskId task);
+
+  /// State mutations per event type, shared by the live path and replay.
+  WorkerId ApplyArrive();
+  Status ApplySubmit(WorkerId worker, TaskId task, Label answer, double time);
+  void ApplyLeft(WorkerId worker);
+
+  /// Replays journal events with index >= events_applied_ through the
+  /// decision code, verifying journaled TaskRequested outcomes.
+  Status ReplayTail(const std::vector<JournalEvent>& events);
+
+  Result<std::vector<uint8_t>> SerializeSnapshot() const;
+  Status ApplySnapshot(BinaryReader* reader);
 
   Dataset dataset_;
   ICrowdConfig config_;
@@ -102,8 +182,14 @@ class ICrowd {
   /// Task currently held by each worker (in-flight assignment).
   std::unordered_map<WorkerId, TaskId> holding_;
   ActivityTracker activity_;
-  std::function<double()> clock_;
-  double logical_time_ = 0.0;
+
+  uint64_t fingerprint_ = 0;
+  std::unique_ptr<JournalWriter> writer_;
+  bool replaying_ = false;
+  bool failed_ = false;
+  uint64_t events_applied_ = 0;
+  /// Campaign time of the latest observed request (logical or clock).
+  double now_ = 0.0;
 };
 
 }  // namespace icrowd

@@ -68,6 +68,10 @@ void AccuracyEstimator::Refresh(WorkerId worker, const CampaignState& state,
                                              qualification_, coworker_accuracy);
   refreshes.Increment();
   observed_entries.Increment(model.observed.size());
+  RebuildModelFromObserved(model);
+}
+
+void AccuracyEstimator::RebuildModelFromObserved(WorkerModel& model) {
   // Average observed accuracy, shrunk toward the warm-up measurement.
   double q_sum = 0.0;
   for (const auto& [_, q] : model.observed) q_sum += q;
@@ -175,6 +179,44 @@ double AccuracyEstimator::Uncertainty(WorkerId worker, TaskId task) const {
 
 AccuracyFn AccuracyEstimator::AsAccuracyFn() const {
   return [this](WorkerId w, TaskId t) { return Accuracy(w, t); };
+}
+
+void AccuracyEstimator::SerializeState(BinaryWriter* writer) const {
+  writer->U64(workers_.size());
+  for (const WorkerModel& model : workers_) {
+    writer->U8(model.registered ? 1 : 0);
+    writer->U8(model.has_estimate ? 1 : 0);
+    writer->F64(model.warmup_accuracy);
+    writer->U64(model.observed.size());
+    for (const auto& [task, q] : model.observed) {
+      writer->I32(task);
+      writer->F64(q);
+    }
+  }
+}
+
+Status AccuracyEstimator::RestoreState(BinaryReader* reader) {
+  uint64_t count = reader->U64();
+  workers_.clear();
+  for (uint64_t i = 0; i < count && reader->ok(); ++i) {
+    WorkerModel model;
+    model.registered = reader->U8() != 0;
+    bool has_estimate = reader->U8() != 0;
+    model.warmup_accuracy = reader->F64();
+    model.fallback = model.warmup_accuracy;
+    uint64_t observed = reader->U64();
+    for (uint64_t j = 0; j < observed && reader->ok(); ++j) {
+      TaskId task = reader->I32();
+      double q = reader->F64();
+      model.observed.emplace_back(task, q);
+    }
+    if (!reader->ok()) break;
+    // numerator/mass are pure functions of (observed, warmup_accuracy);
+    // rebuilding through the Refresh code path reproduces them bit-exactly.
+    if (has_estimate) RebuildModelFromObserved(model);
+    workers_.push_back(std::move(model));
+  }
+  return reader->status();
 }
 
 }  // namespace icrowd

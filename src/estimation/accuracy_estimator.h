@@ -4,6 +4,7 @@
 #include <set>
 #include <vector>
 
+#include "common/binary_io.h"
 #include "common/result.h"
 #include "estimation/observed_accuracy.h"
 #include "graph/ppr.h"
@@ -121,6 +122,13 @@ class AccuracyEstimator {
   /// Adapter for components taking an AccuracyFn (Eq. 5, aggregation).
   AccuracyFn AsAccuracyFn() const;
 
+  /// Serializes per-worker model state for ICrowd::Snapshot(). Only the
+  /// irreducible inputs (warm-up accuracy, observed q^w) are stored; the
+  /// propagated numerator/mass vectors are recomputed on restore through the
+  /// same code path Refresh uses, so restored estimates are bit-identical.
+  void SerializeState(BinaryWriter* writer) const;
+  Status RestoreState(BinaryReader* reader);
+
  private:
   struct WorkerModel {
     bool registered = false;
@@ -138,6 +146,11 @@ class AccuracyEstimator {
   /// The Accuracy() calibration applied to an explicit model (live or a
   /// snapshot copy). `model.registered` must reflect the worker's state.
   double AccuracyFromModel(const WorkerModel& model, TaskId task) const;
+
+  /// Recomputes fallback/numerator/mass from model.observed and
+  /// model.warmup_accuracy and sets has_estimate. Shared by Refresh and
+  /// RestoreState so both derive the estimate through identical arithmetic.
+  void RebuildModelFromObserved(WorkerModel& model);
 
   double SeedSelfMass() const {
     return options_.ppr.alpha / (1.0 + options_.ppr.alpha);

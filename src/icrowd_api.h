@@ -1,0 +1,49 @@
+#ifndef ICROWD_ICROWD_API_H_
+#define ICROWD_ICROWD_API_H_
+
+/// Umbrella header: the stable public surface of the iCrowd library.
+/// Integrations and the bundled examples include only this header —
+/// everything else under src/ is internal and may change without notice
+/// (enforced by the `api-include` lint rule). The surface has two tiers:
+///
+///   * the platform API — ICrowd facade, configuration, clock and journal
+///     injection, snapshot/restore recovery;
+///   * the experiment/tooling API — strategy factory, experiment runner,
+///     dataset generators, simulation drivers, CSV I/O and metrics export
+///     used by the §6 reproduction programs.
+///
+/// ICROWD_API_VERSION bumps MINOR on additions and MAJOR on breaking
+/// changes to anything exported here (DESIGN.md §11 records the policy).
+
+#define ICROWD_API_VERSION_MAJOR 1
+#define ICROWD_API_VERSION_MINOR 0
+#define ICROWD_API_VERSION \
+  (ICROWD_API_VERSION_MAJOR * 1000 + ICROWD_API_VERSION_MINOR)
+
+// Platform API: the durable campaign facade and its injection points.
+#include "core/clock.h"
+#include "core/config.h"
+#include "core/icrowd.h"
+#include "journal/journal.h"
+
+// Experiment/tooling API: §6 reproduction harness.
+#include "assign/greedy_assign.h"
+#include "assign/top_workers.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "core/experiment.h"
+#include "core/strategy_factory.h"
+#include "datagen/entity_resolution.h"
+#include "datagen/itemcompare.h"
+#include "datagen/poi.h"
+#include "datagen/worker_pool.h"
+#include "datagen/yahooqa.h"
+#include "estimation/accuracy_estimator.h"
+#include "graph/similarity_graph.h"
+#include "io/dataset_io.h"
+#include "obs/exporter.h"
+#include "qualification/qualification_selector.h"
+#include "sim/campaign_driver.h"
+#include "sim/metrics.h"
+
+#endif  // ICROWD_ICROWD_API_H_

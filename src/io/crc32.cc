@@ -1,0 +1,44 @@
+#include "io/crc32.h"
+
+#include <array>
+
+namespace icrowd {
+namespace {
+
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = BuildTable();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32Begin() { return 0xFFFFFFFFu; }
+
+uint32_t Crc32Update(uint32_t state, const void* data, size_t size) {
+  const auto& table = Table();
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    state = (state >> 8) ^ table[(state ^ p[i]) & 0xffu];
+  }
+  return state;
+}
+
+uint32_t Crc32Finish(uint32_t state) { return state ^ 0xFFFFFFFFu; }
+
+uint32_t Crc32(const void* data, size_t size) {
+  return Crc32Finish(Crc32Update(Crc32Begin(), data, size));
+}
+
+}  // namespace icrowd

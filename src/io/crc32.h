@@ -1,0 +1,25 @@
+#ifndef ICROWD_IO_CRC32_H_
+#define ICROWD_IO_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace icrowd {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of `size` bytes.
+/// The standard parameterization (init/xorout 0xFFFFFFFF), so the test
+/// vector Crc32("123456789", 9) == 0xCBF43926 holds. Used to frame journal
+/// records: a torn or corrupted tail fails its checksum and the truncation
+/// scanner stops there (DESIGN.md §11).
+uint32_t Crc32(const void* data, size_t size);
+
+/// Incremental form: feed `Crc32Update` the previous return value to extend
+/// a checksum over multiple buffers. Start from Crc32Begin(), finish with
+/// Crc32Finish().
+uint32_t Crc32Begin();
+uint32_t Crc32Update(uint32_t state, const void* data, size_t size);
+uint32_t Crc32Finish(uint32_t state);
+
+}  // namespace icrowd
+
+#endif  // ICROWD_IO_CRC32_H_

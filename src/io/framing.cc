@@ -1,0 +1,36 @@
+#include "io/framing.h"
+
+#include "common/binary_io.h"
+#include "io/crc32.h"
+
+namespace icrowd {
+
+void AppendFrame(const uint8_t* payload, size_t size,
+                 std::vector<uint8_t>* out) {
+  BinaryWriter header;
+  header.U32(static_cast<uint32_t>(size));
+  header.U32(Crc32(payload, size));
+  out->insert(out->end(), header.data().begin(), header.data().end());
+  out->insert(out->end(), payload, payload + size);
+}
+
+FrameScan ScanFrames(const uint8_t* data, size_t size) {
+  FrameScan scan;
+  size_t offset = 0;
+  while (size - offset >= kFrameHeaderBytes) {
+    BinaryReader header(data + offset, kFrameHeaderBytes);
+    uint32_t length = header.U32();
+    uint32_t crc = header.U32();
+    if (length > kMaxFramePayload) break;  // corrupt length word
+    size_t payload_offset = offset + kFrameHeaderBytes;
+    if (length > size - payload_offset) break;  // torn payload
+    if (Crc32(data + payload_offset, length) != crc) break;
+    scan.frames.emplace_back(payload_offset, static_cast<size_t>(length));
+    offset = payload_offset + length;
+  }
+  scan.valid_bytes = offset;
+  scan.dropped_bytes = size - offset;
+  return scan;
+}
+
+}  // namespace icrowd

@@ -1,0 +1,41 @@
+#ifndef ICROWD_IO_FRAMING_H_
+#define ICROWD_IO_FRAMING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace icrowd {
+
+/// Journal frame layout: [u32 payload length][u32 CRC-32 of payload][payload]
+/// with both header words little-endian. Write-ahead logs end mid-frame when
+/// the process dies mid-append; the scanner below implements the standard
+/// WAL answer (truncate at the first frame that is incomplete or fails its
+/// checksum — everything before it is intact, everything after is noise).
+inline constexpr size_t kFrameHeaderBytes = 8;
+
+/// Upper bound on a single frame payload. A length word above this is
+/// treated as corruption by the scanner rather than followed into garbage.
+inline constexpr uint32_t kMaxFramePayload = 1u << 24;
+
+/// Appends one framed payload to `out`.
+void AppendFrame(const uint8_t* payload, size_t size,
+                 std::vector<uint8_t>* out);
+
+struct FrameScan {
+  /// (offset, length) of each intact frame's payload within the input.
+  std::vector<std::pair<size_t, size_t>> frames;
+  /// Bytes covered by intact frames (the safe truncation point).
+  size_t valid_bytes = 0;
+  /// Trailing bytes dropped as torn/corrupt (input size - valid_bytes).
+  size_t dropped_bytes = 0;
+};
+
+/// Walks frames from the start of `data`, stopping at the first incomplete
+/// header, truncated payload, oversized length, or CRC mismatch.
+FrameScan ScanFrames(const uint8_t* data, size_t size);
+
+}  // namespace icrowd
+
+#endif  // ICROWD_IO_FRAMING_H_

@@ -145,4 +145,91 @@ void CampaignState::ForceComplete(TaskId task, Label label) {
   state.consensus = label;
 }
 
+namespace {
+
+void SerializeAnswer(const AnswerRecord& answer, BinaryWriter* w) {
+  w->I32(answer.task);
+  w->I32(answer.worker);
+  w->I32(answer.label);
+  w->F64(answer.time);
+}
+
+AnswerRecord DeserializeAnswer(BinaryReader* r) {
+  AnswerRecord answer;
+  answer.task = r->I32();
+  answer.worker = r->I32();
+  answer.label = r->I32();
+  answer.time = r->F64();
+  return answer;
+}
+
+}  // namespace
+
+void CampaignState::SerializeState(BinaryWriter* writer) const {
+  writer->U64(num_tasks_);
+  writer->I32(k_);
+  writer->U64(num_workers_);
+  writer->U64(num_completed_);
+  for (const TaskState& task : tasks_) {
+    writer->U64(task.assigned.size());
+    for (WorkerId w : task.assigned) writer->I32(w);
+    // std::map iterates in ascending label order: deterministic bytes.
+    writer->U64(task.votes.size());
+    for (const auto& [label, count] : task.votes) {
+      writer->I32(label);
+      writer->I32(count);
+    }
+    writer->U8(task.consensus.has_value() ? 1 : 0);
+    writer->I32(task.consensus.value_or(kNoLabel));
+    writer->U8(task.completed ? 1 : 0);
+    writer->U8(task.qualification ? 1 : 0);
+  }
+  writer->U64(all_answers_.size());
+  for (const AnswerRecord& answer : all_answers_) {
+    SerializeAnswer(answer, writer);
+  }
+}
+
+Status CampaignState::RestoreState(BinaryReader* reader) {
+  if (reader->U64() != num_tasks_ || reader->I32() != k_) {
+    return Status::FailedPrecondition(
+        "campaign snapshot shape (num_tasks, k) does not match this state");
+  }
+  num_workers_ = reader->U64();
+  num_completed_ = reader->U64();
+  for (TaskState& task : tasks_) {
+    task = TaskState();
+    uint64_t assigned = reader->U64();
+    for (uint64_t i = 0; i < assigned && reader->ok(); ++i) {
+      task.assigned.push_back(reader->I32());
+    }
+    uint64_t votes = reader->U64();
+    for (uint64_t i = 0; i < votes && reader->ok(); ++i) {
+      Label label = reader->I32();
+      task.votes[label] = reader->I32();
+    }
+    bool has_consensus = reader->U8() != 0;
+    Label consensus = reader->I32();
+    if (has_consensus) task.consensus = consensus;
+    task.completed = reader->U8() != 0;
+    task.qualification = reader->U8() != 0;
+    ICROWD_RETURN_NOT_OK(reader->status());
+  }
+  uint64_t answers = reader->U64();
+  all_answers_.clear();
+  worker_answers_.assign(num_workers_, {});
+  for (uint64_t i = 0; i < answers && reader->ok(); ++i) {
+    AnswerRecord answer = DeserializeAnswer(reader);
+    if (answer.task < 0 || static_cast<size_t>(answer.task) >= num_tasks_ ||
+        answer.worker < 0 ||
+        static_cast<size_t>(answer.worker) >= num_workers_) {
+      return Status::InvalidArgument("snapshot answer out of range");
+    }
+    all_answers_.push_back(answer);
+    tasks_[answer.task].answers.push_back(answer);
+    worker_answers_[answer.worker].push_back(answer);
+  }
+  return reader->status();
+}
+
 }  // namespace icrowd

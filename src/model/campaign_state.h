@@ -5,6 +5,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/binary_io.h"
 #include "common/result.h"
 #include "model/answer.h"
 #include "model/microtask.h"
@@ -73,6 +74,14 @@ class CampaignState {
   bool IsQualification(TaskId task) const {
     return tasks_[task].qualification;
   }
+
+  /// Serializes the full campaign bookkeeping for ICrowd::Snapshot().
+  /// Per-task answer lists and per-worker answer logs are rebuilt from the
+  /// arrival-ordered global log on restore, so each answer is stored once.
+  void SerializeState(BinaryWriter* writer) const;
+  /// Restores SerializeState output into a state constructed with the same
+  /// (num_tasks, assignment_size); fails on a shape mismatch.
+  Status RestoreState(BinaryReader* reader);
 
  private:
   struct TaskState {

@@ -97,4 +97,36 @@ Result<WarmupVerdict> WarmupComponent::Evaluate(WorkerId worker) const {
   return verdict;
 }
 
+void WarmupComponent::SerializeState(BinaryWriter* writer) const {
+  std::vector<std::pair<WorkerId, const Progress*>> entries;
+  entries.reserve(progress_.size());
+  for (auto it = progress_.begin(); it != progress_.end(); ++it) {
+    entries.emplace_back(it->first, &it->second);
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  writer->U64(entries.size());
+  for (const auto& [worker, progress] : entries) {
+    writer->I32(worker);
+    writer->U64(progress->answered.size());
+    for (TaskId t : progress->answered) writer->I32(t);
+    writer->I32(progress->correct);
+  }
+}
+
+Status WarmupComponent::RestoreState(BinaryReader* reader) {
+  progress_.clear();
+  uint64_t workers = reader->U64();
+  for (uint64_t i = 0; i < workers && reader->ok(); ++i) {
+    WorkerId worker = reader->I32();
+    Progress& progress = progress_[worker];
+    uint64_t answered = reader->U64();
+    for (uint64_t j = 0; j < answered && reader->ok(); ++j) {
+      progress.answered.push_back(reader->I32());
+    }
+    progress.correct = reader->I32();
+  }
+  return reader->status();
+}
+
 }  // namespace icrowd

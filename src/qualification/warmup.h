@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/binary_io.h"
 #include "common/result.h"
 #include "model/dataset.h"
 #include "model/microtask.h"
@@ -61,6 +62,12 @@ class WarmupComponent {
 
   /// Grades a completed warm-up. Fails if the warm-up is not complete.
   Result<WarmupVerdict> Evaluate(WorkerId worker) const;
+
+  /// Serializes per-worker warm-up progress (sorted by worker id) for
+  /// ICrowd::Snapshot(). Configuration (tasks, options) is not serialized;
+  /// it is rebuilt deterministically from the campaign config.
+  void SerializeState(BinaryWriter* writer) const;
+  Status RestoreState(BinaryReader* reader);
 
  private:
   struct Progress {

@@ -13,4 +13,25 @@ std::vector<WorkerId> ActivityTracker::ActiveWorkers(double now) const {
   return active;
 }
 
+void ActivityTracker::SerializeState(BinaryWriter* writer) const {
+  std::vector<std::pair<WorkerId, double>> entries(last_request_.begin(),
+                                                   last_request_.end());
+  std::sort(entries.begin(), entries.end());
+  writer->U64(entries.size());
+  for (const auto& [worker, last] : entries) {
+    writer->I32(worker);
+    writer->F64(last);
+  }
+}
+
+Status ActivityTracker::RestoreState(BinaryReader* reader) {
+  last_request_.clear();
+  uint64_t n = reader->U64();
+  for (uint64_t i = 0; i < n && reader->ok(); ++i) {
+    WorkerId worker = reader->I32();
+    last_request_[worker] = reader->F64();
+  }
+  return reader->status();
+}
+
 }  // namespace icrowd

@@ -4,6 +4,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/binary_io.h"
+#include "common/result.h"
 #include "model/microtask.h"
 
 namespace icrowd {
@@ -38,6 +40,11 @@ class ActivityTracker {
   std::vector<WorkerId> ActiveWorkers(double now) const;
 
   size_t tracked() const { return last_request_.size(); }
+
+  /// Serializes the last-request map (sorted by worker id, so the bytes are
+  /// deterministic) for ICrowd::Snapshot().
+  void SerializeState(BinaryWriter* writer) const;
+  Status RestoreState(BinaryReader* reader);
 
  private:
   double window_;

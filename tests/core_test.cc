@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <set>
 
+#include "core/clock.h"
 #include "core/experiment.h"
 #include "core/icrowd.h"
 #include "core/strategy_factory.h"
@@ -173,7 +175,11 @@ TEST(ICrowdTest, FullPlatformLifecycle) {
   // Drive three perfectly accurate workers through the protocol.
   Dataset reference = TinyDataset();
   std::vector<WorkerId> workers;
-  for (int i = 0; i < 3; ++i) workers.push_back(system.OnWorkerArrived());
+  for (int i = 0; i < 3; ++i) {
+    auto arrived = system.OnWorkerArrived();
+    ASSERT_TRUE(arrived.ok());
+    workers.push_back(*arrived);
+  }
   bool progress = true;
   int guard = 0;
   while (!system.Finished() && progress && ++guard < 200) {
@@ -205,7 +211,7 @@ TEST(ICrowdTest, RejectsBadWorkerAfterWarmup) {
   ASSERT_TRUE(icrowd.ok());
   ICrowd& system = **icrowd;
   Dataset reference = TinyDataset();
-  WorkerId w = system.OnWorkerArrived();
+  WorkerId w = *system.OnWorkerArrived();
   EXPECT_EQ(system.worker_status(w), ICrowd::WorkerStatus::kWarmup);
   // Answer all warm-up tasks wrong.
   for (;;) {
@@ -230,7 +236,7 @@ TEST(ICrowdTest, ProtocolGuards) {
   // Unknown worker.
   EXPECT_FALSE(system.RequestTask(42).ok());
   EXPECT_EQ(system.worker_status(42), ICrowd::WorkerStatus::kUnknown);
-  WorkerId w = system.OnWorkerArrived();
+  WorkerId w = *system.OnWorkerArrived();
   // Submitting for a task not held fails.
   EXPECT_EQ(system.SubmitAnswer(w, 0, kYes).code(),
             StatusCode::kFailedPrecondition);
@@ -251,11 +257,11 @@ TEST(ICrowdTest, ActivityWindowShrinksActiveSet) {
   ICrowdConfig config = TinyConfig();
   config.activity_window_seconds = 10.0;
   config.warmup.tasks_per_worker = 1;
+  auto clock = std::make_shared<ManualClock>();
+  config.clock = clock;
   auto icrowd = ICrowd::Create(TinyDataset(), config);
   ASSERT_TRUE(icrowd.ok());
   ICrowd& system = **icrowd;
-  double now = 0.0;
-  system.SetClock([&now] { return now; });
   Dataset reference = TinyDataset();
 
   auto run_through_warmup = [&](WorkerId w) {
@@ -269,14 +275,14 @@ TEST(ICrowdTest, ActivityWindowShrinksActiveSet) {
       if (system.worker_status(w) == ICrowd::WorkerStatus::kActive) return;
     }
   };
-  WorkerId w0 = system.OnWorkerArrived();
-  WorkerId w1 = system.OnWorkerArrived();
-  now = 1.0;
+  WorkerId w0 = *system.OnWorkerArrived();
+  WorkerId w1 = *system.OnWorkerArrived();
+  clock->Set(1.0);
   run_through_warmup(w0);
   run_through_warmup(w1);
   EXPECT_EQ(system.ActiveWorkers().size(), 2u);
   // w1 keeps requesting; w0 goes silent past the window.
-  now = 20.0;
+  clock->Set(20.0);
   auto task = system.RequestTask(w1);
   ASSERT_TRUE(task.ok());
   EXPECT_EQ(system.ActiveWorkers(), (std::vector<WorkerId>{w1}));
@@ -295,11 +301,14 @@ TEST(ICrowdTest, WorkerLeavingReleasesNothingTwice) {
   auto icrowd = ICrowd::Create(TinyDataset(), TinyConfig());
   ASSERT_TRUE(icrowd.ok());
   ICrowd& system = **icrowd;
-  WorkerId w = system.OnWorkerArrived();
+  WorkerId w = *system.OnWorkerArrived();
   auto task = system.RequestTask(w);
   ASSERT_TRUE(task.ok());
-  system.OnWorkerLeft(w);
+  EXPECT_TRUE(system.OnWorkerLeft(w).ok());
   EXPECT_EQ(system.worker_status(w), ICrowd::WorkerStatus::kLeft);
+  // Leaving again is harmless, and unknown ids are reported as such.
+  EXPECT_TRUE(system.OnWorkerLeft(w).ok());
+  EXPECT_EQ(system.OnWorkerLeft(999).code(), StatusCode::kNotFound);
   auto after = system.RequestTask(w);
   ASSERT_TRUE(after.ok());
   EXPECT_FALSE(after->has_value());

@@ -1,0 +1,318 @@
+// Unit tests for the write-ahead journal layer (DESIGN.md §11): CRC-32,
+// frame scanning and torn-tail truncation, the event codec, the sink
+// implementations (vector, file, fault-injecting) and the JSONL debug dump.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "io/crc32.h"
+#include "io/framing.h"
+#include "journal/journal.h"
+
+namespace icrowd {
+namespace {
+
+// ---------------------------------------------------------------- CRC-32 --
+
+TEST(Crc32Test, StandardTestVector) {
+  // The check value of the IEEE 802.3 parameterization.
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+}
+
+TEST(Crc32Test, EmptyInputIsZero) { EXPECT_EQ(Crc32("", 0), 0u); }
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  uint32_t state = Crc32Begin();
+  state = Crc32Update(state, data.data(), 10);
+  state = Crc32Update(state, data.data() + 10, data.size() - 10);
+  EXPECT_EQ(Crc32Finish(state), Crc32(data.data(), data.size()));
+}
+
+// --------------------------------------------------------------- framing --
+
+std::vector<uint8_t> Bytes(const std::string& s) {
+  return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+TEST(FramingTest, RoundTripMultipleFrames) {
+  std::vector<uint8_t> stream;
+  std::vector<std::string> payloads = {"alpha", "", "b", "gamma-delta"};
+  for (const std::string& p : payloads) {
+    std::vector<uint8_t> bytes = Bytes(p);
+    AppendFrame(bytes.data(), bytes.size(), &stream);
+  }
+  FrameScan scan = ScanFrames(stream.data(), stream.size());
+  ASSERT_EQ(scan.frames.size(), payloads.size());
+  EXPECT_EQ(scan.valid_bytes, stream.size());
+  EXPECT_EQ(scan.dropped_bytes, 0u);
+  for (size_t i = 0; i < payloads.size(); ++i) {
+    auto [offset, length] = scan.frames[i];
+    EXPECT_EQ(std::string(stream.begin() + static_cast<long>(offset),
+                          stream.begin() + static_cast<long>(offset + length)),
+              payloads[i]);
+  }
+}
+
+TEST(FramingTest, TruncatedHeaderIsDropped) {
+  std::vector<uint8_t> stream;
+  std::vector<uint8_t> payload = Bytes("intact");
+  AppendFrame(payload.data(), payload.size(), &stream);
+  size_t intact = stream.size();
+  // A torn append: only 3 bytes of the next frame's header made it out.
+  stream.insert(stream.end(), {0x05, 0x00, 0x00});
+  FrameScan scan = ScanFrames(stream.data(), stream.size());
+  ASSERT_EQ(scan.frames.size(), 1u);
+  EXPECT_EQ(scan.valid_bytes, intact);
+  EXPECT_EQ(scan.dropped_bytes, 3u);
+}
+
+TEST(FramingTest, TruncatedPayloadIsDropped) {
+  std::vector<uint8_t> stream;
+  std::vector<uint8_t> first = Bytes("intact");
+  AppendFrame(first.data(), first.size(), &stream);
+  size_t intact = stream.size();
+  std::vector<uint8_t> second = Bytes("this frame is cut short");
+  AppendFrame(second.data(), second.size(), &stream);
+  stream.resize(intact + kFrameHeaderBytes + 4);  // mid-payload
+  FrameScan scan = ScanFrames(stream.data(), stream.size());
+  ASSERT_EQ(scan.frames.size(), 1u);
+  EXPECT_EQ(scan.valid_bytes, intact);
+  EXPECT_EQ(scan.dropped_bytes, kFrameHeaderBytes + 4);
+}
+
+TEST(FramingTest, CorruptPayloadFailsChecksum) {
+  std::vector<uint8_t> stream;
+  std::vector<uint8_t> first = Bytes("intact");
+  AppendFrame(first.data(), first.size(), &stream);
+  size_t intact = stream.size();
+  std::vector<uint8_t> second = Bytes("to be corrupted");
+  AppendFrame(second.data(), second.size(), &stream);
+  stream[intact + kFrameHeaderBytes] ^= 0xFF;  // flip a payload byte
+  FrameScan scan = ScanFrames(stream.data(), stream.size());
+  ASSERT_EQ(scan.frames.size(), 1u);
+  EXPECT_EQ(scan.valid_bytes, intact);
+}
+
+TEST(FramingTest, OversizedLengthIsCorruption) {
+  // A length word above kMaxFramePayload must not be followed into garbage.
+  std::vector<uint8_t> stream = {0xFF, 0xFF, 0xFF, 0xFF,
+                                 0x00, 0x00, 0x00, 0x00};
+  FrameScan scan = ScanFrames(stream.data(), stream.size());
+  EXPECT_TRUE(scan.frames.empty());
+  EXPECT_EQ(scan.valid_bytes, 0u);
+  EXPECT_EQ(scan.dropped_bytes, stream.size());
+}
+
+// ----------------------------------------------------------- event codec --
+
+TEST(JournalEventTest, CodecRoundTripsEveryEventType) {
+  std::vector<JournalEvent> events;
+  JournalEvent begin;
+  begin.type = JournalEventType::kCampaignBegin;
+  begin.format_version = kJournalFormatVersion;
+  begin.fingerprint = 0x0123456789ABCDEFull;
+  events.push_back(begin);
+  JournalEvent arrived;
+  arrived.type = JournalEventType::kWorkerArrived;
+  arrived.worker = 7;
+  events.push_back(arrived);
+  JournalEvent tick;
+  tick.type = JournalEventType::kClockTick;
+  tick.time = 41.25;
+  events.push_back(tick);
+  JournalEvent request;
+  request.type = JournalEventType::kTaskRequested;
+  request.worker = 7;
+  request.task = kNoTaskServed;
+  events.push_back(request);
+  JournalEvent answer;
+  answer.type = JournalEventType::kAnswerSubmitted;
+  answer.worker = 7;
+  answer.task = 3;
+  answer.answer = kYes;
+  answer.time = 42.5;
+  events.push_back(answer);
+  JournalEvent left;
+  left.type = JournalEventType::kWorkerLeft;
+  left.worker = 7;
+  events.push_back(left);
+
+  for (const JournalEvent& event : events) {
+    std::vector<uint8_t> encoded = EncodeJournalEvent(event);
+    auto decoded = DecodeJournalEvent(encoded.data(), encoded.size());
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded->type, event.type);
+    EXPECT_EQ(decoded->format_version, event.format_version);
+    EXPECT_EQ(decoded->fingerprint, event.fingerprint);
+    EXPECT_EQ(decoded->worker, event.worker);
+    EXPECT_EQ(decoded->task, event.task);
+    EXPECT_EQ(decoded->answer, event.answer);
+    EXPECT_EQ(decoded->time, event.time);
+  }
+}
+
+TEST(JournalEventTest, DecodeRejectsEmptyPayload) {
+  EXPECT_FALSE(DecodeJournalEvent(nullptr, 0).ok());
+}
+
+// ------------------------------------------------------ writer and sinks --
+
+JournalEvent AnswerEvent(WorkerId worker, TaskId task) {
+  JournalEvent event;
+  event.type = JournalEventType::kAnswerSubmitted;
+  event.worker = worker;
+  event.task = task;
+  event.answer = kNo;
+  event.time = static_cast<double>(worker + task);
+  return event;
+}
+
+TEST(JournalWriterTest, WriteThenReadBack) {
+  auto sink = std::make_shared<VectorSink>();
+  JournalWriter writer(sink);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(writer.Append(AnswerEvent(i, i * 2)).ok());
+  }
+  ASSERT_TRUE(writer.Flush().ok());
+  EXPECT_EQ(writer.events_written(), 10u);
+  EXPECT_EQ(writer.bytes_written(), sink->bytes().size());
+
+  auto parsed = ReadJournal(sink->bytes());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->events.size(), 10u);
+  EXPECT_EQ(parsed->dropped_bytes, 0u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(parsed->events[static_cast<size_t>(i)].worker, i);
+    EXPECT_EQ(parsed->events[static_cast<size_t>(i)].task, i * 2);
+  }
+}
+
+TEST(JournalWriterTest, ReadJournalDropsTornTail) {
+  auto sink = std::make_shared<VectorSink>();
+  JournalWriter writer(sink);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(writer.Append(AnswerEvent(i, i)).ok());
+  }
+  std::vector<uint8_t> torn = sink->bytes();
+  torn.resize(torn.size() - 5);
+  auto parsed = ReadJournal(torn);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->events.size(), 4u);
+  EXPECT_GT(parsed->dropped_bytes, 0u);
+}
+
+TEST(FileSinkTest, AppendModeContinuesExistingJournal) {
+  std::string path = ::testing::TempDir() + "/icrowd_journal_test.journal";
+  {
+    auto sink = FileSink::Open(path, /*truncate=*/true);
+    ASSERT_TRUE(sink.ok()) << sink.status().ToString();
+    JournalWriter writer(
+        std::shared_ptr<JournalSink>(sink.MoveValueOrDie()));
+    ASSERT_TRUE(writer.Append(AnswerEvent(1, 1)).ok());
+    ASSERT_TRUE(writer.Flush().ok());
+  }
+  {
+    auto sink = FileSink::Open(path, /*truncate=*/false);
+    ASSERT_TRUE(sink.ok()) << sink.status().ToString();
+    JournalWriter writer(
+        std::shared_ptr<JournalSink>(sink.MoveValueOrDie()));
+    ASSERT_TRUE(writer.Append(AnswerEvent(2, 2)).ok());
+    ASSERT_TRUE(writer.Flush().ok());
+  }
+  auto bytes = ReadFileBytes(path);
+  ASSERT_TRUE(bytes.ok());
+  auto parsed = ReadJournal(*bytes);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->events.size(), 2u);
+  EXPECT_EQ(parsed->events[0].worker, 1);
+  EXPECT_EQ(parsed->events[1].worker, 2);
+  std::remove(path.c_str());
+}
+
+TEST(FileSinkTest, TruncateStartsFresh) {
+  std::string path = ::testing::TempDir() + "/icrowd_journal_fresh.journal";
+  for (int run = 0; run < 2; ++run) {
+    auto sink = FileSink::Open(path, /*truncate=*/true);
+    ASSERT_TRUE(sink.ok());
+    JournalWriter writer(
+        std::shared_ptr<JournalSink>(sink.MoveValueOrDie()));
+    ASSERT_TRUE(writer.Append(AnswerEvent(run, run)).ok());
+    ASSERT_TRUE(writer.Flush().ok());
+  }
+  auto bytes = ReadFileBytes(path);
+  ASSERT_TRUE(bytes.ok());
+  auto parsed = ReadJournal(*bytes);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->events.size(), 1u);
+  EXPECT_EQ(parsed->events[0].worker, 1);
+  std::remove(path.c_str());
+}
+
+TEST(FileSinkTest, OpenFailsOnUnwritablePath) {
+  auto sink = FileSink::Open("/nonexistent-dir/x.journal", true);
+  EXPECT_FALSE(sink.ok());
+}
+
+TEST(FaultInjectingSinkTest, ProducesExactTornPrefix) {
+  auto inner = std::make_shared<VectorSink>();
+  JournalEvent event = AnswerEvent(3, 4);
+  size_t frame_size =
+      kFrameHeaderBytes + EncodeJournalEvent(event).size();
+  // Budget for one full frame plus 3 bytes of the next.
+  auto faulty =
+      std::make_shared<FaultInjectingSink>(inner, frame_size + 3);
+  JournalWriter writer(faulty);
+  ASSERT_TRUE(writer.Append(event).ok());
+  EXPECT_FALSE(faulty->tripped());
+  Status second = writer.Append(event);
+  EXPECT_FALSE(second.ok());
+  EXPECT_TRUE(faulty->tripped());
+  EXPECT_EQ(faulty->bytes_written(), frame_size + 3);
+  EXPECT_EQ(inner->bytes().size(), frame_size + 3);
+  // Once tripped, nothing further is persisted.
+  EXPECT_FALSE(writer.Append(event).ok());
+  EXPECT_EQ(inner->bytes().size(), frame_size + 3);
+  // The scanner recovers the intact frame and drops the torn bytes.
+  auto parsed = ReadJournal(inner->bytes());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->events.size(), 1u);
+  EXPECT_EQ(parsed->dropped_bytes, 3u);
+}
+
+// -------------------------------------------------------------- JSONL dump --
+
+TEST(JournalDumpTest, EventJsonNamesTypeAndFields) {
+  JournalEvent event = AnswerEvent(5, 9);
+  std::string json = JournalEventToJson(event);
+  EXPECT_NE(json.find("\"answer_submitted\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"worker\":5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"task\":9"), std::string::npos) << json;
+}
+
+TEST(JournalDumpTest, DumpFileEndsWithScanSummary) {
+  std::string journal_path = ::testing::TempDir() + "/icrowd_dump.journal";
+  std::string jsonl_path = ::testing::TempDir() + "/icrowd_dump.jsonl";
+  auto sink = std::make_shared<VectorSink>();
+  JournalWriter writer(sink);
+  ASSERT_TRUE(writer.Append(AnswerEvent(1, 2)).ok());
+  std::vector<uint8_t> torn = sink->bytes();
+  torn.push_back(0x42);  // one garbage byte after the intact frame
+  ASSERT_TRUE(WriteFileBytes(journal_path, torn).ok());
+
+  ASSERT_TRUE(DumpJournalJsonl(journal_path, jsonl_path).ok());
+  auto dumped = ReadFileBytes(jsonl_path);
+  ASSERT_TRUE(dumped.ok());
+  std::string text(dumped->begin(), dumped->end());
+  EXPECT_NE(text.find("\"answer_submitted\""), std::string::npos) << text;
+  EXPECT_NE(text.find("\"scan_summary\""), std::string::npos) << text;
+  EXPECT_NE(text.find("\"dropped_bytes\":1"), std::string::npos) << text;
+  std::remove(journal_path.c_str());
+  std::remove(jsonl_path.c_str());
+}
+
+}  // namespace
+}  // namespace icrowd

@@ -1,0 +1,400 @@
+// Crash-recovery tests for durable campaigns (DESIGN.md §11): the journal +
+// snapshot + tail-replay machinery must reconstruct a campaign bit-identical
+// to the uninterrupted run from any kill point — a byte-offset truncation of
+// the journal (the process died mid-append), a fault-injected sink (the disk
+// died mid-run), a snapshot plus tail, or a snapshot newer than the tail.
+//
+// When a recovery expectation fails and ICROWD_RECOVERY_DUMP_DIR is set,
+// the offending journal and its JSONL rendering are written there (CI
+// uploads them as the failure artifact).
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "core/icrowd.h"
+#include "datagen/entity_resolution.h"
+#include "io/framing.h"
+#include "journal/journal.h"
+#include "obs/metrics.h"
+#include "sim/campaign_driver.h"
+
+namespace icrowd {
+namespace {
+
+constexpr size_t kNumWorkers = 8;
+
+Dataset MakeDataset() {
+  EntityResolutionOptions options;
+  options.tasks_per_family = 5;
+  return GenerateEntityResolution(options).MoveValueOrDie();
+}
+
+std::vector<WorkerProfile> MakeProfiles(const Dataset& dataset) {
+  return GenerateEntityResolutionWorkers(dataset, kNumWorkers);
+}
+
+ICrowdConfig MakeConfig(uint64_t seed, size_t threads) {
+  ICrowdConfig config;
+  config.num_qualification = 4;
+  config.warmup.tasks_per_worker = 3;
+  config.graph.measure = SimilarityMeasure::kJaccard;
+  config.graph.threshold = 0.2;
+  config.num_threads = threads;
+  config.seed = seed;
+  return config;
+}
+
+obs::ExportOptions DeterministicExport() {
+  obs::ExportOptions options;
+  options.deterministic = true;
+  options.include_spans = false;
+  options.include_events = false;
+  return options;
+}
+
+struct LiveRun {
+  bool finished = false;
+  std::vector<uint8_t> journal;
+  std::vector<Label> results;
+  std::vector<CapturedSnapshot> snapshots;
+  uint64_t events = 0;
+  std::string det_metrics;  // deterministic-metrics JSONL at campaign end
+};
+
+/// One uninterrupted journaled campaign: the reference run every recovery
+/// scenario is compared against.
+LiveRun RunLive(uint64_t seed, size_t threads, int snapshot_every = 0,
+                int leave_after = 0) {
+  obs::MetricsRegistry::Global().ResetForTesting();
+  Dataset dataset = MakeDataset();
+  std::vector<WorkerProfile> profiles = MakeProfiles(dataset);
+  ICrowdConfig config = MakeConfig(seed, threads);
+  auto sink = std::make_shared<VectorSink>();
+  config.journal_sink = sink;
+  auto system = ICrowd::Create(std::move(dataset), config).MoveValueOrDie();
+  CampaignDriverOptions options;
+  options.seed = seed;
+  options.snapshot_every = snapshot_every;
+  options.leave_after = leave_after;
+  auto outcome = DriveCampaign(system.get(), profiles, kNumWorkers, options);
+  LiveRun run;
+  if (outcome.ok()) {
+    run.finished = outcome->finished;
+    run.snapshots = std::move(outcome->snapshots);
+  } else {
+    ADD_FAILURE() << "live drive failed: " << outcome.status().ToString();
+  }
+  run.journal = sink->bytes();
+  run.results = system->Results();
+  run.events = system->events_applied();
+  run.det_metrics =
+      obs::MetricsRegistry::Global().ExportJsonlString(DeterministicExport());
+  return run;
+}
+
+/// Failure artifact: the journal under test plus its JSONL dump, written to
+/// $ICROWD_RECOVERY_DUMP_DIR when set (CI uploads the directory).
+void DumpOnFailure(const std::vector<uint8_t>& journal,
+                   const std::string& tag) {
+  const char* dir = std::getenv("ICROWD_RECOVERY_DUMP_DIR");
+  if (dir == nullptr) return;
+  std::string base = std::string(dir) + "/" + tag;
+  Status written = WriteFileBytes(base + ".journal", journal);
+  if (!written.ok()) {
+    std::fprintf(stderr, "dump failed: %s\n", written.ToString().c_str());
+    return;
+  }
+  Status dumped = DumpJournalJsonl(base + ".journal", base + ".jsonl");
+  if (!dumped.ok()) {
+    std::fprintf(stderr, "dump failed: %s\n", dumped.ToString().c_str());
+    return;
+  }
+  std::fprintf(stderr, "recovery artifacts: %s.journal %s.jsonl\n",
+               base.c_str(), base.c_str());
+}
+
+// ------------------------------------------------------------ full replay --
+
+TEST(RecoveryTest, FullReplayIsBitIdenticalToLive) {
+  for (uint64_t seed : {11u, 77u}) {
+    // leave_after exercises kWorkerLeft records in the stream.
+    LiveRun live = RunLive(seed, /*threads=*/1, /*snapshot_every=*/0,
+                           /*leave_after=*/20);
+    obs::MetricsRegistry::Global().ResetForTesting();
+    auto restored =
+        ICrowd::Restore(MakeDataset(), MakeConfig(seed, 1), {}, live.journal);
+    ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+    EXPECT_EQ((*restored)->Results(), live.results);
+    EXPECT_EQ((*restored)->events_applied(), live.events);
+    // Replay re-derives every decision through the same code paths, so the
+    // deterministic-metrics dump must match the live run bit for bit.
+    EXPECT_EQ(obs::MetricsRegistry::Global().ExportJsonlString(
+                  DeterministicExport()),
+              live.det_metrics);
+    if (HasFailure()) {
+      DumpOnFailure(live.journal, "full_replay_seed" + std::to_string(seed));
+      return;
+    }
+  }
+}
+
+// --------------------------------------------- kill-at-any-offset recovery --
+
+TEST(RecoveryTest, KillAtAnyOffsetRecoversBitIdentical) {
+  for (uint64_t seed : {11u, 77u}) {
+    for (size_t threads : {size_t{1}, size_t{8}}) {
+      LiveRun live = RunLive(seed, threads);
+      ASSERT_TRUE(live.finished);
+      auto parsed = ReadJournal(live.journal);
+      ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+      const std::vector<JournalEvent>& events = parsed->events;
+      FrameScan scan = ScanFrames(live.journal.data(), live.journal.size());
+      ASSERT_FALSE(scan.frames.empty());
+      // Restore needs at least the campaign-begin frame; past that, every
+      // truncation point must recover. The prime stride hits mid-header,
+      // mid-payload and boundary phases across the sweep.
+      size_t min_offset = scan.frames[0].first + scan.frames[0].second;
+      for (size_t offset = min_offset; offset <= live.journal.size();
+           offset += 199) {
+        std::string tag = "kill_seed" + std::to_string(seed) + "_t" +
+                          std::to_string(threads) + "_off" +
+                          std::to_string(offset);
+        std::vector<uint8_t> prefix(
+            live.journal.begin(),
+            live.journal.begin() + static_cast<long>(offset));
+        auto restored = ICrowd::Restore(MakeDataset(),
+                                        MakeConfig(seed, threads), {}, prefix);
+        ASSERT_TRUE(restored.ok())
+            << tag << ": " << restored.status().ToString();
+        std::unique_ptr<ICrowd> system = restored.MoveValueOrDie();
+        // Finish the reference run: feed the journal tail back through the
+        // public API, verifying each re-derived decision against the
+        // journal on the way.
+        Status redriven = RedriveJournalTail(
+            system.get(), events,
+            static_cast<size_t>(system->events_applied()));
+        EXPECT_TRUE(redriven.ok()) << tag << ": " << redriven.ToString();
+        EXPECT_EQ(system->Results(), live.results) << tag;
+        EXPECT_EQ(system->events_applied(), live.events) << tag;
+        if (HasFailure()) {
+          DumpOnFailure(live.journal, tag);
+          return;
+        }
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------- snapshot recovery --
+
+TEST(RecoveryTest, EverySnapshotPlusTailMatchesLive) {
+  const uint64_t seed = 11;
+  LiveRun live = RunLive(seed, /*threads=*/1, /*snapshot_every=*/7);
+  ASSERT_FALSE(live.snapshots.empty());
+  for (const CapturedSnapshot& snapshot : live.snapshots) {
+    auto restored = ICrowd::Restore(MakeDataset(), MakeConfig(seed, 1),
+                                    snapshot.bytes, live.journal);
+    ASSERT_TRUE(restored.ok())
+        << "snapshot at " << snapshot.events_applied << ": "
+        << restored.status().ToString();
+    EXPECT_EQ((*restored)->Results(), live.results);
+    EXPECT_EQ((*restored)->events_applied(), live.events);
+  }
+  if (HasFailure()) DumpOnFailure(live.journal, "snapshot_tail");
+}
+
+TEST(RecoveryTest, SnapshotNewerThanJournalTailReplaysNothing) {
+  const uint64_t seed = 11;
+  LiveRun live = RunLive(seed, /*threads=*/1, /*snapshot_every=*/7);
+  ASSERT_FALSE(live.snapshots.empty());
+  const CapturedSnapshot& snapshot = live.snapshots.back();
+  // The persisted journal lost its tail (e.g. a lagging replica), leaving
+  // the snapshot ahead of it.
+  std::vector<uint8_t> prefix(
+      live.journal.begin(),
+      live.journal.begin() + static_cast<long>(live.journal.size() / 2));
+  auto parsed = ReadJournal(prefix);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_LT(parsed->events.size(), snapshot.events_applied)
+      << "half journal should be older than the last snapshot";
+  auto restored = ICrowd::Restore(MakeDataset(), MakeConfig(seed, 1),
+                                  snapshot.bytes, prefix);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ((*restored)->events_applied(), snapshot.events_applied);
+  // Finishing from the snapshot position must land on the reference run.
+  auto full = ReadJournal(live.journal);
+  ASSERT_TRUE(full.ok());
+  Status redriven = RedriveJournalTail(
+      restored->get(), full->events,
+      static_cast<size_t>((*restored)->events_applied()));
+  ASSERT_TRUE(redriven.ok()) << redriven.ToString();
+  EXPECT_EQ((*restored)->Results(), live.results);
+  if (HasFailure()) DumpOnFailure(live.journal, "snapshot_newer");
+}
+
+// ------------------------------------------------------------- torn tails --
+
+TEST(RecoveryTest, TornFinalRecordIsDroppedAndRederived) {
+  const uint64_t seed = 77;
+  LiveRun live = RunLive(seed, /*threads=*/1);
+  // Garbage after the last intact frame (the classic mid-append crash).
+  std::vector<uint8_t> torn = live.journal;
+  torn.insert(torn.end(), {0x07, 0x00, 0x00});
+  auto restored =
+      ICrowd::Restore(MakeDataset(), MakeConfig(seed, 1), {}, torn);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ((*restored)->Results(), live.results);
+  EXPECT_EQ((*restored)->events_applied(), live.events);
+
+  // A final record cut mid-frame: the lost event is re-derived by redrive.
+  std::vector<uint8_t> cut(live.journal.begin(), live.journal.end() - 3);
+  auto reopened =
+      ICrowd::Restore(MakeDataset(), MakeConfig(seed, 1), {}, cut);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_LT((*reopened)->events_applied(), live.events);
+  auto full = ReadJournal(live.journal);
+  ASSERT_TRUE(full.ok());
+  Status redriven = RedriveJournalTail(
+      reopened->get(), full->events,
+      static_cast<size_t>((*reopened)->events_applied()));
+  ASSERT_TRUE(redriven.ok()) << redriven.ToString();
+  EXPECT_EQ((*reopened)->Results(), live.results);
+  if (HasFailure()) DumpOnFailure(live.journal, "torn_tail");
+}
+
+// ----------------------------------------- mid-run sink death + poisoning --
+
+TEST(RecoveryTest, SinkFailureMidRunPoisonsAndRecovers) {
+  const uint64_t seed = 11;
+  LiveRun reference = RunLive(seed, /*threads=*/1);
+  ASSERT_GT(reference.journal.size(), 100u);
+  for (double fraction : {0.25, 0.5, 0.8}) {
+    // +3 lands the budget mid-frame: the append is torn, exactly like a
+    // process killed inside write(2).
+    size_t budget =
+        static_cast<size_t>(static_cast<double>(reference.journal.size()) *
+                            fraction) +
+        3;
+    Dataset dataset = MakeDataset();
+    std::vector<WorkerProfile> profiles = MakeProfiles(dataset);
+    ICrowdConfig config = MakeConfig(seed, 1);
+    auto inner = std::make_shared<VectorSink>();
+    auto faulty = std::make_shared<FaultInjectingSink>(inner, budget);
+    config.journal_sink = faulty;
+    auto created = ICrowd::Create(std::move(dataset), config);
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+    std::unique_ptr<ICrowd> system = created.MoveValueOrDie();
+    CampaignDriverOptions options;
+    options.seed = seed;
+    auto outcome = DriveCampaign(system.get(), profiles, kNumWorkers, options);
+    ASSERT_FALSE(outcome.ok()) << "the sink was meant to die mid-run";
+    EXPECT_TRUE(faulty->tripped());
+    EXPECT_TRUE(system->failed());
+    // Poisoned: journal and state may disagree, so every mutating call and
+    // Snapshot() are refused until the caller restores.
+    EXPECT_EQ(system->OnWorkerArrived().status().code(),
+              StatusCode::kFailedPrecondition);
+    EXPECT_EQ(system->RequestTask(0).status().code(),
+              StatusCode::kFailedPrecondition);
+    EXPECT_EQ(system->SubmitAnswer(0, 0, kNo).code(),
+              StatusCode::kFailedPrecondition);
+    EXPECT_EQ(system->Snapshot().status().code(),
+              StatusCode::kFailedPrecondition);
+    // Recovery sees only what reached storage — including the torn final
+    // frame, which the scanner drops — and the campaign then runs to
+    // completion.
+    auto restored = ICrowd::Restore(MakeDataset(), MakeConfig(seed, 1), {},
+                                    inner->bytes());
+    ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+    std::unique_ptr<ICrowd> resumed = restored.MoveValueOrDie();
+    auto continued =
+        DriveCampaign(resumed.get(), profiles, kNumWorkers, options);
+    ASSERT_TRUE(continued.ok()) << continued.status().ToString();
+    EXPECT_TRUE(continued->finished);
+    EXPECT_TRUE(resumed->Finished());
+    if (HasFailure()) {
+      DumpOnFailure(inner->bytes(),
+                    "sink_failure_" + std::to_string(budget));
+      return;
+    }
+  }
+}
+
+// ------------------------------------------------- thread-count invariance --
+
+TEST(RecoveryTest, JournalBytesIdenticalAcrossThreadCounts) {
+  LiveRun serial = RunLive(11, /*threads=*/1);
+  LiveRun parallel = RunLive(11, /*threads=*/8);
+  // The journal is part of the determinism contract: the bytes written at
+  // 8 threads are the bytes written at 1.
+  EXPECT_EQ(serial.journal, parallel.journal);
+  EXPECT_EQ(serial.results, parallel.results);
+  EXPECT_EQ(serial.det_metrics, parallel.det_metrics);
+  // And recovery may change the thread count: the fingerprint deliberately
+  // excludes it, so a 1-thread journal restores under an 8-thread config.
+  auto restored =
+      ICrowd::Restore(MakeDataset(), MakeConfig(11, 8), {}, serial.journal);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ((*restored)->Results(), serial.results);
+  if (HasFailure()) DumpOnFailure(serial.journal, "thread_invariance");
+}
+
+// -------------------------------------------------- mismatches and misuse --
+
+TEST(RecoveryTest, RestoreRejectsMismatchedCampaign) {
+  const uint64_t seed = 11;
+  LiveRun live = RunLive(seed, 1);
+  // Different config (k) — fingerprint mismatch.
+  ICrowdConfig other_config = MakeConfig(seed, 1);
+  other_config.assignment_size = 5;
+  EXPECT_FALSE(
+      ICrowd::Restore(MakeDataset(), other_config, {}, live.journal).ok());
+  // Different dataset — fingerprint mismatch.
+  EntityResolutionOptions other_data;
+  other_data.tasks_per_family = 6;
+  EXPECT_FALSE(ICrowd::Restore(
+                   GenerateEntityResolution(other_data).MoveValueOrDie(),
+                   MakeConfig(seed, 1), {}, live.journal)
+                   .ok());
+  // Nothing to restore from.
+  EXPECT_FALSE(ICrowd::Restore(MakeDataset(), MakeConfig(seed, 1), {}, {})
+                   .ok());
+}
+
+// ------------------------------------- resume-then-continue metrics parity --
+
+TEST(RecoveryTest, ResumeThenContinueMatchesUninterruptedMetrics) {
+  const uint64_t seed = 77;
+  LiveRun live = RunLive(seed, /*threads=*/1);
+  auto full = ReadJournal(live.journal);
+  ASSERT_TRUE(full.ok());
+  size_t offset = live.journal.size() * 2 / 3 + 1;  // mid-frame somewhere
+  std::vector<uint8_t> prefix(
+      live.journal.begin(),
+      live.journal.begin() + static_cast<long>(offset));
+  obs::MetricsRegistry::Global().ResetForTesting();
+  auto restored =
+      ICrowd::Restore(MakeDataset(), MakeConfig(seed, 1), {}, prefix);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  std::unique_ptr<ICrowd> system = restored.MoveValueOrDie();
+  Status redriven = RedriveJournalTail(
+      system.get(), full->events,
+      static_cast<size_t>(system->events_applied()));
+  ASSERT_TRUE(redriven.ok()) << redriven.ToString();
+  EXPECT_EQ(system->Results(), live.results);
+  // Replayed prefix + redriven tail must count exactly what the
+  // uninterrupted run counted: each event's deterministic counters fire
+  // once, whichever side of the crash it landed on.
+  EXPECT_EQ(obs::MetricsRegistry::Global().ExportJsonlString(
+                DeterministicExport()),
+            live.det_metrics);
+  if (HasFailure()) DumpOnFailure(live.journal, "resume_metrics");
+}
+
+}  // namespace
+}  // namespace icrowd

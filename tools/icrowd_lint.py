@@ -40,6 +40,12 @@ Rules (see DESIGN.md "Static-analysis layer"):
                   harness itself carries the file-level waiver:
                       // lint: bench-main-ok(<reason>)
 
+  api-include     Files under examples/ are integrations of the stable
+                  public surface (DESIGN.md §11): the only project header
+                  they may include is "icrowd_api.h". A quoted include of
+                  anything else reaches into src/ internals, which carry no
+                  stability promise. No waiver — widen the umbrella instead.
+
 Exit status: 0 when clean, 1 when any violation is found, 2 on usage error.
 Run directly or via `cmake --build build --target lint`.
 """
@@ -73,6 +79,9 @@ CLOCK_WAIVER_PATTERN = re.compile(r"//\s*lint:\s*clock-ok\([^)]+\)")
 MAIN_DEF_PATTERN = re.compile(r"^\s*int\s+main\s*\(", re.MULTILINE)
 # File-scope waiver (the rule is per-file: only the harness owns a main).
 BENCH_MAIN_WAIVER_PATTERN = re.compile(r"//\s*lint:\s*bench-main-ok\([^)]*\)")
+# The single project header examples/ may include.
+API_UMBRELLA = "icrowd_api.h"
+QUOTED_INCLUDE_PATTERN = re.compile(r'#\s*include\s+"([^"]+)"')
 # Appends to an output container or accumulates state in place; on an
 # unordered range these make the result depend on hash iteration order.
 ORDER_SENSITIVE_BODY_PATTERN = re.compile(
@@ -247,6 +256,29 @@ def check_bench_main(rel, text, stripped):
     return violations
 
 
+def check_api_include(rel, text, stripped):
+    del stripped
+    p = rel.replace("\\", "/")
+    if not p.startswith("examples/"):
+        return []
+    no_comments = strip_comments_and_strings(text, keep_strings=True)
+    violations = []
+    for m in QUOTED_INCLUDE_PATTERN.finditer(no_comments):
+        target = m.group(1)
+        if target == API_UMBRELLA:
+            continue
+        violations.append(
+            Violation(
+                rel, line_of(no_comments, m.start()), "api-include",
+                f'example includes internal header "{target}"; examples '
+                f'may include only "{API_UMBRELLA}" — internals carry no '
+                "stability promise (widen the umbrella instead of reaching "
+                "past it)",
+            )
+        )
+    return violations
+
+
 def unordered_names(stripped_texts):
     """Names declared as std::unordered_{map,set} in any given text."""
     names = set()
@@ -334,6 +366,7 @@ def lint_file(root, path):
     violations += check_clock_source(rel, text, stripped)
     violations += check_include_guard(rel, text, stripped)
     violations += check_bench_main(rel, text, stripped)
+    violations += check_api_include(rel, text, stripped)
     violations += check_unordered_iter(rel, text, stripped, sibling_stripped)
     return violations
 
@@ -576,6 +609,36 @@ SELF_TEST_CASES = [
         "main outside bench/ is fine",
         "examples/demo.cc",
         "int main() { return 0; }\n",
+        None,
+        set(),
+    ),
+    (
+        "example reaching into internals",
+        "examples/bad_example.cpp",
+        '#include "core/icrowd.h"\nint main() { return 0; }\n',
+        None,
+        {"api-include"},
+    ),
+    (
+        "example using the umbrella and system headers",
+        "examples/good_example.cpp",
+        '#include <cstdio>\n#include "icrowd_api.h"\n'
+        "int main() { return 0; }\n",
+        None,
+        set(),
+    ),
+    (
+        "internal include mentioned in example comment is fine",
+        "examples/ok_comment.cpp",
+        '// do NOT #include "core/icrowd.h" here\n'
+        '#include "icrowd_api.h"\nint main() { return 0; }\n',
+        None,
+        set(),
+    ),
+    (
+        "src files may include internals freely",
+        "src/core/uses_internals.cc",
+        '#include "assign/assigner.h"\n',
         None,
         set(),
     ),
