@@ -53,6 +53,23 @@ struct Kernel {
   }
 };
 
+// Bucket-wise difference of two snapshots of the same histogram: the
+// registry accumulates across every benchmark variant in this binary, so
+// each variant's percentiles must come from its own observations.
+obs::HistogramSnapshot SnapshotDelta(const obs::HistogramSnapshot& before,
+                                     const obs::HistogramSnapshot& after) {
+  if (before.buckets.size() != after.buckets.size()) return after;
+  obs::HistogramSnapshot delta;
+  delta.bounds = after.bounds;
+  delta.buckets.resize(after.buckets.size());
+  for (size_t b = 0; b < after.buckets.size(); ++b) {
+    delta.buckets[b] = after.buckets[b] - before.buckets[b];
+    delta.count += delta.buckets[b];
+  }
+  delta.sum = after.sum - before.sum;
+  return delta;
+}
+
 bool SameScheme(const std::vector<TopWorkerSet>& a,
                 const std::vector<TopWorkerSet>& b) {
   if (a.size() != b.size()) return false;
@@ -131,6 +148,12 @@ void BM_AdaptiveCampaign(benchmark::State& state) {
 
   double refresh_seconds = 0.0, recompute_seconds = 0.0;
   size_t runs = 0;
+  auto& registry = obs::MetricsRegistry::Global();
+  // Per-event (per RequestTask) latency tail: the simulator observes every
+  // assigner call into icrowd.sim.request_seconds; diffing the snapshot
+  // around the timed loop isolates this variant's distribution.
+  obs::HistogramSnapshot requests_before =
+      registry.HistogramValue("icrowd.sim.request_seconds");
   for (auto _ : state) {
     auto result =
         RunExperiment(*ds, workers, *graph, config, StrategyKind::kAdapt);
@@ -139,11 +162,15 @@ void BM_AdaptiveCampaign(benchmark::State& state) {
     recompute_seconds += result->sim.assigner.scheme_recompute_seconds;
     ++runs;
   }
+  obs::HistogramSnapshot requests = SnapshotDelta(
+      requests_before, registry.HistogramValue("icrowd.sim.request_seconds"));
   state.counters["threads"] = static_cast<double>(threads);
   state.counters["refresh_ms"] =
       1e3 * refresh_seconds / static_cast<double>(runs);
   state.counters["recompute_ms"] =
       1e3 * recompute_seconds / static_cast<double>(runs);
+  state.counters["request_p50_ms"] = 1e3 * requests.Percentile(50);
+  state.counters["request_p99_ms"] = 1e3 * requests.Percentile(99);
 }
 BENCHMARK(BM_AdaptiveCampaign)
     ->Arg(1)

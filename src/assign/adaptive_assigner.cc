@@ -49,23 +49,10 @@ void AdaptiveAssigner::RefreshDirtyWorkers(const CampaignState& state) {
   std::vector<WorkerId> dirty(dirty_workers_.begin(), dirty_workers_.end());
   std::sort(dirty.begin(), dirty.end());
   dirty_workers_.clear();
-  // Snapshot the Eq. (5) inputs before any model is overwritten: every
-  // refresh this round grades against the same pre-round estimates, so the
-  // results cannot depend on refresh order — which makes the parallel
-  // fan-out below bit-identical to the serial loop at any thread count.
-  // Dirty workers are exactly the set being mutated; everyone else's live
-  // state is read-only during the round.
-  AccuracyFn pre_round = estimator_->SnapshotAccuracyFn(dirty);
-  // Registration may grow the estimator's worker table — do it serially.
-  for (WorkerId w : dirty) estimator_->EnsureRegistered(w);
-  auto refresh_one = [&](size_t i) {
-    estimator_->Refresh(dirty[i], state, *dataset_, pre_round);
-  };
-  if (pool() != nullptr) {
-    pool()->ParallelFor(dirty.size(), refresh_one);
-  } else {
-    for (size_t i = 0; i < dirty.size(); ++i) refresh_one(i);
-  }
+  // The snapshot-then-fan-out mechanics (and the thread-count invariance
+  // argument) live with the estimator so the batched ingest path and this
+  // per-request path amortize dirty sets through the same code.
+  estimator_->RefreshMany(dirty, state, *dataset_, pool());
   scheme_dirty_ = true;
   double elapsed = timer.ElapsedSeconds();
   refresh_fp_.fetch_add(obs::ToFixedPoint(elapsed),
@@ -159,17 +146,35 @@ std::optional<TaskId> AdaptiveAssigner::RequestTask(
     const std::vector<WorkerId>& active_workers) {
   if (options_.adaptive_updates) RefreshDirtyWorkers(state);
 
+  // Plan-cache effectiveness counters: both are pure functions of the event
+  // stream (deterministic), so the batch-invariance suite can assert the
+  // amortization behaves identically on the batched path.
+  static const obs::Counter plan_hits =
+      obs::MetricsRegistry::Global().GetCounter(
+          "icrowd.assign.plan_hits",
+          {true, "requests served from the cached plan without a rebuild"});
+  static const obs::Counter plan_stale =
+      obs::MetricsRegistry::Global().GetCounter(
+          "icrowd.assign.plan_stale",
+          {true, "cached plan entries found unassignable when served"});
+
+  bool recomputed = false;
   for (int attempt = 0; attempt < 2; ++attempt) {
     if (scheme_dirty_ || !planned_.count(worker)) {
       RecomputeScheme(state, active_workers);
+      recomputed = true;
     }
     auto it = planned_.find(worker);
     if (it != planned_.end()) {
       TaskId t = it->second;
       planned_.erase(it);
-      if (state.CanAssign(t, worker)) return t;
+      if (state.CanAssign(t, worker)) {
+        if (!recomputed) plan_hits.Increment();
+        return t;
+      }
       // Plan went stale (task completed early / slot consumed): recompute
       // once, then fall through to testing.
+      plan_stale.Increment();
       scheme_dirty_ = true;
       continue;
     }

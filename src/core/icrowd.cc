@@ -390,6 +390,11 @@ Status ICrowd::ApplySubmit(WorkerId worker, TaskId task, Label answer,
 }
 
 Status ICrowd::SubmitAnswer(WorkerId worker, TaskId task, Label answer) {
+  return SubmitAnswerImpl(worker, task, answer, /*flush_journal=*/true);
+}
+
+Status ICrowd::SubmitAnswerImpl(WorkerId worker, TaskId task, Label answer,
+                                bool flush_journal) {
   if (failed_) return PoisonedStatus();
   auto it = holding_.find(worker);
   if (it == holding_.end() || it->second != task) {
@@ -405,8 +410,9 @@ Status ICrowd::SubmitAnswer(WorkerId worker, TaskId task, Label answer) {
   event.time = now_;
   ICROWD_RETURN_NOT_OK(AppendEvent(event));
   // Durability/ack point: the answer is on stable storage before the
-  // pipeline consumes it.
-  if (writer_ != nullptr) {
+  // pipeline consumes it. The batched path defers this to one group commit
+  // per batch (ApplyEventBatch), moving the ack point to the batch end.
+  if (flush_journal && writer_ != nullptr) {
     Status flushed = writer_->Flush();
     if (!flushed.ok()) {
       failed_ = true;
@@ -416,6 +422,75 @@ Status ICrowd::SubmitAnswer(WorkerId worker, TaskId task, Label answer) {
   Status applied = ApplySubmit(worker, task, answer, now_);
   if (!applied.ok()) failed_ = true;
   return applied;
+}
+
+Status ICrowd::SubmitEvent(const IngestEvent& event) {
+  if (failed_) return PoisonedStatus();
+  pending_events_.push_back(event);
+  return Status::OK();
+}
+
+Result<std::vector<IngestOutcome>> ICrowd::Drain() {
+  std::vector<IngestEvent> batch = std::move(pending_events_);
+  pending_events_.clear();
+  return ApplyEventBatch(batch);
+}
+
+Result<std::vector<IngestOutcome>> ICrowd::ApplyEventBatch(
+    const std::vector<IngestEvent>& events) {
+  ICROWD_TRACE_SCOPE("core.apply_batch");
+  if (failed_) return PoisonedStatus();
+  std::vector<IngestOutcome> outcomes;
+  outcomes.reserve(events.size());
+  for (const IngestEvent& event : events) {
+    IngestOutcome outcome;
+    outcome.kind = event.kind;
+    outcome.worker = event.worker;
+    switch (event.kind) {
+      case IngestEventKind::kWorkerArrived: {
+        auto arrived = OnWorkerArrived();
+        if (arrived.ok()) {
+          outcome.worker = *arrived;
+        } else {
+          outcome.status = arrived.status();
+        }
+        break;
+      }
+      case IngestEventKind::kWorkerRequested: {
+        auto served = RequestTask(event.worker);
+        if (served.ok()) {
+          outcome.task = served->has_value() ? served->value() : kNoTaskServed;
+        } else {
+          outcome.status = served.status();
+        }
+        break;
+      }
+      case IngestEventKind::kAnswerSubmitted:
+        outcome.status = SubmitAnswerImpl(event.worker, event.task,
+                                          event.answer,
+                                          /*flush_journal=*/false);
+        break;
+      case IngestEventKind::kWorkerLeft:
+        outcome.status = OnWorkerLeft(event.worker);
+        break;
+    }
+    // Recoverable per-event errors (the same statuses the per-event calls
+    // hand their caller) ride along in the outcome; a poisoning failure
+    // means journal and state may disagree — abort the batch.
+    if (failed_) return outcome.status;
+    outcomes.push_back(std::move(outcome));
+  }
+  // Group commit: one durability point for the whole batch. Journal *bytes*
+  // are unchanged versus per-event execution — only the flush cadence (a
+  // non-deterministic metric) differs.
+  if (!events.empty() && writer_ != nullptr) {
+    Status flushed = writer_->Flush();
+    if (!flushed.ok()) {
+      failed_ = true;
+      return flushed;
+    }
+  }
+  return outcomes;
 }
 
 void ICrowd::ApplyLeft(WorkerId worker) {

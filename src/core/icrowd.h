@@ -11,6 +11,7 @@
 #include "common/result.h"
 #include "core/config.h"
 #include "graph/similarity_graph.h"
+#include "ingest/event.h"
 #include "journal/journal.h"
 #include "model/campaign_state.h"
 #include "model/dataset.h"
@@ -94,6 +95,29 @@ class ICrowd {
   /// Marks the worker inactive (returned/abandoned the HIT).
   Status OnWorkerLeft(WorkerId worker);
 
+  /// Batched ingestion (DESIGN.md §12): buffers one platform event for the
+  /// next Drain(). Nothing is journaled or applied yet — a buffered event
+  /// is unacknowledged and excluded from Snapshot() until drained. Fails
+  /// only on a poisoned campaign.
+  Status SubmitEvent(const IngestEvent& event);
+
+  /// Applies every buffered event in submission order and returns one
+  /// outcome per event. Equivalent to ApplyEventBatch() on the buffer.
+  Result<std::vector<IngestOutcome>> Drain();
+
+  /// Applies `events` in order through the same per-event decision code the
+  /// individual callbacks run — journal bytes, campaign state and every
+  /// deterministic metric are bit-identical to issuing the calls one by one
+  /// (the batch-invariance contract; tests/ingest_test.cc enforces it).
+  /// What batching changes is durability granularity: the journal is group
+  /// committed once per batch instead of per answer, so the ack point for
+  /// every outcome is this call's return. Recoverable per-event errors
+  /// (unknown worker, answering an unheld task, ...) are reported in that
+  /// event's outcome.status and do not stop the batch; a campaign-poisoning
+  /// failure aborts it and is returned as the batch error.
+  Result<std::vector<IngestOutcome>> ApplyEventBatch(
+      const std::vector<IngestEvent>& events);
+
   /// Serializes the complete campaign state (bookkeeping, warm-up
   /// progress, estimator observations, assigner plan, activity windows and
   /// the journal position) so a later Restore() needs only the journal
@@ -164,6 +188,12 @@ class ICrowd {
   Status ApplySubmit(WorkerId worker, TaskId task, Label answer, double time);
   void ApplyLeft(WorkerId worker);
 
+  /// SubmitAnswer body with the journal flush gated: the per-event path
+  /// flushes before applying (per-answer ack), the batched path defers to
+  /// one group commit at the end of ApplyEventBatch.
+  Status SubmitAnswerImpl(WorkerId worker, TaskId task, Label answer,
+                          bool flush_journal);
+
   /// Replays journal events with index >= events_applied_ through the
   /// decision code, verifying journaled TaskRequested outcomes.
   Status ReplayTail(const std::vector<JournalEvent>& events);
@@ -182,6 +212,8 @@ class ICrowd {
   /// Task currently held by each worker (in-flight assignment).
   std::unordered_map<WorkerId, TaskId> holding_;
   ActivityTracker activity_;
+  /// Events buffered by SubmitEvent() awaiting the next Drain().
+  std::vector<IngestEvent> pending_events_;
 
   uint64_t fingerprint_ = 0;
   std::unique_ptr<JournalWriter> writer_;

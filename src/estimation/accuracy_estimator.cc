@@ -71,6 +71,29 @@ void AccuracyEstimator::Refresh(WorkerId worker, const CampaignState& state,
   RebuildModelFromObserved(model);
 }
 
+void AccuracyEstimator::RefreshMany(const std::vector<WorkerId>& workers,
+                                    const CampaignState& state,
+                                    const Dataset& dataset, ThreadPool* pool) {
+  if (workers.empty()) return;
+  // Snapshot the Eq. (5) inputs before any model is overwritten: every
+  // refresh this round grades against the same pre-round estimates, so the
+  // results cannot depend on refresh order — which makes the parallel
+  // fan-out below bit-identical to the serial loop at any thread count.
+  // The listed workers are exactly the set being mutated; everyone else's
+  // live state is read-only during the round.
+  AccuracyFn pre_round = SnapshotAccuracyFn(workers);
+  // Registration may grow the worker table — do it serially up front.
+  for (WorkerId w : workers) EnsureRegistered(w);
+  auto refresh_one = [&](size_t i) {
+    Refresh(workers[i], state, dataset, pre_round);
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(workers.size(), refresh_one);
+  } else {
+    for (size_t i = 0; i < workers.size(); ++i) refresh_one(i);
+  }
+}
+
 void AccuracyEstimator::RebuildModelFromObserved(WorkerModel& model) {
   // Average observed accuracy, shrunk toward the warm-up measurement.
   double q_sum = 0.0;

@@ -6,6 +6,7 @@
 
 #include "common/binary_io.h"
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "estimation/observed_accuracy.h"
 #include "graph/ppr.h"
 #include "graph/similarity_graph.h"
@@ -86,6 +87,16 @@ class AccuracyEstimator {
   /// independent of refresh order (and therefore of thread count).
   void Refresh(WorkerId worker, const CampaignState& state,
                const Dataset& dataset, const AccuracyFn& coworker_accuracy);
+
+  /// Amortized dirty-set refresh (DESIGN.md §12): refreshes every listed
+  /// worker against one pre-round SnapshotAccuracyFn, registering them
+  /// serially and fanning the per-worker Refresh out on `pool` (serial when
+  /// null). `workers` must be duplicate-free and should be sorted so the
+  /// round is a deterministic function of the set. One call refreshes a
+  /// whole batch's dirty set at the cost of a single snapshot.
+  void RefreshMany(const std::vector<WorkerId>& workers,
+                   const CampaignState& state, const Dataset& dataset,
+                   ThreadPool* pool);
 
   /// Returns an AccuracyFn that serves the listed workers from a copy of
   /// their current estimate state (frozen at call time) and every other

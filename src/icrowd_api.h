@@ -16,7 +16,7 @@
 /// changes to anything exported here (DESIGN.md §11 records the policy).
 
 #define ICROWD_API_VERSION_MAJOR 1
-#define ICROWD_API_VERSION_MINOR 0
+#define ICROWD_API_VERSION_MINOR 1
 #define ICROWD_API_VERSION \
   (ICROWD_API_VERSION_MAJOR * 1000 + ICROWD_API_VERSION_MINOR)
 
@@ -24,6 +24,9 @@
 #include "core/clock.h"
 #include "core/config.h"
 #include "core/icrowd.h"
+#include "ingest/batch_ingestor.h"
+#include "ingest/event.h"
+#include "ingest/event_queue.h"
 #include "journal/journal.h"
 
 // Experiment/tooling API: §6 reproduction harness.

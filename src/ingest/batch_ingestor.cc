@@ -1,0 +1,192 @@
+#include "ingest/batch_ingestor.h"
+
+#include <algorithm>
+#include <exception>
+#include <string>
+#include <utility>
+
+#include "core/icrowd.h"
+#include "obs/metrics.h"
+
+namespace icrowd {
+
+namespace {
+
+const obs::Histogram& BatchSizeHistogram() {
+  static const obs::Histogram histogram =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "icrowd.ingest.batch_size", obs::ExponentialBuckets(1, 2, 10),
+          {false, "events coalesced per applied ingest batch"});
+  return histogram;
+}
+
+const obs::Counter& BatchCounter() {
+  static const obs::Counter counter =
+      obs::MetricsRegistry::Global().GetCounter(
+          "icrowd.ingest.batches", {false, "ingest batches applied"});
+  return counter;
+}
+
+const obs::Counter& AppliedCounter() {
+  static const obs::Counter counter =
+      obs::MetricsRegistry::Global().GetCounter(
+          "icrowd.ingest.events_applied",
+          {false, "events applied through the batched path"});
+  return counter;
+}
+
+const obs::Counter& AbandonedCounter() {
+  static const obs::Counter counter =
+      obs::MetricsRegistry::Global().GetCounter(
+          "icrowd.ingest.events_abandoned",
+          {false, "queued events dropped after an ingest failure"});
+  return counter;
+}
+
+}  // namespace
+
+BatchIngestor::BatchIngestor(ICrowd* system, BatchIngestorOptions options)
+    : system_(system),
+      options_(std::move(options)),
+      queue_(options_.queue_capacity) {
+  if (system_ == nullptr) {
+    RecordFailure(Status::InvalidArgument("ingest system must not be null"));
+    queue_.Close();
+    return;
+  }
+  consumer_ = std::thread([this] { RunConsumer(); });
+}
+
+BatchIngestor::~BatchIngestor() {
+  // A failure surfacing only here was either already returned by an earlier
+  // Flush()/Close() or is sticky in the poisoned campaign.
+  Status closed = Close();
+  (void)closed;
+}
+
+void BatchIngestor::RecordFailure(const Status& failure) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (failure_.ok() && !failure.ok()) failure_ = failure;
+}
+
+Status BatchIngestor::Submit(const IngestEvent& event) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!failure_.ok()) return failure_;
+    if (closed_) {
+      return Status::FailedPrecondition("ingestor is closed");
+    }
+    ++submitted_;
+  }
+  if (!queue_.Push(event)) {
+    // Closed under us (failure or concurrent Close): the event never made
+    // it into the queue — settle it so Flush() does not wait forever.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++settled_;
+    }
+    settled_cv_.notify_all();
+    std::lock_guard<std::mutex> lock(mu_);
+    return failure_.ok()
+               ? Status::FailedPrecondition("ingestor is closed")
+               : failure_;
+  }
+  return Status::OK();
+}
+
+Status BatchIngestor::Flush() {
+  std::unique_lock<std::mutex> lock(mu_);
+  settled_cv_.wait(lock, [this] { return settled_ == submitted_; });
+  return failure_;
+}
+
+Status BatchIngestor::Close() {
+  queue_.Close();
+  if (consumer_.joinable()) consumer_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  return failure_;
+}
+
+uint64_t BatchIngestor::events_submitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return submitted_;
+}
+
+uint64_t BatchIngestor::events_settled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return settled_;
+}
+
+uint64_t BatchIngestor::batches_applied() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return batches_;
+}
+
+void BatchIngestor::RunConsumer() {
+  std::vector<IngestEvent> batch;
+  for (;;) {
+    batch.clear();
+    size_t n = queue_.PopBatch(&batch, options_.max_batch);
+    if (n == 0) return;  // closed and drained
+    ApplyBatch(batch);
+  }
+}
+
+void BatchIngestor::ApplyBatch(const std::vector<IngestEvent>& batch) {
+  ICROWD_TRACE_SCOPE("ingest.batch");
+  bool already_failed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    already_failed = !failure_.ok();
+  }
+  Status failure = Status::OK();
+  if (already_failed) {
+    // Abandon: the producer was never acked for these, and the campaign
+    // may be poisoned — settle them without touching it.
+    AbandonedCounter().Increment(batch.size());
+  } else {
+    try {
+      for (const IngestEvent& event : batch) {
+        Status buffered = system_->SubmitEvent(event);
+        if (!buffered.ok()) {
+          failure = buffered;
+          break;
+        }
+      }
+      if (failure.ok()) {
+        auto outcomes = system_->Drain();
+        if (!outcomes.ok()) {
+          failure = outcomes.status();
+        } else {
+          BatchCounter().Increment();
+          BatchSizeHistogram().Observe(static_cast<double>(batch.size()));
+          AppliedCounter().Increment(outcomes->size());
+          if (options_.on_outcome) {
+            for (const IngestOutcome& outcome : *outcomes) {
+              options_.on_outcome(outcome);
+            }
+          }
+        }
+      }
+    } catch (const std::exception& e) {
+      failure = Status::Internal(std::string("ingest apply stage threw: ") +
+                                 e.what());
+    } catch (...) {
+      failure = Status::Internal(
+          "ingest apply stage threw a non-std exception");
+    }
+  }
+  if (!failure.ok()) {
+    RecordFailure(failure);
+    queue_.Close();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++batches_;
+    settled_ += batch.size();
+  }
+  settled_cv_.notify_all();
+}
+
+}  // namespace icrowd

@@ -1,0 +1,100 @@
+#ifndef ICROWD_INGEST_BATCH_INGESTOR_H_
+#define ICROWD_INGEST_BATCH_INGESTOR_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "ingest/event.h"
+#include "ingest/event_queue.h"
+
+namespace icrowd {
+
+class ICrowd;
+
+struct BatchIngestorOptions {
+  /// Queue bound: a producer ahead of the apply stage by this many events
+  /// blocks (backpressure) instead of growing memory.
+  size_t queue_capacity = 1024;
+  /// Most events applied per batch. 1 degenerates to per-event execution
+  /// with a thread handoff; larger batches amortize the handoff and the
+  /// journal group commit. Any value yields bit-identical results.
+  size_t max_batch = 64;
+  /// Called once per applied event, on the ingest thread, after the batch's
+  /// journal flush — the outcome is durable when observed. Must not call
+  /// back into the ingestor or the campaign. A thrown exception fails the
+  /// ingestor (propagated as a Status from Flush()/Close()).
+  std::function<void(const IngestOutcome&)> on_outcome;
+};
+
+/// The pipelined ingest stage (DESIGN.md §12): a producer thread submits
+/// platform events; one consumer thread drains the bounded queue in batches
+/// and applies each batch through ICrowd::SubmitEvent + Drain, so the
+/// campaign sees the events in submission order and journals them exactly
+/// as the per-event path would. The campaign must not be mutated by anyone
+/// else between the first Submit and Close()/Flush() — the ingest thread
+/// owns it (ICrowd itself is single-writer).
+///
+/// Failure model: the first campaign poisoning, queue error, or callback
+/// exception closes the queue, fails every later Submit, and is returned
+/// (sticky) by Flush() and Close(). Events still queued when a failure
+/// hits are dropped — they were never acknowledged.
+class BatchIngestor {
+ public:
+  /// `system` must outlive the ingestor and be poison-free.
+  explicit BatchIngestor(ICrowd* system, BatchIngestorOptions options = {});
+
+  /// Closes and joins; a failure surfacing here (after a clean Flush) is
+  /// already sticky in the campaign itself, so discarding it is safe.
+  ~BatchIngestor();
+
+  BatchIngestor(const BatchIngestor&) = delete;
+  BatchIngestor& operator=(const BatchIngestor&) = delete;
+
+  /// Enqueues one event; blocks while the queue is full. Fails once the
+  /// ingestor is closed or failed.
+  Status Submit(const IngestEvent& event);
+
+  /// Blocks until every submitted event is applied (or abandoned by a
+  /// failure). Returns the sticky first failure, OK otherwise. After an OK
+  /// Flush the owner may read the campaign between batches.
+  Status Flush();
+
+  /// Drains the queue, stops the ingest thread and returns the sticky
+  /// first failure. Idempotent; Submit fails afterwards.
+  Status Close();
+
+  uint64_t events_submitted() const;
+  /// Events applied or abandoned; equals events_submitted() after Flush().
+  uint64_t events_settled() const;
+  uint64_t batches_applied() const;
+
+  const BoundedEventQueue& queue() const { return queue_; }
+
+ private:
+  void RunConsumer();
+  void ApplyBatch(const std::vector<IngestEvent>& batch);
+  void RecordFailure(const Status& failure);
+
+  ICrowd* system_;
+  BatchIngestorOptions options_;
+  BoundedEventQueue queue_;
+
+  mutable std::mutex mu_;
+  std::condition_variable settled_cv_;
+  uint64_t submitted_ = 0;
+  uint64_t settled_ = 0;
+  uint64_t batches_ = 0;
+  Status failure_ = Status::OK();
+  bool closed_ = false;
+
+  std::thread consumer_;
+};
+
+}  // namespace icrowd
+
+#endif  // ICROWD_INGEST_BATCH_INGESTOR_H_

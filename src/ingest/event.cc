@@ -1,0 +1,35 @@
+#include "ingest/event.h"
+
+namespace icrowd {
+
+std::vector<IngestEvent> IngestStreamFromJournal(
+    const std::vector<JournalEvent>& events, size_t from) {
+  std::vector<IngestEvent> stream;
+  stream.reserve(events.size() > from ? events.size() - from : 0);
+  for (size_t i = from; i < events.size(); ++i) {
+    const JournalEvent& event = events[i];
+    switch (event.type) {
+      case JournalEventType::kCampaignBegin:
+      case JournalEventType::kClockTick:
+        // Ticks are re-derived (and re-journaled) by the request that
+        // follows them; begin records belong to campaign construction.
+        break;
+      case JournalEventType::kWorkerArrived:
+        stream.push_back(IngestEvent::Arrived());
+        break;
+      case JournalEventType::kTaskRequested:
+        stream.push_back(IngestEvent::Requested(event.worker));
+        break;
+      case JournalEventType::kAnswerSubmitted:
+        stream.push_back(
+            IngestEvent::Answered(event.worker, event.task, event.answer));
+        break;
+      case JournalEventType::kWorkerLeft:
+        stream.push_back(IngestEvent::Left(event.worker));
+        break;
+    }
+  }
+  return stream;
+}
+
+}  // namespace icrowd

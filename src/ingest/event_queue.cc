@@ -1,0 +1,102 @@
+#include "ingest/event_queue.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+
+namespace icrowd {
+
+namespace {
+
+// Queue instrumentation is wall-clock/threading-shaped and therefore
+// excluded from the deterministic export (the batch-invariance contract
+// covers decisions, not how events were ferried between threads).
+const obs::Gauge& DepthGauge() {
+  static const obs::Gauge gauge = obs::MetricsRegistry::Global().GetGauge(
+      "icrowd.ingest.queue_depth",
+      {false, "events waiting in the ingest queue"});
+  return gauge;
+}
+
+const obs::Counter& BackpressureCounter() {
+  static const obs::Counter counter =
+      obs::MetricsRegistry::Global().GetCounter(
+          "icrowd.ingest.backpressure_waits",
+          {false, "producer blocks on a full ingest queue"});
+  return counter;
+}
+
+}  // namespace
+
+BoundedEventQueue::BoundedEventQueue(size_t capacity)
+    : capacity_(std::max<size_t>(capacity, 1)) {}
+
+bool BoundedEventQueue::Push(const IngestEvent& event) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!closed_ && queue_.size() >= capacity_) {
+    ++backpressure_waits_;
+    BackpressureCounter().Increment();
+    not_full_.wait(lock,
+                   [this] { return closed_ || queue_.size() < capacity_; });
+  }
+  if (closed_) return false;
+  queue_.push_back(event);
+  ++pushed_;
+  DepthGauge().Set(static_cast<double>(queue_.size()));
+  lock.unlock();
+  not_empty_.notify_one();
+  return true;
+}
+
+size_t BoundedEventQueue::PopBatch(std::vector<IngestEvent>* out,
+                                   size_t max_events) {
+  max_events = std::max<size_t>(max_events, 1);
+  std::unique_lock<std::mutex> lock(mu_);
+  not_empty_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+  size_t n = std::min(max_events, queue_.size());
+  for (size_t i = 0; i < n; ++i) {
+    out->push_back(queue_.front());
+    queue_.pop_front();
+  }
+  popped_ += n;
+  DepthGauge().Set(static_cast<double>(queue_.size()));
+  lock.unlock();
+  if (n > 0) not_full_.notify_all();
+  return n;
+}
+
+void BoundedEventQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+bool BoundedEventQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+size_t BoundedEventQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+uint64_t BoundedEventQueue::backpressure_waits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return backpressure_waits_;
+}
+
+uint64_t BoundedEventQueue::events_pushed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pushed_;
+}
+
+uint64_t BoundedEventQueue::events_popped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return popped_;
+}
+
+}  // namespace icrowd

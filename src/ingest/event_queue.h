@@ -1,0 +1,73 @@
+#ifndef ICROWD_INGEST_EVENT_QUEUE_H_
+#define ICROWD_INGEST_EVENT_QUEUE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "ingest/event.h"
+
+namespace icrowd {
+
+/// Bounded blocking event queue: the producer/consumer handoff at the head
+/// of the ingest pipeline (DESIGN.md §12). Push blocks while the queue is
+/// at capacity (backpressure — a burst cannot grow memory without bound);
+/// PopBatch blocks while the queue is empty and open, then drains up to a
+/// whole batch in one critical section, which is what amortizes the
+/// cross-thread handoff cost over the batch.
+///
+/// Thread-safety: any number of producers and consumers may call any
+/// method concurrently; in the ingest pipeline it is used single-producer /
+/// multi-consumer. Close() is idempotent, wakes every waiter, and lets
+/// consumers drain what was already queued before they observe shutdown.
+class BoundedEventQueue {
+ public:
+  /// `capacity` must be >= 1 (clamped up otherwise).
+  explicit BoundedEventQueue(size_t capacity);
+
+  BoundedEventQueue(const BoundedEventQueue&) = delete;
+  BoundedEventQueue& operator=(const BoundedEventQueue&) = delete;
+
+  /// Enqueues one event, blocking while the queue is full. Returns false —
+  /// without enqueueing — once the queue is closed.
+  bool Push(const IngestEvent& event);
+
+  /// Appends up to `max_events` (>= 1; clamped up) events to `*out`,
+  /// blocking while the queue is empty and open. Returns the number
+  /// appended; 0 means closed *and* fully drained — the consumer's
+  /// shutdown signal. Never returns 0 while events remain queued.
+  size_t PopBatch(std::vector<IngestEvent>* out, size_t max_events);
+
+  /// Closes the queue: further Push calls fail, blocked producers and
+  /// consumers wake, already-queued events stay poppable. Idempotent.
+  void Close();
+
+  bool closed() const;
+
+  /// Events currently queued (racy by nature; for monitoring/tests).
+  size_t depth() const;
+
+  /// Times a Push had to block on a full queue — the backpressure signal
+  /// the burst bench plots against batch size.
+  uint64_t backpressure_waits() const;
+
+  uint64_t events_pushed() const;
+  uint64_t events_popped() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<IngestEvent> queue_;
+  const size_t capacity_;
+  bool closed_ = false;
+  uint64_t backpressure_waits_ = 0;
+  uint64_t pushed_ = 0;
+  uint64_t popped_ = 0;
+};
+
+}  // namespace icrowd
+
+#endif  // ICROWD_INGEST_EVENT_QUEUE_H_

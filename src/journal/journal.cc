@@ -211,6 +211,7 @@ Status JournalWriter::Append(const JournalEvent& event) {
 }
 
 Status JournalWriter::Flush() {
+  ++flushes_;
   FlushCounter().Increment();
   return sink_->Flush();
 }

@@ -151,11 +151,16 @@ class JournalWriter {
 
   uint64_t events_written() const { return events_; }
   uint64_t bytes_written() const { return bytes_; }
+  /// Flush (durability point) count: how batched ingestion's group commit
+  /// shows up — per-event execution flushes once per answer, batched once
+  /// per batch, for identical journal bytes.
+  uint64_t flushes() const { return flushes_; }
 
  private:
   std::shared_ptr<JournalSink> sink_;
   uint64_t events_ = 0;
   uint64_t bytes_ = 0;
+  uint64_t flushes_ = 0;
 };
 
 struct JournalParse {

@@ -6,15 +6,21 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <map>
+#include <memory>
 #include <set>
 
 #include "common/random.h"
 #include "core/experiment.h"
+#include "core/icrowd.h"
+#include "datagen/entity_resolution.h"
 #include "datagen/poi.h"
 #include "datagen/scalability.h"
 #include "datagen/worker_pool.h"
 #include "graph/ppr.h"
+#include "ingest/batch_ingestor.h"
+#include "journal/journal.h"
 #include "model/campaign_state.h"
 
 namespace icrowd {
@@ -216,6 +222,107 @@ TEST_P(PprLinearityFuzzTest, SparseDenseAndDirectSolveAgree) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PprLinearityFuzzTest,
                          ::testing::Range<uint64_t>(0, 12));
+
+class IngestInterleavingFuzzTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(IngestInterleavingFuzzTest, NoEventDroppedOrAppliedTwice) {
+  // Random-but-valid interleavings of submits, Flush barriers and worker
+  // departures through the async ingest pipeline, at a random batch size
+  // and queue bound. Invariants for ANY interleaving: every submitted
+  // event is acked exactly once, answer conservation holds against the
+  // campaign state, and the journal the run wrote restores to the same
+  // campaign (nothing dropped, nothing applied twice).
+  const uint64_t seed = GetParam();
+  Rng rng(seed);
+  EntityResolutionOptions er;
+  er.tasks_per_family = 5;
+  Dataset dataset = GenerateEntityResolution(er).MoveValueOrDie();
+  ICrowdConfig config;
+  config.num_qualification = 4;
+  config.warmup.tasks_per_worker = 3;
+  config.graph.measure = SimilarityMeasure::kJaccard;
+  config.graph.threshold = 0.2;
+  config.seed = seed;
+  auto sink = std::make_shared<VectorSink>();
+  config.journal_sink = sink;
+  auto created = ICrowd::Create(dataset, config);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  std::unique_ptr<ICrowd> system = created.MoveValueOrDie();
+
+  std::atomic<size_t> acked{0};
+  std::atomic<size_t> answers_ok{0};
+  BatchIngestorOptions options;
+  options.max_batch = 1 + rng.UniformInt(0, 8);
+  options.queue_capacity = 1 + rng.UniformInt(0, 7);
+  options.on_outcome = [&](const IngestOutcome& outcome) {
+    acked.fetch_add(1);
+    if (outcome.kind == IngestEventKind::kAnswerSubmitted &&
+        outcome.status.ok()) {
+      answers_ok.fetch_add(1);
+    }
+  };
+  BatchIngestor ingestor(system.get(), options);
+
+  size_t submitted = 0;
+  WorkerId arrivals = 0;
+  for (int op = 0; op < 300; ++op) {
+    double r = rng.Uniform();
+    if ((arrivals < 8 && r < 0.10) || arrivals == 0) {
+      ASSERT_TRUE(ingestor.Submit(IngestEvent::Arrived()).ok());
+      ++arrivals;
+      ++submitted;
+    } else if (r < 0.25) {
+      // Barrier: everything submitted so far settles; the campaign is then
+      // safe to read, so settle held tasks with (possibly wrong) answers.
+      // The read window closes at the first new Submit — the consumer may
+      // start applying it immediately — so snapshot every holding first.
+      ASSERT_TRUE(ingestor.Flush().ok());
+      EXPECT_EQ(ingestor.events_settled(), submitted);
+      std::vector<std::pair<WorkerId, TaskId>> held_tasks;
+      for (WorkerId w = 0; w < arrivals; ++w) {
+        auto held = system->HeldTask(w);
+        if (held.has_value()) held_tasks.emplace_back(w, *held);
+      }
+      for (const auto& [w, task] : held_tasks) {
+        Label answer = static_cast<Label>(rng.UniformInt(0, 1));
+        ASSERT_TRUE(
+            ingestor.Submit(IngestEvent::Answered(w, task, answer)).ok());
+        ++submitted;
+      }
+    } else if (r < 0.32) {
+      WorkerId w = static_cast<WorkerId>(rng.UniformInt(0, arrivals - 1));
+      ASSERT_TRUE(ingestor.Submit(IngestEvent::Left(w)).ok());
+      ++submitted;
+    } else {
+      WorkerId w = static_cast<WorkerId>(rng.UniformInt(0, arrivals - 1));
+      ASSERT_TRUE(ingestor.Submit(IngestEvent::Requested(w)).ok());
+      ++submitted;
+    }
+  }
+  ASSERT_TRUE(ingestor.Flush().ok());
+  ASSERT_TRUE(ingestor.Close().ok());
+
+  // Exactly-once accounting: one ack per submit, none lost to the queue.
+  EXPECT_EQ(acked.load(), submitted);
+  EXPECT_EQ(ingestor.events_submitted(), submitted);
+  EXPECT_EQ(ingestor.events_settled(), submitted);
+  EXPECT_FALSE(system->failed());
+  // Answer conservation: the campaign recorded exactly the accepted ones.
+  EXPECT_EQ(system->state().AllAnswers().size(), answers_ok.load());
+  // Journal round-trip: the stream this interleaving journaled restores to
+  // the same campaign — dropped or double-applied events cannot hide.
+  ICrowdConfig restore_config = config;
+  restore_config.journal_sink = nullptr;
+  auto restored =
+      ICrowd::Restore(dataset, restore_config, {}, sink->bytes());
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ((*restored)->Results(), system->Results());
+  EXPECT_EQ((*restored)->events_applied(), system->events_applied());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IngestInterleavingFuzzTest,
+                         ::testing::Range<uint64_t>(0, 8));
 
 }  // namespace
 }  // namespace icrowd

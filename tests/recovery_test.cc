@@ -8,6 +8,7 @@
 // the offending journal and its JSONL rendering are written there (CI
 // uploads them as the failure artifact).
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -18,6 +19,7 @@
 #include "gtest/gtest.h"
 #include "core/icrowd.h"
 #include "datagen/entity_resolution.h"
+#include "ingest/event.h"
 #include "io/framing.h"
 #include "journal/journal.h"
 #include "obs/metrics.h"
@@ -185,6 +187,79 @@ TEST(RecoveryTest, KillAtAnyOffsetRecoversBitIdentical) {
           DumpOnFailure(live.journal, tag);
           return;
         }
+      }
+    }
+  }
+}
+
+// ------------------------------------------------- kill-mid-batch recovery --
+
+TEST(RecoveryTest, KillMidBatchRecoversThroughBatchedReingest) {
+  // The batched path defers the journal flush to the batch end, so a crash
+  // can now land anywhere inside a batch's worth of appended-but-unflushed
+  // records. Whatever prefix reached storage, recovery plus a *batched*
+  // re-ingest of the lost tail must converge on the per-event reference —
+  // including re-writing, byte for byte, the journal suffix the crash ate.
+  for (uint64_t seed : {11u, 77u}) {
+    LiveRun live = RunLive(seed, /*threads=*/1);
+    ASSERT_TRUE(live.finished);
+    auto parsed = ReadJournal(live.journal);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    const std::vector<JournalEvent>& events = parsed->events;
+    FrameScan scan = ScanFrames(live.journal.data(), live.journal.size());
+    ASSERT_FALSE(scan.frames.empty());
+    size_t min_offset = scan.frames[0].first + scan.frames[0].second;
+    // Prime stride ≠ the per-event sweep's, so the two tests cut the
+    // journal at different header/payload/boundary phases.
+    for (size_t offset = min_offset; offset <= live.journal.size();
+         offset += 173) {
+      std::string tag = "killbatch_seed" + std::to_string(seed) + "_off" +
+                        std::to_string(offset);
+      std::vector<uint8_t> prefix(
+          live.journal.begin(),
+          live.journal.begin() + static_cast<long>(offset));
+      ICrowdConfig config = MakeConfig(seed, 1);
+      auto tail_sink = std::make_shared<VectorSink>();
+      config.journal_sink = tail_sink;
+      auto restored = ICrowd::Restore(MakeDataset(), config, {}, prefix);
+      ASSERT_TRUE(restored.ok())
+          << tag << ": " << restored.status().ToString();
+      std::unique_ptr<ICrowd> system = restored.MoveValueOrDie();
+      size_t from = static_cast<size_t>(system->events_applied());
+      // Finish the run through the batched API in mid-sized chunks.
+      std::vector<IngestEvent> remaining =
+          IngestStreamFromJournal(events, from);
+      constexpr size_t kBatch = 7;
+      for (size_t start = 0; start < remaining.size(); start += kBatch) {
+        size_t end = std::min(start + kBatch, remaining.size());
+        std::vector<IngestEvent> chunk(
+            remaining.begin() + static_cast<long>(start),
+            remaining.begin() + static_cast<long>(end));
+        auto outcomes = system->ApplyEventBatch(chunk);
+        ASSERT_TRUE(outcomes.ok())
+            << tag << ": " << outcomes.status().ToString();
+        for (const IngestOutcome& outcome : *outcomes) {
+          EXPECT_TRUE(outcome.status.ok())
+              << tag << ": " << outcome.status.ToString();
+        }
+      }
+      EXPECT_EQ(system->Results(), live.results) << tag;
+      EXPECT_EQ(system->events_applied(), live.events) << tag;
+      // The re-ingested tail journals exactly the bytes the crash lost:
+      // the suffix starting at the first non-replayed frame.
+      ASSERT_LE(from, scan.frames.size()) << tag;
+      // frames[] holds payload offsets; back up over the frame header to
+      // land on the frame boundary.
+      size_t tail_start = from < scan.frames.size()
+                              ? scan.frames[from].first - kFrameHeaderBytes
+                              : live.journal.size();
+      std::vector<uint8_t> expected_tail(
+          live.journal.begin() + static_cast<long>(tail_start),
+          live.journal.end());
+      EXPECT_EQ(tail_sink->bytes(), expected_tail) << tag;
+      if (HasFailure()) {
+        DumpOnFailure(live.journal, tag);
+        return;
       }
     }
   }
