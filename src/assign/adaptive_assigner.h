@@ -49,6 +49,13 @@ struct AdaptiveAssignerOptions {
 /// The computed scheme is cached as a worker→task plan — the "effective
 /// index" §6.5 credits for real-time assignment — and invalidated when new
 /// consensus results change the estimates.
+///
+/// Threading contract: single-writer, like the campaign that owns it. The
+/// driving thread mutates estimates and the plan cache without locks; the
+/// only cross-thread surface is stats(), whose counters are all atomics so
+/// a concurrent poller reads torn-free snapshots. Internal ParallelFor
+/// fan-out synchronizes via the pool's own mutex (level 1 in
+/// tools/lock_order.txt), never via state in this class.
 class AdaptiveAssigner : public Assigner {
  public:
   /// `dataset` must outlive the assigner.

@@ -15,9 +15,11 @@ std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
 
 /// Guards sink installation and emission. Logging is cold by design (hot
 /// paths use metrics, not log lines), so one mutex is fine and keeps
-/// interleaved lines whole.
-std::mutex g_log_mutex;
-LogSink g_log_sink;  // empty = default stderr sink
+/// interleaved lines whole. Level 4 in tools/lock_order.txt: held while
+/// the installed sink runs, so a sink may take its own (lower) lock — the
+/// CaptureLogs state mutex — but must never call back into logging.
+Mutex g_log_mutex;
+LogSink g_log_sink ICROWD_GUARDED_BY(g_log_mutex);  // empty = stderr sink
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -60,7 +62,7 @@ bool LogLevelEnabled(LogLevel level) {
 }
 
 LogSink SetLogSink(LogSink sink) {
-  std::lock_guard<std::mutex> lock(g_log_mutex);
+  MutexLock lock(g_log_mutex);
   return std::exchange(g_log_sink, std::move(sink));
 }
 
@@ -92,7 +94,7 @@ void LogMessage(LogLevel level, const std::string& message) {
   record.thread = obs::ThisThreadIndex();
   record.message = message;
   log_records.Increment();
-  std::lock_guard<std::mutex> lock(g_log_mutex);
+  MutexLock lock(g_log_mutex);
   if (g_log_sink) {
     g_log_sink(record);
   } else {
@@ -103,7 +105,7 @@ void LogMessage(LogLevel level, const std::string& message) {
 CaptureLogs::CaptureLogs() : state_(std::make_shared<State>()) {
   std::shared_ptr<State> state = state_;
   previous_ = SetLogSink([state](const LogRecord& record) {
-    std::lock_guard<std::mutex> lock(state->mutex);
+    MutexLock lock(state->mutex);
     state->records.push_back(record);
   });
 }
@@ -111,12 +113,12 @@ CaptureLogs::CaptureLogs() : state_(std::make_shared<State>()) {
 CaptureLogs::~CaptureLogs() { SetLogSink(std::move(previous_)); }
 
 std::vector<LogRecord> CaptureLogs::records() const {
-  std::lock_guard<std::mutex> lock(state_->mutex);
+  MutexLock lock(state_->mutex);
   return state_->records;
 }
 
 bool CaptureLogs::Contains(const std::string& substring) const {
-  std::lock_guard<std::mutex> lock(state_->mutex);
+  MutexLock lock(state_->mutex);
   for (const LogRecord& record : state_->records) {
     if (record.message.find(substring) != std::string::npos) return true;
   }

@@ -4,10 +4,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace icrowd {
 
@@ -67,8 +68,8 @@ class CaptureLogs {
 
  private:
   struct State {
-    mutable std::mutex mutex;
-    std::vector<LogRecord> records;
+    mutable Mutex mutex;
+    std::vector<LogRecord> records ICROWD_GUARDED_BY(mutex);
   };
   std::shared_ptr<State> state_;
   LogSink previous_;

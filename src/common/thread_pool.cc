@@ -41,10 +41,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutting_down_ = true;
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   for (std::thread& t : threads_) t.join();
 }
 
@@ -54,21 +54,21 @@ void ThreadPool::Submit(std::function<void()> task) {
           "icrowd.pool.tasks_submitted",
           {false, "tasks handed to the shared pool"});
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     queue_.push({std::move(task), std::chrono::steady_clock::now()});
     ++in_flight_;
     QueueDepthGauge().Set(static_cast<double>(queue_.size()));
   }
   submitted.Increment();
-  work_available_.notify_one();
+  work_available_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mutex_);
+  while (in_flight_ != 0) all_done_.Wait(lock);
   if (first_error_) {
     std::exception_ptr error = std::exchange(first_error_, nullptr);
-    lock.unlock();
+    lock.Unlock();
     std::rethrow_exception(error);
   }
 }
@@ -84,9 +84,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     QueuedTask task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(
-          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!shutting_down_ && queue_.empty()) work_available_.Wait(lock);
       if (queue_.empty()) return;  // shutting down
       task = std::move(queue_.front());
       queue_.pop();
@@ -102,10 +101,10 @@ void ThreadPool::WorkerLoop() {
     }
     run_seconds.Observe(SecondsSince(run_start));
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (error && !first_error_) first_error_ = error;
       --in_flight_;
-      if (in_flight_ == 0) all_done_.notify_all();
+      if (in_flight_ == 0) all_done_.NotifyAll();
     }
   }
 }
@@ -154,7 +153,7 @@ void ThreadPool::ParallelFor(size_t count, size_t num_threads,
   }
   std::atomic<size_t> next{0};
   std::atomic<bool> stop{false};
-  std::mutex error_mutex;
+  Mutex error_mutex;
   std::exception_ptr first_error;
   std::vector<std::thread> threads;
   threads.reserve(num_threads);
@@ -167,7 +166,7 @@ void ThreadPool::ParallelFor(size_t count, size_t num_threads,
         try {
           fn(i);
         } catch (...) {
-          std::lock_guard<std::mutex> lock(error_mutex);
+          MutexLock lock(error_mutex);
           if (!first_error) first_error = std::current_exception();
           stop.store(true, std::memory_order_relaxed);
         }

@@ -2,14 +2,14 @@
 #define ICROWD_COMMON_THREAD_POOL_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace icrowd {
 
@@ -24,6 +24,10 @@ namespace icrowd {
 /// and rethrown by the next Wait() call, after every in-flight task has
 /// drained — Wait() never deadlocks on a throwing task. Exceptions raised
 /// while no one ever calls Wait() again are swallowed at destruction.
+///
+/// Locking: all queue and bookkeeping state is guarded by mutex_ (level 1
+/// in tools/lock_order.txt — it may be held while recording metrics, which
+/// can take the registry mutex on a shard-allocation slow path).
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (>= 1; 0 means hardware concurrency).
@@ -35,11 +39,11 @@ class ThreadPool {
 
   /// Enqueues a task; never blocks. Safe to call concurrently with Wait():
   /// an in-flight Wait() also waits for the newly submitted task.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) ICROWD_EXCLUDES(mutex_);
 
   /// Blocks until all submitted tasks have finished, then rethrows the
   /// first exception any of them raised (if any).
-  void Wait();
+  void Wait() ICROWD_EXCLUDES(mutex_);
 
   size_t num_threads() const { return threads_.size(); }
 
@@ -64,16 +68,18 @@ class ThreadPool {
     std::chrono::steady_clock::time_point enqueued;
   };
 
-  void WorkerLoop();
+  void WorkerLoop() ICROWD_EXCLUDES(mutex_);
 
-  std::vector<std::thread> threads_;
-  std::queue<QueuedTask> queue_;
-  std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable all_done_;
-  size_t in_flight_ = 0;
-  bool shutting_down_ = false;
-  std::exception_ptr first_error_;  // guarded by mutex_
+  /// Written only during construction and joined in the destructor;
+  /// immutable while any worker or client thread runs.
+  std::vector<std::thread> threads_;  // lint: guarded-ok(set in ctor only)
+  Mutex mutex_;
+  CondVar work_available_;
+  CondVar all_done_;
+  std::queue<QueuedTask> queue_ ICROWD_GUARDED_BY(mutex_);
+  size_t in_flight_ ICROWD_GUARDED_BY(mutex_) = 0;
+  bool shutting_down_ ICROWD_GUARDED_BY(mutex_) = false;
+  std::exception_ptr first_error_ ICROWD_GUARDED_BY(mutex_);
 };
 
 }  // namespace icrowd

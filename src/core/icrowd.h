@@ -39,6 +39,13 @@ namespace icrowd {
 /// through the same decision code — producing a campaign bit-identical to
 /// the uninterrupted run. All configuration is fixed at Create()/Restore();
 /// the facade has no setters.
+///
+/// Threading contract: single-writer. One thread at a time drives the
+/// mutating callbacks (in the batched pipeline that thread is the ingest
+/// consumer), so the campaign holds no locks of its own and appears
+/// nowhere in tools/lock_order.txt; cross-thread handoff and waiting live
+/// entirely in BatchIngestor/BoundedEventQueue. Readers may inspect the
+/// campaign only at quiescent points (after Drain()/Flush()).
 class ICrowd {
  public:
   enum class WorkerStatus { kUnknown, kWarmup, kActive, kRejected, kLeft };

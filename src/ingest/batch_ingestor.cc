@@ -65,13 +65,13 @@ BatchIngestor::~BatchIngestor() {
 }
 
 void BatchIngestor::RecordFailure(const Status& failure) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (failure_.ok() && !failure.ok()) failure_ = failure;
 }
 
 Status BatchIngestor::Submit(const IngestEvent& event) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!failure_.ok()) return failure_;
     if (closed_) {
       return Status::FailedPrecondition("ingestor is closed");
@@ -82,11 +82,11 @@ Status BatchIngestor::Submit(const IngestEvent& event) {
     // Closed under us (failure or concurrent Close): the event never made
     // it into the queue — settle it so Flush() does not wait forever.
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       ++settled_;
     }
-    settled_cv_.notify_all();
-    std::lock_guard<std::mutex> lock(mu_);
+    settled_cv_.NotifyAll();
+    MutexLock lock(mu_);
     return failure_.ok()
                ? Status::FailedPrecondition("ingestor is closed")
                : failure_;
@@ -95,31 +95,31 @@ Status BatchIngestor::Submit(const IngestEvent& event) {
 }
 
 Status BatchIngestor::Flush() {
-  std::unique_lock<std::mutex> lock(mu_);
-  settled_cv_.wait(lock, [this] { return settled_ == submitted_; });
+  MutexLock lock(mu_);
+  while (settled_ != submitted_) settled_cv_.Wait(lock);
   return failure_;
 }
 
 Status BatchIngestor::Close() {
   queue_.Close();
   if (consumer_.joinable()) consumer_.join();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   closed_ = true;
   return failure_;
 }
 
 uint64_t BatchIngestor::events_submitted() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return submitted_;
 }
 
 uint64_t BatchIngestor::events_settled() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return settled_;
 }
 
 uint64_t BatchIngestor::batches_applied() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return batches_;
 }
 
@@ -137,7 +137,7 @@ void BatchIngestor::ApplyBatch(const std::vector<IngestEvent>& batch) {
   ICROWD_TRACE_SCOPE("ingest.batch");
   bool already_failed;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     already_failed = !failure_.ok();
   }
   Status failure = Status::OK();
@@ -182,11 +182,11 @@ void BatchIngestor::ApplyBatch(const std::vector<IngestEvent>& batch) {
     queue_.Close();
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++batches_;
     settled_ += batch.size();
   }
-  settled_cv_.notify_all();
+  settled_cv_.NotifyAll();
 }
 
 }  // namespace icrowd

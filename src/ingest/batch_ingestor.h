@@ -1,14 +1,13 @@
 #ifndef ICROWD_INGEST_BATCH_INGESTOR_H_
 #define ICROWD_INGEST_BATCH_INGESTOR_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "ingest/event.h"
 #include "ingest/event_queue.h"
 
@@ -68,30 +67,35 @@ class BatchIngestor {
   /// first failure. Idempotent; Submit fails afterwards.
   Status Close();
 
-  uint64_t events_submitted() const;
+  [[nodiscard]] uint64_t events_submitted() const ICROWD_EXCLUDES(mu_);
   /// Events applied or abandoned; equals events_submitted() after Flush().
-  uint64_t events_settled() const;
-  uint64_t batches_applied() const;
+  [[nodiscard]] uint64_t events_settled() const ICROWD_EXCLUDES(mu_);
+  [[nodiscard]] uint64_t batches_applied() const ICROWD_EXCLUDES(mu_);
 
   const BoundedEventQueue& queue() const { return queue_; }
 
  private:
   void RunConsumer();
   void ApplyBatch(const std::vector<IngestEvent>& batch);
-  void RecordFailure(const Status& failure);
+  void RecordFailure(const Status& failure) ICROWD_EXCLUDES(mu_);
 
-  ICrowd* system_;
-  BatchIngestorOptions options_;
+  ICrowd* const system_;
+  const BatchIngestorOptions options_;
+  // lint: guarded-ok(internally synchronized behind its own mu_)
   BoundedEventQueue queue_;
 
-  mutable std::mutex mu_;
-  std::condition_variable settled_cv_;
-  uint64_t submitted_ = 0;
-  uint64_t settled_ = 0;
-  uint64_t batches_ = 0;
-  Status failure_ = Status::OK();
-  bool closed_ = false;
+  // Level 2 in tools/lock_order.txt (above the queue's level-3 mu_),
+  // though in fact it is never held across a queue_ call — every scope
+  // below releases it first. Guards the settle ledger Flush() waits on.
+  mutable Mutex mu_;
+  CondVar settled_cv_;
+  uint64_t submitted_ ICROWD_GUARDED_BY(mu_) = 0;
+  uint64_t settled_ ICROWD_GUARDED_BY(mu_) = 0;
+  uint64_t batches_ ICROWD_GUARDED_BY(mu_) = 0;
+  Status failure_ ICROWD_GUARDED_BY(mu_) = Status::OK();
+  bool closed_ ICROWD_GUARDED_BY(mu_) = false;
 
+  // lint: guarded-ok(set in ctor, joined in Close; never reassigned)
   std::thread consumer_;
 };
 

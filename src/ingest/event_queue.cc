@@ -32,27 +32,28 @@ BoundedEventQueue::BoundedEventQueue(size_t capacity)
     : capacity_(std::max<size_t>(capacity, 1)) {}
 
 bool BoundedEventQueue::Push(const IngestEvent& event) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!closed_ && queue_.size() >= capacity_) {
+    // One backpressure tick per blocking Push, however many times the
+    // wait below wakes spuriously.
     ++backpressure_waits_;
     BackpressureCounter().Increment();
-    not_full_.wait(lock,
-                   [this] { return closed_ || queue_.size() < capacity_; });
+    while (!closed_ && queue_.size() >= capacity_) not_full_.Wait(lock);
   }
   if (closed_) return false;
   queue_.push_back(event);
   ++pushed_;
   DepthGauge().Set(static_cast<double>(queue_.size()));
-  lock.unlock();
-  not_empty_.notify_one();
+  lock.Unlock();
+  not_empty_.NotifyOne();
   return true;
 }
 
 size_t BoundedEventQueue::PopBatch(std::vector<IngestEvent>* out,
                                    size_t max_events) {
   max_events = std::max<size_t>(max_events, 1);
-  std::unique_lock<std::mutex> lock(mu_);
-  not_empty_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+  MutexLock lock(mu_);
+  while (!closed_ && queue_.empty()) not_empty_.Wait(lock);
   size_t n = std::min(max_events, queue_.size());
   for (size_t i = 0; i < n; ++i) {
     out->push_back(queue_.front());
@@ -60,42 +61,42 @@ size_t BoundedEventQueue::PopBatch(std::vector<IngestEvent>* out,
   }
   popped_ += n;
   DepthGauge().Set(static_cast<double>(queue_.size()));
-  lock.unlock();
-  if (n > 0) not_full_.notify_all();
+  lock.Unlock();
+  if (n > 0) not_full_.NotifyAll();
   return n;
 }
 
 void BoundedEventQueue::Close() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     closed_ = true;
   }
-  not_full_.notify_all();
-  not_empty_.notify_all();
+  not_full_.NotifyAll();
+  not_empty_.NotifyAll();
 }
 
 bool BoundedEventQueue::closed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return closed_;
 }
 
 size_t BoundedEventQueue::depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return queue_.size();
 }
 
 uint64_t BoundedEventQueue::backpressure_waits() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return backpressure_waits_;
 }
 
 uint64_t BoundedEventQueue::events_pushed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return pushed_;
 }
 
 uint64_t BoundedEventQueue::events_popped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return popped_;
 }
 

@@ -1,12 +1,11 @@
 #ifndef ICROWD_INGEST_EVENT_QUEUE_H_
 #define ICROWD_INGEST_EVENT_QUEUE_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "ingest/event.h"
 
 namespace icrowd {
@@ -22,6 +21,8 @@ namespace icrowd {
 /// method concurrently; in the ingest pipeline it is used single-producer /
 /// multi-consumer. Close() is idempotent, wakes every waiter, and lets
 /// consumers drain what was already queued before they observe shutdown.
+/// All state is guarded by mu_ (level 3 in tools/lock_order.txt —
+/// BatchIngestor's mu_ is never held while calling in here).
 class BoundedEventQueue {
  public:
   /// `capacity` must be >= 1 (clamped up otherwise).
@@ -31,41 +32,44 @@ class BoundedEventQueue {
   BoundedEventQueue& operator=(const BoundedEventQueue&) = delete;
 
   /// Enqueues one event, blocking while the queue is full. Returns false —
-  /// without enqueueing — once the queue is closed.
-  bool Push(const IngestEvent& event);
+  /// without enqueueing — once the queue is closed; ignoring that result
+  /// silently drops the event, hence [[nodiscard]].
+  [[nodiscard]] bool Push(const IngestEvent& event) ICROWD_EXCLUDES(mu_);
 
   /// Appends up to `max_events` (>= 1; clamped up) events to `*out`,
   /// blocking while the queue is empty and open. Returns the number
   /// appended; 0 means closed *and* fully drained — the consumer's
-  /// shutdown signal. Never returns 0 while events remain queued.
-  size_t PopBatch(std::vector<IngestEvent>* out, size_t max_events);
+  /// shutdown signal, which must not be dropped. Never returns 0 while
+  /// events remain queued.
+  [[nodiscard]] size_t PopBatch(std::vector<IngestEvent>* out,
+                                size_t max_events) ICROWD_EXCLUDES(mu_);
 
   /// Closes the queue: further Push calls fail, blocked producers and
   /// consumers wake, already-queued events stay poppable. Idempotent.
-  void Close();
+  void Close() ICROWD_EXCLUDES(mu_);
 
-  bool closed() const;
+  [[nodiscard]] bool closed() const ICROWD_EXCLUDES(mu_);
 
   /// Events currently queued (racy by nature; for monitoring/tests).
-  size_t depth() const;
+  [[nodiscard]] size_t depth() const ICROWD_EXCLUDES(mu_);
 
   /// Times a Push had to block on a full queue — the backpressure signal
   /// the burst bench plots against batch size.
-  uint64_t backpressure_waits() const;
+  [[nodiscard]] uint64_t backpressure_waits() const ICROWD_EXCLUDES(mu_);
 
-  uint64_t events_pushed() const;
-  uint64_t events_popped() const;
+  [[nodiscard]] uint64_t events_pushed() const ICROWD_EXCLUDES(mu_);
+  [[nodiscard]] uint64_t events_popped() const ICROWD_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<IngestEvent> queue_;
+  mutable Mutex mu_;
+  CondVar not_full_;
+  CondVar not_empty_;
+  std::deque<IngestEvent> queue_ ICROWD_GUARDED_BY(mu_);
   const size_t capacity_;
-  bool closed_ = false;
-  uint64_t backpressure_waits_ = 0;
-  uint64_t pushed_ = 0;
-  uint64_t popped_ = 0;
+  bool closed_ ICROWD_GUARDED_BY(mu_) = false;
+  uint64_t backpressure_waits_ ICROWD_GUARDED_BY(mu_) = 0;
+  uint64_t pushed_ ICROWD_GUARDED_BY(mu_) = 0;
+  uint64_t popped_ ICROWD_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace icrowd

@@ -141,6 +141,13 @@ class FaultInjectingSink : public JournalSink {
 
 /// Frames events and appends them to a sink, tracking counts for the
 /// journal-overhead metrics.
+///
+/// Threading contract: deliberately lock-free because it is single-writer
+/// by construction — only the campaign's apply stage (the ingest consumer
+/// thread, or the owner thread on the unbatched path) ever appends, and
+/// the accessors are only meaningful between batches (after Flush/Drain),
+/// the same quiescent points at which reading the campaign is allowed.
+/// Adding a mutex here would serialize nothing and hide misuse from TSan.
 class JournalWriter {
  public:
   explicit JournalWriter(std::shared_ptr<JournalSink> sink)
@@ -149,12 +156,12 @@ class JournalWriter {
   Status Append(const JournalEvent& event);
   Status Flush();
 
-  uint64_t events_written() const { return events_; }
-  uint64_t bytes_written() const { return bytes_; }
+  [[nodiscard]] uint64_t events_written() const { return events_; }
+  [[nodiscard]] uint64_t bytes_written() const { return bytes_; }
   /// Flush (durability point) count: how batched ingestion's group commit
   /// shows up — per-event execution flushes once per answer, batched once
   /// per batch, for identical journal bytes.
-  uint64_t flushes() const { return flushes_; }
+  [[nodiscard]] uint64_t flushes() const { return flushes_; }
 
  private:
   std::shared_ptr<JournalSink> sink_;

@@ -167,8 +167,10 @@ double HistogramSnapshot::Percentile(double q) const {
 struct MetricsRegistry::Shard {
   Shard() : cells(kShardCells) {}
   std::vector<std::atomic<int64_t>> cells;
-  mutable std::mutex span_mutex;
-  std::vector<SpanRecord> spans;  // guarded by span_mutex
+  /// Level 7 in tools/lock_order.txt: the innermost lock — may be taken
+  /// while holding the registry mutex_, never the other way around.
+  mutable Mutex span_mutex;
+  std::vector<SpanRecord> spans ICROWD_GUARDED_BY(span_mutex);
 };
 
 namespace internal {
@@ -240,7 +242,7 @@ MetricsRegistry::Shard* MetricsRegistry::LocalShard() {
 MetricsRegistry::Shard* MetricsRegistry::LocalShardSlow() {
   Shard* shard = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (!free_shards_.empty()) {
       shard = free_shards_.back();
       free_shards_.pop_back();
@@ -254,7 +256,7 @@ MetricsRegistry::Shard* MetricsRegistry::LocalShardSlow() {
 }
 
 void MetricsRegistry::ReleaseShard(Shard* shard) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   free_shards_.push_back(shard);
 }
 
@@ -268,7 +270,7 @@ const MetricsRegistry::MetricInfo* MetricsRegistry::FindLocked(
 
 Counter MetricsRegistry::GetCounter(const std::string& name,
                                     MetricOptions options) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (const MetricInfo* existing = FindLocked(name)) {
     if (existing->kind != MetricKind::kCounter) {
       std::fprintf(stderr, "obs: metric '%s' re-registered as counter\n",
@@ -293,7 +295,7 @@ Counter MetricsRegistry::GetCounter(const std::string& name,
 
 Gauge MetricsRegistry::GetGauge(const std::string& name,
                                 MetricOptions options) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (const MetricInfo* existing = FindLocked(name)) {
     if (existing->kind != MetricKind::kGauge) {
       std::fprintf(stderr, "obs: metric '%s' re-registered as gauge\n",
@@ -321,7 +323,7 @@ Histogram MetricsRegistry::GetHistogram(const std::string& name,
                                         MetricOptions options) {
   std::sort(bounds.begin(), bounds.end());
   bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (const MetricInfo* existing = FindLocked(name)) {
     if (existing->kind != MetricKind::kHistogram ||
         *existing->bounds != bounds) {
@@ -362,7 +364,7 @@ void Counter::Increment(uint64_t n) const {
 
 uint64_t Counter::Value() const {
   if (registry_ == nullptr) return 0;
-  std::lock_guard<std::mutex> lock(registry_->mutex_);
+  MutexLock lock(registry_->mutex_);
   return static_cast<uint64_t>(registry_->SumCell(cell_));
 }
 
@@ -409,7 +411,7 @@ int64_t MetricsRegistry::SumCell(uint32_t cell) const {
 void MetricsRegistry::RecordEvent(
     std::string type, std::vector<std::pair<std::string, double>> fields) {
   if (!enabled()) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   events_.push_back({std::move(type), std::move(fields)});
 }
 
@@ -438,7 +440,7 @@ void MetricsRegistry::EndSpan() {
   record.duration_ns = NowNanos() - open.start_ns;
   Shard* shard = LocalShard();
   {
-    std::lock_guard<std::mutex> lock(shard->span_mutex);
+    MutexLock lock(shard->span_mutex);
     if (shard->spans.size() < kMaxSpansPerShard) {
       shard->spans.push_back(record);
       return;
@@ -448,14 +450,14 @@ void MetricsRegistry::EndSpan() {
 }
 
 uint64_t MetricsRegistry::CounterValue(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const MetricInfo* info = FindLocked(name);
   if (info == nullptr || info->kind != MetricKind::kCounter) return 0;
   return static_cast<uint64_t>(SumCell(info->cell));
 }
 
 double MetricsRegistry::GaugeValue(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const MetricInfo* info = FindLocked(name);
   if (info == nullptr || info->kind != MetricKind::kGauge) return 0.0;
   return FromFixedPoint(
@@ -464,7 +466,7 @@ double MetricsRegistry::GaugeValue(const std::string& name) const {
 
 HistogramSnapshot MetricsRegistry::HistogramValue(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   HistogramSnapshot snapshot;
   const MetricInfo* info = FindLocked(name);
   if (info == nullptr || info->kind != MetricKind::kHistogram) {
@@ -484,9 +486,9 @@ HistogramSnapshot MetricsRegistry::HistogramValue(
 
 std::vector<SpanRecord> MetricsRegistry::Spans() const {
   std::vector<SpanRecord> spans;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const std::unique_ptr<Shard>& shard : shards_) {
-    std::lock_guard<std::mutex> span_lock(shard->span_mutex);
+    MutexLock span_lock(shard->span_mutex);
     spans.insert(spans.end(), shard->spans.begin(), shard->spans.end());
   }
   std::sort(spans.begin(), spans.end(),
@@ -498,13 +500,13 @@ std::vector<SpanRecord> MetricsRegistry::Spans() const {
 }
 
 std::vector<TrajectoryEvent> MetricsRegistry::Events() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return events_;
 }
 
 void MetricsRegistry::ExportJsonl(std::ostream& out,
                                   const ExportOptions& options) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<const MetricInfo*> sorted;
   sorted.reserve(metrics_.size());
   for (const MetricInfo& info : metrics_) sorted.push_back(&info);
@@ -571,7 +573,7 @@ void MetricsRegistry::ExportJsonl(std::ostream& out,
   if (options.include_spans && !options.deterministic) {
     std::vector<SpanRecord> spans;
     for (const std::unique_ptr<Shard>& shard : shards_) {
-      std::lock_guard<std::mutex> span_lock(shard->span_mutex);
+      MutexLock span_lock(shard->span_mutex);
       spans.insert(spans.end(), shard->spans.begin(), shard->spans.end());
     }
     std::sort(spans.begin(), spans.end(),
@@ -597,12 +599,12 @@ std::string MetricsRegistry::ExportJsonlString(
 }
 
 void MetricsRegistry::ResetForTesting() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const std::unique_ptr<Shard>& shard : shards_) {
     for (std::atomic<int64_t>& cell : shard->cells) {
       cell.store(0, std::memory_order_relaxed);
     }
-    std::lock_guard<std::mutex> span_lock(shard->span_mutex);
+    MutexLock span_lock(shard->span_mutex);
     shard->spans.clear();
   }
   for (size_t i = 0; i < num_gauges_; ++i) {

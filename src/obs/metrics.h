@@ -6,10 +6,11 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace icrowd {
 namespace obs {
@@ -252,23 +253,31 @@ class MetricsRegistry {
   };
 
   Shard* LocalShard();
-  Shard* LocalShardSlow();
-  void ReleaseShard(Shard* shard);
-  int64_t SumCell(uint32_t cell) const;
-  const MetricInfo* FindLocked(const std::string& name) const;
+  Shard* LocalShardSlow() ICROWD_EXCLUDES(mutex_);
+  void ReleaseShard(Shard* shard) ICROWD_EXCLUDES(mutex_);
+  int64_t SumCell(uint32_t cell) const ICROWD_REQUIRES(mutex_);
+  const MetricInfo* FindLocked(const std::string& name) const
+      ICROWD_REQUIRES(mutex_);
   int64_t NowNanos() const;
 
   const uint64_t id_;  // process-unique, guards stale thread-local caches
   std::atomic<bool> enabled_{true};
-  mutable std::mutex mutex_;
-  std::vector<MetricInfo> metrics_;          // guarded by mutex_
-  std::vector<std::unique_ptr<Shard>> shards_;  // guarded by mutex_
-  std::vector<Shard*> free_shards_;          // guarded by mutex_
-  uint32_t next_cell_ = 0;                   // guarded by mutex_
-  std::unique_ptr<std::atomic<int64_t>[]> gauges_;  // fixed-point values
-  size_t num_gauges_ = 0;                    // guarded by mutex_
-  std::vector<TrajectoryEvent> events_;      // guarded by mutex_
-  std::atomic<int64_t> epoch_ns_{0};         // steady-clock epoch
+  /// Registration/snapshot mutex, level 6 in tools/lock_order.txt: may be
+  /// held while taking a shard's span_mutex (level 7), never the reverse.
+  mutable Mutex mutex_;
+  std::vector<MetricInfo> metrics_ ICROWD_GUARDED_BY(mutex_);
+  std::vector<std::unique_ptr<Shard>> shards_ ICROWD_GUARDED_BY(mutex_);
+  std::vector<Shard*> free_shards_ ICROWD_GUARDED_BY(mutex_);
+  uint32_t next_cell_ ICROWD_GUARDED_BY(mutex_) = 0;
+  /// Fixed-point gauge slots; the array is allocated once in the
+  /// constructor and every slot is an atomic, so stores are lock-free.
+  const std::unique_ptr<std::atomic<int64_t>[]> gauges_;
+  size_t num_gauges_ ICROWD_GUARDED_BY(mutex_) = 0;
+  std::vector<TrajectoryEvent> events_ ICROWD_GUARDED_BY(mutex_);
+  std::atomic<int64_t> epoch_ns_{0};  // steady-clock epoch
+  /// Counter handle (internally thread-safe), set once in the constructor
+  /// before any other thread can see the registry.
+  // lint: guarded-ok(set once in ctor; Counter handle is thread-safe)
   Counter dropped_spans_;
 };
 

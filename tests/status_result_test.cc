@@ -14,6 +14,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "ingest/event_queue.h"
 
 namespace icrowd {
 namespace {
@@ -257,6 +258,36 @@ TEST(ResultDeathTest, ConstructingFromOkStatusAborts) {
   ::testing::FLAGS_gtest_death_test_style = "threadsafe";
   EXPECT_DEATH(Result<int>(Status::OK()),
                "Result constructed from OK status");
+}
+
+// The ingest surface audited by tests/nodiscard_check.cc, exercised the
+// RIGHT way: every [[nodiscard]] result is consumed and means what its
+// contract says. The negative fixture pins that dropping these results
+// cannot compile; this pins that honoring them stays ergonomic.
+TEST(NodiscardSurfaceTest, IngestQueueResultsCarryTheProtocol) {
+  BoundedEventQueue queue(2);
+  ASSERT_TRUE(queue.Push(IngestEvent::Requested(7)));
+  EXPECT_EQ(queue.depth(), 1u);
+  EXPECT_EQ(queue.events_pushed(), 1u);
+
+  std::vector<IngestEvent> batch;
+  size_t popped = queue.PopBatch(&batch, 8);
+  EXPECT_EQ(popped, 1u);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].worker, 7);
+  EXPECT_EQ(queue.events_popped(), 1u);
+  EXPECT_EQ(queue.backpressure_waits(), 0u);
+
+  queue.Close();
+  EXPECT_TRUE(queue.closed());
+  // false from Push after Close is the dropped-event signal the
+  // [[nodiscard]] on Push exists to protect.
+  EXPECT_FALSE(queue.Push(IngestEvent::Arrived()));
+  // 0 from PopBatch on a closed, drained queue is the consumer's shutdown
+  // signal — likewise not droppable.
+  batch.clear();
+  EXPECT_EQ(queue.PopBatch(&batch, 8), 0u);
+  EXPECT_TRUE(batch.empty());
 }
 
 }  // namespace

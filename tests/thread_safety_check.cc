@@ -1,0 +1,49 @@
+// Negative compile fixture for the thread-safety gate (DESIGN.md §13).
+//
+// Registered with WILL_FAIL: under Clang with -Wthread-safety
+// -Werror=thread-safety-analysis this file must FAIL to compile, proving
+// the annotations in common/thread_annotations.h actually bite. Each
+// function below commits one representative violation of the locking
+// discipline; everything else is deliberately warning-clean so the only
+// possible diagnostics are from the analysis itself. Keep it in sync with
+// tests/thread_safety_ok.cc, the positive twin that must stay clean.
+//
+// The fixture never runs — ctest only invokes the compiler on it — and is
+// skipped with a notice on machines without any clang++.
+
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Ledger {
+ public:
+  // Violation 1: writes an ICROWD_GUARDED_BY member with no lock held.
+  void UnguardedWrite(int amount) { balance_ += amount; }
+
+  // Violation 2: caller-side — calls a REQUIRES function without the lock.
+  int MissingRequires() { return BalanceLocked(); }
+
+  // Violation 3: double acquisition of the same mutex inside a function
+  // that promised to avoid it. (The project lint would flag the nesting
+  // too — waived, since tripping *Clang* is this fixture's entire job.)
+  void BrokenExcludes() ICROWD_EXCLUDES(mu_) {
+    icrowd::MutexLock lock(mu_);
+    icrowd::MutexLock again(mu_);  // lint: lock-order-ok(negative fixture)
+  }
+
+ private:
+  int BalanceLocked() const ICROWD_REQUIRES(mu_) { return balance_; }
+
+  mutable icrowd::Mutex mu_;
+  int balance_ ICROWD_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Ledger ledger;
+  ledger.UnguardedWrite(1);
+  (void)ledger.MissingRequires();
+  ledger.BrokenExcludes();
+  return 0;
+}
