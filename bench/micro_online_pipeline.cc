@@ -20,6 +20,7 @@
 #include "datagen/itemcompare.h"
 #include "gbench_adapter.h"
 #include "model/campaign_state.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace icrowd {
@@ -199,6 +200,31 @@ void BM_MetricsOverhead(benchmark::State& state) {
   state.counters["metrics_enabled"] = enabled ? 1.0 : 0.0;
 }
 BENCHMARK(BM_MetricsOverhead)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+// Flight-recorder overhead on the same kernel: the metrics registry stays
+// in the shipped (enabled) configuration while range(0) toggles only the
+// recorder, so the delta isolates the always-on black box — every trace
+// scope on this path writes a span-begin/span-end pair into the recording
+// thread's ring. Acceptance bar (DESIGN.md §14): enabled within 5% of
+// disabled, gated by bench_compare against the committed baseline.
+void BM_FlightRecorderOverhead(benchmark::State& state) {
+  const bool enabled = state.range(0) == 1;
+  static Kernel kernel;
+  ThreadPool pool(4);
+  auto& flight = obs::FlightRecorder::Global();
+  flight.SetEnabled(enabled);
+  for (auto _ : state) {
+    auto scheme = RecomputeScheme(kernel, &pool);
+    benchmark::DoNotOptimize(scheme);
+  }
+  flight.SetEnabled(true);
+  state.SetItemsProcessed(state.iterations() * kTasks);
+  state.counters["flight_enabled"] = enabled ? 1.0 : 0.0;
+}
+BENCHMARK(BM_FlightRecorderOverhead)
     ->Arg(0)
     ->Arg(1)
     ->Unit(benchmark::kMillisecond);

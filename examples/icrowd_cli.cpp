@@ -10,9 +10,13 @@
 //              [--metrics-out=FILE.jsonl] [--deterministic]
 //              [--journal=FILE] [--resume] [--snapshot=FILE]
 //              [--journal-dump=FILE.jsonl]
+//              [--statusz[=json]] [--statusz-out=FILE]
 //
 // Prints overall (and optionally per-domain) accuracy averaged over seeds;
 // optionally exports the dataset and the last run's answer log as CSV.
+// --statusz renders the runtime-introspection snapshot (DESIGN.md §14)
+// after the run — heartbeats, pipeline counters, and per-stage latency —
+// to stdout, or to --statusz-out=FILE.
 //
 // With --journal=FILE the driver instead runs one durable campaign through
 // the journaled platform API: every callback is written ahead to FILE, so a
@@ -45,6 +49,9 @@ struct CliOptions {
   bool resume = false;         // recover from an existing journal
   std::string snapshot;        // snapshot file to save (and load on resume)
   std::string journal_dump;    // dump --journal as JSONL and exit
+  bool statusz = false;        // render the statusz snapshot after the run
+  bool statusz_json = false;   // ... as JSON instead of text
+  std::string statusz_out;     // write statusz here instead of stdout
 };
 
 bool ParseFlag(const std::string& arg, const std::string& name,
@@ -69,8 +76,35 @@ int Usage() {
       "                  [--export-answers=FILE]\n"
       "                  [--metrics-out=FILE.jsonl] [--deterministic]\n"
       "                  [--journal=FILE] [--resume] [--snapshot=FILE]\n"
-      "                  [--journal-dump=FILE.jsonl]\n");
+      "                  [--journal-dump=FILE.jsonl]\n"
+      "                  [--statusz[=json]] [--statusz-out=FILE]\n");
   return 2;
+}
+
+/// Renders the post-run statusz snapshot to stdout or --statusz-out.
+/// Returns false (after printing why) if the output file cannot be written.
+bool EmitStatuszIfRequested(const CliOptions& options) {
+  if (!options.statusz) return true;
+  obs::StatuszOptions statusz_options;
+  statusz_options.json = options.statusz_json;
+  std::string rendered = obs::RenderStatusz(statusz_options);
+  if (options.statusz_out.empty()) {
+    std::fputs(rendered.c_str(), stdout);
+    return true;
+  }
+  std::FILE* out = std::fopen(options.statusz_out.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", options.statusz_out.c_str());
+    return false;
+  }
+  size_t written = std::fwrite(rendered.data(), 1, rendered.size(), out);
+  bool closed = std::fclose(out) == 0;
+  if (written != rendered.size() || !closed) {
+    std::fprintf(stderr, "cannot write statusz to %s\n",
+                 options.statusz_out.c_str());
+    return false;
+  }
+  return true;
 }
 
 /// Durable-campaign mode: one journaled run of the full platform pipeline.
@@ -250,6 +284,18 @@ int main(int argc, char** argv) {
       options.snapshot = value;
     } else if (ParseFlag(arg, "journal-dump", &value)) {
       options.journal_dump = value;
+    } else if (arg == "--statusz") {
+      options.statusz = true;
+    } else if (ParseFlag(arg, "statusz", &value)) {
+      if (value == "json") {
+        options.statusz_json = true;
+      } else if (value != "text") {
+        return Usage();
+      }
+      options.statusz = true;
+    } else if (ParseFlag(arg, "statusz-out", &value)) {
+      options.statusz_out = value;
+      options.statusz = true;
     } else {
       return Usage();
     }
@@ -336,6 +382,7 @@ int main(int argc, char** argv) {
     // Durable mode always runs the full iCrowd pipeline (the facade is the
     // journaled surface); --strategy applies to experiment mode only.
     int rc = RunDurableCampaign(options, *dataset, workers);
+    if (rc == 0 && !EmitStatuszIfRequested(options)) return 1;
     if (rc == 0 && !obs::WriteMetricsIfRequested(metrics_options)) return 1;
     return rc;
   }
@@ -379,6 +426,7 @@ int main(int argc, char** argv) {
   }
   std::printf("overall accuracy: %s\n",
               FormatDouble(overall / options.seeds, 3).c_str());
+  if (!EmitStatuszIfRequested(options)) return 1;
   if (!obs::WriteMetricsIfRequested(metrics_options)) return 1;
   return 0;
 }

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <utility>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace icrowd {
@@ -15,7 +16,7 @@ std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
 
 /// Guards sink installation and emission. Logging is cold by design (hot
 /// paths use metrics, not log lines), so one mutex is fine and keeps
-/// interleaved lines whole. Level 4 in tools/lock_order.txt: held while
+/// interleaved lines whole. Level 5 in tools/lock_order.txt: held while
 /// the installed sink runs, so a sink may take its own (lower) lock — the
 /// CaptureLogs state mutex — but must never call back into logging.
 Mutex g_log_mutex;
@@ -94,6 +95,13 @@ void LogMessage(LogLevel level, const std::string& message) {
   record.thread = obs::ThisThreadIndex();
   record.message = message;
   log_records.Increment();
+  // Flight-record the line before taking the emission lock: the black box
+  // should capture it even if a sink is wedged.
+  obs::FlightRecorder& flight = obs::FlightRecorder::Global();
+  if (flight.enabled()) {
+    flight.RecordDetail(obs::FlightEventKind::kLog, LevelName(level), message,
+                        static_cast<int64_t>(level));
+  }
   MutexLock lock(g_log_mutex);
   if (g_log_sink) {
     g_log_sink(record);

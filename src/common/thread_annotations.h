@@ -1,6 +1,7 @@
 #ifndef ICROWD_COMMON_THREAD_ANNOTATIONS_H_
 #define ICROWD_COMMON_THREAD_ANNOTATIONS_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -161,6 +162,16 @@ class CondVar {
   CondVar& operator=(const CondVar&) = delete;
 
   void Wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  /// Timed wait: releases, blocks up to `timeout` (steady-clock measured),
+  /// reacquires before returning. Returns true when notified, false on
+  /// timeout. Spurious wakes return true, so — as with Wait() — callers
+  /// loop on an explicit predicate; the timeout only bounds one iteration
+  /// (the watchdog's periodic-scan pattern).
+  bool WaitFor(MutexLock& lock, std::chrono::nanoseconds timeout) {
+    return cv_.wait_for(lock.lock_, timeout) == std::cv_status::no_timeout;
+  }
+
   void NotifyOne() { cv_.notify_one(); }
   void NotifyAll() { cv_.notify_all(); }
 

@@ -5,6 +5,7 @@
 #include <memory>
 #include <utility>
 
+#include "obs/heartbeat.h"
 #include "obs/metrics.h"
 
 namespace icrowd {
@@ -81,15 +82,21 @@ void ThreadPool::WorkerLoop() {
   const obs::Histogram run_seconds = registry.GetHistogram(
       "icrowd.pool.task_run_seconds", obs::ExponentialBuckets(1e-6, 4, 10),
       {false, "execution time per task"});
+  // Watchdog liveness contract (DESIGN.md §14): idle while parked on the
+  // queue, busy while running a task — a task that never returns shows up
+  // as a stalled-busy pool.worker heartbeat.
+  obs::ScopedHeartbeat heartbeat("pool.worker");
   for (;;) {
     QueuedTask task;
     {
       MutexLock lock(mutex_);
+      heartbeat->MarkIdle();
       while (!shutting_down_ && queue_.empty()) work_available_.Wait(lock);
       if (queue_.empty()) return;  // shutting down
       task = std::move(queue_.front());
       queue_.pop();
       QueueDepthGauge().Set(static_cast<double>(queue_.size()));
+      heartbeat->MarkBusy();
     }
     wait_seconds.Observe(SecondsSince(task.enqueued));
     auto run_start = std::chrono::steady_clock::now();

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/random.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace icrowd {
@@ -439,6 +440,9 @@ Result<std::vector<IngestOutcome>> ICrowd::Drain() {
 Result<std::vector<IngestOutcome>> ICrowd::ApplyEventBatch(
     const std::vector<IngestEvent>& events) {
   ICROWD_TRACE_SCOPE("core.apply_batch");
+  obs::FlightRecorder::Global().Record(obs::FlightEventKind::kMark,
+                                       "core.apply_batch",
+                                       static_cast<int64_t>(events.size()));
   if (failed_) return PoisonedStatus();
   std::vector<IngestOutcome> outcomes;
   outcomes.reserve(events.size());

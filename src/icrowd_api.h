@@ -16,7 +16,7 @@
 /// changes to anything exported here (DESIGN.md §11 records the policy).
 
 #define ICROWD_API_VERSION_MAJOR 1
-#define ICROWD_API_VERSION_MINOR 1
+#define ICROWD_API_VERSION_MINOR 2
 #define ICROWD_API_VERSION \
   (ICROWD_API_VERSION_MAJOR * 1000 + ICROWD_API_VERSION_MINOR)
 
@@ -45,6 +45,10 @@
 #include "graph/similarity_graph.h"
 #include "io/dataset_io.h"
 #include "obs/exporter.h"
+#include "obs/flight_recorder.h"
+#include "obs/heartbeat.h"
+#include "obs/statusz.h"
+#include "obs/watchdog.h"
 #include "qualification/qualification_selector.h"
 #include "sim/campaign_driver.h"
 #include "sim/metrics.h"

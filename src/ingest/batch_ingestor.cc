@@ -1,11 +1,15 @@
 #include "ingest/batch_ingestor.h"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
 #include <string>
 #include <utility>
 
+#include "common/stopwatch.h"
 #include "core/icrowd.h"
+#include "obs/flight_recorder.h"
+#include "obs/heartbeat.h"
 #include "obs/metrics.h"
 
 namespace icrowd {
@@ -41,6 +45,59 @@ const obs::Counter& AbandonedCounter() {
           "icrowd.ingest.events_abandoned",
           {false, "queued events dropped after an ingest failure"});
   return counter;
+}
+
+// Per-stage latency attribution (DESIGN.md §14): queue wait and batch
+// assembly here, apply below, journal flush inside JournalWriter — one
+// statusz read then localizes a bottleneck to a stage.
+const obs::Histogram& QueueWaitHistogram() {
+  static const obs::Histogram histogram =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "icrowd.ingest.queue_wait_seconds",
+          obs::ExponentialBuckets(1e-6, 4, 12),
+          {false, "enqueue-to-dequeue latency per ingest event"});
+  return histogram;
+}
+
+const obs::Histogram& BatchAssemblyHistogram() {
+  static const obs::Histogram histogram =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "icrowd.ingest.batch_assembly_seconds",
+          obs::ExponentialBuckets(1e-6, 4, 12),
+          {false,
+           "PopBatch duration per batch (includes the idle wait for the "
+           "first event)"});
+  return histogram;
+}
+
+const obs::Histogram& ApplyHistogram() {
+  static const obs::Histogram histogram =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "icrowd.ingest.apply_seconds",
+          obs::ExponentialBuckets(1e-6, 4, 12),
+          {false, "SubmitEvent+Drain duration per applied batch"});
+  return histogram;
+}
+
+/// Static-storage tags for the flight recorder (it stores the pointer).
+const char* IngestKindTag(IngestEventKind kind) {
+  switch (kind) {
+    case IngestEventKind::kWorkerArrived:
+      return "ingest.arrived";
+    case IngestEventKind::kWorkerRequested:
+      return "ingest.requested";
+    case IngestEventKind::kAnswerSubmitted:
+      return "ingest.answered";
+    case IngestEventKind::kWorkerLeft:
+      return "ingest.left";
+  }
+  return "ingest.unknown";
+}
+
+int64_t SteadyNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
 }  // namespace
@@ -124,16 +181,36 @@ uint64_t BatchIngestor::batches_applied() const {
 }
 
 void BatchIngestor::RunConsumer() {
+  // Watchdog liveness contract (DESIGN.md §14): idle while parked on the
+  // queue, busy from dequeue to settle — a consumer wedged inside apply
+  // (or a callback) is what the watchdog exists to catch.
+  obs::ScopedHeartbeat heartbeat("ingest.consumer");
   std::vector<IngestEvent> batch;
   for (;;) {
     batch.clear();
+    heartbeat->MarkIdle();
+    Stopwatch assembly;
     size_t n = queue_.PopBatch(&batch, options_.max_batch);
     if (n == 0) return;  // closed and drained
-    ApplyBatch(batch);
+    heartbeat->MarkBusy();
+    BatchAssemblyHistogram().Observe(assembly.ElapsedSeconds());
+    const int64_t dequeued_ns = SteadyNanos();
+    for (const IngestEvent& event : batch) {
+      if (event.enqueue_ns > 0) {
+        QueueWaitHistogram().Observe(
+            static_cast<double>(dequeued_ns - event.enqueue_ns) * 1e-9);
+      }
+    }
+    ApplyBatch(batch, heartbeat.get());
+    // Consumer-side depth sample: producers may have filled the queue
+    // while this batch applied; without this the gauge would lag a full
+    // apply cycle behind.
+    (void)queue_.SampleDepth();
   }
 }
 
-void BatchIngestor::ApplyBatch(const std::vector<IngestEvent>& batch) {
+void BatchIngestor::ApplyBatch(const std::vector<IngestEvent>& batch,
+                               obs::Heartbeat* heartbeat) {
   ICROWD_TRACE_SCOPE("ingest.batch");
   bool already_failed;
   {
@@ -145,9 +222,19 @@ void BatchIngestor::ApplyBatch(const std::vector<IngestEvent>& batch) {
     // Abandon: the producer was never acked for these, and the campaign
     // may be poisoned — settle them without touching it.
     AbandonedCounter().Increment(batch.size());
+    obs::FlightRecorder::Global().Record(
+        obs::FlightEventKind::kMark, "ingest.abandon",
+        static_cast<int64_t>(batch.size()));
   } else {
+    Stopwatch apply;
     try {
+      obs::FlightRecorder& flight = obs::FlightRecorder::Global();
       for (const IngestEvent& event : batch) {
+        if (flight.enabled()) {
+          flight.Record(obs::FlightEventKind::kIngest,
+                        IngestKindTag(event.kind), event.worker, event.task);
+        }
+        heartbeat->Beat();
         Status buffered = system_->SubmitEvent(event);
         if (!buffered.ok()) {
           failure = buffered;
@@ -156,6 +243,7 @@ void BatchIngestor::ApplyBatch(const std::vector<IngestEvent>& batch) {
       }
       if (failure.ok()) {
         auto outcomes = system_->Drain();
+        ApplyHistogram().Observe(apply.ElapsedSeconds());
         if (!outcomes.ok()) {
           failure = outcomes.status();
         } else {

@@ -15,6 +15,10 @@ namespace icrowd {
 
 class ICrowd;
 
+namespace obs {
+class Heartbeat;
+}  // namespace obs
+
 struct BatchIngestorOptions {
   /// Queue bound: a producer ahead of the apply stage by this many events
   /// blocks (backpressure) instead of growing memory.
@@ -76,7 +80,8 @@ class BatchIngestor {
 
  private:
   void RunConsumer();
-  void ApplyBatch(const std::vector<IngestEvent>& batch);
+  void ApplyBatch(const std::vector<IngestEvent>& batch,
+                  obs::Heartbeat* heartbeat);
   void RecordFailure(const Status& failure) ICROWD_EXCLUDES(mu_);
 
   ICrowd* const system_;
@@ -84,7 +89,7 @@ class BatchIngestor {
   // lint: guarded-ok(internally synchronized behind its own mu_)
   BoundedEventQueue queue_;
 
-  // Level 2 in tools/lock_order.txt (above the queue's level-3 mu_),
+  // Level 3 in tools/lock_order.txt (above the queue's level-4 mu_),
   // though in fact it is never held across a queue_ call — every scope
   // below releases it first. Guards the settle ledger Flush() waits on.
   mutable Mutex mu_;

@@ -38,6 +38,11 @@ struct IngestEvent {
   WorkerId worker = -1;
   TaskId task = -1;
   Label answer = kNoLabel;
+  /// Steady-clock nanoseconds stamped by BoundedEventQueue::Push, read by
+  /// the consumer to attribute queue-wait latency (DESIGN.md §14). Purely
+  /// in-memory plumbing: never journaled, never part of event identity —
+  /// the batch-invariance contract sees four fields, not five.
+  int64_t enqueue_ns = 0;
 
   static IngestEvent Arrived() {
     return {IngestEventKind::kWorkerArrived, -1, -1, kNoLabel};

@@ -1,12 +1,22 @@
 #include "ingest/event_queue.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "obs/metrics.h"
 
 namespace icrowd {
 
 namespace {
+
+/// Enqueue stamps are steady-clock (monotonic) nanoseconds: the consumer
+/// subtracts them from its own steady reading to get queue-wait latency,
+/// which a wall-clock step would corrupt.
+int64_t SteadyNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 // Queue instrumentation is wall-clock/threading-shaped and therefore
 // excluded from the deterministic export (the batch-invariance contract
@@ -42,6 +52,9 @@ bool BoundedEventQueue::Push(const IngestEvent& event) {
   }
   if (closed_) return false;
   queue_.push_back(event);
+  // Stamp enqueue time for per-stage latency attribution (DESIGN.md §14);
+  // the consumer observes icrowd.ingest.queue_wait_seconds from it.
+  queue_.back().enqueue_ns = SteadyNanos();
   ++pushed_;
   DepthGauge().Set(static_cast<double>(queue_.size()));
   lock.Unlock();
@@ -70,9 +83,18 @@ void BoundedEventQueue::Close() {
   {
     MutexLock lock(mu_);
     closed_ = true;
+    // Publish the terminal depth: consumers may still drain, but a closed
+    // queue with residue (abandoned events) should read true, not stale.
+    DepthGauge().Set(static_cast<double>(queue_.size()));
   }
   not_full_.NotifyAll();
   not_empty_.NotifyAll();
+}
+
+size_t BoundedEventQueue::SampleDepth() const {
+  MutexLock lock(mu_);
+  DepthGauge().Set(static_cast<double>(queue_.size()));
+  return queue_.size();
 }
 
 bool BoundedEventQueue::closed() const {

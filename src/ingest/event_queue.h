@@ -21,7 +21,7 @@ namespace icrowd {
 /// method concurrently; in the ingest pipeline it is used single-producer /
 /// multi-consumer. Close() is idempotent, wakes every waiter, and lets
 /// consumers drain what was already queued before they observe shutdown.
-/// All state is guarded by mu_ (level 3 in tools/lock_order.txt —
+/// All state is guarded by mu_ (level 4 in tools/lock_order.txt —
 /// BatchIngestor's mu_ is never held while calling in here).
 class BoundedEventQueue {
  public:
@@ -52,6 +52,13 @@ class BoundedEventQueue {
 
   /// Events currently queued (racy by nature; for monitoring/tests).
   [[nodiscard]] size_t depth() const ICROWD_EXCLUDES(mu_);
+
+  /// depth() that also refreshes the icrowd.ingest.queue_depth gauge. Both
+  /// queue ends already set the gauge inside their critical sections, but
+  /// each only fires on its own activity — a reader (consumer loop,
+  /// statusz) calls this to make the gauge reflect *now* rather than the
+  /// last push/pop.
+  size_t SampleDepth() const ICROWD_EXCLUDES(mu_);
 
   /// Times a Push had to block on a full queue — the backpressure signal
   /// the burst bench plots against batch size.

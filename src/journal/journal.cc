@@ -4,7 +4,9 @@
 #include <utility>
 
 #include "common/binary_io.h"
+#include "common/stopwatch.h"
 #include "io/framing.h"
+#include "obs/heartbeat.h"
 #include "obs/metrics.h"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -48,6 +50,15 @@ const obs::Counter& TornBytesCounter() {
       "icrowd.journal.torn_bytes_dropped",
       {false, "torn/corrupt tail bytes dropped by the journal scanner"});
   return counter;
+}
+
+const obs::Histogram& FlushSecondsHistogram() {
+  static const obs::Histogram histogram =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "icrowd.journal.flush_seconds",
+          obs::ExponentialBuckets(1e-6, 4, 12),
+          {false, "sink flush (durability point) duration per group commit"});
+  return histogram;
 }
 
 }  // namespace
@@ -198,6 +209,15 @@ Status FaultInjectingSink::Flush() {
 
 // ----------------------------------------------------------------- writer --
 
+JournalWriter::JournalWriter(std::shared_ptr<JournalSink> sink)
+    : sink_(std::move(sink)),
+      heartbeat_(obs::HeartbeatRegistry::Global().Register("journal.flush")) {
+}
+
+JournalWriter::~JournalWriter() {
+  obs::HeartbeatRegistry::Global().Unregister(heartbeat_);
+}
+
 Status JournalWriter::Append(const JournalEvent& event) {
   std::vector<uint8_t> payload = EncodeJournalEvent(event);
   std::vector<uint8_t> frame;
@@ -213,7 +233,14 @@ Status JournalWriter::Append(const JournalEvent& event) {
 Status JournalWriter::Flush() {
   ++flushes_;
   FlushCounter().Increment();
-  return sink_->Flush();
+  // Busy exactly for the sink flush (the stage that can wedge on a hung
+  // disk); timed for the per-stage latency attribution.
+  heartbeat_->MarkBusy();
+  Stopwatch flush_time;
+  Status flushed = sink_->Flush();
+  FlushSecondsHistogram().Observe(flush_time.ElapsedSeconds());
+  heartbeat_->MarkIdle();
+  return flushed;
 }
 
 // ----------------------------------------------------------------- reader --

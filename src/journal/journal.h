@@ -12,6 +12,10 @@
 
 namespace icrowd {
 
+namespace obs {
+class Heartbeat;
+}  // namespace obs
+
 /// Write-ahead event journal for durable campaigns (DESIGN.md §11). The
 /// ICrowd facade appends one record per mutating platform callback *before*
 /// touching canonical state; recovery is snapshot + tail-replay of these
@@ -150,8 +154,10 @@ class FaultInjectingSink : public JournalSink {
 /// Adding a mutex here would serialize nothing and hide misuse from TSan.
 class JournalWriter {
  public:
-  explicit JournalWriter(std::shared_ptr<JournalSink> sink)
-      : sink_(std::move(sink)) {}
+  explicit JournalWriter(std::shared_ptr<JournalSink> sink);
+  ~JournalWriter();
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
 
   Status Append(const JournalEvent& event);
   Status Flush();
@@ -168,6 +174,11 @@ class JournalWriter {
   uint64_t events_ = 0;
   uint64_t bytes_ = 0;
   uint64_t flushes_ = 0;
+  /// Watchdog check-in for the single writer thread: busy only inside
+  /// sink_->Flush(), so a wedged fsync (hung disk, full volume) shows up
+  /// as a stalled-busy "journal.flush" heartbeat. Plain pointer — same
+  /// single-writer contract as every other member.
+  obs::Heartbeat* heartbeat_ = nullptr;
 };
 
 struct JournalParse {

@@ -8,6 +8,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "obs/flight_recorder.h"
+
 namespace icrowd {
 namespace obs {
 
@@ -167,7 +169,7 @@ double HistogramSnapshot::Percentile(double q) const {
 struct MetricsRegistry::Shard {
   Shard() : cells(kShardCells) {}
   std::vector<std::atomic<int64_t>> cells;
-  /// Level 7 in tools/lock_order.txt: the innermost lock — may be taken
+  /// Level 10 in tools/lock_order.txt: the innermost lock — may be taken
   /// while holding the registry mutex_, never the other way around.
   mutable Mutex span_mutex;
   std::vector<SpanRecord> spans ICROWD_GUARDED_BY(span_mutex);
@@ -614,13 +616,24 @@ void MetricsRegistry::ResetForTesting() {
   epoch_ns_.store(SteadyNanos(), std::memory_order_relaxed);
 }
 
-TraceScope::TraceScope(const char* name)
-    : active_(MetricsRegistry::Global().enabled()) {
+TraceScope::TraceScope(const char* name) : name_(name) {
+  active_ = MetricsRegistry::Global().enabled();
   if (active_) MetricsRegistry::Global().BeginSpan(name);
+  // The flight recorder sees spans even when the metrics registry is
+  // disabled — the two kill switches are independent (the black box should
+  // not go dark because someone turned off metric export).
+  FlightRecorder& flight = FlightRecorder::Global();
+  if (flight.enabled()) {
+    flight.Record(FlightEventKind::kSpanBegin, name);
+  }
 }
 
 TraceScope::~TraceScope() {
   if (active_) MetricsRegistry::Global().EndSpan();
+  FlightRecorder& flight = FlightRecorder::Global();
+  if (flight.enabled()) {
+    flight.Record(FlightEventKind::kSpanEnd, name_);
+  }
 }
 
 }  // namespace obs

@@ -262,8 +262,8 @@ class MetricsRegistry {
 
   const uint64_t id_;  // process-unique, guards stale thread-local caches
   std::atomic<bool> enabled_{true};
-  /// Registration/snapshot mutex, level 6 in tools/lock_order.txt: may be
-  /// held while taking a shard's span_mutex (level 7), never the reverse.
+  /// Registration/snapshot mutex, level 9 in tools/lock_order.txt: may be
+  /// held while taking a shard's span_mutex (level 10), never the reverse.
   mutable Mutex mutex_;
   std::vector<MetricInfo> metrics_ ICROWD_GUARDED_BY(mutex_);
   std::vector<std::unique_ptr<Shard>> shards_ ICROWD_GUARDED_BY(mutex_);
@@ -281,8 +281,10 @@ class MetricsRegistry {
   Counter dropped_spans_;
 };
 
-/// RAII span: opens on construction, closes on destruction. Inert when the
-/// global registry is disabled at construction time.
+/// RAII span: opens on construction, closes on destruction. Records a
+/// metrics span when the global registry is enabled at construction time,
+/// and a flight-recorder begin/end pair when the global flight recorder is
+/// enabled (the two switches are independent).
 class TraceScope {
  public:
   explicit TraceScope(const char* name);
@@ -291,6 +293,7 @@ class TraceScope {
   TraceScope& operator=(const TraceScope&) = delete;
 
  private:
+  const char* name_;
   bool active_;
 };
 

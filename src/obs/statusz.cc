@@ -1,0 +1,289 @@
+#include "obs/statusz.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <fstream>
+#include <sstream>
+
+namespace icrowd {
+namespace obs {
+
+namespace {
+
+int64_t SteadyNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Captured at static-init time: statusz uptime approximates process age
+/// on a monotonic scale (never wall clock — clock-source rule).
+const int64_t g_process_epoch_ns = SteadyNanos();
+
+/// Fixed %.6f rendering: every time-valued field uses the same width, so
+/// two renderings of identical state are byte-identical.
+std::string Seconds(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof(hex), "\\u%04x", c);
+          out += hex;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// The fixed statusz glossary (DESIGN.md §14). Rendering a fixed list —
+/// rather than whatever happens to be registered — is what keeps the
+/// output byte-stable across builds and runs.
+constexpr const char* kCounters[] = {
+    "icrowd.ingest.batches",
+    "icrowd.ingest.events_applied",
+    "icrowd.ingest.events_abandoned",
+    "icrowd.ingest.backpressure_waits",
+    "icrowd.journal.appends",
+    "icrowd.journal.append_bytes",
+    "icrowd.journal.flushes",
+    "icrowd.journal.fsyncs",
+    "icrowd.pool.tasks_submitted",
+    "icrowd.obs.log_records",
+    "icrowd.watchdog.trips",
+};
+
+constexpr const char* kGauges[] = {
+    "icrowd.ingest.queue_depth",
+    "icrowd.pool.queue_depth",
+};
+
+/// Per-stage latency attribution, in pipeline order: queue wait → batch
+/// assembly → apply → journal flush, plus the pool's scheduling split and
+/// the batch-size shape.
+constexpr const char* kHistograms[] = {
+    "icrowd.ingest.queue_wait_seconds",
+    "icrowd.ingest.batch_assembly_seconds",
+    "icrowd.ingest.apply_seconds",
+    "icrowd.journal.flush_seconds",
+    "icrowd.pool.task_wait_seconds",
+    "icrowd.pool.task_run_seconds",
+    "icrowd.ingest.batch_size",
+};
+
+std::string RenderText(const MetricsRegistry& metrics,
+                       const HeartbeatRegistry& heartbeats,
+                       const FlightRecorder& flight, double uptime) {
+  std::ostringstream out;
+  out << "=== icrowd statusz ===\n";
+  out << "uptime_seconds " << Seconds(uptime) << "\n";
+  out << "watchdog.trips " << metrics.CounterValue("icrowd.watchdog.trips")
+      << "\n";
+  out << "flight_recorder.enabled " << (flight.enabled() ? 1 : 0) << "\n";
+  out << "flight_recorder.events_recorded " << flight.events_recorded()
+      << "\n";
+  out << "flight_recorder.capacity_per_thread "
+      << flight.capacity_per_thread() << "\n";
+  out << "\n[heartbeats]\n";
+  for (const HeartbeatSnapshot& hb : heartbeats.Snapshots()) {
+    out << hb.name << " state=" << (hb.busy ? "busy" : "idle")
+        << " age_seconds=" << Seconds(hb.age_seconds) << " beats=" << hb.beats
+        << "\n";
+  }
+  out << "\n[counters]\n";
+  for (const char* name : kCounters) {
+    out << name << " " << metrics.CounterValue(name) << "\n";
+  }
+  out << "\n[gauges]\n";
+  for (const char* name : kGauges) {
+    out << name << " " << Seconds(metrics.GaugeValue(name)) << "\n";
+  }
+  out << "\n[latency]\n";
+  for (const char* name : kHistograms) {
+    HistogramSnapshot snapshot = metrics.HistogramValue(name);
+    out << name << " count=" << snapshot.count
+        << " mean=" << Seconds(snapshot.Mean())
+        << " p50=" << Seconds(snapshot.Percentile(50))
+        << " p99=" << Seconds(snapshot.Percentile(99)) << "\n";
+  }
+  return out.str();
+}
+
+std::string RenderJson(const MetricsRegistry& metrics,
+                       const HeartbeatRegistry& heartbeats,
+                       const FlightRecorder& flight, double uptime) {
+  std::ostringstream out;
+  out << "{\"uptime_seconds\":" << Seconds(uptime);
+  out << ",\"watchdog\":{\"trips\":"
+      << metrics.CounterValue("icrowd.watchdog.trips") << "}";
+  out << ",\"flight_recorder\":{\"enabled\":"
+      << (flight.enabled() ? "true" : "false")
+      << ",\"events_recorded\":" << flight.events_recorded()
+      << ",\"capacity_per_thread\":" << flight.capacity_per_thread() << "}";
+  out << ",\"heartbeats\":[";
+  bool first = true;
+  for (const HeartbeatSnapshot& hb : heartbeats.Snapshots()) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":\"" << EscapeJson(hb.name) << "\",\"state\":\""
+        << (hb.busy ? "busy" : "idle")
+        << "\",\"age_seconds\":" << Seconds(hb.age_seconds)
+        << ",\"beats\":" << hb.beats << "}";
+  }
+  out << "],\"counters\":{";
+  first = true;
+  for (const char* name : kCounters) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << name << "\":" << metrics.CounterValue(name);
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const char* name : kGauges) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << name << "\":" << Seconds(metrics.GaugeValue(name));
+  }
+  out << "},\"latency\":{";
+  first = true;
+  for (const char* name : kHistograms) {
+    if (!first) out << ",";
+    first = false;
+    HistogramSnapshot snapshot = metrics.HistogramValue(name);
+    out << "\"" << name << "\":{\"count\":" << snapshot.count
+        << ",\"mean\":" << Seconds(snapshot.Mean())
+        << ",\"p50\":" << Seconds(snapshot.Percentile(50))
+        << ",\"p99\":" << Seconds(snapshot.Percentile(99)) << "}";
+  }
+  out << "}}\n";
+  return out.str();
+}
+
+}  // namespace
+
+std::string RenderStatusz(const MetricsRegistry& metrics,
+                          const HeartbeatRegistry& heartbeats,
+                          const FlightRecorder& flight,
+                          const StatuszOptions& options) {
+  double uptime = options.uptime_seconds;
+  if (uptime < 0.0) {
+    uptime =
+        static_cast<double>(SteadyNanos() - g_process_epoch_ns) * 1e-9;
+  }
+  return options.json ? RenderJson(metrics, heartbeats, flight, uptime)
+                      : RenderText(metrics, heartbeats, flight, uptime);
+}
+
+std::string RenderStatusz(const StatuszOptions& options) {
+  return RenderStatusz(MetricsRegistry::Global(), HeartbeatRegistry::Global(),
+                       FlightRecorder::Global(), options);
+}
+
+void DumpIntrospection(const char* reason) {
+  FlightRecorder::DumpOptions flight_options;
+  flight_options.json = true;
+  // Bound the dump: under a wedged pipeline the rings can hold tens of
+  // thousands of records across threads; the most recent few hundred are
+  // the ones that explain the stall.
+  flight_options.max_events = 256;
+  const std::string flight = FlightRecorder::Global().Dump(flight_options);
+  const std::string statusz = RenderStatusz();
+
+  std::fprintf(stderr, "\n--- introspection dump (%s) ---\n%s", reason,
+               statusz.c_str());
+  std::fprintf(stderr, "--- flight recorder (last %zu events) ---\n%s",
+               flight_options.max_events, flight.c_str());
+  std::fflush(stderr);
+
+  const char* dir = std::getenv("ICROWD_OBS_DUMP_DIR");
+  if (dir == nullptr || dir[0] == '\0') return;
+  const long pid = static_cast<long>(::getpid());
+  char path[4096];
+  std::snprintf(path, sizeof(path), "%s/introspection-%ld-%s-flight.jsonl",
+                dir, pid, reason);
+  std::ofstream(path) << flight;
+  std::snprintf(path, sizeof(path), "%s/introspection-%ld-%s-statusz.txt",
+                dir, pid, reason);
+  std::ofstream(path) << statusz;
+}
+
+namespace {
+
+std::atomic<bool> g_crash_handler_installed{false};
+std::terminate_handler g_prior_terminate = nullptr;
+
+[[noreturn]] void IntrospectionTerminate() {
+  DumpIntrospection("terminate");
+  // The abort below raises SIGABRT; drop our handler first so the dump is
+  // not emitted twice.
+  std::signal(SIGABRT, SIG_DFL);
+  if (g_prior_terminate != nullptr) g_prior_terminate();
+  std::abort();
+}
+
+/// Fatal-signal hook. Calling allocating code from a signal handler is
+/// not strictly async-signal-safe; for a process that is already dying the
+/// trade is worth it — the dump either works (usual case: SIGABRT from an
+/// assert) or the process dies anyway, which it was about to do.
+void IntrospectionSignalHandler(int signum) {
+  DumpIntrospection(signum == SIGABRT ? "sigabrt" : "fatal-signal");
+  std::signal(signum, SIG_DFL);
+  std::raise(signum);
+}
+
+bool UnderSanitizer() {
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+  return true;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+  return true;
+#else
+  return false;
+#endif
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+void InstallIntrospectionCrashHandler() {
+  if (g_crash_handler_installed.exchange(true)) return;
+  g_prior_terminate = std::set_terminate(IntrospectionTerminate);
+  std::signal(SIGABRT, IntrospectionSignalHandler);
+  if (!UnderSanitizer()) {
+    std::signal(SIGSEGV, IntrospectionSignalHandler);
+    std::signal(SIGBUS, IntrospectionSignalHandler);
+  }
+}
+
+}  // namespace obs
+}  // namespace icrowd

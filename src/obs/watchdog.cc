@@ -1,0 +1,116 @@
+#include "obs/watchdog.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/logging.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/statusz.h"
+
+namespace icrowd {
+namespace obs {
+
+namespace {
+
+const Counter& TripsCounter() {
+  static const Counter counter = MetricsRegistry::Global().GetCounter(
+      "icrowd.watchdog.trips",
+      {false, "stalled-heartbeat detections by the watchdog"});
+  return counter;
+}
+
+}  // namespace
+
+Watchdog::Watchdog(HeartbeatRegistry* registry, WatchdogOptions options)
+    : registry_(registry),
+      options_(std::move(options)),
+      // Started last, after every other member is live: MonitorLoop may
+      // run (and scan) before the constructor returns.
+      monitor_(options_.start_monitor
+                   ? std::make_unique<std::thread>([this] { MonitorLoop(); })
+                   : nullptr) {
+  // Register the counter eagerly so statusz shows watchdog.trips = 0 (not
+  // "unknown metric") before the first trip.
+  (void)TripsCounter();
+}
+
+Watchdog::~Watchdog() { Stop(); }
+
+size_t Watchdog::CheckNow() {
+  // Scan the registry with no watchdog lock held (lock-order: the registry
+  // mutex ranks below mu_ only for *nested* acquisition, which this
+  // avoids entirely).
+  const std::vector<HeartbeatSnapshot> snapshots = registry_->Snapshots();
+  std::vector<HeartbeatSnapshot> stalled;
+  for (const HeartbeatSnapshot& hb : snapshots) {
+    if (hb.busy && hb.age_seconds >= options_.stall_seconds) {
+      stalled.push_back(hb);
+    }
+  }
+
+  std::vector<HeartbeatSnapshot> fresh;
+  {
+    MutexLock lock(mu_);
+    for (const HeartbeatSnapshot& hb : stalled) {
+      // Edge trigger: report a stall once per beat count. When the thread
+      // advances and wedges again, the count differs and we re-trip.
+      auto it = reported_.find(hb.name);
+      if (it != reported_.end() && it->second == hb.beats) continue;
+      reported_[hb.name] = hb.beats;
+      fresh.push_back(hb);
+    }
+    trips_ += fresh.size();
+  }
+
+  // Handlers run outside every lock: the default one renders statusz,
+  // which takes the metrics and heartbeat registry mutexes.
+  for (const HeartbeatSnapshot& hb : fresh) {
+    TripsCounter().Increment();
+    FlightRecorder::Global().RecordDetail(FlightEventKind::kMark,
+                                          "watchdog.trip", hb.name,
+                                          static_cast<int64_t>(hb.beats));
+    ICROWD_LOG(Error) << "watchdog: heartbeat '" << hb.name
+                      << "' stalled busy for " << hb.age_seconds
+                      << "s (threshold " << options_.stall_seconds << "s)";
+  }
+  if (!fresh.empty()) {
+    if (options_.on_trip) {
+      options_.on_trip(fresh);
+    } else {
+      DumpIntrospection("watchdog-trip");
+    }
+  }
+  return fresh.size();
+}
+
+void Watchdog::MonitorLoop() {
+  const auto interval = std::chrono::nanoseconds(static_cast<int64_t>(
+      options_.poll_interval_seconds * 1e9));
+  MutexLock lock(mu_);
+  while (!stopping_) {
+    lock.Unlock();
+    CheckNow();
+    lock.Lock();
+    if (stopping_) break;
+    // Timed wait, not sleep: Stop() interrupts the poll immediately.
+    (void)stop_cv_.WaitFor(lock, interval);
+  }
+}
+
+void Watchdog::Stop() {
+  {
+    MutexLock lock(mu_);
+    stopping_ = true;
+  }
+  stop_cv_.NotifyAll();
+  if (monitor_ != nullptr && monitor_->joinable()) monitor_->join();
+}
+
+uint64_t Watchdog::trips() const {
+  MutexLock lock(mu_);
+  return trips_;
+}
+
+}  // namespace obs
+}  // namespace icrowd

@@ -1,0 +1,89 @@
+#ifndef ICROWD_OBS_WATCHDOG_H_
+#define ICROWD_OBS_WATCHDOG_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_annotations.h"
+#include "obs/heartbeat.h"
+
+namespace icrowd {
+namespace obs {
+
+struct WatchdogOptions {
+  /// A *busy* heartbeat older than this is a stall. Idle heartbeats never
+  /// trip — a parked consumer with an empty queue is healthy.
+  double stall_seconds = 5.0;
+  /// Monitor-thread scan period (real time; the *stall decision* uses the
+  /// registry clock, so tests fake time while polling stays prompt).
+  double poll_interval_seconds = 1.0;
+  /// Start the background monitor thread. Tests that drive scans manually
+  /// via CheckNow() (with a ManualClock) set this false.
+  bool start_monitor = true;
+  /// Called once per newly-detected stall with the stalled heartbeats'
+  /// snapshots. Defaults to DumpIntrospection("watchdog-trip"). Runs on
+  /// the monitor thread (or the CheckNow caller) with no watchdog lock
+  /// held.
+  std::function<void(const std::vector<HeartbeatSnapshot>&)> on_trip;
+};
+
+/// Stall detector over a HeartbeatRegistry (DESIGN.md §14). Scans the
+/// registry every poll interval; a busy heartbeat whose age (measured on
+/// the registry's clock — the injected `Clock` in tests) exceeds
+/// stall_seconds trips the watchdog: the `icrowd.watchdog.trips` counter
+/// is bumped, the stall is logged and marked in the flight recorder, and
+/// the trip handler fires (by default dumping the flight recorder plus a
+/// statusz snapshot — the black box read out at the moment of failure).
+///
+/// Trips are edge-triggered per heartbeat: a stall reports once, then
+/// re-arms only after the heartbeat advances again — a wedged-forever
+/// thread produces one dump, not one per poll.
+class Watchdog {
+ public:
+  explicit Watchdog(HeartbeatRegistry* registry,
+                    WatchdogOptions options = {});
+  ~Watchdog();
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Runs one scan synchronously on the calling thread; returns the number
+  /// of *new* stalls detected. Tests call this after advancing a
+  /// ManualClock; the monitor thread calls it on its poll cadence.
+  size_t CheckNow() ICROWD_EXCLUDES(mu_);
+
+  /// Stops the monitor thread (no-op without one, or when already
+  /// stopped). The destructor calls it.
+  void Stop() ICROWD_EXCLUDES(mu_);
+
+  /// Lifetime trip count (monotone; mirrors icrowd.watchdog.trips for
+  /// Global-registry instances).
+  uint64_t trips() const ICROWD_EXCLUDES(mu_);
+
+ private:
+  void MonitorLoop() ICROWD_EXCLUDES(mu_);
+
+  HeartbeatRegistry* const registry_;
+  const WatchdogOptions options_;
+  /// Watchdog state lock (tools/lock_order.txt). Released before any trip
+  /// handler, log line, or registry scan runs.
+  mutable Mutex mu_;
+  CondVar stop_cv_;
+  bool stopping_ ICROWD_GUARDED_BY(mu_) = false;
+  uint64_t trips_ ICROWD_GUARDED_BY(mu_) = 0;
+  /// Edge-trigger memory: heartbeat name -> beat count when its stall was
+  /// last reported. Re-arms when the count moves.
+  std::map<std::string, uint64_t> reported_ ICROWD_GUARDED_BY(mu_);
+  /// Monitor thread; null when start_monitor is false. Set once in the
+  /// constructor (after every other member), joined in Stop().
+  const std::unique_ptr<std::thread> monitor_;
+};
+
+}  // namespace obs
+}  // namespace icrowd
+
+#endif  // ICROWD_OBS_WATCHDOG_H_

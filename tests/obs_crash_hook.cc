@@ -1,0 +1,35 @@
+// Linked into every gtest binary by icrowd_add_test (tests/CMakeLists.txt):
+// installs the introspection crash handler and a test-event listener that
+// dumps statusz + the flight recorder on the first failure, so a red run
+// always comes with the black box attached. With $ICROWD_OBS_DUMP_DIR set
+// (CI sets it per suite) the dump also lands on disk for artifact upload.
+//
+// Deliberately has no main(): a static initializer hooks into gtest_main's
+// flow, so test files stay oblivious and EXPECT_DEATH children behave the
+// same as before (the SIGABRT hook re-raises, preserving the exit status).
+
+#include "gtest/gtest.h"
+#include "obs/statusz.h"
+
+namespace {
+
+class IntrospectionOnFailure : public testing::EmptyTestEventListener {
+ public:
+  void OnTestPartResult(const testing::TestPartResult& result) override {
+    if (!result.failed() || dumped_) return;
+    dumped_ = true;  // one dump per process: the first failure is the story
+    icrowd::obs::DumpIntrospection("test-failure");
+  }
+
+ private:
+  bool dumped_ = false;
+};
+
+const bool g_introspection_hook_installed = [] {
+  icrowd::obs::InstallIntrospectionCrashHandler();
+  testing::UnitTest::GetInstance()->listeners().Append(
+      new IntrospectionOnFailure);
+  return true;
+}();
+
+}  // namespace

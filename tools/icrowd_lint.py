@@ -31,6 +31,14 @@ Rules (see DESIGN.md "Static-analysis layer"):
                   is allowed only in src/obs/ and src/common/stopwatch.h, or
                   with an explicit waiver on the use line or the line above:
                       // lint: clock-ok(<reason>)
+                  Exception to the exception: the runtime-introspection
+                  stack (watchdog/heartbeat/flight-recorder/statusz under
+                  src/obs/) is monotonic-only — stall ages and flight
+                  timestamps are duration arithmetic, and a wall-clock step
+                  (NTP, suspend) would fire or mask a watchdog trip. Its
+                  steady_clock use is blessed outright; system_clock there
+                  is flagged unconditionally and clock-ok waivers do not
+                  apply (DESIGN.md §14).
 
   bench-main      Files under bench/ must not define their own main(): the
                   shared harness (bench/bench_harness.cc) owns main() so
@@ -98,6 +106,16 @@ HOT_PATH_DIRS = ("src/assign", "src/estimation")
 RNG_ALLOWED = {"src/common/random.h", "src/common/random.cc"}
 CLOCK_ALLOWED_PREFIXES = ("src/obs/",)
 CLOCK_ALLOWED_FILES = {"src/common/stopwatch.h"}
+# The runtime-introspection stack lives under src/obs/ but is carved OUT of
+# the allowlist above: it must measure with monotonic clocks only (steady
+# reads are blessed; the rule only matches system_clock), and no clock-ok
+# waiver can override that — a wall step would corrupt stall detection.
+CLOCK_MONOTONIC_ONLY_PREFIXES = (
+    "src/obs/watchdog",
+    "src/obs/heartbeat",
+    "src/obs/flight_recorder",
+    "src/obs/statusz",
+)
 
 SOURCE_SUFFIXES = {".h", ".hpp", ".cc", ".cpp"}
 
@@ -305,25 +323,36 @@ def check_include_guard(rel, text, stripped):
 
 def check_clock_source(rel, text, stripped):
     p = rel.replace("\\", "/")
-    if p in CLOCK_ALLOWED_FILES or \
-            any(p.startswith(pre) for pre in CLOCK_ALLOWED_PREFIXES):
+    # Monotonic-only introspection files are checked BEFORE the obs
+    # allowlist: system_clock is banned there outright, waivers included.
+    monotonic_only = any(
+        p.startswith(pre) for pre in CLOCK_MONOTONIC_ONLY_PREFIXES)
+    if not monotonic_only and (
+            p in CLOCK_ALLOWED_FILES or
+            any(p.startswith(pre) for pre in CLOCK_ALLOWED_PREFIXES)):
         return []
     lines = text.splitlines()
     violations = []
     for m in CLOCK_PATTERN.finditer(stripped):
         line = line_of(stripped, m.start())
         context = "\n".join(lines[max(0, line - 2):line])
-        if CLOCK_WAIVER_PATTERN.search(context):
+        if not monotonic_only and CLOCK_WAIVER_PATTERN.search(context):
             continue
-        violations.append(
-            Violation(
-                rel, line, "clock-source",
+        if monotonic_only:
+            message = (
+                "system_clock in the monotonic-only introspection stack "
+                "(watchdog/heartbeat/flight-recorder/statusz); stall ages "
+                "and flight timestamps must survive wall-clock steps — use "
+                "steady_clock (no clock-ok waiver applies here)"
+            )
+        else:
+            message = (
                 "system_clock outside src/obs/ and src/common/stopwatch.h; "
                 "wall time varies run to run — use Stopwatch/steady_clock, "
                 "or add '// lint: clock-ok(<reason>)' if wall time is the "
-                "point",
+                "point"
             )
-        )
+        violations.append(Violation(rel, line, "clock-source", message))
     return violations
 
 
@@ -989,6 +1018,23 @@ SELF_TEST_CASES = [
         "src/obs/clock_user.cc",
         "#include <chrono>\n"
         "auto now() { return std::chrono::system_clock::now(); }\n",
+        None,
+        set(),
+    ),
+    (
+        "system_clock in watchdog flagged despite obs and waiver",
+        "src/obs/watchdog.cc",
+        "#include <chrono>\nauto now() {\n"
+        "  // lint: clock-ok(waivers must not apply here)\n"
+        "  return std::chrono::system_clock::now();\n}\n",
+        None,
+        {"clock-source"},
+    ),
+    (
+        "watchdog steady clock is blessed",
+        "src/obs/heartbeat.cc",
+        "#include <chrono>\n"
+        "auto now() { return std::chrono::steady_clock::now(); }\n",
         None,
         set(),
     ),
