@@ -1,0 +1,159 @@
+// Observability-server cost microbench (DESIGN.md §15): per-endpoint
+// scrape latency over a real loopback socket against a populated registry,
+// and the ingest-throughput tax of a 1 Hz scraper + series sampler running
+// next to a hot counter/histogram loop. The end-to-end <5% pipeline bar
+// lives in micro_online_pipeline's BM_ScrapeOverhead; this bench breaks
+// the cost down per endpoint so a regression names the route that slowed.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_harness.h"
+#include "common/stopwatch.h"
+#include "obs/flight_recorder.h"
+#include "obs/heartbeat.h"
+#include "obs/http/http_client.h"
+#include "obs/http/http_server.h"
+#include "obs/http/series.h"
+#include "obs/metrics.h"
+
+using namespace icrowd;         // NOLINT: bench brevity
+using namespace icrowd::bench;  // NOLINT: bench brevity
+
+namespace {
+
+// A registry shaped like a mid-campaign snapshot: a few counters, gauges,
+// and latency histograms with spread-out observations, so the renderers
+// format realistic documents rather than empty ones.
+void Populate(obs::MetricsRegistry* registry) {
+  for (int i = 0; i < 8; ++i) {
+    char name[64];
+    std::snprintf(name, sizeof(name), "icrowd.bench.counter%d", i);
+    registry->GetCounter(name).Increment(static_cast<uint64_t>(1000 + i));
+    std::snprintf(name, sizeof(name), "icrowd.bench.gauge%d", i);
+    registry->GetGauge(name).Set(0.25 * i);
+  }
+  for (int h = 0; h < 4; ++h) {
+    char name[64];
+    std::snprintf(name, sizeof(name), "icrowd.bench.latency%d", h);
+    obs::Histogram hist = registry->GetHistogram(
+        name, obs::ExponentialBuckets(1e-6, 4.0, 12));
+    for (int i = 0; i < 200; ++i) {
+      hist.Observe(1e-6 * (1 << (i % 16)));
+    }
+  }
+}
+
+// Median of `rounds` timed GETs (first request discarded as warm-up:
+// it pays the page faults for the render path).
+double ScrapeMedianMs(int port, const std::string& path, size_t rounds) {
+  std::vector<double> times;
+  for (size_t i = 0; i <= rounds; ++i) {
+    Stopwatch watch;
+    obs::HttpResponse response = obs::HttpGet("127.0.0.1", port, path);
+    const double ms = watch.ElapsedSeconds() * 1e3;
+    if (response.status != 200 && response.status != 503) return -1.0;
+    if (i > 0) times.push_back(ms);
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+// The hot loop the scraper taxes: counter increments + histogram
+// observations, the same lock-free record calls the ingest pipeline makes
+// per event. Returns events per second.
+double IngestRate(obs::MetricsRegistry* registry, size_t events) {
+  obs::Counter applied = registry->GetCounter("icrowd.bench.ingest.applied");
+  obs::Histogram wait = registry->GetHistogram(
+      "icrowd.bench.ingest.wait_seconds",
+      obs::ExponentialBuckets(1e-6, 4.0, 12));
+  Stopwatch watch;
+  for (size_t i = 0; i < events; ++i) {
+    applied.Increment();
+    wait.Observe(1e-6 * static_cast<double>(i % 64));
+  }
+  return static_cast<double>(events) / watch.ElapsedSeconds();
+}
+
+}  // namespace
+
+ICROWD_BENCH("micro_obs_server") {
+  const size_t scrape_rounds = ctx.smoke() ? 20 : 200;
+  const size_t ingest_events = ctx.smoke() ? 2'000'000 : 20'000'000;
+
+  obs::MetricsRegistry registry;
+  obs::HeartbeatRegistry heartbeats;
+  obs::FlightRecorder flight;
+  flight.SetEnabled(true);
+  for (int i = 0; i < 256; ++i) {
+    flight.Record(obs::FlightEventKind::kMark, "bench.fill",
+                  static_cast<int64_t>(i));
+  }
+  Populate(&registry);
+  obs::MetricsHistory history(64);
+  for (int i = 0; i < 16; ++i) {
+    history.Sample(registry, 100.0 + i);
+  }
+
+  obs::ObsServer::Options options;
+  options.metrics = &registry;
+  options.heartbeats = &heartbeats;
+  options.flight = &flight;
+  options.history = &history;
+  obs::ObsServer server(options);
+  if (!server.Start()) {
+    std::fprintf(stderr, "micro_obs_server: server failed to start\n");
+    return;
+  }
+
+  ctx.ReportMetric("statusz_ms",
+                   ScrapeMedianMs(server.port(), "/statusz", scrape_rounds));
+  ctx.ReportMetric("metricsz_ms",
+                   ScrapeMedianMs(server.port(), "/metricsz", scrape_rounds));
+  ctx.ReportMetric("seriesz_ms",
+                   ScrapeMedianMs(server.port(), "/seriesz", scrape_rounds));
+  ctx.ReportMetric("flightz_ms",
+                   ScrapeMedianMs(server.port(), "/flightz", scrape_rounds));
+  ctx.ReportMetric("healthz_ms",
+                   ScrapeMedianMs(server.port(), "/healthz", scrape_rounds));
+
+  // Throughput tax: the same ingest loop bare, then with a 1 Hz scraper
+  // thread and series sampler attached (the shipped scrape setup). One
+  // discarded warm-up pass first so the bare leg does not eat the cache
+  // warming and report a negative tax.
+  IngestRate(&registry, ingest_events / 4);
+  const double bare_rate = IngestRate(&registry, ingest_events);
+
+  obs::SeriesSamplerOptions sampler_options;
+  sampler_options.registry = &registry;
+  obs::SeriesSampler sampler(&history, sampler_options);
+  std::atomic<bool> stop{false};
+  std::thread scraper([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      obs::HttpResponse response =
+          obs::HttpGet("127.0.0.1", server.port(), "/metricsz");
+      if (response.status != 200) break;
+      for (int i = 0; i < 20; ++i) {
+        if (stop.load(std::memory_order_acquire)) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+    }
+  });
+  const double scraped_rate = IngestRate(&registry, ingest_events);
+  stop.store(true, std::memory_order_release);
+  scraper.join();
+  server.Stop();
+  sampler.Stop();
+
+  ctx.ReportMetric("ingest_bare_events_per_sec", bare_rate);
+  ctx.ReportMetric("ingest_scraped_events_per_sec", scraped_rate);
+  ctx.ReportMetric("overhead_pct",
+                   100.0 * (bare_rate - scraped_rate) / bare_rate);
+}

@@ -9,8 +9,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "assign/greedy_assign.h"
@@ -21,6 +24,9 @@
 #include "gbench_adapter.h"
 #include "model/campaign_state.h"
 #include "obs/flight_recorder.h"
+#include "obs/http/http_client.h"
+#include "obs/http/http_server.h"
+#include "obs/http/series.h"
 #include "obs/metrics.h"
 
 namespace icrowd {
@@ -225,6 +231,71 @@ void BM_FlightRecorderOverhead(benchmark::State& state) {
   state.counters["flight_enabled"] = enabled ? 1.0 : 0.0;
 }
 BENCHMARK(BM_FlightRecorderOverhead)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+// Live-scrape overhead on the same kernel: range(0) == 1 attaches the full
+// observability stack — a loopback ObsServer, a 1 Hz SeriesSampler, and a
+// scraper thread hitting /metricsz + /seriesz once a second (the shipped
+// "Prometheus scraping a running campaign" configuration) — while 0 runs
+// bare. The registry stays enabled in both variants so the delta isolates
+// the server + sampler + scrape traffic. Acceptance bar (DESIGN.md §15):
+// attached within 5% of bare, gated by bench_compare against the
+// committed baseline.
+void BM_ScrapeOverhead(benchmark::State& state) {
+  const bool scraped = state.range(0) == 1;
+  static Kernel kernel;
+  ThreadPool pool(4);
+  std::unique_ptr<obs::MetricsHistory> history;
+  std::unique_ptr<obs::SeriesSampler> sampler;
+  std::unique_ptr<obs::ObsServer> server;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> scrapes{0};
+  std::thread scraper;
+  if (scraped) {
+    history = std::make_unique<obs::MetricsHistory>(64);
+    sampler = std::make_unique<obs::SeriesSampler>(history.get());
+    obs::ObsServer::Options options;
+    options.history = history.get();
+    server = std::make_unique<obs::ObsServer>(options);
+    if (!server->Start()) {
+      sampler->Stop();
+      state.SkipWithError("obs server failed to start");
+      return;
+    }
+    scraper = std::thread([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        obs::HttpResponse metricsz =
+            obs::HttpGet("127.0.0.1", server->port(), "/metricsz");
+        obs::HttpResponse seriesz =
+            obs::HttpGet("127.0.0.1", server->port(), "/seriesz");
+        benchmark::DoNotOptimize(metricsz.body.size() + seriesz.body.size());
+        scrapes.fetch_add(1, std::memory_order_relaxed);
+        // 1 Hz cadence, checked every 50ms so teardown never waits a
+        // full period.
+        for (int i = 0; i < 20; ++i) {
+          if (stop.load(std::memory_order_acquire)) break;
+          std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        }
+      }
+    });
+  }
+  for (auto _ : state) {
+    auto scheme = RecomputeScheme(kernel, &pool);
+    benchmark::DoNotOptimize(scheme);
+  }
+  if (scraped) {
+    stop.store(true, std::memory_order_release);
+    scraper.join();
+    server->Stop();
+    sampler->Stop();
+  }
+  state.SetItemsProcessed(state.iterations() * kTasks);
+  state.counters["scraper_attached"] = scraped ? 1.0 : 0.0;
+  state.counters["scrapes"] = static_cast<double>(scrapes.load());
+}
+BENCHMARK(BM_ScrapeOverhead)
     ->Arg(0)
     ->Arg(1)
     ->Unit(benchmark::kMillisecond);

@@ -11,6 +11,8 @@
 //              [--journal=FILE] [--resume] [--snapshot=FILE]
 //              [--journal-dump=FILE.jsonl]
 //              [--statusz[=json]] [--statusz-out=FILE]
+//              [--serve-obs=PORT] [--serve-obs-bind=ADDR]
+//              [--serve-obs-linger=SECONDS]
 //
 // Prints overall (and optionally per-domain) accuracy averaged over seeds;
 // optionally exports the dataset and the last run's answer log as CSV.
@@ -18,17 +20,27 @@
 // after the run — heartbeats, pipeline counters, and per-stage latency —
 // to stdout, or to --statusz-out=FILE.
 //
+// --serve-obs=PORT starts the embedded observability server (DESIGN.md
+// §15) before the run: GET /statusz, /metricsz (Prometheus), /flightz,
+// /healthz, /seriesz, /buildz on ADDR:PORT (loopback by default; port 0
+// picks an ephemeral port, printed on stdout). A 1 Hz series sampler
+// feeds /seriesz for the duration. --serve-obs-linger keeps the server
+// up that many seconds after the run so scrapers can collect the final
+// state (the CI smoke job curls every endpoint during the linger).
+//
 // With --journal=FILE the driver instead runs one durable campaign through
 // the journaled platform API: every callback is written ahead to FILE, so a
 // killed run can be continued with --resume (crash recovery replays the
 // journal — plus --snapshot=FILE if one was saved — and picks up where the
 // campaign stopped). --journal-dump renders a journal as JSONL for humans.
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <set>
 #include <string>
+#include <thread>
 
 #include "icrowd_api.h"
 
@@ -52,6 +64,9 @@ struct CliOptions {
   bool statusz = false;        // render the statusz snapshot after the run
   bool statusz_json = false;   // ... as JSON instead of text
   std::string statusz_out;     // write statusz here instead of stdout
+  int serve_obs_port = -1;     // -1 = no server; 0 = ephemeral port
+  std::string serve_obs_bind = "127.0.0.1";
+  double serve_obs_linger = 0.0;  // keep serving this long after the run
 };
 
 bool ParseFlag(const std::string& arg, const std::string& name,
@@ -77,9 +92,58 @@ int Usage() {
       "                  [--metrics-out=FILE.jsonl] [--deterministic]\n"
       "                  [--journal=FILE] [--resume] [--snapshot=FILE]\n"
       "                  [--journal-dump=FILE.jsonl]\n"
-      "                  [--statusz[=json]] [--statusz-out=FILE]\n");
+      "                  [--statusz[=json]] [--statusz-out=FILE]\n"
+      "                  [--serve-obs=PORT] [--serve-obs-bind=ADDR]\n"
+      "                  [--serve-obs-linger=SECONDS]\n");
   return 2;
 }
+
+/// The --serve-obs observability stack: HTTP scrape server plus the 1 Hz
+/// series sampler feeding /seriesz, both on the process-wide registries.
+/// Owned by main() so the server spans the whole run (and the linger).
+struct ObsServe {
+  std::unique_ptr<obs::MetricsHistory> history;
+  std::unique_ptr<obs::SeriesSampler> sampler;
+  std::unique_ptr<obs::ObsServer> server;
+
+  /// Starts the server (hard failure: the user asked for it explicitly).
+  bool Start(const CliOptions& options) {
+    if (options.serve_obs_port < 0) return true;
+    history = std::make_unique<obs::MetricsHistory>();
+    sampler = std::make_unique<obs::SeriesSampler>(history.get());
+    obs::ObsServer::Options server_options;
+    server_options.bind_address = options.serve_obs_bind;
+    server_options.port = options.serve_obs_port;
+    server_options.history = history.get();
+    server = std::make_unique<obs::ObsServer>(std::move(server_options));
+    if (!server->Start()) return false;
+    // Label before announcing the port: a scraper may connect the moment
+    // the line below is parsed.
+    obs::SetCampaignLabel(options.dataset);
+    // The CI scrape job (and any operator script) parses this line for
+    // the resolved ephemeral port.
+    std::printf("obs server listening on %s:%d\n",
+                options.serve_obs_bind.c_str(), server->port());
+    std::fflush(stdout);
+    return true;
+  }
+
+  /// Holds the server up through the linger window, then tears down.
+  void Finish(const CliOptions& options) {
+    if (server == nullptr) return;
+    if (options.serve_obs_linger > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          options.serve_obs_linger));
+    }
+    server->Stop();
+    sampler->Stop();
+  }
+
+  ~ObsServe() {
+    if (server != nullptr) server->Stop();
+    if (sampler != nullptr) sampler->Stop();
+  }
+};
 
 /// Renders the post-run statusz snapshot to stdout or --statusz-out.
 /// Returns false (after printing why) if the output file cannot be written.
@@ -185,6 +249,7 @@ int RunDurableCampaign(const CliOptions& options, const Dataset& dataset,
 
   CampaignDriverOptions driver_options;
   driver_options.seed = options.seed_base;
+  driver_options.campaign_label = options.dataset;
   auto outcome =
       DriveCampaign(&campaign, workers, workers.size(), driver_options);
   if (!outcome.ok()) {
@@ -296,6 +361,13 @@ int main(int argc, char** argv) {
     } else if (ParseFlag(arg, "statusz-out", &value)) {
       options.statusz_out = value;
       options.statusz = true;
+    } else if (ParseFlag(arg, "serve-obs", &value)) {
+      options.serve_obs_port = std::stoi(value);
+      if (options.serve_obs_port < 0) return Usage();
+    } else if (ParseFlag(arg, "serve-obs-bind", &value)) {
+      options.serve_obs_bind = value;
+    } else if (ParseFlag(arg, "serve-obs-linger", &value)) {
+      options.serve_obs_linger = std::stod(value);
     } else {
       return Usage();
     }
@@ -317,6 +389,11 @@ int main(int argc, char** argv) {
                 options.journal_dump.c_str());
     return 0;
   }
+
+  // Up before any pipeline work so a scraper watches the whole run,
+  // including graph build and PPR precompute.
+  ObsServe obs_serve;
+  if (!obs_serve.Start(options)) return 1;
 
   StrategyKind kind;
   if (options.strategy == "randommv") {
@@ -384,6 +461,7 @@ int main(int argc, char** argv) {
     int rc = RunDurableCampaign(options, *dataset, workers);
     if (rc == 0 && !EmitStatuszIfRequested(options)) return 1;
     if (rc == 0 && !obs::WriteMetricsIfRequested(metrics_options)) return 1;
+    obs_serve.Finish(options);
     return rc;
   }
 
@@ -428,5 +506,6 @@ int main(int argc, char** argv) {
               FormatDouble(overall / options.seeds, 3).c_str());
   if (!EmitStatuszIfRequested(options)) return 1;
   if (!obs::WriteMetricsIfRequested(metrics_options)) return 1;
+  obs_serve.Finish(options);
   return 0;
 }

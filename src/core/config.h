@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "common/thread_pool.h"
 #include "core/clock.h"
@@ -59,6 +60,15 @@ struct ICrowdConfig {
   /// callback is journaled before state changes and the campaign can be
   /// recovered with ICrowd::Restore(); null runs unjournaled.
   std::shared_ptr<JournalSink> journal_sink;
+  /// Embedded observability server (DESIGN.md §15). Negative = disabled
+  /// (the default); 0 binds an ephemeral port readable back via
+  /// ICrowd::obs_port(); > 0 binds that port. When enabled the campaign
+  /// also runs a 1 Hz series sampler feeding GET /seriesz. An execution
+  /// knob: excluded from the campaign fingerprint, like num_threads.
+  int serve_obs_port = -1;
+  /// Bind address for the observability server. Loopback by default;
+  /// "0.0.0.0" opts into off-host scraping.
+  std::string serve_obs_bind = "127.0.0.1";
   uint64_t seed = 123;
 };
 

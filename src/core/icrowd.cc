@@ -7,6 +7,8 @@
 
 #include "common/random.h"
 #include "obs/flight_recorder.h"
+#include "obs/http/http_server.h"
+#include "obs/http/series.h"
 #include "obs/metrics.h"
 
 namespace icrowd {
@@ -80,7 +82,45 @@ uint64_t CampaignFingerprint(const Dataset& dataset,
   return h;
 }
 
+/// Brings up the embedded observability stack on `icrowd` when
+/// config.serve_obs_port asks for it: a series history fed by a 1 Hz
+/// sampler over the global metrics registry, and the HTTP server on the
+/// configured bind/port. A failed bind (port taken, bad address) is
+/// reported on stderr by ObsServer::Start() and leaves the campaign
+/// fully functional — telemetry is best-effort, never load-bearing.
+void MaybeStartObservability(ICrowd* icrowd,
+                             std::unique_ptr<obs::MetricsHistory>* history,
+                             std::unique_ptr<obs::SeriesSampler>* sampler,
+                             std::unique_ptr<obs::ObsServer>* server) {
+  const ICrowdConfig& config = icrowd->config();
+  if (config.serve_obs_port < 0) return;
+  *history = std::make_unique<obs::MetricsHistory>();
+  obs::SeriesSamplerOptions sampler_options;
+  *sampler = std::make_unique<obs::SeriesSampler>(history->get(),
+                                                  sampler_options);
+  obs::ObsServer::Options server_options;
+  server_options.bind_address = config.serve_obs_bind;
+  server_options.port = config.serve_obs_port;
+  server_options.history = history->get();
+  *server = std::make_unique<obs::ObsServer>(std::move(server_options));
+  if (!(*server)->Start()) {
+    sampler->get()->Stop();
+    server->reset();
+    sampler->reset();
+    history->reset();
+  }
+}
+
 }  // namespace
+
+ICrowd::~ICrowd() {
+  if (obs_server_ != nullptr) obs_server_->Stop();
+  if (obs_sampler_ != nullptr) obs_sampler_->Stop();
+}
+
+int ICrowd::obs_port() const {
+  return obs_server_ != nullptr ? obs_server_->port() : -1;
+}
 
 ICrowd::ICrowd(Dataset dataset, ICrowdConfig config, SimilarityGraph graph,
                QualificationSelection qualification, WarmupComponent warmup,
@@ -187,6 +227,8 @@ Result<std::unique_ptr<ICrowd>> ICrowd::Create(Dataset dataset,
   if (icrowd->writer_ != nullptr) {
     ICROWD_RETURN_NOT_OK(icrowd->writer_->Flush());
   }
+  MaybeStartObservability(icrowd.get(), &icrowd->obs_history_,
+                          &icrowd->obs_sampler_, &icrowd->obs_server_);
   return icrowd;
 }
 
@@ -232,6 +274,8 @@ Result<std::unique_ptr<ICrowd>> ICrowd::Restore(
     icrowd->writer_ =
         std::make_unique<JournalWriter>(icrowd->config_.journal_sink);
   }
+  MaybeStartObservability(icrowd.get(), &icrowd->obs_history_,
+                          &icrowd->obs_sampler_, &icrowd->obs_server_);
   return icrowd;
 }
 

@@ -21,6 +21,12 @@
 
 namespace icrowd {
 
+namespace obs {
+class MetricsHistory;
+class ObsServer;
+class SeriesSampler;
+}  // namespace obs
+
 /// The iCrowd system facade: the full adaptive-crowdsourcing pipeline
 /// behind the three callbacks a crowdsourcing platform integration needs
 /// (Appendix A's ExternalQuestion bridge):
@@ -72,6 +78,10 @@ class ICrowd {
       Dataset dataset, ICrowdConfig config,
       const std::vector<uint8_t>& snapshot,
       const std::vector<uint8_t>& journal_bytes);
+
+  /// Stops the embedded observability server and series sampler if
+  /// config.serve_obs_port enabled them (DESIGN.md §15).
+  ~ICrowd();
 
   const Dataset& dataset() const { return dataset_; }
   const SimilarityGraph& graph() const { return graph_; }
@@ -159,6 +169,10 @@ class ICrowd {
   /// Hash binding journals and snapshots to this (dataset, config) pair.
   uint64_t fingerprint() const { return fingerprint_; }
 
+  /// The observability server's bound port (resolves serve_obs_port 0 to
+  /// the kernel's ephemeral pick); -1 when the server is disabled.
+  int obs_port() const;
+
   /// True after a journal append or post-append apply failed: campaign
   /// state and journal may disagree, so every further mutating call is
   /// refused and the caller must Restore() from the persisted journal.
@@ -229,6 +243,14 @@ class ICrowd {
   uint64_t events_applied_ = 0;
   /// Campaign time of the latest observed request (logical or clock).
   double now_ = 0.0;
+  /// Embedded observability stack (DESIGN.md §15), live only when
+  /// config.serve_obs_port >= 0. Declaration order is destruction order
+  /// reversed: the server goes down first (it reads the history), then
+  /// the sampler (it writes the history), then the history itself — the
+  /// out-of-line ~ICrowd() stops both threads explicitly anyway.
+  std::unique_ptr<obs::MetricsHistory> obs_history_;
+  std::unique_ptr<obs::SeriesSampler> obs_sampler_;
+  std::unique_ptr<obs::ObsServer> obs_server_;
 };
 
 }  // namespace icrowd

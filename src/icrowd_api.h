@@ -13,12 +13,11 @@
 ///     used by the §6 reproduction programs.
 ///
 /// ICROWD_API_VERSION bumps MINOR on additions and MAJOR on breaking
-/// changes to anything exported here (DESIGN.md §11 records the policy).
+/// changes to anything exported here (DESIGN.md §11 records the policy);
+/// the macros live in icrowd_version.h so build-info stamping does not
+/// need the umbrella.
 
-#define ICROWD_API_VERSION_MAJOR 1
-#define ICROWD_API_VERSION_MINOR 2
-#define ICROWD_API_VERSION \
-  (ICROWD_API_VERSION_MAJOR * 1000 + ICROWD_API_VERSION_MINOR)
+#include "icrowd_version.h"
 
 // Platform API: the durable campaign facade and its injection points.
 #include "core/clock.h"
@@ -44,9 +43,14 @@
 #include "estimation/accuracy_estimator.h"
 #include "graph/similarity_graph.h"
 #include "io/dataset_io.h"
+#include "obs/build_info.h"
 #include "obs/exporter.h"
 #include "obs/flight_recorder.h"
 #include "obs/heartbeat.h"
+#include "obs/http/http_client.h"
+#include "obs/http/http_server.h"
+#include "obs/http/prometheus.h"
+#include "obs/http/series.h"
 #include "obs/statusz.h"
 #include "obs/watchdog.h"
 #include "qualification/qualification_selector.h"

@@ -1,0 +1,19 @@
+#ifndef ICROWD_ICROWD_VERSION_H_
+#define ICROWD_ICROWD_VERSION_H_
+
+/// API version of the public surface exported by icrowd_api.h. Split out
+/// of the umbrella so leaf translation units (the /buildz info block in
+/// src/obs/build_info.cc) can stamp the version without pulling the whole
+/// public API in — obs is the bottom of the dependency stack and must not
+/// include headers from the layers above it.
+///
+/// ICROWD_API_VERSION bumps MINOR on additions and MAJOR on breaking
+/// changes to anything exported from the umbrella (DESIGN.md §11 records
+/// the policy).
+
+#define ICROWD_API_VERSION_MAJOR 1
+#define ICROWD_API_VERSION_MINOR 3
+#define ICROWD_API_VERSION \
+  (ICROWD_API_VERSION_MAJOR * 1000 + ICROWD_API_VERSION_MINOR)
+
+#endif  // ICROWD_ICROWD_VERSION_H_

@@ -1,0 +1,72 @@
+#include "obs/build_info.h"
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+
+#include "icrowd_version.h"
+
+#ifndef ICROWD_GIT_SHA
+#define ICROWD_GIT_SHA "unknown"
+#endif
+#ifndef ICROWD_BUILD_TYPE
+#define ICROWD_BUILD_TYPE "unknown"
+#endif
+
+namespace icrowd {
+namespace obs {
+
+namespace {
+
+int64_t SteadyNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Captured at static-init time, like statusz's process epoch: uptime is
+/// monotonic process age, never wall clock (clock-source rule).
+const int64_t g_process_epoch_ns = SteadyNanos();
+
+std::string Seconds(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+}  // namespace
+
+BuildInfo CurrentBuildInfo() {
+  BuildInfo info;
+  info.git_sha = ICROWD_GIT_SHA;
+  info.build_type = ICROWD_BUILD_TYPE;
+  info.api_version_major = ICROWD_API_VERSION_MAJOR;
+  info.api_version_minor = ICROWD_API_VERSION_MINOR;
+  info.uptime_seconds =
+      static_cast<double>(SteadyNanos() - g_process_epoch_ns) * 1e-9;
+  return info;
+}
+
+std::string RenderBuildInfoText(const BuildInfo& info) {
+  std::ostringstream out;
+  out << "git_sha " << info.git_sha << "\n";
+  out << "build_type " << info.build_type << "\n";
+  out << "api_version " << info.api_version_major << "."
+      << info.api_version_minor << "\n";
+  out << "uptime_seconds " << Seconds(info.uptime_seconds) << "\n";
+  return out.str();
+}
+
+std::string RenderBuildInfoJson(const BuildInfo& info) {
+  // git_sha and build_type are compile-time identifiers (hex sha, CMake
+  // build type) — nothing to escape.
+  std::ostringstream out;
+  out << "{\"git_sha\":\"" << info.git_sha << "\",\"build_type\":\""
+      << info.build_type << "\",\"api_version\":\"" << info.api_version_major
+      << "." << info.api_version_minor
+      << "\",\"uptime_seconds\":" << Seconds(info.uptime_seconds) << "}";
+  return out.str();
+}
+
+}  // namespace obs
+}  // namespace icrowd

@@ -1,0 +1,43 @@
+#ifndef ICROWD_OBS_BUILD_INFO_H_
+#define ICROWD_OBS_BUILD_INFO_H_
+
+#include <string>
+
+namespace icrowd {
+namespace obs {
+
+/// Identity of the running binary, surfaced by /buildz and the statusz
+/// [build] block so every scrape says exactly what produced it. The git
+/// sha and build type are stamped at compile time via the top-level CMake
+/// ICROWD_GIT_SHA / ICROWD_BUILD_TYPE definitions (the same plumbing the
+/// bench harness uses for BENCH_*.json artifacts); "unknown" when built
+/// outside a git checkout.
+struct BuildInfo {
+  std::string git_sha;
+  std::string build_type;
+  int api_version_major = 0;
+  int api_version_minor = 0;
+  /// Monotonic seconds since process start (never wall clock).
+  double uptime_seconds = 0.0;
+};
+
+/// The running process's build info with live uptime. Tests that need
+/// byte-stable output construct a pinned BuildInfo instead.
+BuildInfo CurrentBuildInfo();
+
+/// Renders the fixed four-line block shared by /buildz and the statusz
+/// [build] section:
+///   git_sha <sha>
+///   build_type <type>
+///   api_version <major>.<minor>
+///   uptime_seconds <%.6f>
+std::string RenderBuildInfoText(const BuildInfo& info);
+
+/// The same fields as one JSON object (no trailing newline), embeddable
+/// as a statusz "build" value or served whole by /buildz?format=json.
+std::string RenderBuildInfoJson(const BuildInfo& info);
+
+}  // namespace obs
+}  // namespace icrowd
+
+#endif  // ICROWD_OBS_BUILD_INFO_H_

@@ -29,15 +29,21 @@ MetricsCliOptions ConsumeMetricsFlags(int* argc, char** argv) {
 
 bool WriteMetricsIfRequested(const MetricsCliOptions& options) {
   if (options.out_path.empty()) return true;
+  // Render first, write second: the export snapshots under the registry
+  // mutex, and interleaving file I/O with that would stall every recording
+  // thread's shard-acquisition slow path on disk latency (DESIGN.md §15
+  // regression note).
+  ExportOptions export_options;
+  export_options.deterministic = options.deterministic;
+  const std::string rendered =
+      MetricsRegistry::Global().ExportJsonlString(export_options);
   std::ofstream out(options.out_path);
   if (!out) {
     std::fprintf(stderr, "obs: cannot open metrics output '%s'\n",
                  options.out_path.c_str());
     return false;
   }
-  ExportOptions export_options;
-  export_options.deterministic = options.deterministic;
-  MetricsRegistry::Global().ExportJsonl(out, export_options);
+  out << rendered;
   out.flush();
   if (!out) {
     std::fprintf(stderr, "obs: write to '%s' failed\n",

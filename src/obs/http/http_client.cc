@@ -1,0 +1,104 @@
+#include "obs/http/http_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+namespace icrowd {
+namespace obs {
+
+namespace {
+
+timeval ToTimeval(double seconds) {
+  timeval tv;
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>(
+      (seconds - std::floor(seconds)) * 1e6);
+  return tv;
+}
+
+HttpResponse Fail(const std::string& what) {
+  HttpResponse response;
+  response.error = what + ": " + std::strerror(errno);
+  return response;
+}
+
+}  // namespace
+
+HttpResponse HttpGet(const std::string& host, int port,
+                     const std::string& path, double timeout_seconds) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Fail("socket");
+  const timeval tv = ToTimeval(timeout_seconds);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    HttpResponse response;
+    response.error = "bad host address '" + host + "'";
+    return response;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    HttpResponse response = Fail("connect");
+    ::close(fd);
+    return response;
+  }
+
+  std::ostringstream request;
+  request << "GET " << path << " HTTP/1.1\r\nHost: " << host
+          << "\r\nConnection: close\r\n\r\n";
+  const std::string out = request.str();
+  size_t off = 0;
+  while (off < out.size()) {
+    const ssize_t n =
+        ::send(fd, out.data() + off, out.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      HttpResponse response = Fail("send");
+      ::close(fd);
+      return response;
+    }
+    off += static_cast<size_t>(n);
+  }
+
+  std::string raw;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0) {
+      HttpResponse response = Fail("recv");
+      ::close(fd);
+      return response;
+    }
+    if (n == 0) break;  // server sent Connection: close
+    raw.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  HttpResponse response;
+  // Status line: "HTTP/1.1 <code> <text>".
+  const size_t sp = raw.find(' ');
+  if (raw.compare(0, 5, "HTTP/") != 0 || sp == std::string::npos) {
+    response.error = "malformed response";
+    return response;
+  }
+  response.status = std::atoi(raw.c_str() + sp + 1);
+  const size_t body = raw.find("\r\n\r\n");
+  if (body != std::string::npos) response.body = raw.substr(body + 4);
+  return response;
+}
+
+}  // namespace obs
+}  // namespace icrowd

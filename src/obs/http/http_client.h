@@ -1,0 +1,31 @@
+#ifndef ICROWD_OBS_HTTP_HTTP_CLIENT_H_
+#define ICROWD_OBS_HTTP_HTTP_CLIENT_H_
+
+#include <string>
+
+namespace icrowd {
+namespace obs {
+
+/// Result of one HttpGet: `status` is 0 when the request never completed
+/// (connect/send/receive failure — `error` says why); otherwise the
+/// parsed status line code with the response body in `body`.
+struct HttpResponse {
+  int status = 0;
+  std::string body;
+  std::string error;
+
+  bool ok() const { return status == 200; }
+};
+
+/// One-shot blocking GET against an IPv4 host (tests and benches scraping
+/// a loopback ObsServer; kept inside src/obs/http/ so the `bare-socket`
+/// lint rule needs no waivers elsewhere). Connect and read are bounded by
+/// `timeout_seconds` each, so a dead server fails the call instead of
+/// hanging a test binary.
+HttpResponse HttpGet(const std::string& host, int port,
+                     const std::string& path, double timeout_seconds = 5.0);
+
+}  // namespace obs
+}  // namespace icrowd
+
+#endif  // ICROWD_OBS_HTTP_HTTP_CLIENT_H_

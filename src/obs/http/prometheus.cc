@@ -1,0 +1,167 @@
+#include "obs/http/prometheus.h"
+
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "common/thread_annotations.h"
+
+namespace icrowd {
+namespace obs {
+
+namespace {
+
+using internal::FormatDouble;
+using internal::FormatFixedPoint;
+
+bool IsNameChar(char c, bool first) {
+  if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+      c == ':') {
+    return true;
+  }
+  return !first && c >= '0' && c <= '9';
+}
+
+/// Label values escape backslash, double-quote, and newline (exposition
+/// format 0.0.4); HELP text escapes backslash and newline only.
+std::string EscapeLabelValue(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string EscapeHelp(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+/// `{campaign="x"}` / `{campaign="x",le="0.01"}` / `{le="0.01"}` / "".
+std::string Labels(const std::string& campaign, const std::string& le) {
+  if (campaign.empty() && le.empty()) return "";
+  std::string out = "{";
+  if (!campaign.empty()) {
+    out += "campaign=\"" + EscapeLabelValue(campaign) + "\"";
+    if (!le.empty()) out += ",";
+  }
+  if (!le.empty()) out += "le=\"" + le + "\"";
+  out += "}";
+  return out;
+}
+
+/// Global campaign label for the default /metricsz endpoint. Leaf state
+/// guarded by its own ranked mutex (tools/lock_order.txt); leaked like the
+/// registries so late scrapes during teardown stay safe.
+struct CampaignLabelState {
+  Mutex mu;
+  std::string label ICROWD_GUARDED_BY(mu);
+};
+
+CampaignLabelState& LabelState() {
+  static auto* state = new CampaignLabelState();
+  return *state;
+}
+
+}  // namespace
+
+std::string SanitizePrometheusName(const std::string& name) {
+  if (name.empty()) return "_";
+  std::string out;
+  out.reserve(name.size() + 1);
+  if (!IsNameChar(name[0], /*first=*/true)) out += '_';
+  for (char c : name) {
+    out += IsNameChar(c, /*first=*/false) ? c : '_';
+  }
+  return out;
+}
+
+std::string RenderPrometheus(const std::vector<MetricSample>& samples,
+                             const PrometheusOptions& options) {
+  std::ostringstream out;
+  std::set<std::string> emitted;
+  for (const MetricSample& sample : samples) {
+    const std::string name = SanitizePrometheusName(sample.name);
+    if (!emitted.insert(name).second) continue;
+    if (!sample.help.empty()) {
+      out << "# HELP " << name << " " << EscapeHelp(sample.help) << "\n";
+    }
+    switch (sample.kind) {
+      case MetricKind::kCounter:
+        out << "# TYPE " << name << " counter\n";
+        out << name << Labels(options.campaign_label, "") << " "
+            << sample.counter << "\n";
+        break;
+      case MetricKind::kGauge:
+        out << "# TYPE " << name << " gauge\n";
+        out << name << Labels(options.campaign_label, "") << " "
+            << FormatFixedPoint(sample.gauge_fp) << "\n";
+        break;
+      case MetricKind::kHistogram: {
+        out << "# TYPE " << name << " histogram\n";
+        const HistogramSnapshot& h = sample.histogram;
+        uint64_t cumulative = 0;
+        for (size_t b = 0; b < h.bounds.size(); ++b) {
+          cumulative += h.buckets[b];
+          out << name << "_bucket"
+              << Labels(options.campaign_label, FormatDouble(h.bounds[b]))
+              << " " << cumulative << "\n";
+        }
+        out << name << "_bucket" << Labels(options.campaign_label, "+Inf")
+            << " " << h.count << "\n";
+        out << name << "_sum" << Labels(options.campaign_label, "") << " "
+            << FormatFixedPoint(sample.hist_sum_fp) << "\n";
+        out << name << "_count" << Labels(options.campaign_label, "") << " "
+            << h.count << "\n";
+        break;
+      }
+    }
+  }
+  return out.str();
+}
+
+std::string RenderPrometheus(const MetricsRegistry& registry,
+                             const PrometheusOptions& options) {
+  return RenderPrometheus(registry.SnapshotAll(), options);
+}
+
+void SetCampaignLabel(const std::string& label) {
+  CampaignLabelState& state = LabelState();
+  MutexLock lock(state.mu);
+  state.label = label;
+}
+
+std::string CampaignLabel() {
+  CampaignLabelState& state = LabelState();
+  MutexLock lock(state.mu);
+  return state.label;
+}
+
+}  // namespace obs
+}  // namespace icrowd

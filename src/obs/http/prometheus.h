@@ -1,0 +1,55 @@
+#ifndef ICROWD_OBS_HTTP_PROMETHEUS_H_
+#define ICROWD_OBS_HTTP_PROMETHEUS_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace icrowd {
+namespace obs {
+
+/// Prometheus text exposition format 0.0.4 (the /metricsz endpoint).
+///
+/// Internal metric names use dots ("icrowd.ingest.batches"); Prometheus
+/// names must match [a-zA-Z_:][a-zA-Z0-9_:]*, so every exported name goes
+/// through SanitizePrometheusName. Values are rendered from the raw
+/// fixed-point cells with the same exact-decimal formatter the JSONL
+/// export uses, so a scrape and a dump of the same registry state agree
+/// digit for digit.
+
+/// Maps an internal metric name to a legal Prometheus metric name: dots
+/// and every other character outside [a-zA-Z0-9_:] become underscores, and
+/// a leading digit gets a '_' prefix. Empty input becomes "_".
+std::string SanitizePrometheusName(const std::string& name);
+
+struct PrometheusOptions {
+  /// When non-empty, every sample line carries a `campaign="<value>"`
+  /// label — the hook that lets the future multi-campaign server expose
+  /// one registry per shard without renaming metrics.
+  std::string campaign_label;
+};
+
+/// Renders one exposition document from a SnapshotAll() result: per metric
+/// a `# HELP` line (when help text is registered), a `# TYPE` line, then
+/// the samples — counters and gauges as one line each, histograms as
+/// cumulative `_bucket{le="..."}` lines ending in `le="+Inf"` plus `_sum`
+/// and `_count`. Samples whose sanitized name collides with an earlier
+/// metric are dropped (first registration wins) — a duplicate block would
+/// make the whole document invalid to a Prometheus scraper.
+std::string RenderPrometheus(const std::vector<MetricSample>& samples,
+                             const PrometheusOptions& options = {});
+
+/// Snapshot + render convenience overload.
+std::string RenderPrometheus(const MetricsRegistry& registry,
+                             const PrometheusOptions& options = {});
+
+/// Process-wide campaign label picked up by the global /metricsz endpoint
+/// (set by the sim driver when a campaign starts; empty = no label).
+void SetCampaignLabel(const std::string& label);
+std::string CampaignLabel();
+
+}  // namespace obs
+}  // namespace icrowd
+
+#endif  // ICROWD_OBS_HTTP_PROMETHEUS_H_

@@ -1,0 +1,125 @@
+#ifndef ICROWD_OBS_HTTP_SERIES_H_
+#define ICROWD_OBS_HTTP_SERIES_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_annotations.h"
+#include "core/clock.h"
+#include "obs/metrics.h"
+
+namespace icrowd {
+namespace obs {
+
+/// Windowed time-series layer behind /seriesz (DESIGN.md §15).
+///
+/// The metrics registry holds monotonically growing totals; an operator
+/// watching a live campaign needs *rates* — events/s this second, p99
+/// apply latency over the last window, not since process start. A
+/// MetricsHistory is a bounded ring of timestamped full-registry
+/// snapshots; RenderJson derives every window's rates and per-window
+/// histogram percentiles from the deltas between consecutive snapshots.
+
+/// One timestamped registry snapshot in the ring.
+struct SeriesSnapshot {
+  double t_seconds = 0.0;
+  std::vector<MetricSample> samples;
+};
+
+class MetricsHistory {
+ public:
+  /// Ring capacity in snapshots: 120 at the default 1 Hz sampling = the
+  /// last two minutes, a few MiB at typical registry sizes.
+  static constexpr size_t kDefaultCapacity = 120;
+
+  explicit MetricsHistory(size_t capacity = kDefaultCapacity);
+
+  /// Appends one snapshot stamped `now_seconds` (the caller's clock —
+  /// the sampler passes its injected Clock reading, tests pass a
+  /// ManualClock's). Oldest snapshot drops once the ring is full. The
+  /// registry is snapshotted before this history's mutex is taken, so the
+  /// two locks never nest.
+  void Sample(const MetricsRegistry& registry, double now_seconds)
+      ICROWD_EXCLUDES(mu_);
+
+  /// The /seriesz document: one JSON object with a `windows` array, one
+  /// entry per consecutive snapshot pair, each carrying
+  ///   - `rates`: per-counter (delta / window seconds) — events/s,
+  ///     batches/s, ... — with counter resets (current < previous, e.g.
+  ///     ResetForTesting or a restarted instance registry) treated as a
+  ///     fresh start: the delta is the current total, never negative;
+  ///   - `gauges`: the window-end gauge values;
+  ///   - `latency`: per-histogram window count plus p50/p99 computed from
+  ///     the bucket deltas of that window alone.
+  /// Windows with a non-positive duration report zero rates.
+  std::string RenderJson() const ICROWD_EXCLUDES(mu_);
+
+  size_t size() const ICROWD_EXCLUDES(mu_);
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  /// Ring mutex (tools/lock_order.txt): guards the deque of snapshots;
+  /// never held across a registry snapshot or a render.
+  mutable Mutex mu_;
+  std::vector<SeriesSnapshot> ring_ ICROWD_GUARDED_BY(mu_);
+};
+
+struct SeriesSamplerOptions {
+  /// Real-time spacing between samples (the 1 Hz default is what the
+  /// scrape-overhead bench budgets for).
+  double period_seconds = 1.0;
+  /// Registry to snapshot; null = MetricsRegistry::Global().
+  const MetricsRegistry* registry = nullptr;
+  /// Timestamp source for the snapshots; null = built-in monotonic
+  /// seconds since sampler start. Pacing is always real time — an
+  /// injected ManualClock changes the stamps, not the cadence (tests
+  /// that need full control call MetricsHistory::Sample directly).
+  Clock* clock = nullptr;
+};
+
+/// Owns the timer thread that feeds a MetricsHistory: waits
+/// `period_seconds` on a CondVar (so Stop() interrupts a sleep
+/// immediately), snapshots, repeats. The thread holds no lock while
+/// sampling and follows the DESIGN.md §14 heartbeat contract as
+/// "obs.series_sampler".
+class SeriesSampler {
+ public:
+  /// Starts sampling immediately. `history` must outlive the sampler.
+  explicit SeriesSampler(MetricsHistory* history,
+                         SeriesSamplerOptions options = {});
+  ~SeriesSampler();
+  SeriesSampler(const SeriesSampler&) = delete;
+  SeriesSampler& operator=(const SeriesSampler&) = delete;
+
+  /// Stops and joins the timer thread. Idempotent.
+  void Stop() ICROWD_EXCLUDES(mu_);
+
+  uint64_t samples_taken() const {
+    return samples_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Loop() ICROWD_EXCLUDES(mu_);
+  double NowSeconds();
+
+  MetricsHistory* const history_;
+  const SeriesSamplerOptions options_;
+  const int64_t epoch_ns_;  // built-in clock epoch (options_.clock == null)
+  std::atomic<uint64_t> samples_{0};
+  /// Sampler lifecycle mutex (tools/lock_order.txt): guards stopping_ and
+  /// the thread handle; the loop drops it before touching the history.
+  mutable Mutex mu_;
+  CondVar stop_cv_;
+  bool stopping_ ICROWD_GUARDED_BY(mu_) = false;
+  std::unique_ptr<std::thread> thread_ ICROWD_GUARDED_BY(mu_);
+};
+
+}  // namespace obs
+}  // namespace icrowd
+
+#endif  // ICROWD_OBS_HTTP_SERIES_H_

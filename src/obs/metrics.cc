@@ -43,36 +43,6 @@ int64_t SteadyNanos() {
       .count();
 }
 
-/// Exact decimal rendering of a fixed-point (billionths) value: fixed-point
-/// cells are precisely representable with 9 fractional digits, so this
-/// round-trips without the noise of %.17g.
-std::string FormatFixedPoint(int64_t fp) {
-  char buf[48];
-  const char* sign = fp < 0 ? "-" : "";
-  uint64_t magnitude = fp < 0 ? -static_cast<uint64_t>(fp)
-                              : static_cast<uint64_t>(fp);
-  uint64_t whole = magnitude / 1'000'000'000ull;
-  uint64_t frac = magnitude % 1'000'000'000ull;
-  if (frac == 0) {
-    std::snprintf(buf, sizeof(buf), "%s%" PRIu64, sign, whole);
-    return buf;
-  }
-  std::snprintf(buf, sizeof(buf), "%s%" PRIu64 ".%09" PRIu64, sign, whole,
-                frac);
-  std::string out = buf;
-  while (out.back() == '0') out.pop_back();
-  return out;
-}
-
-/// Shortest-ish deterministic rendering for doubles that did not come from
-/// fixed-point cells (bucket bounds, event fields): same double in, same
-/// string out.
-std::string FormatDouble(double v) {
-  char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.12g", v);
-  return buf;
-}
-
 std::string EscapeJson(const std::string& s) {
   std::string out;
   out.reserve(s.size() + 2);
@@ -103,6 +73,44 @@ std::string EscapeJson(const std::string& s) {
   return out;
 }
 
+}  // namespace
+
+namespace internal {
+
+/// Fixed-point cells are precisely representable with 9 fractional digits,
+/// so this round-trips without the noise of %.17g.
+std::string FormatFixedPoint(int64_t fp) {
+  char buf[48];
+  const char* sign = fp < 0 ? "-" : "";
+  uint64_t magnitude = fp < 0 ? -static_cast<uint64_t>(fp)
+                              : static_cast<uint64_t>(fp);
+  uint64_t whole = magnitude / 1'000'000'000ull;
+  uint64_t frac = magnitude % 1'000'000'000ull;
+  if (frac == 0) {
+    std::snprintf(buf, sizeof(buf), "%s%" PRIu64, sign, whole);
+    return buf;
+  }
+  std::snprintf(buf, sizeof(buf), "%s%" PRIu64 ".%09" PRIu64, sign, whole,
+                frac);
+  std::string out = buf;
+  while (out.back() == '0') out.pop_back();
+  return out;
+}
+
+/// Shortest-ish deterministic rendering for doubles that did not come from
+/// fixed-point cells (bucket bounds, event fields): same double in, same
+/// string out.
+std::string FormatDouble(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+}  // namespace internal
+
+namespace {
+using internal::FormatDouble;
+using internal::FormatFixedPoint;
 }  // namespace
 
 uint64_t ThisThreadIndex() {
@@ -486,6 +494,50 @@ HistogramSnapshot MetricsRegistry::HistogramValue(
   return snapshot;
 }
 
+std::vector<MetricSample> MetricsRegistry::SnapshotAll() const {
+  std::vector<MetricSample> samples;
+  {
+    MutexLock lock(mutex_);
+    samples.reserve(metrics_.size());
+    for (const MetricInfo& info : metrics_) {
+      MetricSample sample;
+      sample.name = info.name;
+      sample.kind = info.kind;
+      sample.deterministic = info.options.deterministic;
+      sample.help = info.options.help;
+      switch (info.kind) {
+        case MetricKind::kCounter:
+          sample.counter = static_cast<uint64_t>(SumCell(info.cell));
+          break;
+        case MetricKind::kGauge:
+          sample.gauge_fp =
+              gauges_[info.gauge_slot].load(std::memory_order_relaxed);
+          break;
+        case MetricKind::kHistogram: {
+          HistogramSnapshot& h = sample.histogram;
+          h.bounds = *info.bounds;
+          h.buckets.resize(h.bounds.size() + 1);
+          for (size_t b = 0; b < h.buckets.size(); ++b) {
+            h.buckets[b] = static_cast<uint64_t>(
+                SumCell(info.cell + static_cast<uint32_t>(b)));
+            h.count += h.buckets[b];
+          }
+          sample.hist_sum_fp = SumCell(
+              info.cell + static_cast<uint32_t>(h.bounds.size()) + 1);
+          h.sum = FromFixedPoint(sample.hist_sum_fp);
+          break;
+        }
+      }
+      samples.push_back(std::move(sample));
+    }
+  }
+  std::sort(samples.begin(), samples.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  return samples;
+}
+
 std::vector<SpanRecord> MetricsRegistry::Spans() const {
   std::vector<SpanRecord> spans;
   MutexLock lock(mutex_);
@@ -508,95 +560,81 @@ std::vector<TrajectoryEvent> MetricsRegistry::Events() const {
 
 void MetricsRegistry::ExportJsonl(std::ostream& out,
                                   const ExportOptions& options) const {
-  MutexLock lock(mutex_);
-  std::vector<const MetricInfo*> sorted;
-  sorted.reserve(metrics_.size());
-  for (const MetricInfo& info : metrics_) sorted.push_back(&info);
-  std::sort(sorted.begin(), sorted.end(),
-            [](const MetricInfo* a, const MetricInfo* b) {
-              return a->name < b->name;
-            });
-  for (const MetricInfo* info : sorted) {
-    if (options.deterministic && !info->options.deterministic) continue;
-    switch (info->kind) {
+  // Built entirely in memory before the first write: streaming while
+  // holding the registry mutex would serialize every recording thread's
+  // slow path behind the caller's ostream (which can be a file — see the
+  // DESIGN.md §15 regression note).
+  out << ExportJsonlString(options);
+}
+
+std::string MetricsRegistry::ExportJsonlString(
+    const ExportOptions& options) const {
+  // Collect under the registry lock (one short critical section per
+  // category), render outside it. The three categories are snapshotted
+  // back-to-back, not atomically with each other; deterministic dumps are
+  // taken at quiescent points so this never shows in their bytes.
+  const std::vector<MetricSample> samples = SnapshotAll();
+  std::vector<TrajectoryEvent> events;
+  if (options.include_events) events = Events();
+  std::vector<SpanRecord> spans;
+  if (options.include_spans && !options.deterministic) spans = Spans();
+
+  std::ostringstream out;
+  for (const MetricSample& sample : samples) {
+    if (options.deterministic && !sample.deterministic) continue;
+    switch (sample.kind) {
       case MetricKind::kCounter:
-        out << "{\"kind\":\"counter\",\"name\":\"" << EscapeJson(info->name)
-            << "\",\"type\":\"metric\",\"value\":" << SumCell(info->cell)
+        out << "{\"kind\":\"counter\",\"name\":\"" << EscapeJson(sample.name)
+            << "\",\"type\":\"metric\",\"value\":" << sample.counter
             << "}\n";
         break;
       case MetricKind::kGauge:
-        out << "{\"kind\":\"gauge\",\"name\":\"" << EscapeJson(info->name)
+        out << "{\"kind\":\"gauge\",\"name\":\"" << EscapeJson(sample.name)
             << "\",\"type\":\"metric\",\"value\":"
-            << FormatFixedPoint(
-                   gauges_[info->gauge_slot].load(std::memory_order_relaxed))
-            << "}\n";
+            << FormatFixedPoint(sample.gauge_fp) << "}\n";
         break;
       case MetricKind::kHistogram: {
-        const std::vector<double>& bounds = *info->bounds;
+        const HistogramSnapshot& h = sample.histogram;
         out << "{\"buckets\":[";
-        int64_t count = 0;
-        for (size_t b = 0; b <= bounds.size(); ++b) {
-          int64_t c = SumCell(info->cell + static_cast<uint32_t>(b));
-          count += c;
+        for (size_t b = 0; b < h.buckets.size(); ++b) {
           if (b > 0) out << ",";
           out << "[";
-          if (b < bounds.size()) {
-            out << "\"" << FormatDouble(bounds[b]) << "\"";
+          if (b < h.bounds.size()) {
+            out << "\"" << FormatDouble(h.bounds[b]) << "\"";
           } else {
             out << "\"+inf\"";
           }
-          out << "," << c << "]";
+          out << "," << h.buckets[b] << "]";
         }
-        out << "],\"count\":" << count << ",\"kind\":\"histogram\",\"name\":\""
-            << EscapeJson(info->name) << "\",\"sum\":"
-            << FormatFixedPoint(SumCell(
-                   info->cell + static_cast<uint32_t>(bounds.size()) + 1))
+        out << "],\"count\":" << h.count
+            << ",\"kind\":\"histogram\",\"name\":\"" << EscapeJson(sample.name)
+            << "\",\"sum\":" << FormatFixedPoint(sample.hist_sum_fp)
             << ",\"type\":\"metric\"}\n";
         break;
       }
     }
   }
-  if (options.include_events) {
-    uint64_t seq = 0;
-    for (const TrajectoryEvent& event : events_) {
-      out << "{\"fields\":{";
-      std::vector<std::pair<std::string, double>> fields = event.fields;
-      std::sort(fields.begin(), fields.end(),
-                [](const auto& a, const auto& b) { return a.first < b.first; });
-      for (size_t f = 0; f < fields.size(); ++f) {
-        if (f > 0) out << ",";
-        out << "\"" << EscapeJson(fields[f].first)
-            << "\":" << FormatDouble(fields[f].second);
-      }
-      out << "},\"kind\":\"" << EscapeJson(event.type)
-          << "\",\"seq\":" << seq++ << ",\"type\":\"event\"}\n";
+  uint64_t seq = 0;
+  for (const TrajectoryEvent& event : events) {
+    out << "{\"fields\":{";
+    std::vector<std::pair<std::string, double>> fields = event.fields;
+    std::sort(fields.begin(), fields.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (size_t f = 0; f < fields.size(); ++f) {
+      if (f > 0) out << ",";
+      out << "\"" << EscapeJson(fields[f].first)
+          << "\":" << FormatDouble(fields[f].second);
     }
+    out << "},\"kind\":\"" << EscapeJson(event.type)
+        << "\",\"seq\":" << seq++ << ",\"type\":\"event\"}\n";
   }
-  if (options.include_spans && !options.deterministic) {
-    std::vector<SpanRecord> spans;
-    for (const std::unique_ptr<Shard>& shard : shards_) {
-      MutexLock span_lock(shard->span_mutex);
-      spans.insert(spans.end(), shard->spans.begin(), shard->spans.end());
-    }
-    std::sort(spans.begin(), spans.end(),
-              [](const SpanRecord& a, const SpanRecord& b) {
-                if (a.thread != b.thread) return a.thread < b.thread;
-                return a.seq < b.seq;
-              });
-    for (const SpanRecord& span : spans) {
-      out << "{\"depth\":" << span.depth
-          << ",\"duration_ns\":" << span.duration_ns << ",\"name\":\""
-          << EscapeJson(span.name) << "\",\"seq\":" << span.seq
-          << ",\"start_ns\":" << span.start_ns
-          << ",\"thread\":" << span.thread << ",\"type\":\"span\"}\n";
-    }
+  for (const SpanRecord& span : spans) {
+    out << "{\"depth\":" << span.depth
+        << ",\"duration_ns\":" << span.duration_ns << ",\"name\":\""
+        << EscapeJson(span.name) << "\",\"seq\":" << span.seq
+        << ",\"start_ns\":" << span.start_ns
+        << ",\"thread\":" << span.thread << ",\"type\":\"span\"}\n";
   }
-}
-
-std::string MetricsRegistry::ExportJsonlString(
-    const ExportOptions& options) const {
-  std::ostringstream out;
-  ExportJsonl(out, options);
   return out.str();
 }
 

@@ -38,6 +38,13 @@ enum class MetricKind { kCounter, kGauge, kHistogram };
 
 namespace internal {
 struct TlsShardCache;  // thread-exit hook returning shards for reuse
+
+/// Exact decimal rendering of a fixed-point (billionths) value and a
+/// deterministic %.12g rendering for plain doubles — shared by the JSONL
+/// and Prometheus exporters so both emit bit-identical numbers for the
+/// same cells.
+std::string FormatFixedPoint(int64_t fp);
+std::string FormatDouble(double v);
 }  // namespace internal
 
 struct MetricOptions {
@@ -126,6 +133,23 @@ struct HistogramSnapshot {
   double Percentile(double q) const;
 };
 
+/// One registered metric's merged value, captured atomically with respect
+/// to registration (a single pass under the registry mutex). Raw
+/// fixed-point fields ride along so exporters that need exact decimal
+/// rendering (JSONL, Prometheus) can re-render without a float round-trip.
+struct MetricSample {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  bool deterministic = true;
+  std::string help;
+  uint64_t counter = 0;         // kCounter
+  int64_t gauge_fp = 0;         // kGauge, fixed-point billionths
+  HistogramSnapshot histogram;  // kHistogram
+  int64_t hist_sum_fp = 0;      // kHistogram, exact fixed-point sum
+
+  double gauge() const { return FromFixedPoint(gauge_fp); }
+};
+
 /// `count` buckets growing geometrically from `start` by `factor`.
 std::vector<double> ExponentialBuckets(double start, double factor,
                                        size_t count);
@@ -211,6 +235,13 @@ class MetricsRegistry {
   HistogramSnapshot HistogramValue(const std::string& name) const;
   std::vector<SpanRecord> Spans() const;
   std::vector<TrajectoryEvent> Events() const;
+
+  /// Every registered metric's merged value, sorted by name, collected in
+  /// one pass under the registry mutex and returned by value. This is the
+  /// enumeration surface for exporters (statusz, JSONL, Prometheus, the
+  /// /seriesz history ring): render from the returned vector, never while
+  /// holding the registry lock.
+  std::vector<MetricSample> SnapshotAll() const ICROWD_EXCLUDES(mutex_);
 
   /// One JSON object per line: metrics sorted by name (keys sorted within
   /// each object), then events in emission order, then spans in (thread,

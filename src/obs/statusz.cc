@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -99,19 +100,52 @@ constexpr const char* kHistograms[] = {
     "icrowd.ingest.batch_size",
 };
 
-std::string RenderText(const MetricsRegistry& metrics,
+/// One registry pass for the whole rendering: the glossary used to issue a
+/// locked CounterValue/GaugeValue/HistogramValue call per line (20 lock
+/// round-trips per statusz); SnapshotAll takes the registry mutex once and
+/// every lookup below is a binary search over the sorted copy.
+struct MetricsView {
+  std::vector<MetricSample> samples;
+
+  const MetricSample* Find(const char* name, MetricKind kind) const {
+    const std::string key(name);
+    auto it = std::lower_bound(
+        samples.begin(), samples.end(), key,
+        [](const MetricSample& s, const std::string& k) { return s.name < k; });
+    if (it == samples.end() || it->name != key || it->kind != kind) {
+      return nullptr;
+    }
+    return &*it;
+  }
+  uint64_t Counter(const char* name) const {
+    const MetricSample* s = Find(name, MetricKind::kCounter);
+    return s == nullptr ? 0 : s->counter;
+  }
+  double Gauge(const char* name) const {
+    const MetricSample* s = Find(name, MetricKind::kGauge);
+    return s == nullptr ? 0.0 : s->gauge();
+  }
+  HistogramSnapshot Histogram(const char* name) const {
+    const MetricSample* s = Find(name, MetricKind::kHistogram);
+    return s == nullptr ? HistogramSnapshot() : s->histogram;
+  }
+};
+
+std::string RenderText(const MetricsView& metrics,
                        const HeartbeatRegistry& heartbeats,
-                       const FlightRecorder& flight, double uptime) {
+                       const FlightRecorder& flight, double uptime,
+                       const BuildInfo& build) {
   std::ostringstream out;
   out << "=== icrowd statusz ===\n";
   out << "uptime_seconds " << Seconds(uptime) << "\n";
-  out << "watchdog.trips " << metrics.CounterValue("icrowd.watchdog.trips")
+  out << "watchdog.trips " << metrics.Counter("icrowd.watchdog.trips")
       << "\n";
   out << "flight_recorder.enabled " << (flight.enabled() ? 1 : 0) << "\n";
   out << "flight_recorder.events_recorded " << flight.events_recorded()
       << "\n";
   out << "flight_recorder.capacity_per_thread "
       << flight.capacity_per_thread() << "\n";
+  out << "\n[build]\n" << RenderBuildInfoText(build);
   out << "\n[heartbeats]\n";
   for (const HeartbeatSnapshot& hb : heartbeats.Snapshots()) {
     out << hb.name << " state=" << (hb.busy ? "busy" : "idle")
@@ -120,15 +154,15 @@ std::string RenderText(const MetricsRegistry& metrics,
   }
   out << "\n[counters]\n";
   for (const char* name : kCounters) {
-    out << name << " " << metrics.CounterValue(name) << "\n";
+    out << name << " " << metrics.Counter(name) << "\n";
   }
   out << "\n[gauges]\n";
   for (const char* name : kGauges) {
-    out << name << " " << Seconds(metrics.GaugeValue(name)) << "\n";
+    out << name << " " << Seconds(metrics.Gauge(name)) << "\n";
   }
   out << "\n[latency]\n";
   for (const char* name : kHistograms) {
-    HistogramSnapshot snapshot = metrics.HistogramValue(name);
+    HistogramSnapshot snapshot = metrics.Histogram(name);
     out << name << " count=" << snapshot.count
         << " mean=" << Seconds(snapshot.Mean())
         << " p50=" << Seconds(snapshot.Percentile(50))
@@ -137,17 +171,19 @@ std::string RenderText(const MetricsRegistry& metrics,
   return out.str();
 }
 
-std::string RenderJson(const MetricsRegistry& metrics,
+std::string RenderJson(const MetricsView& metrics,
                        const HeartbeatRegistry& heartbeats,
-                       const FlightRecorder& flight, double uptime) {
+                       const FlightRecorder& flight, double uptime,
+                       const BuildInfo& build) {
   std::ostringstream out;
   out << "{\"uptime_seconds\":" << Seconds(uptime);
   out << ",\"watchdog\":{\"trips\":"
-      << metrics.CounterValue("icrowd.watchdog.trips") << "}";
+      << metrics.Counter("icrowd.watchdog.trips") << "}";
   out << ",\"flight_recorder\":{\"enabled\":"
       << (flight.enabled() ? "true" : "false")
       << ",\"events_recorded\":" << flight.events_recorded()
       << ",\"capacity_per_thread\":" << flight.capacity_per_thread() << "}";
+  out << ",\"build\":" << RenderBuildInfoJson(build);
   out << ",\"heartbeats\":[";
   bool first = true;
   for (const HeartbeatSnapshot& hb : heartbeats.Snapshots()) {
@@ -163,21 +199,21 @@ std::string RenderJson(const MetricsRegistry& metrics,
   for (const char* name : kCounters) {
     if (!first) out << ",";
     first = false;
-    out << "\"" << name << "\":" << metrics.CounterValue(name);
+    out << "\"" << name << "\":" << metrics.Counter(name);
   }
   out << "},\"gauges\":{";
   first = true;
   for (const char* name : kGauges) {
     if (!first) out << ",";
     first = false;
-    out << "\"" << name << "\":" << Seconds(metrics.GaugeValue(name));
+    out << "\"" << name << "\":" << Seconds(metrics.Gauge(name));
   }
   out << "},\"latency\":{";
   first = true;
   for (const char* name : kHistograms) {
     if (!first) out << ",";
     first = false;
-    HistogramSnapshot snapshot = metrics.HistogramValue(name);
+    HistogramSnapshot snapshot = metrics.Histogram(name);
     out << "\"" << name << "\":{\"count\":" << snapshot.count
         << ",\"mean\":" << Seconds(snapshot.Mean())
         << ",\"p50\":" << Seconds(snapshot.Percentile(50))
@@ -198,8 +234,12 @@ std::string RenderStatusz(const MetricsRegistry& metrics,
     uptime =
         static_cast<double>(SteadyNanos() - g_process_epoch_ns) * 1e-9;
   }
-  return options.json ? RenderJson(metrics, heartbeats, flight, uptime)
-                      : RenderText(metrics, heartbeats, flight, uptime);
+  const BuildInfo build =
+      options.build != nullptr ? *options.build : CurrentBuildInfo();
+  MetricsView view{metrics.SnapshotAll()};
+  return options.json
+             ? RenderJson(view, heartbeats, flight, uptime, build)
+             : RenderText(view, heartbeats, flight, uptime, build);
 }
 
 std::string RenderStatusz(const StatuszOptions& options) {

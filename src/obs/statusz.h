@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "obs/build_info.h"
 #include "obs/flight_recorder.h"
 #include "obs/heartbeat.h"
 #include "obs/metrics.h"
@@ -15,6 +16,9 @@ struct StatuszOptions {
   /// Uptime to report; negative means "measure from process start". Tests
   /// pin it (with a fake registry clock) so the rendering is byte-stable.
   double uptime_seconds = -1.0;
+  /// Build identity for the [build] block; null means CurrentBuildInfo().
+  /// Tests pin it so the rendering is byte-stable.
+  const BuildInfo* build = nullptr;
 };
 
 /// Renders the live-state snapshot (DESIGN.md §14 has the field glossary):

@@ -2,6 +2,7 @@
 #define ICROWD_SIM_CAMPAIGN_DRIVER_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/result.h"
@@ -32,6 +33,10 @@ struct CampaignDriverOptions {
   /// When > 0, worker w leaves after answering leave_after + (w % 3) tasks
   /// post-warm-up (derived from campaign state, so it survives restores).
   int leave_after = 0;
+  /// When non-empty, installed as the `campaign` label on every /metricsz
+  /// sample for the duration of the drive (the CLI passes the dataset
+  /// name). Purely observational: no effect on campaign decisions.
+  std::string campaign_label;
 };
 
 /// One snapshot captured mid-drive, tagged with the journal position it

@@ -9,6 +9,7 @@
 #include "core/strategy_factory.h"
 #include "datagen/entity_resolution.h"
 #include "datagen/worker_pool.h"
+#include "obs/http/http_client.h"
 
 namespace icrowd {
 namespace {
@@ -163,6 +164,25 @@ TEST(ICrowdTest, CreateValidates) {
   EXPECT_FALSE(ICrowd::Create(empty, config).ok());
   config.assignment_size = 2;
   EXPECT_FALSE(ICrowd::Create(TinyDataset(), config).ok());
+}
+
+TEST(ICrowdTest, ServeObsBindsEphemeralPortAndStaysOffFingerprint) {
+  ICrowdConfig config = TinyConfig();
+  auto plain = ICrowd::Create(TinyDataset(), config);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ((*plain)->obs_port(), -1);
+
+  config.serve_obs_port = 0;  // ephemeral
+  auto served = ICrowd::Create(TinyDataset(), config);
+  ASSERT_TRUE(served.ok());
+  ASSERT_GT((*served)->obs_port(), 0);
+  obs::HttpResponse statusz =
+      obs::HttpGet("127.0.0.1", (*served)->obs_port(), "/statusz");
+  EXPECT_EQ(statusz.status, 200) << statusz.error;
+  EXPECT_NE(statusz.body.find("=== icrowd statusz ==="), std::string::npos);
+  // Execution knob like num_threads: serving must not change the
+  // campaign's identity.
+  EXPECT_EQ((*plain)->fingerprint(), (*served)->fingerprint());
 }
 
 TEST(ICrowdTest, FullPlatformLifecycle) {

@@ -273,6 +273,15 @@ struct StatuszWorld {
     obs::StatuszOptions options;
     options.json = json;
     options.uptime_seconds = 123.456789;
+    // Pinned identity stamp: the fixture must not churn when the real git
+    // sha or API version moves.
+    obs::BuildInfo build;
+    build.git_sha = "abcdef123456";
+    build.build_type = "Fixture";
+    build.api_version_major = 9;
+    build.api_version_minor = 9;
+    build.uptime_seconds = 123.456789;
+    options.build = &build;
     return RenderStatusz(metrics, heartbeats, flight, options);
   }
 };

@@ -1,0 +1,309 @@
+#!/usr/bin/env python3
+"""Validates a Prometheus text-exposition (format 0.0.4) document, the
+/metricsz contract checker for the CI scrape job and the obs ctests.
+
+Usage:
+    check_prometheus.py FILE        # or '-' for stdin
+    check_prometheus.py --self-test
+
+Checks (exit 0 clean, 1 on any violation, 2 on usage error):
+  * every metric name matches [a-zA-Z_:][a-zA-Z0-9_:]*, every label name
+    [a-zA-Z_][a-zA-Z0-9_]*, and label values use only the three legal
+    escapes (\\\\, \\", \\n);
+  * # HELP / # TYPE lines name a valid metric, carry a known type, and
+    appear at most once per metric, before its first sample;
+  * samples of one metric are contiguous (no interleaving) and their
+    values parse as Prometheus numbers (decimal, +Inf, -Inf, NaN);
+  * histograms: cumulative `_bucket` counts are monotonically
+    non-decreasing in increasing `le` order, the series ends with
+    le="+Inf", and `_count` equals the +Inf bucket.
+
+The checker is intentionally stricter than real Prometheus ingestion on
+ordering (HELP/TYPE before samples, buckets sorted by le): the renderer
+emits that order deterministically, so any deviation is a bug.
+"""
+
+import math
+import re
+import sys
+
+METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+KNOWN_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+# One sample line: name{labels} value [timestamp]. Labels optional.
+SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(.*)\})?"
+    r" (\S+)(?: (-?\d+))?$"
+)
+# One label pair inside the braces; values may contain escaped chars.
+LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+VALUE_RE = re.compile(r"^[+-]?(?:\d+\.?\d*(?:[eE][+-]?\d+)?|\.\d+|Inf)$|^NaN$")
+LEGAL_ESCAPE_RE = re.compile(r'\\[\\"n]')
+
+
+def parse_value(raw):
+    """Prometheus sample value -> float, or None when malformed."""
+    if not VALUE_RE.match(raw):
+        return None
+    if raw.endswith("Inf"):
+        return math.inf if not raw.startswith("-") else -math.inf
+    if raw == "NaN":
+        return math.nan
+    return float(raw)
+
+
+def base_name(name):
+    """Histogram series name -> family name (strips the sample suffix)."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+class Checker:
+    def __init__(self):
+        self.errors = []
+        self.helped = set()
+        self.typed = {}  # family -> declared type
+        self.sampled = set()  # families that have emitted a sample
+        self.finished = set()  # families whose sample block has closed
+        self.current_family = None
+        # family -> list of (le, cumulative count) in emission order.
+        self.buckets = {}
+        self.counts = {}  # family -> _count value
+
+    def error(self, lineno, message):
+        self.errors.append(f"line {lineno}: {message}")
+
+    def check_label_blob(self, lineno, blob):
+        """Validates the inside of {...} and returns the label dict."""
+        labels = {}
+        consumed = LABEL_PAIR_RE.sub("", blob)
+        if consumed.strip(", ") != "":
+            self.error(lineno, f"malformed label section '{{{blob}}}'")
+        for m in LABEL_PAIR_RE.finditer(blob):
+            name, value = m.group(1), m.group(2)
+            if not LABEL_NAME_RE.match(name):
+                self.error(lineno, f"bad label name '{name}'")
+            bad = LEGAL_ESCAPE_RE.sub("", value)
+            if "\\" in bad:
+                self.error(
+                    lineno,
+                    f"illegal escape in label value '{value}' "
+                    "(only \\\\, \\\" and \\n are legal)")
+            labels[name] = value
+        return labels
+
+    def handle_comment(self, lineno, line):
+        parts = line.split(None, 3)
+        if len(parts) < 2 or parts[1] not in ("HELP", "TYPE"):
+            return  # arbitrary comment: legal, ignored
+        if len(parts) < 3:
+            self.error(lineno, f"# {parts[1]} without a metric name")
+            return
+        name = parts[2]
+        if not METRIC_NAME_RE.match(name):
+            self.error(lineno, f"# {parts[1]} names invalid metric '{name}'")
+            return
+        if name in self.sampled:
+            self.error(
+                lineno, f"# {parts[1]} for '{name}' after its samples")
+        if parts[1] == "HELP":
+            if name in self.helped:
+                self.error(lineno, f"duplicate # HELP for '{name}'")
+            self.helped.add(name)
+        else:
+            declared = parts[3].strip() if len(parts) > 3 else ""
+            if declared not in KNOWN_TYPES:
+                self.error(
+                    lineno, f"# TYPE '{name}' has unknown type '{declared}'")
+            if name in self.typed:
+                self.error(lineno, f"duplicate # TYPE for '{name}'")
+            self.typed[name] = declared
+
+    def handle_sample(self, lineno, line):
+        m = SAMPLE_RE.match(line)
+        if not m:
+            self.error(lineno, f"unparseable sample line '{line}'")
+            return
+        series, blob, raw_value = m.group(1), m.group(2), m.group(3)
+        family = base_name(series)
+        if self.typed.get(family) != "histogram":
+            family = series  # _sum/_count only collapse for histograms
+        if not METRIC_NAME_RE.match(series):
+            self.error(lineno, f"bad metric name '{series}'")
+        labels = self.check_label_blob(lineno, blob) if blob else {}
+        value = parse_value(raw_value)
+        if value is None:
+            self.error(lineno, f"bad sample value '{raw_value}'")
+            return
+        if family != self.current_family:
+            if self.current_family is not None:
+                self.finish_family()
+            if family in self.finished:
+                self.error(
+                    lineno,
+                    f"samples of '{family}' interleaved with another metric")
+            self.current_family = family
+        self.sampled.add(family)
+        if self.typed.get(family) == "histogram":
+            if series.endswith("_bucket"):
+                if "le" not in labels:
+                    self.error(lineno, f"'{series}' sample without an le label")
+                    return
+                le = parse_value(labels["le"])
+                if le is None:
+                    self.error(lineno, f"bad le value '{labels['le']}'")
+                    return
+                self.buckets.setdefault(family, []).append(
+                    (lineno, le, value))
+            elif series.endswith("_count"):
+                self.counts[family] = (lineno, value)
+
+    def finish_family(self):
+        family = self.current_family
+        self.finished.add(family)
+        buckets = self.buckets.pop(family, None)
+        if buckets is not None:
+            prev_le, prev_count = -math.inf, -math.inf
+            for lineno, le, count in buckets:
+                if le <= prev_le:
+                    self.error(
+                        lineno,
+                        f"'{family}' buckets not in increasing le order")
+                if count < prev_count:
+                    self.error(
+                        lineno,
+                        f"'{family}' cumulative bucket counts decrease "
+                        f"at le={le}")
+                prev_le, prev_count = le, count
+            if not math.isinf(buckets[-1][1]):
+                self.error(
+                    buckets[-1][0],
+                    f"'{family}' bucket series does not end with le=\"+Inf\"")
+            elif family in self.counts:
+                lineno, total = self.counts[family]
+                if total != buckets[-1][2]:
+                    self.error(
+                        lineno,
+                        f"'{family}_count' ({total:g}) != +Inf bucket "
+                        f"({buckets[-1][2]:g})")
+        self.counts.pop(family, None)
+
+    def run(self, text):
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            if not line.strip():
+                continue
+            if line.startswith("#"):
+                self.handle_comment(lineno, line)
+            else:
+                self.handle_sample(lineno, line)
+        if self.current_family is not None:
+            self.finish_family()
+        return self.errors
+
+
+def check_text(text):
+    return Checker().run(text)
+
+
+# ------------------------------ self-test ---------------------------------
+
+GOOD = """\
+# HELP icrowd_core_arrivals workers registered
+# TYPE icrowd_core_arrivals counter
+icrowd_core_arrivals{campaign="itemcompare"} 42
+# TYPE icrowd_queue_depth gauge
+icrowd_queue_depth 3.25
+# HELP icrowd_apply_latency per-event apply latency
+# TYPE icrowd_apply_latency histogram
+icrowd_apply_latency_bucket{le="0.001"} 5
+icrowd_apply_latency_bucket{le="0.01"} 9
+icrowd_apply_latency_bucket{le="+Inf"} 10
+icrowd_apply_latency_sum 0.0525
+icrowd_apply_latency_count 10
+"""
+
+# (description, document, substring expected in some error; None = clean)
+SELF_TEST_CASES = [
+    ("well-formed document", GOOD, None),
+    ("empty document", "", None),
+    ("escaped label value", 'm{l="a\\"b\\\\c\\nd"} 1\n', None),
+    ("special values", "m +Inf\nn -Inf\no NaN\n", None),
+    ("bad metric name", "9leading 1\n", "unparseable"),
+    ("bad label name", 'm{9l="x"} 1\n', "malformed label"),
+    ("illegal escape", 'm{l="a\\tb"} 1\n', "illegal escape"),
+    ("bad value", "m not_a_number\n", "bad sample value"),
+    ("help after samples", "m 1\n# HELP m late\n", "after its samples"),
+    ("duplicate type", "# TYPE m gauge\n# TYPE m gauge\nm 1\n",
+     "duplicate # TYPE"),
+    ("unknown type", "# TYPE m rate\nm 1\n", "unknown type"),
+    ("interleaved families", "a 1\nb 2\na 3\n", "interleaved"),
+    ("buckets out of order",
+     "# TYPE h histogram\n"
+     'h_bucket{le="0.01"} 3\nh_bucket{le="0.001"} 1\n'
+     'h_bucket{le="+Inf"} 4\nh_sum 1\nh_count 4\n',
+     "increasing le order"),
+    ("non-cumulative buckets",
+     "# TYPE h histogram\n"
+     'h_bucket{le="0.001"} 5\nh_bucket{le="0.01"} 3\n'
+     'h_bucket{le="+Inf"} 6\nh_sum 1\nh_count 6\n',
+     "counts decrease"),
+    ("missing +Inf bucket",
+     "# TYPE h histogram\n"
+     'h_bucket{le="0.001"} 5\nh_sum 1\nh_count 5\n',
+     "does not end"),
+    ("count mismatch",
+     "# TYPE h histogram\n"
+     'h_bucket{le="+Inf"} 6\nh_sum 1\nh_count 5\n',
+     "!= +Inf bucket"),
+    ("bucket without le",
+     "# TYPE h histogram\nh_bucket 6\nh_sum 1\nh_count 6\n",
+     "without an le label"),
+]
+
+
+def run_self_test():
+    failures = []
+    for desc, doc, expect in SELF_TEST_CASES:
+        errors = check_text(doc)
+        if expect is None:
+            if errors:
+                failures.append(f"{desc}: expected clean, got {errors}")
+        elif not any(expect in e for e in errors):
+            failures.append(f"{desc}: expected '{expect}', got {errors}")
+    if failures:
+        for f in failures:
+            print(f"check_prometheus self-test FAIL: {f}", file=sys.stderr)
+        return 1
+    print(f"check_prometheus self-test: {len(SELF_TEST_CASES)} cases OK")
+    return 0
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    if argv[1] == "--self-test":
+        return run_self_test()
+    if argv[1] == "-":
+        text = sys.stdin.read()
+    else:
+        try:
+            with open(argv[1], encoding="utf-8") as f:
+                text = f.read()
+        except OSError as e:
+            print(f"check_prometheus: {e}", file=sys.stderr)
+            return 2
+    errors = check_text(text)
+    for e in errors:
+        print(f"check_prometheus: {argv[1]}: {e}", file=sys.stderr)
+    if not errors:
+        lines = sum(1 for l in text.splitlines() if l.strip())
+        print(f"check_prometheus: {argv[1]}: {lines} lines OK")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

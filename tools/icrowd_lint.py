@@ -84,6 +84,15 @@ Rules (see DESIGN.md "Static-analysis layer"):
                   and to the two rules above. Waiver:
                       // lint: bare-mutex-ok(<reason>)
 
+  bare-socket     Outside src/obs/http/, code never opens raw sockets —
+                  no <sys/socket.h>/<netinet/*>/<arpa/inet.h> includes, no
+                  socket(AF_...) calls. The scrape server and its loopback
+                  test client are the project's entire network surface;
+                  anything else speaking TCP would dodge the bind-address
+                  and request-bounding policy reviewed there (DESIGN.md
+                  §15). Waiver:
+                      // lint: bare-socket-ok(<reason>)
+
 Waiver budget (the ratchet): tools/lint_waivers.txt records how many
 `// lint: <rule>-ok(...)` comments of each kind the tree may carry.
 --check-budget (what the lint_tree ctest runs) fails when any count grows
@@ -153,6 +162,17 @@ BARE_MUTEX_PATTERN = re.compile(
     r"scoped_lock)\b"
 )
 BARE_MUTEX_WAIVER_PATTERN = re.compile(r"//\s*lint:\s*bare-mutex-ok\([^)]*\)")
+
+# The one directory allowed to speak raw sockets: the observability scrape
+# server and its loopback test client (DESIGN.md §15).
+BARE_SOCKET_ALLOWED_PREFIX = "src/obs/http/"
+BARE_SOCKET_PATTERN = re.compile(
+    r"#\s*include\s+<(?:sys/socket\.h|netinet/[^>]+|arpa/inet\.h)>"
+    r"|\bsocket\s*\(\s*AF_"
+)
+BARE_SOCKET_WAIVER_PATTERN = re.compile(
+    r"//\s*lint:\s*bare-socket-ok\([^)]*\)"
+)
 
 # A member statement whose declared type IS a mutex marks the class as a
 # lock owner (std::unique_lock<std::mutex> members do not: angle brackets
@@ -812,6 +832,32 @@ def check_bare_mutex(rel, text, stripped):
     return violations
 
 
+# ---- bare-socket ---------------------------------------------------------
+
+
+def check_bare_socket(rel, text, stripped):
+    p = rel.replace("\\", "/")
+    if p.startswith(BARE_SOCKET_ALLOWED_PREFIX):
+        return []
+    lines = text.splitlines()
+    violations = []
+    for m in BARE_SOCKET_PATTERN.finditer(stripped):
+        line = line_of(stripped, m.start())
+        if has_waiver(lines, line, BARE_SOCKET_WAIVER_PATTERN):
+            continue
+        violations.append(
+            Violation(
+                rel, line, "bare-socket",
+                f"'{m.group(0).strip()}' outside src/obs/http/; the scrape "
+                "server owns the project's entire network surface — route "
+                "through obs::ObsServer/obs::HttpGet so the bind-address "
+                "and request-bounding policy applies, or add "
+                "'// lint: bare-socket-ok(<reason>)'",
+            )
+        )
+    return violations
+
+
 def lint_file(root, path):
     rel = path.relative_to(root).as_posix()
     text = path.read_text(encoding="utf-8", errors="replace")
@@ -836,6 +882,7 @@ def lint_file(root, path):
     violations += check_guarded_field(rel, text, stripped)
     violations += check_lock_order(rel, text, stripped, load_lock_order(root))
     violations += check_bare_mutex(rel, text, stripped)
+    violations += check_bare_socket(rel, text, stripped)
     return violations
 
 
@@ -1377,6 +1424,47 @@ SELF_TEST_CASES = [
         "bare mutex in a comment is fine",
         "src/ingest/commented.cc",
         "// std::mutex is banned here; use icrowd::Mutex\nint x;\n",
+        None,
+        set(),
+    ),
+    # ---- bare-socket ----
+    (
+        "raw socket call outside src/obs/http",
+        "src/ingest/raw_socket.cc",
+        "#include <sys/socket.h>\n"
+        "int f() {\n  return socket(AF_INET, SOCK_STREAM, 0);\n}\n",
+        None,
+        # One violation per match: the include and the socket() call.
+        {"bare-socket"},
+    ),
+    (
+        "network headers alone are flagged",
+        "src/sim/peeks_at_net.cc",
+        "#include <netinet/in.h>\n#include <arpa/inet.h>\nint x;\n",
+        None,
+        {"bare-socket"},
+    ),
+    (
+        "raw sockets allowed inside src/obs/http",
+        "src/obs/http/server_impl.cc",
+        "#include <sys/socket.h>\n"
+        "int f() {\n  return socket(AF_INET, SOCK_STREAM, 0);\n}\n",
+        None,
+        set(),
+    ),
+    (
+        "bare socket with waiver",
+        "src/ingest/waived_socket.cc",
+        "// lint: bare-socket-ok(unix-domain IPC, not a network listener)\n"
+        "#include <sys/socket.h>\nint x;\n",
+        None,
+        set(),
+    ),
+    (
+        "socket in a comment is fine",
+        "src/ingest/socket_comment.cc",
+        "// socket(AF_INET, ...) is banned here; scrape via obs::HttpGet\n"
+        "int x;\n",
         None,
         set(),
     ),

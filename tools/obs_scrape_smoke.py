@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Boots icrowd_cli with --serve-obs on loopback, scrapes every endpoint
+while the campaign runs (during the linger window), validates /metricsz
+with check_prometheus, and optionally saves the scraped documents as
+artifacts. The end-to-end proof that live telemetry works over a real
+socket — used by the obs_scrape ctest and the CI obs-scrape job.
+
+Usage:
+    obs_scrape_smoke.py --cli PATH/TO/icrowd_cli [--out DIR]
+
+Exit status: 0 when every endpoint answered as contracted, 1 otherwise.
+"""
+
+import argparse
+import re
+import subprocess
+import sys
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import check_prometheus  # noqa: E402
+
+LISTEN_RE = re.compile(r"obs server listening on ([\d.]+):(\d+)")
+
+# (path, expected status, substring the body must contain)
+ENDPOINTS = [
+    ("/statusz", 200, "=== icrowd statusz ==="),
+    ("/statusz?format=json", 200, '"build":'),
+    ("/metricsz", 200, "# TYPE "),
+    ("/flightz", 200, ""),
+    ("/healthz", 200, "ok"),
+    ("/seriesz", 200, '"windows":'),
+    ("/buildz", 200, "git_sha "),
+]
+
+
+def fetch(host, port, path):
+    """GET the endpoint, returning (status, body) without raising on 4xx/5xx."""
+    url = f"http://{host}:{port}{path}"
+    try:
+        with urllib.request.urlopen(url, timeout=10) as response:
+            return response.status, response.read().decode("utf-8")
+    except urllib.error.HTTPError as e:
+        return e.code, e.read().decode("utf-8")
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--cli", required=True, help="icrowd_cli binary")
+    parser.add_argument("--out", help="directory for scraped artifacts")
+    args = parser.parse_args()
+
+    # Small run, ephemeral port, generous linger: the scrape happens after
+    # the campaign finishes, against the final metric state.
+    proc = subprocess.Popen(
+        [args.cli, "--dataset=itemcompare", "--seeds=1",
+         "--serve-obs=0", "--serve-obs-linger=30"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    errors = []
+    port = None
+    try:
+        for line in proc.stdout:
+            m = LISTEN_RE.search(line)
+            if m:
+                host, port = m.group(1), int(m.group(2))
+                break
+        if port is None:
+            print("obs_scrape_smoke: no listening line in cli output",
+                  file=sys.stderr)
+            return 1
+
+        # The campaign is still running (or lingering) now; every scrape
+        # below exercises the live server.
+        out_dir = Path(args.out) if args.out else None
+        if out_dir:
+            out_dir.mkdir(parents=True, exist_ok=True)
+        for path, want_status, want_substring in ENDPOINTS:
+            status, body = fetch(host, port, path)
+            if status != want_status:
+                errors.append(f"{path}: status {status}, want {want_status}")
+                continue
+            if want_substring and want_substring not in body:
+                errors.append(f"{path}: body missing '{want_substring}'")
+            if out_dir:
+                name = re.sub(r"[^A-Za-z0-9]+", "_", path).strip("_")
+                (out_dir / f"{name}.txt").write_text(body, encoding="utf-8")
+            if path == "/metricsz":
+                for e in check_prometheus.check_text(body):
+                    errors.append(f"/metricsz exposition: {e}")
+                if 'campaign="itemcompare"' not in body:
+                    errors.append("/metricsz: campaign label missing")
+            print(f"obs_scrape_smoke: {path} -> {status}, "
+                  f"{len(body)} bytes")
+    finally:
+        # Scrapes done: no need to sit out the rest of the linger window.
+        proc.terminate()
+        proc.wait(timeout=30)
+
+    for e in errors:
+        print(f"obs_scrape_smoke: FAIL: {e}", file=sys.stderr)
+    if not errors:
+        print(f"obs_scrape_smoke: all {len(ENDPOINTS)} endpoints OK")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
