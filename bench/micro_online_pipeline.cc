@@ -132,16 +132,15 @@ void BM_AdaptiveCampaign(benchmark::State& state) {
   auto workers = GenerateItemCompareWorkers(*ds);
   ICrowdConfig config;
   auto graph = SimilarityGraph::Build(*ds, config.graph);
-  config.num_threads = threads;
+  HostConfig host;
+  host.num_threads = threads;
 
   // Determinism gate: the campaign at `threads` must reproduce the serial
   // campaign answer-for-answer.
-  ICrowdConfig serial_config = config;
-  serial_config.num_threads = 1;
   auto serial =
-      RunExperiment(*ds, workers, *graph, serial_config, StrategyKind::kAdapt);
-  auto parallel =
       RunExperiment(*ds, workers, *graph, config, StrategyKind::kAdapt);
+  auto parallel =
+      RunExperiment(*ds, workers, *graph, config, StrategyKind::kAdapt, host);
   if (!serial.ok() || !parallel.ok()) {
     state.SkipWithError("campaign failed");
     return;
@@ -163,7 +162,8 @@ void BM_AdaptiveCampaign(benchmark::State& state) {
       registry.HistogramValue("icrowd.sim.request_seconds");
   for (auto _ : state) {
     auto result =
-        RunExperiment(*ds, workers, *graph, config, StrategyKind::kAdapt);
+        RunExperiment(*ds, workers, *graph, config, StrategyKind::kAdapt,
+                      host);
     benchmark::DoNotOptimize(result);
     refresh_seconds += result->sim.assigner.refresh_seconds;
     recompute_seconds += result->sim.assigner.scheme_recompute_seconds;

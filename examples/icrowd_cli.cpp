@@ -52,6 +52,7 @@ struct CliOptions {
   std::string dataset = "itemcompare";
   std::string strategy = "icrowd";
   ICrowdConfig config;
+  HostConfig host;  // execution-only knobs (v2 split): --threads
   int seeds = 5;
   uint64_t seed_base = 1000;
   bool per_domain = false;
@@ -115,11 +116,12 @@ struct ObsServe {
     server_options.bind_address = options.serve_obs_bind;
     server_options.port = options.serve_obs_port;
     server_options.history = history.get();
+    // The label rides in the server options (per-server, not process
+    // state): every /metricsz sample this server renders carries
+    // campaign="<dataset>".
+    server_options.campaign_label = options.dataset;
     server = std::make_unique<obs::ObsServer>(std::move(server_options));
     if (!server->Start()) return false;
-    // Label before announcing the port: a scraper may connect the moment
-    // the line below is parsed.
-    obs::SetCampaignLabel(options.dataset);
     // The CI scrape job (and any operator script) parses this line for
     // the resolved ephemeral port.
     std::printf("obs server listening on %s:%d\n",
@@ -222,7 +224,8 @@ int RunDurableCampaign(const CliOptions& options, const Dataset& dataset,
       return 1;
     }
     config.journal_sink = sink.MoveValueOrDie();
-    system = ICrowd::Restore(dataset, config, snapshot_bytes, *bytes);
+    system = ICrowd::Restore(dataset, config, snapshot_bytes, *bytes,
+                             options.host);
   } else {
     auto sink = FileSink::Open(options.journal, /*truncate=*/true);
     if (!sink.ok()) {
@@ -231,7 +234,7 @@ int RunDurableCampaign(const CliOptions& options, const Dataset& dataset,
       return 1;
     }
     config.journal_sink = sink.MoveValueOrDie();
-    system = ICrowd::Create(dataset, config);
+    system = ICrowd::Create(dataset, config, options.host);
   }
   if (!system.ok()) {
     std::fprintf(stderr, "%s failed: %s\n",
@@ -249,7 +252,6 @@ int RunDurableCampaign(const CliOptions& options, const Dataset& dataset,
 
   CampaignDriverOptions driver_options;
   driver_options.seed = options.seed_base;
-  driver_options.campaign_label = options.dataset;
   auto outcome =
       DriveCampaign(&campaign, workers, workers.size(), driver_options);
   if (!outcome.ok()) {
@@ -328,7 +330,7 @@ int main(int argc, char** argv) {
         return Usage();
       }
     } else if (ParseFlag(arg, "threads", &value)) {
-      options.config.num_threads = std::stoul(value);
+      options.host.num_threads = std::stoul(value);
     } else if (ParseFlag(arg, "seeds", &value)) {
       options.seeds = std::stoi(value);
     } else if (ParseFlag(arg, "seed-base", &value)) {
@@ -470,7 +472,8 @@ int main(int argc, char** argv) {
   for (int s = 0; s < options.seeds; ++s) {
     ICrowdConfig config = options.config;
     config.seed = options.seed_base + s;
-    auto result = RunExperiment(*dataset, workers, *graph, config, kind);
+    auto result =
+        RunExperiment(*dataset, workers, *graph, config, kind, options.host);
     if (!result.ok()) {
       std::fprintf(stderr, "experiment failed: %s\n",
                    result.status().ToString().c_str());

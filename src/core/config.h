@@ -3,9 +3,7 @@
 
 #include <cstdint>
 #include <memory>
-#include <string>
 
-#include "common/thread_pool.h"
 #include "core/clock.h"
 #include "estimation/accuracy_estimator.h"
 #include "graph/similarity_graph.h"
@@ -14,10 +12,19 @@
 
 namespace icrowd {
 
-/// Every knob of the iCrowd pipeline, defaulted to the paper's settings:
-/// k = 3 (§6.1), Q = 10 (§6.3.1), α = 1.0 (§D.2), Cos(topic) similarity at
-/// threshold 0.8 (§D.1), warm-up with 5 qualification tasks and rejection
-/// threshold 0.6 (§2.2).
+/// Every *decision-relevant* knob of the iCrowd pipeline, defaulted to the
+/// paper's settings: k = 3 (§6.1), Q = 10 (§6.3.1), α = 1.0 (§D.2),
+/// Cos(topic) similarity at threshold 0.8 (§D.1), warm-up with 5
+/// qualification tasks and rejection threshold 0.6 (§2.2).
+///
+/// Everything here (plus the dataset) enters the campaign fingerprint that
+/// binds journals and snapshots to their campaign — except the two
+/// injection points `clock` and `journal_sink`, which carry no decisions of
+/// their own (the clock's *readings* are journaled; the sink only stores
+/// bytes). Execution knobs — thread counts, pools, shard layout, journal
+/// paths, observability ports — live in HostConfig (host/host_config.h):
+/// the v2 API split that makes "same config, any machine shape, identical
+/// bytes" a type-system guarantee.
 struct ICrowdConfig {
   /// Assignment size k: answers solicited per microtask (odd).
   int assignment_size = 3;
@@ -41,16 +48,6 @@ struct ICrowdConfig {
   /// §4.1 step 1: a worker counts as active while its last task request is
   /// within this window (the paper suggests 30 minutes).
   double activity_window_seconds = 1800.0;
-  /// Threads for the *online* assignment hot path (dirty-worker estimate
-  /// refresh + per-task top-worker-set fan-out). 1 = serial, 0 = hardware
-  /// concurrency. Campaign results are bit-identical at any value; see
-  /// DESIGN.md "Concurrency model". (The *offline* PPR precompute is
-  /// controlled separately by estimator.ppr.num_threads.)
-  size_t num_threads = 1;
-  /// Optional pre-built pool shared across strategies/experiments so
-  /// threads are spawned once per process, not per campaign. When null and
-  /// num_threads != 1 each adaptive assigner creates its own.
-  std::shared_ptr<ThreadPool> pool;
   /// Time source for §4.1 activity tracking. Null (the default) runs a
   /// deterministic logical clock advancing one second per RequestTask;
   /// platform integrations inject a SteadyClock (or ManualClock in tests).
@@ -60,15 +57,6 @@ struct ICrowdConfig {
   /// callback is journaled before state changes and the campaign can be
   /// recovered with ICrowd::Restore(); null runs unjournaled.
   std::shared_ptr<JournalSink> journal_sink;
-  /// Embedded observability server (DESIGN.md §15). Negative = disabled
-  /// (the default); 0 binds an ephemeral port readable back via
-  /// ICrowd::obs_port(); > 0 binds that port. When enabled the campaign
-  /// also runs a 1 Hz series sampler feeding GET /seriesz. An execution
-  /// knob: excluded from the campaign fingerprint, like num_threads.
-  int serve_obs_port = -1;
-  /// Bind address for the observability server. Loopback by default;
-  /// "0.0.0.0" opts into off-host scraping.
-  std::string serve_obs_bind = "127.0.0.1";
   uint64_t seed = 123;
 };
 

@@ -40,7 +40,7 @@ Result<std::vector<Label>> AggregatePredictions(
 Result<ExperimentResult> RunExperiment(
     const Dataset& dataset, const std::vector<WorkerProfile>& profiles,
     const SimilarityGraph& graph, const ICrowdConfig& config,
-    StrategyKind strategy_kind) {
+    StrategyKind strategy_kind, const HostConfig& host) {
   ICROWD_RETURN_NOT_OK(dataset.Validate());
 
   static const obs::Counter experiments_counter =
@@ -75,7 +75,7 @@ Result<ExperimentResult> RunExperiment(
   ICROWD_ASSIGN_OR_RETURN(
       Strategy strategy,
       MakeStrategy(strategy_kind, dataset, graph, config,
-                   result.qualification.tasks));
+                   result.qualification.tasks, host));
   result.strategy_name = strategy.name;
 
   SimulationOptions sim_options;
@@ -107,10 +107,11 @@ Result<ExperimentResult> RunExperiment(
 
 Result<ExperimentResult> RunExperiment(
     const Dataset& dataset, const std::vector<WorkerProfile>& profiles,
-    const ICrowdConfig& config, StrategyKind strategy) {
+    const ICrowdConfig& config, StrategyKind strategy,
+    const HostConfig& host) {
   auto graph = SimilarityGraph::Build(dataset, config.graph);
   if (!graph.ok()) return graph.status();
-  return RunExperiment(dataset, profiles, *graph, config, strategy);
+  return RunExperiment(dataset, profiles, *graph, config, strategy, host);
 }
 
 }  // namespace icrowd

@@ -49,8 +49,9 @@ uint64_t Fnv1aF64(uint64_t hash, double value) {
 
 /// Hash binding journals/snapshots to the campaign they came from: the
 /// dataset contents plus every decision-relevant configuration scalar.
-/// Execution knobs (num_threads, pool, clock, journal_sink) are excluded —
-/// recovery at a different thread count is bit-identical by contract.
+/// Execution state (all of HostConfig, plus the clock and journal_sink
+/// injection points) is excluded — recovery at a different thread count or
+/// shard layout is bit-identical by contract.
 uint64_t CampaignFingerprint(const Dataset& dataset,
                              const ICrowdConfig& config) {
   uint64_t h = 14695981039346656037ull;
@@ -83,7 +84,7 @@ uint64_t CampaignFingerprint(const Dataset& dataset,
 }
 
 /// Brings up the embedded observability stack on `icrowd` when
-/// config.serve_obs_port asks for it: a series history fed by a 1 Hz
+/// host.serve_obs_port asks for it: a series history fed by a 1 Hz
 /// sampler over the global metrics registry, and the HTTP server on the
 /// configured bind/port. A failed bind (port taken, bad address) is
 /// reported on stderr by ObsServer::Start() and leaves the campaign
@@ -92,15 +93,16 @@ void MaybeStartObservability(ICrowd* icrowd,
                              std::unique_ptr<obs::MetricsHistory>* history,
                              std::unique_ptr<obs::SeriesSampler>* sampler,
                              std::unique_ptr<obs::ObsServer>* server) {
-  const ICrowdConfig& config = icrowd->config();
-  if (config.serve_obs_port < 0) return;
+  const HostConfig& host = icrowd->host_config();
+  if (host.serve_obs_port < 0) return;
   *history = std::make_unique<obs::MetricsHistory>();
   obs::SeriesSamplerOptions sampler_options;
   *sampler = std::make_unique<obs::SeriesSampler>(history->get(),
                                                   sampler_options);
   obs::ObsServer::Options server_options;
-  server_options.bind_address = config.serve_obs_bind;
-  server_options.port = config.serve_obs_port;
+  server_options.bind_address = host.serve_obs_bind;
+  server_options.port = host.serve_obs_port;
+  server_options.campaign_label = host.campaign_label;
   server_options.history = history->get();
   *server = std::make_unique<obs::ObsServer>(std::move(server_options));
   if (!(*server)->Start()) {
@@ -122,11 +124,13 @@ int ICrowd::obs_port() const {
   return obs_server_ != nullptr ? obs_server_->port() : -1;
 }
 
-ICrowd::ICrowd(Dataset dataset, ICrowdConfig config, SimilarityGraph graph,
-               QualificationSelection qualification, WarmupComponent warmup,
+ICrowd::ICrowd(Dataset dataset, ICrowdConfig config, HostConfig host,
+               SimilarityGraph graph, QualificationSelection qualification,
+               WarmupComponent warmup,
                std::unique_ptr<AdaptiveAssigner> assigner)
     : dataset_(std::move(dataset)),
       config_(std::move(config)),
+      host_config_(std::move(host)),
       graph_(std::move(graph)),
       qualification_(std::move(qualification)),
       warmup_(std::move(warmup)),
@@ -140,7 +144,8 @@ ICrowd::ICrowd(Dataset dataset, ICrowdConfig config, SimilarityGraph graph,
 }
 
 Result<std::unique_ptr<ICrowd>> ICrowd::Build(Dataset dataset,
-                                              ICrowdConfig config) {
+                                              ICrowdConfig config,
+                                              HostConfig host) {
   ICROWD_RETURN_NOT_OK(dataset.Validate());
   if (config.assignment_size < 1 || config.assignment_size % 2 == 0) {
     return Status::InvalidArgument("assignment_size k must be odd and >= 1");
@@ -192,11 +197,12 @@ Result<std::unique_ptr<ICrowd>> ICrowd::Build(Dataset dataset,
   // Construct with a placeholder assigner target; the dataset pointer given
   // to components must be the member's address, so build the object first.
   auto icrowd = std::unique_ptr<ICrowd>(new ICrowd(
-      std::move(dataset), std::move(config), graph.MoveValueOrDie(),
-      std::move(qualification), warmup_check.MoveValueOrDie(), nullptr));
+      std::move(dataset), std::move(config), std::move(host),
+      graph.MoveValueOrDie(), std::move(qualification),
+      warmup_check.MoveValueOrDie(), nullptr));
   AdaptiveAssignerOptions assigner_options;
-  assigner_options.num_threads = icrowd->config_.num_threads;
-  assigner_options.pool = icrowd->config_.pool;
+  assigner_options.num_threads = icrowd->host_config_.num_threads;
+  assigner_options.pool = icrowd->host_config_.pool;
   icrowd->assigner_ = std::make_unique<AdaptiveAssigner>(
       &icrowd->dataset_, std::move(owned_estimator),
       std::move(assigner_options));
@@ -211,8 +217,9 @@ Result<std::unique_ptr<ICrowd>> ICrowd::Build(Dataset dataset,
 }
 
 Result<std::unique_ptr<ICrowd>> ICrowd::Create(Dataset dataset,
-                                               ICrowdConfig config) {
-  auto built = Build(std::move(dataset), std::move(config));
+                                               ICrowdConfig config,
+                                               HostConfig host) {
+  auto built = Build(std::move(dataset), std::move(config), std::move(host));
   if (!built.ok()) return built.status();
   std::unique_ptr<ICrowd> icrowd = built.MoveValueOrDie();
   if (icrowd->config_.journal_sink != nullptr) {
@@ -235,13 +242,13 @@ Result<std::unique_ptr<ICrowd>> ICrowd::Create(Dataset dataset,
 Result<std::unique_ptr<ICrowd>> ICrowd::Restore(
     Dataset dataset, ICrowdConfig config,
     const std::vector<uint8_t>& snapshot,
-    const std::vector<uint8_t>& journal_bytes) {
+    const std::vector<uint8_t>& journal_bytes, HostConfig host) {
   ICROWD_TRACE_SCOPE("journal.restore");
   if (snapshot.empty() && journal_bytes.empty()) {
     return Status::InvalidArgument(
         "nothing to restore: both snapshot and journal are empty");
   }
-  auto built = Build(std::move(dataset), std::move(config));
+  auto built = Build(std::move(dataset), std::move(config), std::move(host));
   if (!built.ok()) return built.status();
   std::unique_ptr<ICrowd> icrowd = built.MoveValueOrDie();
   auto parsed = ReadJournal(journal_bytes);

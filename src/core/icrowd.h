@@ -11,6 +11,7 @@
 #include "common/result.h"
 #include "core/config.h"
 #include "graph/similarity_graph.h"
+#include "host/host_config.h"
 #include "ingest/event.h"
 #include "journal/journal.h"
 #include "model/campaign_state.h"
@@ -60,9 +61,12 @@ class ICrowd {
   /// greedy/random qualification selection, warm-up. Fails if the dataset
   /// is empty or configured tasks lack ground truth for qualification.
   /// When config.journal_sink is set the campaign-begin record is appended
-  /// (and flushed) before this returns.
+  /// (and flushed) before this returns. `host` carries execution-only knobs
+  /// (threads, pool, observability port) and never affects a decision —
+  /// the defaulted value is the v1-compatible serial configuration.
   static Result<std::unique_ptr<ICrowd>> Create(Dataset dataset,
-                                                ICrowdConfig config = {});
+                                                ICrowdConfig config = {},
+                                                HostConfig host = {});
 
   /// Recovers a campaign from a Snapshot() image and/or a journal byte
   /// stream (either may be empty, not both): rebuilds the pipeline from
@@ -74,18 +78,21 @@ class ICrowd {
   /// newer than the journal tail replays nothing. config.journal_sink, when
   /// set, starts receiving *new* events only after replay completes — pass
   /// a sink positioned at the journal's end (e.g. an append-mode FileSink).
+  /// `host` may differ freely from the recording run's HostConfig: replay
+  /// is bit-identical at any thread count or shard layout.
   static Result<std::unique_ptr<ICrowd>> Restore(
       Dataset dataset, ICrowdConfig config,
       const std::vector<uint8_t>& snapshot,
-      const std::vector<uint8_t>& journal_bytes);
+      const std::vector<uint8_t>& journal_bytes, HostConfig host = {});
 
   /// Stops the embedded observability server and series sampler if
-  /// config.serve_obs_port enabled them (DESIGN.md §15).
+  /// host.serve_obs_port enabled them (DESIGN.md §15).
   ~ICrowd();
 
   const Dataset& dataset() const { return dataset_; }
   const SimilarityGraph& graph() const { return graph_; }
   const ICrowdConfig& config() const { return config_; }
+  const HostConfig& host_config() const { return host_config_; }
   const std::vector<TaskId>& qualification_tasks() const {
     return qualification_.tasks;
   }
@@ -179,14 +186,15 @@ class ICrowd {
   bool failed() const { return failed_; }
 
  private:
-  ICrowd(Dataset dataset, ICrowdConfig config, SimilarityGraph graph,
-         QualificationSelection qualification, WarmupComponent warmup,
-         std::unique_ptr<AdaptiveAssigner> assigner);
+  ICrowd(Dataset dataset, ICrowdConfig config, HostConfig host,
+         SimilarityGraph graph, QualificationSelection qualification,
+         WarmupComponent warmup, std::unique_ptr<AdaptiveAssigner> assigner);
 
   /// Deterministic pipeline construction shared by Create and Restore
   /// (everything except journal attachment / begin record).
   static Result<std::unique_ptr<ICrowd>> Build(Dataset dataset,
-                                               ICrowdConfig config);
+                                               ICrowdConfig config,
+                                               HostConfig host);
 
   /// Appends one record to the journal (no-op during replay or when
   /// unjournaled) and advances the stream position. Append failures poison
@@ -224,6 +232,7 @@ class ICrowd {
 
   Dataset dataset_;
   ICrowdConfig config_;
+  HostConfig host_config_;
   SimilarityGraph graph_;
   QualificationSelection qualification_;
   WarmupComponent warmup_;
@@ -244,7 +253,7 @@ class ICrowd {
   /// Campaign time of the latest observed request (logical or clock).
   double now_ = 0.0;
   /// Embedded observability stack (DESIGN.md §15), live only when
-  /// config.serve_obs_port >= 0. Declaration order is destruction order
+  /// host.serve_obs_port >= 0. Declaration order is destruction order
   /// reversed: the server goes down first (it reads the history), then
   /// the sampler (it writes the history), then the history itself — the
   /// out-of-line ~ICrowd() stops both threads explicitly anyway.

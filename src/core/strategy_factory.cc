@@ -42,7 +42,8 @@ Result<std::unique_ptr<AccuracyEstimator>> MakeEstimator(
 Result<Strategy> MakeStrategy(StrategyKind kind, const Dataset& dataset,
                               const SimilarityGraph& graph,
                               const ICrowdConfig& config,
-                              const std::vector<TaskId>& qualification_tasks) {
+                              const std::vector<TaskId>& qualification_tasks,
+                              const HostConfig& host) {
   Strategy strategy;
   strategy.name = StrategyName(kind);
   switch (kind) {
@@ -74,8 +75,8 @@ Result<Strategy> MakeStrategy(StrategyKind kind, const Dataset& dataset,
           auto estimator, MakeEstimator(graph, config, qualification_tasks));
       AdaptiveAssignerOptions options;
       options.adaptive_updates = false;
-      options.num_threads = config.num_threads;
-      options.pool = config.pool;
+      options.num_threads = host.num_threads;
+      options.pool = host.pool;
       auto assigner = std::make_unique<AdaptiveAssigner>(
           &dataset, std::move(estimator), std::move(options));
       strategy.accuracy_fn = assigner->estimator().AsAccuracyFn();
@@ -97,8 +98,8 @@ Result<Strategy> MakeStrategy(StrategyKind kind, const Dataset& dataset,
       ICROWD_ASSIGN_OR_RETURN(
           auto estimator, MakeEstimator(graph, config, qualification_tasks));
       AdaptiveAssignerOptions options;
-      options.num_threads = config.num_threads;
-      options.pool = config.pool;
+      options.num_threads = host.num_threads;
+      options.pool = host.pool;
       auto assigner = std::make_unique<AdaptiveAssigner>(
           &dataset, std::move(estimator), std::move(options));
       strategy.accuracy_fn = assigner->estimator().AsAccuracyFn();

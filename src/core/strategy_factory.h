@@ -10,6 +10,7 @@
 #include "common/result.h"
 #include "core/config.h"
 #include "graph/similarity_graph.h"
+#include "host/host_config.h"
 #include "model/dataset.h"
 
 namespace icrowd {
@@ -52,11 +53,13 @@ struct Strategy {
 /// Builds `kind` for `dataset` over a prebuilt similarity `graph` (only the
 /// graph-based strategies use it). `qualification_tasks` are the campaign's
 /// gold tasks (wired into the estimator for Eq. 5). `dataset` and `graph`
-/// must outlive the returned strategy.
+/// must outlive the returned strategy. `host` supplies the execution-only
+/// knobs (hot-path threads, shared pool); the default is serial.
 Result<Strategy> MakeStrategy(StrategyKind kind, const Dataset& dataset,
                               const SimilarityGraph& graph,
                               const ICrowdConfig& config,
-                              const std::vector<TaskId>& qualification_tasks);
+                              const std::vector<TaskId>& qualification_tasks,
+                              const HostConfig& host = {});
 
 }  // namespace icrowd
 

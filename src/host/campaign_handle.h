@@ -1,0 +1,30 @@
+#ifndef ICROWD_HOST_CAMPAIGN_HANDLE_H_
+#define ICROWD_HOST_CAMPAIGN_HANDLE_H_
+
+#include <cstdint>
+
+namespace icrowd {
+
+/// Opaque name of one campaign hosted by a CampaignManager (DESIGN.md
+/// §16). Handles are plain values — copyable, hashable, cheap to pass by
+/// value — and say nothing about where the campaign runs: shard placement
+/// is the manager's business. A handle stays valid from the Create/Open
+/// that issued it until the matching CloseCampaign; ids are never reused
+/// within one manager, so a stale handle fails with NotFound instead of
+/// silently addressing a newer campaign.
+struct CampaignHandle {
+  /// 0 is the default-constructed invalid handle; live ids start at 1.
+  uint64_t id = 0;
+
+  bool valid() const { return id != 0; }
+  friend bool operator==(CampaignHandle a, CampaignHandle b) {
+    return a.id == b.id;
+  }
+  friend bool operator!=(CampaignHandle a, CampaignHandle b) {
+    return a.id != b.id;
+  }
+};
+
+}  // namespace icrowd
+
+#endif  // ICROWD_HOST_CAMPAIGN_HANDLE_H_

@@ -1,0 +1,660 @@
+#include "host/campaign_manager.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <sstream>
+#include <utility>
+
+#include "journal/journal.h"
+#include "obs/heartbeat.h"
+#include "obs/http/http_server.h"
+#include "obs/metrics.h"
+
+namespace icrowd {
+
+namespace {
+
+const obs::Counter& RoutedCounter() {
+  static const obs::Counter counter =
+      obs::MetricsRegistry::Global().GetCounter(
+          "icrowd.host.events_routed",
+          {false, "events accepted onto a shard queue by the host"});
+  return counter;
+}
+
+const obs::Counter& ShardBatchCounter() {
+  static const obs::Counter counter =
+      obs::MetricsRegistry::Global().GetCounter(
+          "icrowd.host.batches",
+          {false, "per-campaign batch slices applied by shard threads"});
+  return counter;
+}
+
+const obs::Counter& AbandonedCounter() {
+  static const obs::Counter counter =
+      obs::MetricsRegistry::Global().GetCounter(
+          "icrowd.host.events_abandoned",
+          {false, "queued events settled unapplied after a campaign failed"});
+  return counter;
+}
+
+const obs::Counter& OrphanedCounter() {
+  static const obs::Counter counter =
+      obs::MetricsRegistry::Global().GetCounter(
+          "icrowd.host.events_orphaned",
+          {false,
+           "events popped for an unregistered shard slot (should stay 0: "
+           "CloseCampaign drains before unregistering)"});
+  return counter;
+}
+
+/// `name` becomes a journal file stem and a Prometheus label value, so it
+/// is restricted to characters that are safe verbatim in both.
+Status ValidateName(const std::string& name) {
+  if (name.empty()) {
+    return Status::InvalidArgument("campaign name must not be empty");
+  }
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '-';
+    if (!ok) {
+      return Status::InvalidArgument(
+          "campaign name '" + name +
+          "' has characters outside [A-Za-z0-9_.-]");
+    }
+  }
+  return Status::OK();
+}
+
+std::string ShardDir(const std::string& journal_dir, size_t shard) {
+  return journal_dir + "/shard-" + std::to_string(shard);
+}
+
+std::string JournalPath(const std::string& shard_dir,
+                        const std::string& name) {
+  return shard_dir + "/" + name + ".journal";
+}
+
+/// Finds `<name>.journal` under any shard-* directory of `journal_dir`.
+/// The campaign may be reopened under a different shard count than the
+/// run that wrote the file — the path records where it was *written*,
+/// not where it runs now — so every shard directory is searched, in
+/// sorted order for determinism.
+Result<std::string> LocateJournal(const std::string& journal_dir,
+                                  const std::string& name) {
+  std::error_code ec;
+  std::vector<std::string> shard_dirs;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(journal_dir, ec)) {
+    if (entry.is_directory() &&
+        entry.path().filename().string().rfind("shard-", 0) == 0) {
+      shard_dirs.push_back(entry.path().string());
+    }
+  }
+  if (ec) {
+    return Status::NotFound("cannot list journal_dir '" + journal_dir +
+                            "': " + ec.message());
+  }
+  std::sort(shard_dirs.begin(), shard_dirs.end());
+  for (const std::string& dir : shard_dirs) {
+    std::string path = JournalPath(dir, name);
+    if (std::filesystem::exists(path, ec)) return path;
+  }
+  return Status::NotFound("no journal for campaign '" + name + "' under '" +
+                          journal_dir + "'");
+}
+
+/// Recovers a campaign from its journal file: read, trim any torn tail
+/// (new records must never append after garbage), reattach an
+/// append-positioned FileSink, and Restore through the normal replay path.
+Result<std::unique_ptr<ICrowd>> RestoreFromJournalFile(
+    const std::string& path, Dataset dataset, ICrowdConfig config,
+    const HostConfig& campaign_host, FileSink::Options file_options) {
+  ICROWD_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadFileBytes(path));
+  ICROWD_ASSIGN_OR_RETURN(JournalParse parse, ReadJournal(bytes));
+  if (parse.dropped_bytes > 0) {
+    bytes.resize(parse.valid_bytes);
+    std::error_code ec;
+    std::filesystem::resize_file(path, parse.valid_bytes, ec);
+    if (ec) {
+      return Status::Internal("cannot truncate torn journal '" + path +
+                              "': " + ec.message());
+    }
+  }
+  ICROWD_ASSIGN_OR_RETURN(
+      std::unique_ptr<FileSink> sink,
+      FileSink::Open(path, /*truncate=*/false, file_options));
+  config.journal_sink = std::move(sink);
+  return ICrowd::Restore(std::move(dataset), std::move(config), {}, bytes,
+                         campaign_host);
+}
+
+std::unique_ptr<obs::ObsServer> MakeObsServer(const HostConfig& host,
+                                              CampaignManager* manager) {
+  if (host.serve_obs_port < 0) return nullptr;
+  obs::ObsServer::Options options;
+  options.bind_address = host.serve_obs_bind;
+  options.port = host.serve_obs_port;
+  options.campaign_label = host.campaign_label;
+  options.extra_metricsz = [manager] {
+    return manager->RenderCampaignMetrics();
+  };
+  options.extra_statusz = [manager] {
+    return manager->RenderCampaignStatusz();
+  };
+  return std::make_unique<obs::ObsServer>(std::move(options));
+}
+
+}  // namespace
+
+/// Host-side record of one hosted campaign. The settle ledger and stats
+/// mirror (everything below `system`) are guarded by the owning shard's
+/// shard_mu_ — not annotatable here because the mutex lives in Shard.
+struct CampaignManager::Campaign {
+  uint64_t id = 0;
+  std::string name;
+  size_t shard_index = 0;
+  /// Index into the owning shard's slot table; stamped on every routed
+  /// event. Immutable after Register.
+  uint32_t slot = 0;
+  std::unique_ptr<ICrowd> system;
+  /// Set in VectorSink mode only (journal_dir empty, no explicit sink).
+  std::shared_ptr<VectorSink> memory_journal;
+
+  uint64_t submitted = 0;
+  uint64_t settled = 0;
+  Status failure = Status::OK();
+  uint64_t events_applied = 0;
+  uint64_t answers = 0;
+  uint64_t workers = 0;
+  bool finished = false;
+};
+
+CampaignManager::Shard::Shard(size_t capacity)
+    : queue(std::make_unique<BoundedEventQueue>(capacity)) {}
+
+CampaignManager::CampaignManager(HostConfig host,
+                                 std::vector<std::unique_ptr<Shard>> shards)
+    : host_(std::move(host)),
+      shards_(std::move(shards)),
+      obs_server_(MakeObsServer(host_, this)) {}
+
+Result<std::unique_ptr<CampaignManager>> CampaignManager::Start(
+    HostConfig host) {
+  if (host.num_shards == 0) host.num_shards = 1;
+  if (host.num_threads > 1 && host.pool == nullptr) {
+    host.pool = std::make_shared<ThreadPool>(host.num_threads);
+  }
+  std::vector<std::unique_ptr<Shard>> shards;
+  shards.reserve(host.num_shards);
+  for (size_t i = 0; i < host.num_shards; ++i) {
+    shards.push_back(std::make_unique<Shard>(host.queue_capacity));
+  }
+  std::unique_ptr<CampaignManager> manager(
+      new CampaignManager(std::move(host), std::move(shards)));
+  if (manager->obs_server_ != nullptr && !manager->obs_server_->Start()) {
+    return Status::Internal("campaign host observability server failed to "
+                            "start (port in use?)");
+  }
+  MutexLock lock(manager->manager_mu_);
+  for (size_t i = 0; i < manager->shards_.size(); ++i) {
+    manager->shard_threads_.emplace_back(
+        [raw = manager.get(), i] { raw->RunShard(i); });
+  }
+  return manager;
+}
+
+CampaignManager::~CampaignManager() {
+  Shutdown();
+  if (obs_server_ != nullptr) obs_server_->Stop();
+}
+
+void CampaignManager::Shutdown() {
+  {
+    MutexLock lock(manager_mu_);
+    shutdown_ = true;
+  }
+  for (const auto& shard : shards_) shard->queue->Close();
+  std::vector<std::thread> threads;
+  {
+    MutexLock lock(manager_mu_);
+    threads.swap(shard_threads_);
+  }
+  for (std::thread& thread : threads) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+Result<CampaignManager::Ref> CampaignManager::Lookup(
+    CampaignHandle handle) const {
+  MutexLock lock(manager_mu_);
+  auto it = campaigns_.find(handle.id);
+  if (it == campaigns_.end()) {
+    return Status::NotFound("no hosted campaign with handle id " +
+                            std::to_string(handle.id));
+  }
+  return Ref{shards_[it->second->shard_index].get(), it->second.get()};
+}
+
+CampaignHandle CampaignManager::Register(
+    std::unique_ptr<Campaign> campaign) {
+  Shard* shard = shards_[campaign->shard_index].get();
+  {
+    MutexLock lock(shard->shard_mu_);
+    campaign->slot = static_cast<uint32_t>(shard->slots.size());
+    shard->slots.push_back(campaign.get());
+  }
+  CampaignHandle handle{campaign->id};
+  MutexLock lock(manager_mu_);
+  campaigns_[campaign->id] = std::move(campaign);
+  return handle;
+}
+
+Result<CampaignHandle> CampaignManager::AddCampaign(CampaignOptions options,
+                                                    bool restore) {
+  ICROWD_RETURN_NOT_OK(ValidateName(options.name));
+  auto campaign = std::make_unique<Campaign>();
+  campaign->name = options.name;
+  {
+    MutexLock lock(manager_mu_);
+    if (shutdown_) {
+      return Status::FailedPrecondition("campaign host is shut down");
+    }
+    if (!names_.insert(options.name).second) {
+      return Status::AlreadyExists("campaign name '" + options.name +
+                                   "' is already hosted");
+    }
+    campaign->id = next_id_++;
+    campaign->shard_index = next_shard_++ % shards_.size();
+  }
+  // Pipeline construction (graph build, PPR) runs on the caller's thread
+  // outside every host lock, so creations proceed concurrently and never
+  // stall routing. On failure the name reservation is rolled back; the
+  // id and the round-robin cursor are not reused — placement is a
+  // function of creation *attempts*, which is still deterministic.
+  HostConfig campaign_host;
+  campaign_host.num_threads = host_.num_threads;
+  campaign_host.pool = host_.pool;
+  campaign_host.campaign_label = campaign->name;
+  FileSink::Options file_options{host_.fsync_journal};
+  Result<std::unique_ptr<ICrowd>> system =
+      Status::Internal("campaign construction not attempted");
+  if (!restore) {
+    if (options.config.journal_sink != nullptr) {
+      // Explicit sink: the fault-injection hook; leave it untouched.
+    } else if (!host_.journal_dir.empty()) {
+      std::string dir = ShardDir(host_.journal_dir, campaign->shard_index);
+      std::error_code ec;
+      std::filesystem::create_directories(dir, ec);
+      if (ec) {
+        system = Status::Internal("cannot create journal directory '" + dir +
+                                  "': " + ec.message());
+      } else {
+        auto sink = FileSink::Open(JournalPath(dir, campaign->name),
+                                   /*truncate=*/true, file_options);
+        if (sink.ok()) {
+          options.config.journal_sink = sink.MoveValueOrDie();
+        } else {
+          system = sink.status();
+        }
+      }
+    } else {
+      campaign->memory_journal = std::make_shared<VectorSink>();
+      options.config.journal_sink = campaign->memory_journal;
+    }
+    if (options.config.journal_sink != nullptr) {
+      system = ICrowd::Create(std::move(options.dataset),
+                              std::move(options.config), campaign_host);
+    }
+  } else if (!options.snapshot.empty() || !options.journal.empty()) {
+    if (options.config.journal_sink == nullptr) {
+      campaign->memory_journal = std::make_shared<VectorSink>();
+      options.config.journal_sink = campaign->memory_journal;
+    }
+    system = ICrowd::Restore(std::move(options.dataset),
+                             std::move(options.config), options.snapshot,
+                             options.journal, campaign_host);
+  } else if (!host_.journal_dir.empty()) {
+    auto path = LocateJournal(host_.journal_dir, campaign->name);
+    if (path.ok()) {
+      system = RestoreFromJournalFile(*path, std::move(options.dataset),
+                                      std::move(options.config),
+                                      campaign_host, file_options);
+    } else {
+      system = path.status();
+    }
+  } else {
+    system = Status::InvalidArgument(
+        "OpenCampaign needs explicit snapshot/journal bytes or a "
+        "HostConfig journal_dir to recover from");
+  }
+  if (!system.ok()) {
+    MutexLock lock(manager_mu_);
+    names_.erase(campaign->name);
+    return system.status();
+  }
+  campaign->system = system.MoveValueOrDie();
+  return Register(std::move(campaign));
+}
+
+Result<CampaignHandle> CampaignManager::CreateCampaign(
+    CampaignOptions options) {
+  return AddCampaign(std::move(options), /*restore=*/false);
+}
+
+Result<CampaignHandle> CampaignManager::OpenCampaign(
+    CampaignOptions options) {
+  return AddCampaign(std::move(options), /*restore=*/true);
+}
+
+Status CampaignManager::SubmitEvent(CampaignHandle handle,
+                                    const IngestEvent& event) {
+  ICROWD_ASSIGN_OR_RETURN(Ref ref, Lookup(handle));
+  {
+    MutexLock lock(ref.shard->shard_mu_);
+    if (!ref.campaign->failure.ok()) return ref.campaign->failure;
+    ++ref.campaign->submitted;
+  }
+  IngestEvent routed = event;
+  routed.route = ref.campaign->slot;
+  if (!ref.shard->queue->Push(routed)) {
+    // Queue closed under us (shutdown): the event never made it in —
+    // settle it so a pending Drain does not wait forever.
+    {
+      MutexLock lock(ref.shard->shard_mu_);
+      ++ref.campaign->settled;
+    }
+    ref.shard->settled_cv_.NotifyAll();
+    return Status::FailedPrecondition("campaign host is shut down");
+  }
+  RoutedCounter().Increment();
+  return Status::OK();
+}
+
+Status CampaignManager::DrainRef(const Ref& ref) {
+  MutexLock lock(ref.shard->shard_mu_);
+  const uint64_t target = ref.campaign->submitted;
+  while (ref.campaign->settled < target && !ref.shard->stopped) {
+    ref.shard->settled_cv_.Wait(lock);
+  }
+  if (ref.campaign->settled < target) {
+    return Status::Internal("campaign host shut down with " +
+                            std::to_string(target - ref.campaign->settled) +
+                            " events still queued");
+  }
+  return ref.campaign->failure;
+}
+
+Status CampaignManager::Drain(CampaignHandle handle) {
+  ICROWD_ASSIGN_OR_RETURN(Ref ref, Lookup(handle));
+  return DrainRef(ref);
+}
+
+Status CampaignManager::DrainAll() {
+  std::vector<uint64_t> ids;
+  {
+    MutexLock lock(manager_mu_);
+    ids.reserve(campaigns_.size());
+    for (const auto& [id, campaign] : campaigns_) ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  Status first = Status::OK();
+  for (uint64_t id : ids) {
+    Status drained = Drain(CampaignHandle{id});
+    if (first.ok() && !drained.ok()) first = drained;
+  }
+  return first;
+}
+
+Result<std::vector<uint8_t>> CampaignManager::Snapshot(
+    CampaignHandle handle) {
+  ICROWD_ASSIGN_OR_RETURN(Ref ref, Lookup(handle));
+  ICROWD_RETURN_NOT_OK(DrainRef(ref));
+  return ref.campaign->system->Snapshot();
+}
+
+Status CampaignManager::CloseCampaign(CampaignHandle handle) {
+  ICROWD_ASSIGN_OR_RETURN(Ref ref, Lookup(handle));
+  Status drained = DrainRef(ref);
+  {
+    MutexLock lock(ref.shard->shard_mu_);
+    ref.shard->slots[ref.campaign->slot] = nullptr;
+  }
+  std::unique_ptr<Campaign> owned;
+  {
+    MutexLock lock(manager_mu_);
+    auto it = campaigns_.find(handle.id);
+    if (it != campaigns_.end()) {
+      owned = std::move(it->second);
+      campaigns_.erase(it);
+      names_.erase(owned->name);
+    }
+  }
+  // The facade (and its journal sink) is destroyed here, on the caller's
+  // thread, after the slot is cleared — the shard thread can no longer
+  // reach it.
+  owned.reset();
+  return drained;
+}
+
+Result<const ICrowd*> CampaignManager::Inspect(CampaignHandle handle) const {
+  ICROWD_ASSIGN_OR_RETURN(Ref ref, Lookup(handle));
+  return static_cast<const ICrowd*>(ref.campaign->system.get());
+}
+
+Result<std::vector<uint8_t>> CampaignManager::JournalBytes(
+    CampaignHandle handle) const {
+  ICROWD_ASSIGN_OR_RETURN(Ref ref, Lookup(handle));
+  if (ref.campaign->memory_journal == nullptr) {
+    return Status::FailedPrecondition(
+        "campaign '" + ref.campaign->name +
+        "' journals to a file or an explicit sink, not memory");
+  }
+  return ref.campaign->memory_journal->bytes();
+}
+
+size_t CampaignManager::num_campaigns() const {
+  MutexLock lock(manager_mu_);
+  return campaigns_.size();
+}
+
+int CampaignManager::obs_port() const {
+  return obs_server_ != nullptr ? obs_server_->port() : -1;
+}
+
+void CampaignManager::RunShard(size_t shard_index) {
+  Shard* shard = shards_[shard_index].get();
+  // Same liveness contract as the single-campaign ingest consumer; the
+  // registry dedupes the name per shard thread ("host.shard#2", ...).
+  obs::ScopedHeartbeat heartbeat("host.shard");
+  std::vector<IngestEvent> batch;
+  // Per-campaign slices regrouped from one popped batch, in order of
+  // first appearance. Reused across iterations to avoid reallocating.
+  std::vector<std::pair<uint32_t, std::vector<IngestEvent>>> slices;
+  for (;;) {
+    batch.clear();
+    heartbeat->MarkIdle();
+    size_t n = shard->queue->PopBatch(&batch, host_.max_batch);
+    if (n == 0) break;  // closed and drained
+    heartbeat->MarkBusy();
+    // Regroup by route. Within one campaign the slice preserves queue
+    // (i.e. submission) order; only events of different campaigns
+    // reorder relative to each other, which is unobservable — campaigns
+    // share no state.
+    slices.clear();
+    for (const IngestEvent& event : batch) {
+      if (slices.empty() || slices.back().first != event.route) {
+        slices.emplace_back(event.route, std::vector<IngestEvent>());
+      }
+      slices.back().second.push_back(event);
+    }
+    // Adjacent-run grouping above can split one campaign into several
+    // slices when interleaved (A A B A -> [AA][B][A]); that only costs an
+    // extra group commit, never ordering — slices apply in pop order.
+    for (auto& [slot, events] : slices) {
+      heartbeat->Beat();
+      ApplyCampaignSlice(shard, slot, events);
+    }
+    (void)shard->queue->SampleDepth();
+  }
+  {
+    MutexLock lock(shard->shard_mu_);
+    shard->stopped = true;
+  }
+  shard->settled_cv_.NotifyAll();
+}
+
+void CampaignManager::ApplyCampaignSlice(
+    Shard* shard, uint32_t slot, const std::vector<IngestEvent>& events) {
+  Campaign* campaign = nullptr;
+  bool already_failed = false;
+  {
+    MutexLock lock(shard->shard_mu_);
+    if (slot < shard->slots.size()) campaign = shard->slots[slot];
+    if (campaign != nullptr) already_failed = !campaign->failure.ok();
+  }
+  if (campaign == nullptr) {
+    OrphanedCounter().Increment(events.size());
+    return;
+  }
+  Status failure = Status::OK();
+  if (already_failed) {
+    // The campaign poisoned while these were queued: the producer was
+    // never acked for them, settle without touching the campaign.
+    AbandonedCounter().Increment(events.size());
+  } else {
+    auto outcomes = campaign->system->ApplyEventBatch(events);
+    if (!outcomes.ok()) failure = outcomes.status();
+    ShardBatchCounter().Increment();
+  }
+  {
+    MutexLock lock(shard->shard_mu_);
+    if (!failure.ok() && campaign->failure.ok()) campaign->failure = failure;
+    campaign->settled += events.size();
+    // Stats mirror refresh: this thread is the campaign's single writer,
+    // so reading its state here is race-free, and publishing the copy
+    // under shard_mu_ lets scrapes read it without touching the facade.
+    campaign->events_applied = campaign->system->events_applied();
+    campaign->answers = campaign->system->state().AllAnswers().size();
+    campaign->workers = campaign->system->state().num_workers();
+    campaign->finished = campaign->system->Finished();
+  }
+  shard->settled_cv_.NotifyAll();
+}
+
+std::vector<CampaignManager::CampaignStats> CampaignManager::Stats() const {
+  std::vector<CampaignStats> stats;
+  MutexLock lock(manager_mu_);
+  stats.reserve(campaigns_.size());
+  for (const auto& [id, campaign] : campaigns_) {
+    Shard* shard = shards_[campaign->shard_index].get();
+    CampaignStats s;
+    s.id = id;
+    s.name = campaign->name;
+    s.shard = campaign->shard_index;
+    {
+      // manager_mu_ -> shard_mu_ follows tools/lock_order.txt.
+      MutexLock shard_lock(shard->shard_mu_);
+      s.submitted = campaign->submitted;
+      s.settled = campaign->settled;
+      s.events_applied = campaign->events_applied;
+      s.answers = campaign->answers;
+      s.workers = campaign->workers;
+      s.finished = campaign->finished;
+      s.failed = !campaign->failure.ok();
+    }
+    stats.push_back(std::move(s));
+  }
+  std::sort(stats.begin(), stats.end(),
+            [](const CampaignStats& a, const CampaignStats& b) {
+              return a.name < b.name;
+            });
+  return stats;
+}
+
+std::string CampaignManager::RenderCampaignMetrics() const {
+  const std::vector<CampaignStats> stats = Stats();
+  std::ostringstream out;
+  out << "# HELP icrowd_host_campaigns hosted campaigns currently live\n"
+         "# TYPE icrowd_host_campaigns gauge\n"
+         "icrowd_host_campaigns "
+      << stats.size() << "\n";
+  out << "# HELP icrowd_host_shards configured host shards\n"
+         "# TYPE icrowd_host_shards gauge\n"
+         "icrowd_host_shards "
+      << shards_.size() << "\n";
+  struct Family {
+    const char* name;
+    const char* type;
+    const char* help;
+    uint64_t (*value)(const CampaignStats&);
+  };
+  // One family per ledger column; samples of a family stay contiguous
+  // (the exposition-format contract tools/check_prometheus.py enforces).
+  static constexpr Family kFamilies[] = {
+      {"icrowd_host_campaign_events_submitted", "counter",
+       "events accepted for the campaign",
+       [](const CampaignStats& s) { return s.submitted; }},
+      {"icrowd_host_campaign_events_settled", "counter",
+       "events applied or abandoned for the campaign",
+       [](const CampaignStats& s) { return s.settled; }},
+      {"icrowd_host_campaign_events_applied", "counter",
+       "journal stream position of the campaign",
+       [](const CampaignStats& s) { return s.events_applied; }},
+      {"icrowd_host_campaign_answers", "counter",
+       "answers recorded by the campaign",
+       [](const CampaignStats& s) { return s.answers; }},
+      {"icrowd_host_campaign_workers", "gauge",
+       "workers registered with the campaign",
+       [](const CampaignStats& s) { return s.workers; }},
+      {"icrowd_host_campaign_finished", "gauge",
+       "1 once every microtask is completed",
+       [](const CampaignStats& s) -> uint64_t { return s.finished ? 1 : 0; }},
+      {"icrowd_host_campaign_failed", "gauge",
+       "1 once the campaign poisoned",
+       [](const CampaignStats& s) -> uint64_t { return s.failed ? 1 : 0; }},
+  };
+  for (const Family& family : kFamilies) {
+    out << "# HELP " << family.name << " " << family.help << "\n";
+    out << "# TYPE " << family.name << " " << family.type << "\n";
+    for (const CampaignStats& s : stats) {
+      out << family.name << "{campaign=\"" << s.name << "\"} "
+          << family.value(s) << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string CampaignManager::RenderCampaignStatusz() const {
+  const std::vector<CampaignStats> stats = Stats();
+  size_t finished = 0;
+  size_t failed = 0;
+  for (const CampaignStats& s : stats) {
+    if (s.finished) ++finished;
+    if (s.failed) ++failed;
+  }
+  std::ostringstream out;
+  out << "\n[host]\n";
+  out << "campaigns " << stats.size() << "\n";
+  out << "campaigns.finished " << finished << "\n";
+  out << "campaigns.failed " << failed << "\n";
+  out << "shards " << shards_.size() << "\n";
+  out << "\n[host.campaigns]\n";
+  // Capped: statusz is a glanceable page, /metricsz carries the full set.
+  constexpr size_t kMaxLines = 32;
+  for (size_t i = 0; i < stats.size() && i < kMaxLines; ++i) {
+    const CampaignStats& s = stats[i];
+    out << s.name << " shard=" << s.shard << " submitted=" << s.submitted
+        << " settled=" << s.settled << " applied=" << s.events_applied
+        << " workers=" << s.workers << " answers=" << s.answers
+        << " state=" << (s.failed ? "failed"
+                                  : (s.finished ? "finished" : "running"))
+        << "\n";
+  }
+  if (stats.size() > kMaxLines) {
+    out << "... and " << (stats.size() - kMaxLines) << " more campaigns\n";
+  }
+  return out.str();
+}
+
+}  // namespace icrowd

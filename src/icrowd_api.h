@@ -7,7 +7,8 @@
 /// (enforced by the `api-include` lint rule). The surface has two tiers:
 ///
 ///   * the platform API — ICrowd facade, configuration, clock and journal
-///     injection, snapshot/restore recovery;
+///     injection, snapshot/restore recovery, and the v2 multi-campaign
+///     host (CampaignManager + CampaignHandle, DESIGN.md §16);
 ///   * the experiment/tooling API — strategy factory, experiment runner,
 ///     dataset generators, simulation drivers, CSV I/O and metrics export
 ///     used by the §6 reproduction programs.
@@ -23,6 +24,9 @@
 #include "core/clock.h"
 #include "core/config.h"
 #include "core/icrowd.h"
+#include "host/campaign_handle.h"
+#include "host/campaign_manager.h"
+#include "host/host_config.h"
 #include "ingest/batch_ingestor.h"
 #include "ingest/event.h"
 #include "ingest/event_queue.h"

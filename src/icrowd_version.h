@@ -11,8 +11,13 @@
 /// changes to anything exported from the umbrella (DESIGN.md §11 records
 /// the policy).
 
-#define ICROWD_API_VERSION_MAJOR 1
-#define ICROWD_API_VERSION_MINOR 3
+// 2.0: the v2 multi-campaign redesign — execution knobs moved from
+// ICrowdConfig into HostConfig (breaking), ICrowd::Create/Restore take a
+// HostConfig, the process-global /metricsz campaign label was replaced by
+// per-server and per-campaign labels, and the CampaignManager /
+// CampaignHandle host API joined the surface.
+#define ICROWD_API_VERSION_MAJOR 2
+#define ICROWD_API_VERSION_MINOR 0
 #define ICROWD_API_VERSION \
   (ICROWD_API_VERSION_MAJOR * 1000 + ICROWD_API_VERSION_MINOR)
 

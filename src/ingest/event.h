@@ -41,8 +41,14 @@ struct IngestEvent {
   /// Steady-clock nanoseconds stamped by BoundedEventQueue::Push, read by
   /// the consumer to attribute queue-wait latency (DESIGN.md §14). Purely
   /// in-memory plumbing: never journaled, never part of event identity —
-  /// the batch-invariance contract sees four fields, not five.
+  /// the batch-invariance contract sees four fields, not five (or six).
   int64_t enqueue_ns = 0;
+  /// Routing tag stamped by CampaignManager::SubmitEvent: the owning
+  /// shard's slot index for the target campaign, letting one shard queue
+  /// carry events for many campaigns (DESIGN.md §16). Like enqueue_ns this
+  /// is in-memory plumbing only — never journaled, never part of event
+  /// identity, invisible to the batch-invariance contract.
+  uint32_t route = 0;
 
   static IngestEvent Arrived() {
     return {IngestEventKind::kWorkerArrived, -1, -1, kNoLabel};

@@ -264,14 +264,18 @@ std::string ObsServer::RouteGet(const std::string& target) {
   if (path == "/statusz") {
     StatuszOptions statusz;
     statusz.json = json;
-    return MakeResponse(200, json ? kJsonType : kTextType,
-                        RenderStatusz(metrics, heartbeats, flight, statusz));
+    std::string body = RenderStatusz(metrics, heartbeats, flight, statusz);
+    // The appended host section lives outside RenderStatusz so the core
+    // document keeps its byte-stable golden-fixture contract.
+    if (!json && options_.extra_statusz) body += options_.extra_statusz();
+    return MakeResponse(200, json ? kJsonType : kTextType, body);
   }
   if (path == "/metricsz") {
     PrometheusOptions prometheus;
-    prometheus.campaign_label = CampaignLabel();
-    return MakeResponse(200, kPrometheusType,
-                        RenderPrometheus(metrics, prometheus));
+    prometheus.campaign_label = options_.campaign_label;
+    std::string body = RenderPrometheus(metrics, prometheus);
+    if (options_.extra_metricsz) body += options_.extra_metricsz();
+    return MakeResponse(200, kPrometheusType, body);
   }
   if (path == "/flightz") {
     FlightRecorder::DumpOptions dump;

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
@@ -50,6 +51,21 @@ class ObsServer {
     const FlightRecorder* flight = nullptr;
     /// Optional /seriesz source; null serves an empty document.
     const MetricsHistory* history = nullptr;
+    /// Label stamped on every /metricsz sample (campaign="<label>").
+    /// Empty = unlabeled. Per-server state, set at construction: co-hosted
+    /// servers never share a label, and there is no process-global setter
+    /// for concurrent campaigns to race on.
+    std::string campaign_label;
+    /// Extra exposition text appended after the registry render on
+    /// /metricsz — the hook CampaignManager uses to publish one labeled
+    /// per-campaign sample block per hosted campaign. Called once per
+    /// scrape from the serve thread; must be thread-safe and must emit
+    /// metric names disjoint from the registry's. Null = nothing extra.
+    std::function<std::string()> extra_metricsz;
+    /// Extra text appended after the /statusz document (text mode only;
+    /// the JSON document stays untouched and byte-stable). Same threading
+    /// contract as extra_metricsz.
+    std::function<std::string()> extra_statusz;
   };
 
   ObsServer();

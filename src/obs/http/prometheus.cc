@@ -4,8 +4,6 @@
 #include <sstream>
 #include <utility>
 
-#include "common/thread_annotations.h"
-
 namespace icrowd {
 namespace obs {
 
@@ -76,19 +74,6 @@ std::string Labels(const std::string& campaign, const std::string& le) {
   return out;
 }
 
-/// Global campaign label for the default /metricsz endpoint. Leaf state
-/// guarded by its own ranked mutex (tools/lock_order.txt); leaked like the
-/// registries so late scrapes during teardown stay safe.
-struct CampaignLabelState {
-  Mutex mu;
-  std::string label ICROWD_GUARDED_BY(mu);
-};
-
-CampaignLabelState& LabelState() {
-  static auto* state = new CampaignLabelState();
-  return *state;
-}
-
 }  // namespace
 
 std::string SanitizePrometheusName(const std::string& name) {
@@ -149,18 +134,6 @@ std::string RenderPrometheus(const std::vector<MetricSample>& samples,
 std::string RenderPrometheus(const MetricsRegistry& registry,
                              const PrometheusOptions& options) {
   return RenderPrometheus(registry.SnapshotAll(), options);
-}
-
-void SetCampaignLabel(const std::string& label) {
-  CampaignLabelState& state = LabelState();
-  MutexLock lock(state.mu);
-  state.label = label;
-}
-
-std::string CampaignLabel() {
-  CampaignLabelState& state = LabelState();
-  MutexLock lock(state.mu);
-  return state.label;
 }
 
 }  // namespace obs

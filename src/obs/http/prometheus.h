@@ -25,8 +25,10 @@ std::string SanitizePrometheusName(const std::string& name);
 
 struct PrometheusOptions {
   /// When non-empty, every sample line carries a `campaign="<value>"`
-  /// label — the hook that lets the future multi-campaign server expose
-  /// one registry per shard without renaming metrics.
+  /// label. Per-document state: each ObsServer carries its own label in
+  /// its Options, and CampaignManager renders one labeled block per hosted
+  /// campaign — there is deliberately no process-global label for
+  /// co-hosted campaigns to collide on.
   std::string campaign_label;
 };
 
@@ -43,11 +45,6 @@ std::string RenderPrometheus(const std::vector<MetricSample>& samples,
 /// Snapshot + render convenience overload.
 std::string RenderPrometheus(const MetricsRegistry& registry,
                              const PrometheusOptions& options = {});
-
-/// Process-wide campaign label picked up by the global /metricsz endpoint
-/// (set by the sim driver when a campaign starts; empty = no label).
-void SetCampaignLabel(const std::string& label);
-std::string CampaignLabel();
 
 }  // namespace obs
 }  // namespace icrowd

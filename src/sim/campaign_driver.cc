@@ -3,7 +3,6 @@
 #include <string>
 
 #include "common/random.h"
-#include "obs/http/prometheus.h"
 
 namespace icrowd {
 
@@ -58,9 +57,6 @@ Result<DriveOutcome> DriveCampaign(ICrowd* system,
   }
   if (num_workers == 0) {
     return Status::InvalidArgument("need at least one worker");
-  }
-  if (!options.campaign_label.empty()) {
-    obs::SetCampaignLabel(options.campaign_label);
   }
   DriveOutcome outcome;
   // A restored campaign already carries its workers; arrive only the rest.

@@ -32,11 +32,10 @@ struct CampaignDriverOptions {
   int snapshot_every = 0;
   /// When > 0, worker w leaves after answering leave_after + (w % 3) tasks
   /// post-warm-up (derived from campaign state, so it survives restores).
+  /// (The /metricsz campaign label is no longer set here: labels are
+  /// per-server — ObsServer::Options::campaign_label — or per-campaign in
+  /// CampaignManager, never process-global.)
   int leave_after = 0;
-  /// When non-empty, installed as the `campaign` label on every /metricsz
-  /// sample for the duration of the drive (the CLI passes the dataset
-  /// name). Purely observational: no effect on campaign decisions.
-  std::string campaign_label;
 };
 
 /// One snapshot captured mid-drive, tagged with the journal position it

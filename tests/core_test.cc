@@ -172,8 +172,9 @@ TEST(ICrowdTest, ServeObsBindsEphemeralPortAndStaysOffFingerprint) {
   ASSERT_TRUE(plain.ok());
   EXPECT_EQ((*plain)->obs_port(), -1);
 
-  config.serve_obs_port = 0;  // ephemeral
-  auto served = ICrowd::Create(TinyDataset(), config);
+  HostConfig host;
+  host.serve_obs_port = 0;  // ephemeral
+  auto served = ICrowd::Create(TinyDataset(), config, host);
   ASSERT_TRUE(served.ok());
   ASSERT_GT((*served)->obs_port(), 0);
   obs::HttpResponse statusz =
@@ -183,6 +184,34 @@ TEST(ICrowdTest, ServeObsBindsEphemeralPortAndStaysOffFingerprint) {
   // Execution knob like num_threads: serving must not change the
   // campaign's identity.
   EXPECT_EQ((*plain)->fingerprint(), (*served)->fingerprint());
+}
+
+TEST(ICrowdTest, HostConfigIsEntirelyOffFingerprint) {
+  // The v2 config split's core guarantee: no HostConfig field enters the
+  // campaign fingerprint, so a journal recorded under one execution shape
+  // (threads, shards, labels, journal layout) restores under any other.
+  ICrowdConfig config = TinyConfig();
+  auto reference = ICrowd::Create(TinyDataset(), config);
+  ASSERT_TRUE(reference.ok());
+
+  HostConfig host;
+  host.num_shards = 8;
+  host.num_threads = 4;
+  host.pool = std::make_shared<ThreadPool>(2);
+  host.campaign_label = "relabeled";
+  host.journal_dir = "/tmp/elsewhere";
+  host.fsync_journal = true;
+  host.queue_capacity = 7;
+  host.max_batch = 3;
+  auto reshaped = ICrowd::Create(TinyDataset(), config, host);
+  ASSERT_TRUE(reshaped.ok());
+  EXPECT_EQ((*reference)->fingerprint(), (*reshaped)->fingerprint());
+
+  // Decision-relevant config must still move the fingerprint.
+  config.assignment_size += 2;
+  auto different = ICrowd::Create(TinyDataset(), config);
+  ASSERT_TRUE(different.ok());
+  EXPECT_NE((*reference)->fingerprint(), (*different)->fingerprint());
 }
 
 TEST(ICrowdTest, FullPlatformLifecycle) {

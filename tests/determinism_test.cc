@@ -72,17 +72,18 @@ TEST_P(DeterminismTest, ThreadCountNeverChangesCampaignResults) {
   Fixture fx = SmallItemCompare();
   ICrowdConfig config;
   config.seed = GetParam();
+  HostConfig host;
 
-  config.num_threads = 1;
-  auto serial =
-      RunExperiment(fx.dataset, fx.workers, fx.graph, config, StrategyKind::kAdapt);
+  host.num_threads = 1;
+  auto serial = RunExperiment(fx.dataset, fx.workers, fx.graph, config,
+                              StrategyKind::kAdapt, host);
   ASSERT_TRUE(serial.ok()) << serial.status().ToString();
   ASSERT_FALSE(serial->sim.answers.empty());
 
   for (size_t threads : {size_t{2}, size_t{8}}) {
-    config.num_threads = threads;
+    host.num_threads = threads;
     auto parallel = RunExperiment(fx.dataset, fx.workers, fx.graph, config,
-                                  StrategyKind::kAdapt);
+                                  StrategyKind::kAdapt, host);
     ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
     ExpectSameCampaign(*serial, *parallel,
                        threads == 2 ? "2 threads vs serial"
@@ -104,9 +105,10 @@ TEST_P(DeterminismTest, MetricDumpsAreBitIdenticalAcrossThreadCounts) {
 
   auto run_and_dump = [&](size_t threads) {
     registry.ResetForTesting();
-    config.num_threads = threads;
+    HostConfig host;
+    host.num_threads = threads;
     auto result = RunExperiment(fx.dataset, fx.workers, fx.graph, config,
-                                StrategyKind::kAdapt);
+                                StrategyKind::kAdapt, host);
     EXPECT_TRUE(result.ok()) << result.status().ToString();
     return registry.ExportJsonlString({/*deterministic=*/true});
   };
@@ -125,15 +127,16 @@ TEST_P(DeterminismTest, SharedPoolMatchesPerAssignerPool) {
   Fixture fx = SmallItemCompare();
   ICrowdConfig config;
   config.seed = GetParam();
-  config.num_threads = 4;
+  HostConfig host;
+  host.num_threads = 4;
 
   auto owned = RunExperiment(fx.dataset, fx.workers, fx.graph, config,
-                             StrategyKind::kAdapt);
+                             StrategyKind::kAdapt, host);
   ASSERT_TRUE(owned.ok());
 
-  config.pool = std::make_shared<ThreadPool>(4);
+  host.pool = std::make_shared<ThreadPool>(4);
   auto shared = RunExperiment(fx.dataset, fx.workers, fx.graph, config,
-                              StrategyKind::kAdapt);
+                              StrategyKind::kAdapt, host);
   ASSERT_TRUE(shared.ok());
   ExpectSameCampaign(*owned, *shared, "shared pool vs owned pool");
 }

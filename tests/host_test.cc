@@ -1,0 +1,523 @@
+// Multi-campaign host suite (DESIGN.md §16): the CampaignManager's
+// handle-based v2 API and its cross-campaign isolation contract — a
+// campaign hosted among many, at any shard count, must be bit-identical
+// (journal bytes, results, accuracy estimates, deterministic metrics) to
+// the same event stream run through a solo ICrowd. Plus lifecycle
+// (create/open/close, duplicate and malformed names), failure isolation
+// under journal fault injection, kill-and-recover through per-shard
+// journal files (including a reopen under a different shard count and a
+// torn tail), concurrent producers (the TSan target), and the
+// per-campaign /metricsz and /statusz providers.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "core/icrowd.h"
+#include "datagen/entity_resolution.h"
+#include "host/campaign_manager.h"
+#include "ingest/event.h"
+#include "journal/journal.h"
+#include "obs/http/http_client.h"
+#include "obs/metrics.h"
+#include "sim/campaign_driver.h"
+
+namespace icrowd {
+namespace {
+
+constexpr size_t kNumWorkers = 6;
+
+/// Campaign `index` gets its own dataset shape and seed so hosted
+/// neighbours are structurally different — isolation bugs that only bite
+/// when campaigns disagree on task counts or worker pools stay visible.
+Dataset MakeDataset(size_t index) {
+  EntityResolutionOptions options;
+  options.tasks_per_family = 4 + index % 3;
+  return GenerateEntityResolution(options).MoveValueOrDie();
+}
+
+uint64_t SeedOf(size_t index) { return 100 + 13 * index; }
+
+int LeaveAfterOf(size_t index) { return index % 3 == 1 ? 6 : 0; }
+
+ICrowdConfig MakeConfig(uint64_t seed) {
+  ICrowdConfig config;
+  config.num_qualification = 4;
+  config.warmup.tasks_per_worker = 3;
+  config.graph.measure = SimilarityMeasure::kJaccard;
+  config.graph.threshold = 0.2;
+  config.seed = seed;
+  return config;
+}
+
+obs::ExportOptions DeterministicExport() {
+  obs::ExportOptions options;
+  options.deterministic = true;
+  options.include_spans = false;
+  options.include_events = false;
+  return options;
+}
+
+std::vector<double> AccuracyGrid(const ICrowd& system) {
+  std::vector<double> grid;
+  size_t workers = system.state().num_workers();
+  grid.reserve(workers * system.dataset().size());
+  for (size_t w = 0; w < workers; ++w) {
+    for (size_t t = 0; t < system.dataset().size(); ++t) {
+      grid.push_back(system.estimator().Accuracy(static_cast<WorkerId>(w),
+                                                 static_cast<TaskId>(t)));
+    }
+  }
+  return grid;
+}
+
+struct SoloRun {
+  bool finished = false;
+  std::vector<uint8_t> journal;
+  std::vector<Label> results;
+  std::vector<double> accuracies;
+  uint64_t events = 0;
+  std::vector<IngestEvent> stream;
+};
+
+/// The solo reference for campaign `index`: a per-event driven ICrowd,
+/// whose journal doubles as the canonical event stream the hosted reruns
+/// consume.
+SoloRun RunSolo(size_t index) {
+  Dataset dataset = MakeDataset(index);
+  std::vector<WorkerProfile> profiles =
+      GenerateEntityResolutionWorkers(dataset, kNumWorkers);
+  ICrowdConfig config = MakeConfig(SeedOf(index));
+  auto sink = std::make_shared<VectorSink>();
+  config.journal_sink = sink;
+  auto system =
+      ICrowd::Create(std::move(dataset), std::move(config)).MoveValueOrDie();
+  CampaignDriverOptions options;
+  options.seed = SeedOf(index);
+  options.leave_after = LeaveAfterOf(index);
+  auto outcome = DriveCampaign(system.get(), profiles, kNumWorkers, options);
+  EXPECT_TRUE(outcome.ok()) << outcome.status().ToString();
+  SoloRun run;
+  run.finished = system->Finished();
+  run.journal = sink->bytes();
+  run.results = system->Results();
+  run.accuracies = AccuracyGrid(*system);
+  run.events = system->events_applied();
+  auto parsed = ReadJournal(run.journal);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  if (parsed.ok()) run.stream = IngestStreamFromJournal(parsed->events);
+  return run;
+}
+
+CampaignManager::CampaignOptions OptionsFor(size_t index,
+                                            const std::string& name) {
+  CampaignManager::CampaignOptions options;
+  options.name = name;
+  options.dataset = MakeDataset(index);
+  options.config = MakeConfig(SeedOf(index));
+  return options;
+}
+
+/// Checks one hosted campaign against its solo reference at a quiescent
+/// point (after Drain).
+void ExpectMatchesSolo(const CampaignManager& manager, CampaignHandle handle,
+                       const SoloRun& solo, const std::string& tag) {
+  auto inspected = manager.Inspect(handle);
+  ASSERT_TRUE(inspected.ok()) << tag << ": " << inspected.status().ToString();
+  const ICrowd& system = **inspected;
+  EXPECT_EQ(system.Results(), solo.results) << tag;
+  EXPECT_EQ(AccuracyGrid(system), solo.accuracies) << tag;
+  EXPECT_EQ(system.events_applied(), solo.events) << tag;
+  EXPECT_EQ(system.Finished(), solo.finished) << tag;
+  auto journal = manager.JournalBytes(handle);
+  ASSERT_TRUE(journal.ok()) << tag << ": " << journal.status().ToString();
+  EXPECT_EQ(*journal, solo.journal) << tag;
+}
+
+// ------------------------------------------------------------- lifecycle --
+
+TEST(HostLifecycleTest, CreateSubmitDrainCloseRoundTrip) {
+  HostConfig host;
+  host.num_shards = 2;
+  auto manager = CampaignManager::Start(host).MoveValueOrDie();
+  EXPECT_EQ(manager->num_shards(), 2u);
+
+  SoloRun solo = RunSolo(0);
+  auto handle =
+      manager->CreateCampaign(OptionsFor(0, "round-trip")).MoveValueOrDie();
+  EXPECT_TRUE(handle.valid());
+  EXPECT_EQ(manager->num_campaigns(), 1u);
+  for (const IngestEvent& event : solo.stream) {
+    ASSERT_TRUE(manager->SubmitEvent(handle, event).ok());
+  }
+  ASSERT_TRUE(manager->Drain(handle).ok());
+  ExpectMatchesSolo(*manager, handle, solo, "round-trip");
+
+  // Snapshot bridges back to the v1 surface: a solo Restore of the hosted
+  // snapshot reproduces the campaign.
+  auto snapshot = manager->Snapshot(handle);
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  auto restored = ICrowd::Restore(MakeDataset(0), MakeConfig(SeedOf(0)),
+                                  *snapshot, {});
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ((*restored)->Results(), solo.results);
+
+  EXPECT_TRUE(manager->CloseCampaign(handle).ok());
+  EXPECT_EQ(manager->num_campaigns(), 0u);
+  EXPECT_FALSE(manager->Drain(handle).ok());
+  EXPECT_FALSE(manager->Inspect(handle).ok());
+}
+
+TEST(HostLifecycleTest, NamesAreValidatedAndUnique) {
+  auto manager = CampaignManager::Start(HostConfig{}).MoveValueOrDie();
+  EXPECT_FALSE(manager->CreateCampaign(OptionsFor(0, "")).ok());
+  EXPECT_FALSE(manager->CreateCampaign(OptionsFor(0, "bad name")).ok());
+  EXPECT_FALSE(manager->CreateCampaign(OptionsFor(0, "bad\"label")).ok());
+  auto first = manager->CreateCampaign(OptionsFor(0, "taken"));
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  auto duplicate = manager->CreateCampaign(OptionsFor(1, "taken"));
+  EXPECT_FALSE(duplicate.ok());
+  // The failed reservation rolled back: closing frees the name for reuse.
+  ASSERT_TRUE(manager->CloseCampaign(*first).ok());
+  EXPECT_TRUE(manager->CreateCampaign(OptionsFor(0, "taken")).ok());
+}
+
+TEST(HostLifecycleTest, StaleAndInvalidHandlesAreNotFound) {
+  auto manager = CampaignManager::Start(HostConfig{}).MoveValueOrDie();
+  EXPECT_FALSE(manager->SubmitEvent(CampaignHandle{}, IngestEvent::Arrived())
+                   .ok());
+  EXPECT_FALSE(manager->Drain(CampaignHandle{912}).ok());
+  EXPECT_FALSE(manager->Snapshot(CampaignHandle{912}).ok());
+  EXPECT_FALSE(manager->CloseCampaign(CampaignHandle{912}).ok());
+}
+
+TEST(HostLifecycleTest, SubmitAndCreateFailAfterShutdown) {
+  auto manager = CampaignManager::Start(HostConfig{}).MoveValueOrDie();
+  auto handle =
+      manager->CreateCampaign(OptionsFor(0, "shut")).MoveValueOrDie();
+  manager->Shutdown();
+  EXPECT_FALSE(manager->SubmitEvent(handle, IngestEvent::Arrived()).ok());
+  EXPECT_FALSE(manager->CreateCampaign(OptionsFor(1, "late")).ok());
+  // Nothing was in flight, so the drained campaign stays readable.
+  EXPECT_TRUE(manager->Drain(handle).ok());
+  EXPECT_TRUE(manager->Inspect(handle).ok());
+}
+
+// ------------------------------------------------------------- isolation --
+
+TEST(HostIsolationTest, HostedCampaignsAreBitIdenticalToSoloAtAnyShardCount) {
+  constexpr size_t kCampaigns = 6;
+  obs::MetricsRegistry::Global().ResetForTesting();
+  std::vector<SoloRun> solo;
+  for (size_t c = 0; c < kCampaigns; ++c) solo.push_back(RunSolo(c));
+  const std::string solo_dump =
+      obs::MetricsRegistry::Global().ExportJsonlString(DeterministicExport());
+
+  for (size_t shards : {size_t{1}, size_t{2}, size_t{8}}) {
+    obs::MetricsRegistry::Global().ResetForTesting();
+    HostConfig host;
+    host.num_shards = shards;
+    host.max_batch = 16;
+    auto manager = CampaignManager::Start(host).MoveValueOrDie();
+    std::vector<CampaignHandle> handles;
+    for (size_t c = 0; c < kCampaigns; ++c) {
+      handles.push_back(
+          manager->CreateCampaign(OptionsFor(c, "c" + std::to_string(c)))
+              .MoveValueOrDie());
+    }
+    // Interleave the streams round-robin in small chunks so every popped
+    // batch mixes campaigns — the regrouping path under test.
+    constexpr size_t kChunk = 3;
+    std::vector<size_t> position(kCampaigns, 0);
+    bool progressed = true;
+    while (progressed) {
+      progressed = false;
+      for (size_t c = 0; c < kCampaigns; ++c) {
+        size_t end = std::min(position[c] + kChunk, solo[c].stream.size());
+        for (; position[c] < end; ++position[c]) {
+          ASSERT_TRUE(
+              manager->SubmitEvent(handles[c], solo[c].stream[position[c]])
+                  .ok());
+          progressed = true;
+        }
+      }
+    }
+    ASSERT_TRUE(manager->DrainAll().ok());
+    for (size_t c = 0; c < kCampaigns; ++c) {
+      ExpectMatchesSolo(*manager, handles[c], solo[c],
+                        "shards" + std::to_string(shards) + "_c" +
+                            std::to_string(c));
+    }
+    manager->Shutdown();
+    // The deterministic metric dump of the hosted run matches the solo
+    // runs applied back to back: batching, sharding and interleaving are
+    // all invisible to the deterministic subset.
+    EXPECT_EQ(
+        obs::MetricsRegistry::Global().ExportJsonlString(
+            DeterministicExport()),
+        solo_dump)
+        << "shards=" << shards;
+    if (HasFailure()) return;
+  }
+}
+
+TEST(HostIsolationTest, JournalFaultPoisonsOneCampaignOnly) {
+  SoloRun solo_a = RunSolo(0);
+  SoloRun solo_b = RunSolo(1);
+  HostConfig host;
+  host.num_shards = 1;  // same shard: the failure domain under test
+  auto manager = CampaignManager::Start(host).MoveValueOrDie();
+
+  auto healthy =
+      manager->CreateCampaign(OptionsFor(0, "healthy")).MoveValueOrDie();
+  CampaignManager::CampaignOptions doomed_options = OptionsFor(1, "doomed");
+  doomed_options.config.journal_sink = std::make_shared<FaultInjectingSink>(
+      std::make_shared<VectorSink>(), 512);
+  auto doomed = manager->CreateCampaign(std::move(doomed_options));
+  ASSERT_TRUE(doomed.ok()) << doomed.status().ToString();
+
+  for (size_t i = 0;
+       i < std::max(solo_a.stream.size(), solo_b.stream.size()); ++i) {
+    if (i < solo_a.stream.size()) {
+      ASSERT_TRUE(manager->SubmitEvent(healthy, solo_a.stream[i]).ok());
+    }
+    if (i < solo_b.stream.size()) {
+      // Accepted until the sink trips and the poisoning propagates; the
+      // sticky failure then rejects at submit. Either way: never ack'd.
+      (void)manager->SubmitEvent(*doomed, solo_b.stream[i]);
+    }
+  }
+  EXPECT_FALSE(manager->Drain(*doomed).ok());
+  ASSERT_TRUE(manager->Drain(healthy).ok());
+  ExpectMatchesSolo(*manager, healthy, solo_a, "healthy-neighbour");
+  // The poisoned campaign reports failed in the host ledger.
+  bool saw_failed = false;
+  for (const auto& stats : manager->Stats()) {
+    if (stats.name == "doomed") saw_failed = stats.failed;
+  }
+  EXPECT_TRUE(saw_failed);
+  EXPECT_FALSE(manager->CloseCampaign(*doomed).ok());
+  EXPECT_EQ(manager->num_campaigns(), 1u);
+}
+
+TEST(HostIsolationTest, ConcurrentProducersMatchSolo) {
+  constexpr size_t kCampaigns = 8;
+  std::vector<SoloRun> solo;
+  for (size_t c = 0; c < kCampaigns; ++c) solo.push_back(RunSolo(c));
+  HostConfig host;
+  host.num_shards = 2;
+  host.queue_capacity = 64;  // small: exercises producer backpressure
+  auto manager = CampaignManager::Start(host).MoveValueOrDie();
+  std::vector<CampaignHandle> handles;
+  for (size_t c = 0; c < kCampaigns; ++c) {
+    handles.push_back(
+        manager->CreateCampaign(OptionsFor(c, "p" + std::to_string(c)))
+            .MoveValueOrDie());
+  }
+  // One producer thread per campaign, all running at once (the TSan
+  // target): per-handle calls are serialized within each thread, which is
+  // all the contract asks.
+  std::vector<std::thread> producers;
+  std::vector<Status> drained(kCampaigns);
+  for (size_t c = 0; c < kCampaigns; ++c) {
+    producers.emplace_back([&, c] {
+      for (const IngestEvent& event : solo[c].stream) {
+        Status submitted = manager->SubmitEvent(handles[c], event);
+        if (!submitted.ok()) {
+          drained[c] = submitted;
+          return;
+        }
+      }
+      drained[c] = manager->Drain(handles[c]);
+    });
+  }
+  for (std::thread& producer : producers) producer.join();
+  for (size_t c = 0; c < kCampaigns; ++c) {
+    ASSERT_TRUE(drained[c].ok()) << "c" << c << ": " << drained[c].ToString();
+    ExpectMatchesSolo(*manager, handles[c], solo[c],
+                      "concurrent-c" + std::to_string(c));
+  }
+}
+
+// -------------------------------------------------------------- recovery --
+
+TEST(HostRecoveryTest, KillAndRecoverAcrossShardCounts) {
+  constexpr size_t kCampaigns = 4;
+  std::vector<SoloRun> solo;
+  for (size_t c = 0; c < kCampaigns; ++c) solo.push_back(RunSolo(c));
+
+  std::string journal_dir =
+      ::testing::TempDir() + "/icrowd_host_recovery_test";
+  std::filesystem::remove_all(journal_dir);
+
+  // Phase 1: run a prefix of every stream, drain, then drop the manager
+  // without closing anything — the "kill". The per-shard journal files
+  // are the only survivors.
+  {
+    HostConfig host;
+    host.num_shards = 2;
+    host.journal_dir = journal_dir;
+    auto manager = CampaignManager::Start(host).MoveValueOrDie();
+    for (size_t c = 0; c < kCampaigns; ++c) {
+      auto handle =
+          manager->CreateCampaign(OptionsFor(c, "r" + std::to_string(c)))
+              .MoveValueOrDie();
+      // Different cut point per campaign (including cut = 0 events).
+      size_t cut = solo[c].stream.size() * c / (2 * kCampaigns);
+      for (size_t i = 0; i < cut; ++i) {
+        ASSERT_TRUE(manager->SubmitEvent(handle, solo[c].stream[i]).ok());
+      }
+      // File mode: JournalBytes must refuse.
+      EXPECT_FALSE(manager->JournalBytes(handle).ok());
+    }
+    ASSERT_TRUE(manager->DrainAll().ok());
+  }
+
+  // A torn tail on one journal: the mid-append crash OpenCampaign must
+  // absorb (truncate, then keep appending cleanly).
+  {
+    auto shard0 = journal_dir + "/shard-0/r0.journal";
+    ASSERT_TRUE(std::filesystem::exists(shard0));
+    std::FILE* file = std::fopen(shard0.c_str(), "ab");
+    ASSERT_NE(file, nullptr);
+    const char garbage[] = "\x7f\x00torn";
+    std::fwrite(garbage, 1, sizeof(garbage), file);
+    std::fclose(file);
+  }
+
+  // Phase 2: reopen under a DIFFERENT shard count — placement is
+  // execution state, the journals are found wherever they were written —
+  // and finish every stream.
+  {
+    HostConfig host;
+    host.num_shards = 3;
+    host.journal_dir = journal_dir;
+    auto manager = CampaignManager::Start(host).MoveValueOrDie();
+    for (size_t c = 0; c < kCampaigns; ++c) {
+      auto handle =
+          manager->OpenCampaign(OptionsFor(c, "r" + std::to_string(c)));
+      ASSERT_TRUE(handle.ok()) << "c" << c << ": "
+                               << handle.status().ToString();
+      // Resume exactly at the phase-1 cut (recomputed — it is a pure
+      // function of the campaign index): replay re-derived the prefix,
+      // submitting the tail finishes the stream.
+      size_t cut = solo[c].stream.size() * c / (2 * kCampaigns);
+      for (size_t i = cut; i < solo[c].stream.size(); ++i) {
+        ASSERT_TRUE(manager->SubmitEvent(*handle, solo[c].stream[i]).ok());
+      }
+      ASSERT_TRUE(manager->Drain(*handle).ok());
+      auto final_inspect = manager->Inspect(*handle).MoveValueOrDie();
+      EXPECT_EQ(final_inspect->Results(), solo[c].results) << "c" << c;
+      EXPECT_EQ(final_inspect->events_applied(), solo[c].events) << "c" << c;
+      EXPECT_EQ(AccuracyGrid(*final_inspect), solo[c].accuracies)
+          << "c" << c;
+    }
+    ASSERT_TRUE(manager->DrainAll().ok());
+  }
+
+  // The recovered journal files are byte-identical to the solo journals:
+  // prefix (phase 1) + appended tail (phase 2), torn garbage gone.
+  for (size_t c = 0; c < kCampaigns; ++c) {
+    std::string path;
+    for (int s = 0; s < 2; ++s) {
+      std::string candidate = journal_dir + "/shard-" + std::to_string(s) +
+                              "/r" + std::to_string(c) + ".journal";
+      if (std::filesystem::exists(candidate)) path = candidate;
+    }
+    ASSERT_FALSE(path.empty()) << "c" << c;
+    auto bytes = ReadFileBytes(path);
+    ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+    EXPECT_EQ(*bytes, solo[c].journal) << "c" << c;
+  }
+  std::filesystem::remove_all(journal_dir);
+}
+
+TEST(HostRecoveryTest, OpenFromExplicitImages) {
+  SoloRun solo = RunSolo(2);
+  auto manager = CampaignManager::Start(HostConfig{}).MoveValueOrDie();
+  // Feed the full solo journal as the explicit recovery image.
+  CampaignManager::CampaignOptions options = OptionsFor(2, "imaged");
+  options.journal = solo.journal;
+  auto handle = manager->OpenCampaign(std::move(options));
+  ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+  auto inspected = manager->Inspect(*handle).MoveValueOrDie();
+  EXPECT_EQ(inspected->Results(), solo.results);
+  EXPECT_EQ(inspected->events_applied(), solo.events);
+  // New events journal to a fresh VectorSink: only the post-open tail.
+  auto tail = manager->JournalBytes(*handle);
+  ASSERT_TRUE(tail.ok()) << tail.status().ToString();
+  EXPECT_TRUE(tail->empty());
+  // Opening without images and without a journal_dir has nothing to
+  // recover from.
+  EXPECT_FALSE(manager->OpenCampaign(OptionsFor(3, "nothing")).ok());
+}
+
+// --------------------------------------------------------- observability --
+
+TEST(HostObsTest, PerCampaignMetricsAndStatuszSections) {
+  SoloRun solo = RunSolo(0);
+  HostConfig host;
+  host.num_shards = 2;
+  host.serve_obs_port = 0;  // ephemeral
+  host.campaign_label = "host-under-test";
+  auto manager = CampaignManager::Start(host).MoveValueOrDie();
+  ASSERT_GT(manager->obs_port(), 0);
+  auto alpha = manager->CreateCampaign(OptionsFor(0, "alpha"));
+  ASSERT_TRUE(alpha.ok()) << alpha.status().ToString();
+  auto beta = manager->CreateCampaign(OptionsFor(1, "beta"));
+  ASSERT_TRUE(beta.ok()) << beta.status().ToString();
+  for (const IngestEvent& event : solo.stream) {
+    ASSERT_TRUE(manager->SubmitEvent(*alpha, event).ok());
+  }
+  ASSERT_TRUE(manager->Drain(*alpha).ok());
+
+  std::string rendered = manager->RenderCampaignMetrics();
+  EXPECT_NE(rendered.find("icrowd_host_campaigns 2\n"), std::string::npos);
+  EXPECT_NE(rendered.find("icrowd_host_shards 2\n"), std::string::npos);
+  EXPECT_NE(rendered.find("icrowd_host_campaign_events_applied{campaign="
+                          "\"alpha\"} " +
+                          std::to_string(solo.events)),
+            std::string::npos);
+  EXPECT_NE(
+      rendered.find("icrowd_host_campaign_events_submitted{campaign="
+                    "\"beta\"} 0"),
+      std::string::npos);
+
+  // Through the real server: the extra_metricsz hook appends the block
+  // after the registry render, and the text /statusz grows the [host]
+  // section while JSON stays untouched.
+  obs::HttpResponse metricsz =
+      obs::HttpGet("127.0.0.1", manager->obs_port(), "/metricsz");
+  ASSERT_EQ(metricsz.status, 200);
+  EXPECT_NE(metricsz.body.find("icrowd_host_campaign_events_applied"),
+            std::string::npos);
+  EXPECT_NE(metricsz.body.find("campaign=\"host-under-test\""),
+            std::string::npos);
+  obs::HttpResponse statusz =
+      obs::HttpGet("127.0.0.1", manager->obs_port(), "/statusz");
+  ASSERT_EQ(statusz.status, 200);
+  EXPECT_NE(statusz.body.find("[host]"), std::string::npos);
+  EXPECT_NE(statusz.body.find("alpha shard="), std::string::npos);
+  obs::HttpResponse statusz_json = obs::HttpGet(
+      "127.0.0.1", manager->obs_port(), "/statusz?format=json");
+  ASSERT_EQ(statusz_json.status, 200);
+  EXPECT_EQ(statusz_json.body.find("[host]"), std::string::npos);
+
+  // Host ledger columns behave: submitted == settled after drain.
+  for (const auto& stats : manager->Stats()) {
+    EXPECT_EQ(stats.submitted, stats.settled) << stats.name;
+    if (stats.name == "alpha") {
+      EXPECT_EQ(stats.submitted, solo.stream.size());
+      EXPECT_TRUE(stats.finished);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace icrowd

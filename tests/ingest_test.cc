@@ -37,15 +37,20 @@ Dataset MakeDataset() {
   return GenerateEntityResolution(options).MoveValueOrDie();
 }
 
-ICrowdConfig MakeConfig(uint64_t seed, size_t threads) {
+ICrowdConfig MakeConfig(uint64_t seed) {
   ICrowdConfig config;
   config.num_qualification = 4;
   config.warmup.tasks_per_worker = 3;
   config.graph.measure = SimilarityMeasure::kJaccard;
   config.graph.threshold = 0.2;
-  config.num_threads = threads;
   config.seed = seed;
   return config;
+}
+
+HostConfig MakeHost(size_t threads) {
+  HostConfig host;
+  host.num_threads = threads;
+  return host;
 }
 
 obs::ExportOptions DeterministicExport() {
@@ -88,10 +93,11 @@ RunCapture RunPerEvent(uint64_t seed, size_t threads, int leave_after = 0) {
   Dataset dataset = MakeDataset();
   std::vector<WorkerProfile> profiles =
       GenerateEntityResolutionWorkers(dataset, kNumWorkers);
-  ICrowdConfig config = MakeConfig(seed, threads);
+  ICrowdConfig config = MakeConfig(seed);
   auto sink = std::make_shared<VectorSink>();
   config.journal_sink = sink;
-  auto system = ICrowd::Create(std::move(dataset), config).MoveValueOrDie();
+  auto system = ICrowd::Create(std::move(dataset), config, MakeHost(threads))
+                    .MoveValueOrDie();
   CampaignDriverOptions options;
   options.seed = seed;
   options.leave_after = leave_after;
@@ -122,10 +128,11 @@ std::vector<IngestEvent> StreamOf(const RunCapture& reference) {
 RunCapture RunBatched(const std::vector<IngestEvent>& stream, uint64_t seed,
                       size_t threads, size_t batch_size) {
   obs::MetricsRegistry::Global().ResetForTesting();
-  ICrowdConfig config = MakeConfig(seed, threads);
+  ICrowdConfig config = MakeConfig(seed);
   auto sink = std::make_shared<VectorSink>();
   config.journal_sink = sink;
-  auto system = ICrowd::Create(MakeDataset(), config).MoveValueOrDie();
+  auto system = ICrowd::Create(MakeDataset(), config, MakeHost(threads))
+                    .MoveValueOrDie();
   if (batch_size == 0) batch_size = stream.size() + 1;
   size_t applied = 0;
   for (size_t start = 0; start < stream.size(); start += batch_size) {
@@ -198,7 +205,7 @@ TEST(IngestInvarianceTest, GroupCommitFlushesOncePerBatchForSameBytes) {
 }
 
 TEST(IngestInvarianceTest, RecoverableEventErrorsRideInOutcomes) {
-  auto system = ICrowd::Create(MakeDataset(), MakeConfig(11, 1))
+  auto system = ICrowd::Create(MakeDataset(), MakeConfig(11))
                     .MoveValueOrDie();
   std::vector<IngestEvent> batch = {
       IngestEvent::Arrived(),
@@ -222,7 +229,7 @@ TEST(IngestInvarianceTest, RecoverableEventErrorsRideInOutcomes) {
 }
 
 TEST(IngestInvarianceTest, DrainWithoutSubmitsIsEmpty) {
-  auto system = ICrowd::Create(MakeDataset(), MakeConfig(11, 1))
+  auto system = ICrowd::Create(MakeDataset(), MakeConfig(11))
                     .MoveValueOrDie();
   auto outcomes = system->Drain();
   ASSERT_TRUE(outcomes.ok());
@@ -230,7 +237,7 @@ TEST(IngestInvarianceTest, DrainWithoutSubmitsIsEmpty) {
 }
 
 TEST(IngestInvarianceTest, PoisonedCampaignRefusesSubmitEvent) {
-  ICrowdConfig config = MakeConfig(11, 1);
+  ICrowdConfig config = MakeConfig(11);
   auto inner = std::make_shared<VectorSink>();
   // Enough budget for the begin record, then die.
   auto faulty = std::make_shared<FaultInjectingSink>(inner, 64);
@@ -352,7 +359,7 @@ TEST(BatchIngestorTest, AsyncIngestMatchesPerEventReference) {
   RunCapture reference = RunPerEvent(11, 1);
   std::vector<IngestEvent> stream = StreamOf(reference);
   obs::MetricsRegistry::Global().ResetForTesting();
-  ICrowdConfig config = MakeConfig(11, 1);
+  ICrowdConfig config = MakeConfig(11);
   auto sink = std::make_shared<VectorSink>();
   config.journal_sink = sink;
   auto system = ICrowd::Create(MakeDataset(), config).MoveValueOrDie();
@@ -393,7 +400,7 @@ TEST(BatchIngestorTest, AsyncIngestMatchesPerEventReference) {
 }
 
 TEST(BatchIngestorTest, CallbackExceptionFailsIngestor) {
-  auto system = ICrowd::Create(MakeDataset(), MakeConfig(11, 1))
+  auto system = ICrowd::Create(MakeDataset(), MakeConfig(11))
                     .MoveValueOrDie();
   BatchIngestorOptions options;
   options.max_batch = 2;
@@ -422,7 +429,7 @@ TEST(BatchIngestorTest, CallbackExceptionFailsIngestor) {
 }
 
 TEST(BatchIngestorTest, CampaignPoisoningPropagatesAndSettles) {
-  ICrowdConfig config = MakeConfig(11, 1);
+  ICrowdConfig config = MakeConfig(11);
   auto inner = std::make_shared<VectorSink>();
   auto faulty = std::make_shared<FaultInjectingSink>(inner, 128);
   config.journal_sink = faulty;
@@ -442,7 +449,7 @@ TEST(BatchIngestorTest, CampaignPoisoningPropagatesAndSettles) {
 }
 
 TEST(BatchIngestorTest, CloseIsIdempotentAndDrains) {
-  auto system = ICrowd::Create(MakeDataset(), MakeConfig(11, 1))
+  auto system = ICrowd::Create(MakeDataset(), MakeConfig(11))
                     .MoveValueOrDie();
   BatchIngestor ingestor(system.get());
   for (int i = 0; i < 5; ++i) {

@@ -247,11 +247,17 @@ TEST(PrometheusRenderTest, ParserRoundTripRecoversValues) {
       samples["icrowd_ingest_queue_wait_seconds_bucket{le=\"+Inf\"}"], "4");
 }
 
-TEST(CampaignLabelTest, GlobalLabelRoundTrips) {
-  obs::SetCampaignLabel("entity");
-  EXPECT_EQ(obs::CampaignLabel(), "entity");
-  obs::SetCampaignLabel("");
-  EXPECT_EQ(obs::CampaignLabel(), "");
+TEST(CampaignLabelTest, LabelIsPerDocumentNotProcessGlobal) {
+  // The label rides in PrometheusOptions per render: two documents from
+  // the same registry can carry different campaign labels concurrently,
+  // which is what keeps co-hosted campaigns' series from colliding.
+  PrometheusWorld world;
+  std::string a = world.Render("campaign-a");
+  std::string b = world.Render("campaign-b");
+  EXPECT_NE(a.find("campaign=\"campaign-a\""), std::string::npos);
+  EXPECT_EQ(a.find("campaign=\"campaign-b\""), std::string::npos);
+  EXPECT_NE(b.find("campaign=\"campaign-b\""), std::string::npos);
+  EXPECT_EQ(b.find("campaign=\"campaign-a\""), std::string::npos);
 }
 
 // --------------------------------------------------- SnapshotAll surface

@@ -40,15 +40,20 @@ std::vector<WorkerProfile> MakeProfiles(const Dataset& dataset) {
   return GenerateEntityResolutionWorkers(dataset, kNumWorkers);
 }
 
-ICrowdConfig MakeConfig(uint64_t seed, size_t threads) {
+ICrowdConfig MakeConfig(uint64_t seed) {
   ICrowdConfig config;
   config.num_qualification = 4;
   config.warmup.tasks_per_worker = 3;
   config.graph.measure = SimilarityMeasure::kJaccard;
   config.graph.threshold = 0.2;
-  config.num_threads = threads;
   config.seed = seed;
   return config;
+}
+
+HostConfig MakeHost(size_t threads) {
+  HostConfig host;
+  host.num_threads = threads;
+  return host;
 }
 
 obs::ExportOptions DeterministicExport() {
@@ -75,10 +80,11 @@ LiveRun RunLive(uint64_t seed, size_t threads, int snapshot_every = 0,
   obs::MetricsRegistry::Global().ResetForTesting();
   Dataset dataset = MakeDataset();
   std::vector<WorkerProfile> profiles = MakeProfiles(dataset);
-  ICrowdConfig config = MakeConfig(seed, threads);
+  ICrowdConfig config = MakeConfig(seed);
   auto sink = std::make_shared<VectorSink>();
   config.journal_sink = sink;
-  auto system = ICrowd::Create(std::move(dataset), config).MoveValueOrDie();
+  auto system = ICrowd::Create(std::move(dataset), config, MakeHost(threads))
+                    .MoveValueOrDie();
   CampaignDriverOptions options;
   options.seed = seed;
   options.snapshot_every = snapshot_every;
@@ -129,7 +135,7 @@ TEST(RecoveryTest, FullReplayIsBitIdenticalToLive) {
                            /*leave_after=*/20);
     obs::MetricsRegistry::Global().ResetForTesting();
     auto restored =
-        ICrowd::Restore(MakeDataset(), MakeConfig(seed, 1), {}, live.journal);
+        ICrowd::Restore(MakeDataset(), MakeConfig(seed), {}, live.journal);
     ASSERT_TRUE(restored.ok()) << restored.status().ToString();
     EXPECT_EQ((*restored)->Results(), live.results);
     EXPECT_EQ((*restored)->events_applied(), live.events);
@@ -169,8 +175,8 @@ TEST(RecoveryTest, KillAtAnyOffsetRecoversBitIdentical) {
         std::vector<uint8_t> prefix(
             live.journal.begin(),
             live.journal.begin() + static_cast<long>(offset));
-        auto restored = ICrowd::Restore(MakeDataset(),
-                                        MakeConfig(seed, threads), {}, prefix);
+        auto restored = ICrowd::Restore(MakeDataset(), MakeConfig(seed), {},
+                                        prefix, MakeHost(threads));
         ASSERT_TRUE(restored.ok())
             << tag << ": " << restored.status().ToString();
         std::unique_ptr<ICrowd> system = restored.MoveValueOrDie();
@@ -218,7 +224,7 @@ TEST(RecoveryTest, KillMidBatchRecoversThroughBatchedReingest) {
       std::vector<uint8_t> prefix(
           live.journal.begin(),
           live.journal.begin() + static_cast<long>(offset));
-      ICrowdConfig config = MakeConfig(seed, 1);
+      ICrowdConfig config = MakeConfig(seed);
       auto tail_sink = std::make_shared<VectorSink>();
       config.journal_sink = tail_sink;
       auto restored = ICrowd::Restore(MakeDataset(), config, {}, prefix);
@@ -272,7 +278,7 @@ TEST(RecoveryTest, EverySnapshotPlusTailMatchesLive) {
   LiveRun live = RunLive(seed, /*threads=*/1, /*snapshot_every=*/7);
   ASSERT_FALSE(live.snapshots.empty());
   for (const CapturedSnapshot& snapshot : live.snapshots) {
-    auto restored = ICrowd::Restore(MakeDataset(), MakeConfig(seed, 1),
+    auto restored = ICrowd::Restore(MakeDataset(), MakeConfig(seed),
                                     snapshot.bytes, live.journal);
     ASSERT_TRUE(restored.ok())
         << "snapshot at " << snapshot.events_applied << ": "
@@ -297,7 +303,7 @@ TEST(RecoveryTest, SnapshotNewerThanJournalTailReplaysNothing) {
   ASSERT_TRUE(parsed.ok());
   ASSERT_LT(parsed->events.size(), snapshot.events_applied)
       << "half journal should be older than the last snapshot";
-  auto restored = ICrowd::Restore(MakeDataset(), MakeConfig(seed, 1),
+  auto restored = ICrowd::Restore(MakeDataset(), MakeConfig(seed),
                                   snapshot.bytes, prefix);
   ASSERT_TRUE(restored.ok()) << restored.status().ToString();
   EXPECT_EQ((*restored)->events_applied(), snapshot.events_applied);
@@ -321,7 +327,7 @@ TEST(RecoveryTest, TornFinalRecordIsDroppedAndRederived) {
   std::vector<uint8_t> torn = live.journal;
   torn.insert(torn.end(), {0x07, 0x00, 0x00});
   auto restored =
-      ICrowd::Restore(MakeDataset(), MakeConfig(seed, 1), {}, torn);
+      ICrowd::Restore(MakeDataset(), MakeConfig(seed), {}, torn);
   ASSERT_TRUE(restored.ok()) << restored.status().ToString();
   EXPECT_EQ((*restored)->Results(), live.results);
   EXPECT_EQ((*restored)->events_applied(), live.events);
@@ -329,7 +335,7 @@ TEST(RecoveryTest, TornFinalRecordIsDroppedAndRederived) {
   // A final record cut mid-frame: the lost event is re-derived by redrive.
   std::vector<uint8_t> cut(live.journal.begin(), live.journal.end() - 3);
   auto reopened =
-      ICrowd::Restore(MakeDataset(), MakeConfig(seed, 1), {}, cut);
+      ICrowd::Restore(MakeDataset(), MakeConfig(seed), {}, cut);
   ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
   EXPECT_LT((*reopened)->events_applied(), live.events);
   auto full = ReadJournal(live.journal);
@@ -357,7 +363,7 @@ TEST(RecoveryTest, SinkFailureMidRunPoisonsAndRecovers) {
         3;
     Dataset dataset = MakeDataset();
     std::vector<WorkerProfile> profiles = MakeProfiles(dataset);
-    ICrowdConfig config = MakeConfig(seed, 1);
+    ICrowdConfig config = MakeConfig(seed);
     auto inner = std::make_shared<VectorSink>();
     auto faulty = std::make_shared<FaultInjectingSink>(inner, budget);
     config.journal_sink = faulty;
@@ -383,7 +389,7 @@ TEST(RecoveryTest, SinkFailureMidRunPoisonsAndRecovers) {
     // Recovery sees only what reached storage — including the torn final
     // frame, which the scanner drops — and the campaign then runs to
     // completion.
-    auto restored = ICrowd::Restore(MakeDataset(), MakeConfig(seed, 1), {},
+    auto restored = ICrowd::Restore(MakeDataset(), MakeConfig(seed), {},
                                     inner->bytes());
     ASSERT_TRUE(restored.ok()) << restored.status().ToString();
     std::unique_ptr<ICrowd> resumed = restored.MoveValueOrDie();
@@ -412,8 +418,8 @@ TEST(RecoveryTest, JournalBytesIdenticalAcrossThreadCounts) {
   EXPECT_EQ(serial.det_metrics, parallel.det_metrics);
   // And recovery may change the thread count: the fingerprint deliberately
   // excludes it, so a 1-thread journal restores under an 8-thread config.
-  auto restored =
-      ICrowd::Restore(MakeDataset(), MakeConfig(11, 8), {}, serial.journal);
+  auto restored = ICrowd::Restore(MakeDataset(), MakeConfig(11), {},
+                                  serial.journal, MakeHost(8));
   ASSERT_TRUE(restored.ok()) << restored.status().ToString();
   EXPECT_EQ((*restored)->Results(), serial.results);
   if (HasFailure()) DumpOnFailure(serial.journal, "thread_invariance");
@@ -425,7 +431,7 @@ TEST(RecoveryTest, RestoreRejectsMismatchedCampaign) {
   const uint64_t seed = 11;
   LiveRun live = RunLive(seed, 1);
   // Different config (k) — fingerprint mismatch.
-  ICrowdConfig other_config = MakeConfig(seed, 1);
+  ICrowdConfig other_config = MakeConfig(seed);
   other_config.assignment_size = 5;
   EXPECT_FALSE(
       ICrowd::Restore(MakeDataset(), other_config, {}, live.journal).ok());
@@ -434,10 +440,10 @@ TEST(RecoveryTest, RestoreRejectsMismatchedCampaign) {
   other_data.tasks_per_family = 6;
   EXPECT_FALSE(ICrowd::Restore(
                    GenerateEntityResolution(other_data).MoveValueOrDie(),
-                   MakeConfig(seed, 1), {}, live.journal)
+                   MakeConfig(seed), {}, live.journal)
                    .ok());
   // Nothing to restore from.
-  EXPECT_FALSE(ICrowd::Restore(MakeDataset(), MakeConfig(seed, 1), {}, {})
+  EXPECT_FALSE(ICrowd::Restore(MakeDataset(), MakeConfig(seed), {}, {})
                    .ok());
 }
 
@@ -454,7 +460,7 @@ TEST(RecoveryTest, ResumeThenContinueMatchesUninterruptedMetrics) {
       live.journal.begin() + static_cast<long>(offset));
   obs::MetricsRegistry::Global().ResetForTesting();
   auto restored =
-      ICrowd::Restore(MakeDataset(), MakeConfig(seed, 1), {}, prefix);
+      ICrowd::Restore(MakeDataset(), MakeConfig(seed), {}, prefix);
   ASSERT_TRUE(restored.ok()) << restored.status().ToString();
   std::unique_ptr<ICrowd> system = restored.MoveValueOrDie();
   Status redriven = RedriveJournalTail(

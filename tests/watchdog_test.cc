@@ -281,7 +281,6 @@ Result<std::unique_ptr<ICrowd>> MakeCampaign() {
   config.warmup.tasks_per_worker = 3;
   config.graph.measure = SimilarityMeasure::kJaccard;
   config.graph.threshold = 0.2;
-  config.num_threads = 1;
   config.seed = 7;
   config.journal_sink = std::make_shared<VectorSink>();
   return ICrowd::Create(*std::move(dataset), config);

@@ -53,6 +53,10 @@ Rules (see DESIGN.md "Static-analysis layer"):
                   they may include is "icrowd_api.h". A quoted include of
                   anything else reaches into src/ internals, which carry no
                   stability promise. No waiver — widen the umbrella instead.
+                  The umbrella itself is checked too: src/icrowd_api.h must
+                  keep exporting every header of the v2 host surface
+                  (host/campaign_manager.h and friends) — dropping one
+                  would silently shrink the public API.
 
   guarded-field   A class that directly owns a mutex (icrowd::Mutex or
                   std::mutex member) holds state that mutex exists to
@@ -145,6 +149,13 @@ MAIN_DEF_PATTERN = re.compile(r"^\s*int\s+main\s*\(", re.MULTILINE)
 BENCH_MAIN_WAIVER_PATTERN = re.compile(r"//\s*lint:\s*bench-main-ok\([^)]*\)")
 # The single project header examples/ may include.
 API_UMBRELLA = "icrowd_api.h"
+# Headers the umbrella must keep exporting (the v2 host surface): the
+# api-include rule fails when src/icrowd_api.h stops including one.
+API_REQUIRED_EXPORTS = (
+    "host/campaign_handle.h",
+    "host/campaign_manager.h",
+    "host/host_config.h",
+)
 QUOTED_INCLUDE_PATTERN = re.compile(r'#\s*include\s+"([^"]+)"')
 # Appends to an output container or accumulates state in place; on an
 # unordered range these make the result depend on hash iteration order.
@@ -399,6 +410,19 @@ def check_bench_main(rel, text, stripped):
 def check_api_include(rel, text, stripped):
     del stripped
     p = rel.replace("\\", "/")
+    if p == "src/" + API_UMBRELLA:
+        no_comments = strip_comments_and_strings(text, keep_strings=True)
+        included = {m.group(1)
+                    for m in QUOTED_INCLUDE_PATTERN.finditer(no_comments)}
+        return [
+            Violation(
+                rel, 1, "api-include",
+                f'umbrella no longer exports "{header}"; the v2 host '
+                "surface is part of the stable public API and every "
+                "export in API_REQUIRED_EXPORTS must stay included",
+            )
+            for header in API_REQUIRED_EXPORTS if header not in included
+        ]
     if not p.startswith("examples/"):
         return []
     no_comments = strip_comments_and_strings(text, keep_strings=True)
@@ -1255,6 +1279,29 @@ SELF_TEST_CASES = [
         '#include "assign/assigner.h"\n',
         None,
         set(),
+    ),
+    (
+        "umbrella exporting the full host surface",
+        "src/icrowd_api.h",
+        "#ifndef ICROWD_ICROWD_API_H_\n#define ICROWD_ICROWD_API_H_\n"
+        '#include "host/campaign_handle.h"\n'
+        '#include "host/campaign_manager.h"\n'
+        '#include "host/host_config.h"\n'
+        '#include "core/icrowd.h"\n'
+        "#endif  // ICROWD_ICROWD_API_H_\n",
+        None,
+        set(),
+    ),
+    (
+        "umbrella dropping a host export",
+        "src/icrowd_api.h",
+        "#ifndef ICROWD_ICROWD_API_H_\n#define ICROWD_ICROWD_API_H_\n"
+        '#include "host/campaign_handle.h"\n'
+        '#include "host/host_config.h"\n'
+        '#include "core/icrowd.h"\n'
+        "#endif  // ICROWD_ICROWD_API_H_\n",
+        None,
+        {"api-include"},
     ),
     # ---- guarded-field ----
     (
